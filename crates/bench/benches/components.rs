@@ -1,0 +1,117 @@
+//! Criterion benches over individual simulator components: trace
+//! generation, branch prediction, cache/LSQ models and the network engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use heterowire_frontend::{Combined, DirectionPredictor};
+use heterowire_interconnect::{
+    MessageKind, NetConfig, Network, Node, Topology, Transfer,
+};
+use heterowire_memory::{Cache, LoadStoreQueue};
+use heterowire_trace::{by_name, TraceGenerator};
+use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("generate_10k_gcc", |b| {
+        b.iter(|| {
+            let gen = TraceGenerator::new(by_name("gcc").unwrap(), 1);
+            std::hint::black_box(gen.take(10_000).count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("combined_10k", |b| {
+        let mut p = Combined::table1();
+        b.iter(|| {
+            let mut correct = 0u32;
+            for i in 0..10_000u64 {
+                let pc = 0x1000 + (i % 256) * 4;
+                let taken = (i / 7) % 3 != 0;
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            std::hint::black_box(correct)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("l1d_10k_accesses", |b| {
+        let mut cache = Cache::l1d_table1();
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..10_000u64 {
+                if cache.access((i * 4391) % (1 << 20)) {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lsq(c: &mut Criterion) {
+    c.bench_function("lsq_1k_pairs", |b| {
+        b.iter(|| {
+            let mut lsq = LoadStoreQueue::new(8);
+            for i in 0..1_000u64 {
+                let s = i * 2;
+                lsq.insert(s, true);
+                lsq.insert(s + 1, false);
+                lsq.arrive_full(s, 0x1000 + i * 64, i);
+                lsq.arrive_full(s + 1, 0x9000 + i * 64, i);
+                std::hint::black_box(lsq.load_status(s + 1, i, true));
+                lsq.retire_through(s + 1);
+            }
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.throughput(Throughput::Elements(4_000));
+    g.bench_function("crossbar_4k_transfers", |b| {
+        b.iter(|| {
+            let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]);
+            let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
+            for cycle in 1..=1_000u64 {
+                for src in 0..4usize {
+                    net.send(
+                        Transfer {
+                            src: Node::Cluster(src),
+                            dst: Node::Cache,
+                            class: WireClass::B,
+                            kind: MessageKind::FullAddress,
+                        },
+                        cycle - 1,
+                    );
+                }
+                net.tick(cycle);
+                std::hint::black_box(net.take_delivered(cycle).len());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace,
+    bench_predictor,
+    bench_cache,
+    bench_lsq,
+    bench_network
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Regenerates the scalar claims of §1 and §5.3:
+//!
+//! 1. doubling the inter-cluster latency degrades 4-cluster performance by
+//!    ~12%;
+//! 2. with doubled (wire-constrained) latencies, adding an L-Wire plane
+//!    buys ~7.1% instead of ~4.2%;
+//! 3. moving a single thread from 4 to 16 clusters buys ~17% IPC;
+//! 4. on the 16-cluster system the L-Wire plane buys ~7.4%;
+//! 5. fewer than 9% of loads hit a false partial-address dependence with 8
+//!    LS bits;
+//! 6. the 8K-counter narrow predictor identifies ~95% of narrow results
+//!    with ~2% of predicted-narrow values actually wide;
+//! 7. ~14% of register traffic is narrow (integers in 0..=1023).
+
+use heterowire_bench::{run_suite, RunScale};
+use heterowire_core::{InterconnectModel, ProcessorConfig};
+use heterowire_interconnect::Topology;
+use heterowire_trace::spec2000;
+
+fn main() {
+    let scale = RunScale::from_env();
+
+    // --- 1: latency doubling on the baseline. ---
+    let base_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+    let mut slow_cfg = base_cfg.clone();
+    slow_cfg.latency_scale = 2.0;
+    eprintln!("baseline 4-cluster suite ...");
+    let base = run_suite(&base_cfg, scale);
+    eprintln!("2x-latency suite ...");
+    let slow = run_suite(&slow_cfg, scale);
+    println!(
+        "1. doubling inter-cluster latency: IPC {:.3} -> {:.3} ({:+.1}%; paper: -12%)",
+        base.mean_ipc(),
+        slow.mean_ipc(),
+        (slow.mean_ipc() / base.mean_ipc() - 1.0) * 100.0
+    );
+
+    // --- 2: L-wires under doubled latency. ---
+    let mut slow_l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+    slow_l_cfg.latency_scale = 2.0;
+    eprintln!("2x-latency + L-Wires suite ...");
+    let slow_l = run_suite(&slow_l_cfg, scale);
+    println!(
+        "2. +L-Wires at 2x latency: IPC {:.3} -> {:.3} ({:+.1}%; paper: +7.1%)",
+        slow.mean_ipc(),
+        slow_l.mean_ipc(),
+        (slow_l.mean_ipc() / slow.mean_ipc() - 1.0) * 100.0
+    );
+
+    // --- 3: 4 -> 16 clusters. ---
+    let c16_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::hier16());
+    eprintln!("16-cluster baseline suite ...");
+    let c16 = run_suite(&c16_cfg, scale);
+    println!(
+        "3. 4 -> 16 clusters: IPC {:.3} -> {:.3} ({:+.1}%; paper: +17%)",
+        base.mean_ipc(),
+        c16.mean_ipc(),
+        (c16.mean_ipc() / base.mean_ipc() - 1.0) * 100.0
+    );
+
+    // --- 4: L-wires on 16 clusters. ---
+    let c16_l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::hier16());
+    eprintln!("16-cluster + L-Wires suite ...");
+    let c16_l = run_suite(&c16_l_cfg, scale);
+    println!(
+        "4. +L-Wires on 16 clusters: IPC {:.3} -> {:.3} ({:+.1}%; paper: +7.4%)",
+        c16.mean_ipc(),
+        c16_l.mean_ipc(),
+        (c16_l.mean_ipc() / c16.mean_ipc() - 1.0) * 100.0
+    );
+
+    // --- 5 & 6: LSQ false dependences, narrow predictor (from the VII run).
+    let l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+    eprintln!("4-cluster + L-Wires suite ...");
+    let lwire = run_suite(&l_cfg, scale);
+    let (fd, loads) = lwire.runs.iter().fold((0, 0), |(fd, ld), r| {
+        (fd + r.lsq.false_dependences, ld + r.lsq.loads)
+    });
+    println!(
+        "5. false partial-address dependences @8 LS bits: {:.1}% of loads (paper: <9%)",
+        fd as f64 / loads as f64 * 100.0
+    );
+    let cov =
+        lwire.runs.iter().map(|r| r.narrow_coverage).sum::<f64>() / lwire.runs.len() as f64;
+    let fnr =
+        lwire.runs.iter().map(|r| r.narrow_false_rate).sum::<f64>() / lwire.runs.len() as f64;
+    println!(
+        "6. narrow predictor: {:.1}% coverage, {:.1}% false-narrow (paper: 95% / 2%)",
+        cov * 100.0,
+        fnr * 100.0
+    );
+
+    // --- 7: narrow share of register traffic (trace property). ---
+    let mut narrow = 0u64;
+    let mut int_results = 0u64;
+    for p in spec2000() {
+        let stats = heterowire_trace::TraceStats::from_ops(
+            heterowire_trace::TraceGenerator::new(p, heterowire_bench::SEED).take(50_000),
+        );
+        narrow += stats.narrow_results;
+        int_results += stats.int_results;
+    }
+    println!(
+        "7. narrow share of integer register traffic: {:.1}% (paper: 14%)",
+        narrow as f64 / int_results as f64 * 100.0
+    );
+}

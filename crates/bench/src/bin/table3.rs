@@ -1,0 +1,39 @@
+//! Regenerates **Table 3** of the paper: the ten interconnect models on the
+//! 4-cluster crossbar — relative metal area, IPC, relative interconnect
+//! dynamic and leakage energy, relative processor energy, and ED² at 10%
+//! and 20% interconnect energy fractions, all normalised to Model I.
+
+use heterowire_bench::{csv_path_from_args, format_model_csv, format_model_table, model_sweep, RunScale};
+use heterowire_interconnect::Topology;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!("sweeping Models I-X on 4 clusters x 23 benchmarks ...");
+    let rows = model_sweep(Topology::crossbar4(), scale);
+    if let Some(path) = csv_path_from_args() {
+        std::fs::write(&path, format_model_csv(&rows)).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+    println!("Table 3: heterogeneous interconnect energy and performance, 4 clusters");
+    println!("(all values except IPC are % of Model I)\n");
+    print!("{}", format_model_table(&rows, true));
+
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.at_10.rel_ed2.total_cmp(&b.at_10.rel_ed2))
+        .expect("ten rows");
+    println!(
+        "\nbest ED2(10%): Model {} at {:.1}% (paper: Model IX at 92.0%)",
+        best.model.name(),
+        best.at_10.rel_ed2
+    );
+    let best20 = rows
+        .iter()
+        .min_by(|a, b| a.at_20.rel_ed2.total_cmp(&b.at_20.rel_ed2))
+        .expect("ten rows");
+    println!(
+        "best ED2(20%): Model {} at {:.1}% (paper: Model III at 92.1%)",
+        best20.model.name(),
+        best20.at_20.rel_ed2
+    );
+}

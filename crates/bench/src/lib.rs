@@ -1,0 +1,308 @@
+//! # heterowire-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! HPCA-11 2005 wire-management paper from the `heterowire` simulator:
+//!
+//! | Binary        | Regenerates |
+//! |---------------|-------------|
+//! | `table2`      | Table 2 (wire parameters, derived from physics) |
+//! | `fig3`        | Figure 3 (per-benchmark IPC, baseline vs +L-Wires) |
+//! | `table3`      | Table 3 (Models I–X on 4 clusters) |
+//! | `table4`      | Table 4 (Models I–X on 16 clusters) |
+//! | `sensitivity` | §1/§5.3 scalar claims (2x latency, 4→16 clusters, predictor and LSQ rates) |
+//! | `ablation`    | design-choice sweeps (LS bits, balancer, narrow threshold, per-optimization) |
+//!
+//! The library part hosts the shared experiment-running machinery so the
+//! binaries, the integration tests and the Criterion benches all run the
+//! exact same code.
+
+use heterowire_core::{
+    mean_report, relative_report, EnergyParams, InterconnectModel, Processor, ProcessorConfig,
+    RelativeReport, SimResults,
+};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
+
+/// Default committed-instruction window per benchmark.
+pub const DEFAULT_WINDOW: u64 = 100_000;
+/// Default warmup (excluded from statistics).
+pub const DEFAULT_WARMUP: u64 = 30_000;
+/// Experiment seed (fixed for reproducibility).
+pub const SEED: u64 = 0x5EED_2005;
+
+/// Which workload scale to run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Measured instructions per benchmark.
+    pub window: u64,
+    /// Warmup instructions per benchmark.
+    pub warmup: u64,
+}
+
+impl RunScale {
+    /// The full scale used for reported numbers.
+    pub fn full() -> Self {
+        RunScale {
+            window: DEFAULT_WINDOW,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// A fast scale for smoke tests and Criterion timing.
+    pub fn quick() -> Self {
+        RunScale {
+            window: 10_000,
+            warmup: 3_000,
+        }
+    }
+
+    /// Reads `HETEROWIRE_SCALE=quick|full` from the environment (default
+    /// full) so CI can downscale the harness.
+    pub fn from_env() -> Self {
+        match std::env::var("HETEROWIRE_SCALE").as_deref() {
+            Ok("quick") => Self::quick(),
+            _ => Self::full(),
+        }
+    }
+}
+
+/// Runs one benchmark profile under one processor configuration.
+pub fn run_one(config: ProcessorConfig, profile: BenchmarkProfile, scale: RunScale) -> SimResults {
+    let trace = TraceGenerator::new(profile, SEED);
+    Processor::simulate(config, trace, scale.window, scale.warmup)
+}
+
+/// Per-benchmark results of one model over the whole suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResults {
+    /// Benchmark names, in suite order.
+    pub names: Vec<&'static str>,
+    /// One result per benchmark.
+    pub runs: Vec<SimResults>,
+}
+
+impl SuiteResults {
+    /// Arithmetic-mean IPC (the paper's aggregate).
+    pub fn mean_ipc(&self) -> f64 {
+        heterowire_core::mean_ipc(&self.runs)
+    }
+}
+
+/// Runs the full 23-benchmark suite under a configuration, one OS thread
+/// per benchmark (runs are independent and deterministic, so this changes
+/// nothing but wall-clock time).
+pub fn run_suite(config: &ProcessorConfig, scale: RunScale) -> SuiteResults {
+    let profiles = spec2000();
+    let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
+    let runs = std::thread::scope(|s| {
+        let handles: Vec<_> = profiles
+            .into_iter()
+            .map(|p| {
+                let config = config.clone();
+                s.spawn(move || run_one(config, p, scale))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark thread panicked"))
+            .collect()
+    });
+    SuiteResults { names, runs }
+}
+
+/// One row of the regenerated Table 3/4.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Which interconnect model.
+    pub model: InterconnectModel,
+    /// Link description string.
+    pub description: String,
+    /// Relative metal area.
+    pub metal_area: f64,
+    /// Suite mean report at 10% interconnect fraction.
+    pub at_10: RelativeReport,
+    /// Suite mean report at 20% interconnect fraction.
+    pub at_20: RelativeReport,
+}
+
+/// Regenerates a Table-3/4-style model sweep on the given topology.
+/// Returns one row per model, each relative to Model I.
+pub fn model_sweep(topology: Topology, scale: RunScale) -> Vec<ModelRow> {
+    let baseline_cfg = ProcessorConfig::for_model(InterconnectModel::I, topology);
+    let baseline = run_suite(&baseline_cfg, scale);
+    InterconnectModel::ALL
+        .iter()
+        .map(|&model| {
+            let cfg = ProcessorConfig::for_model(model, topology);
+            let suite = if model == InterconnectModel::I {
+                baseline.clone()
+            } else {
+                run_suite(&cfg, scale)
+            };
+            let reports_10: Vec<_> = suite
+                .runs
+                .iter()
+                .zip(&baseline.runs)
+                .map(|(m, b)| relative_report(m, b, EnergyParams::ten_percent()))
+                .collect();
+            let reports_20: Vec<_> = suite
+                .runs
+                .iter()
+                .zip(&baseline.runs)
+                .map(|(m, b)| relative_report(m, b, EnergyParams::twenty_percent()))
+                .collect();
+            ModelRow {
+                model,
+                description: model.description(),
+                metal_area: model.relative_metal_area(),
+                at_10: mean_report(&reports_10),
+                at_20: mean_report(&reports_20),
+            }
+        })
+        .collect()
+}
+
+/// Formats a model sweep as an aligned text table (Table-3 layout).
+pub fn format_model_table(rows: &[ModelRow], include_10: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<40} {:>5} {:>6} {:>7} {:>7} {:>7} {:>9} {:>9}\n",
+        "Model", "Link composition", "Area", "IPC", "IC-dyn", "IC-lkg", "Energy", "ED2(10%)", "ED2(20%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<40} {:>5.1} {:>6.3} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.1}\n",
+            format!("Model {}", r.model.name()),
+            r.description,
+            r.metal_area,
+            r.at_10.ipc,
+            r.at_10.rel_ic_dynamic,
+            r.at_10.rel_ic_leakage,
+            if include_10 {
+                r.at_10.rel_processor_energy
+            } else {
+                r.at_20.rel_processor_energy
+            },
+            r.at_10.rel_ed2,
+            r.at_20.rel_ed2,
+        ));
+    }
+    out
+}
+
+/// Formats a model sweep as CSV (machine-readable companion to
+/// [`format_model_table`]); pass the path via `--csv <file>` on the
+/// `table3`/`table4` binaries.
+pub fn format_model_csv(rows: &[ModelRow]) -> String {
+    let mut out = String::from(
+        "model,link,metal_area,ipc,ic_dynamic_pct,ic_leakage_pct,\
+         energy10_pct,ed2_10_pct,energy20_pct,ed2_20_pct\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:?},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+            r.model.name(),
+            r.description,
+            r.metal_area,
+            r.at_10.ipc,
+            r.at_10.rel_ic_dynamic,
+            r.at_10.rel_ic_leakage,
+            r.at_10.rel_processor_energy,
+            r.at_10.rel_ed2,
+            r.at_20.rel_processor_energy,
+            r.at_20.rel_ed2,
+        ));
+    }
+    out
+}
+
+/// Formats per-benchmark suite results as CSV (one row per benchmark).
+pub fn format_suite_csv(suite: &SuiteResults) -> String {
+    let mut out = String::from(
+        "benchmark,instructions,cycles,ipc,transfers_per_inst,\
+         ic_dynamic_energy,l1_misses,l2_misses,mispredict_rate,\
+         false_dep_rate,narrow_coverage\n",
+    );
+    for (name, r) in suite.names.iter().zip(&suite.runs) {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{:.3},{:.1},{},{},{:.4},{:.4},{:.4}\n",
+            name,
+            r.instructions,
+            r.cycles,
+            r.ipc(),
+            r.transfers_per_inst(),
+            r.net.dynamic_energy,
+            r.mem.l1_misses,
+            r.mem.l2_misses,
+            r.fetch.mispredict_rate(),
+            r.lsq.false_dependence_rate(),
+            r.narrow_coverage,
+        ));
+    }
+    out
+}
+
+/// Parses an optional `--csv <path>` argument pair from `std::env::args`.
+pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_one_row_per_model() {
+        let rows = model_sweep(
+            Topology::crossbar4(),
+            RunScale {
+                window: 1_000,
+                warmup: 200,
+            },
+        );
+        let csv = format_model_csv(&rows);
+        assert_eq!(csv.lines().count(), 11, "header + 10 models");
+        assert!(csv.starts_with("model,"));
+        assert!(csv.contains("\nI,"));
+        assert!(csv.contains("\nX,"));
+    }
+
+    #[test]
+    fn suite_csv_has_one_row_per_benchmark() {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let suite = run_suite(
+            &cfg,
+            RunScale {
+                window: 1_000,
+                warmup: 200,
+            },
+        );
+        let csv = format_suite_csv(&suite);
+        assert_eq!(csv.lines().count(), 24, "header + 23 benchmarks");
+        assert!(csv.contains("gzip,"));
+        assert!(csv.contains("mcf,"));
+    }
+
+    #[test]
+    fn quick_suite_runs() {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let scale = RunScale {
+            window: 2_000,
+            warmup: 500,
+        };
+        let suite = run_suite(&cfg, scale);
+        assert_eq!(suite.runs.len(), 23);
+        assert!(suite.mean_ipc() > 0.0);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_full() {
+        // No env set in tests -> full scale.
+        let s = RunScale::from_env();
+        assert!(s.window >= RunScale::quick().window);
+    }
+}

@@ -1,0 +1,287 @@
+//! Processor configuration: Table-1 machine parameters, the optimization
+//! toggles, and the ten interconnect models of Tables 3 and 4.
+
+use heterowire_interconnect::Topology;
+use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+
+/// Which of the paper's microarchitectural optimizations are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// Partial-address L-Wire cache pipeline (§4 "Accelerating Cache
+    /// Access").
+    pub cache_pipeline: bool,
+    /// Narrow bit-width operand transfers on L-Wires.
+    pub narrow_operands: bool,
+    /// Branch mispredict signal on L-Wires.
+    pub branch_signal: bool,
+    /// Non-critical traffic (ready-at-dispatch operands, store data) on
+    /// PW-Wires.
+    pub pw_steering: bool,
+    /// Load-imbalance overflow steering between B and PW planes.
+    pub load_balance: bool,
+    /// Use the 8K-entry narrow predictor rather than oracle knowledge of
+    /// result widths (the paper evaluates with the optimistic assumption
+    /// but validates this predictor).
+    pub narrow_predictor: bool,
+}
+
+impl Optimizations {
+    /// Everything off — the homogeneous baseline behaviour.
+    pub fn none() -> Self {
+        Optimizations {
+            cache_pipeline: false,
+            narrow_operands: false,
+            branch_signal: false,
+            pw_steering: false,
+            load_balance: false,
+            narrow_predictor: true,
+        }
+    }
+
+    /// Enables the subset that the link composition supports: L-Wire
+    /// optimizations when `l` planes exist, PW steering when both `b` and
+    /// `pw` exist.
+    pub fn for_link(link: &LinkComposition) -> Self {
+        let has_l = link.lanes(WireClass::L) > 0;
+        let has_b = link.lanes(WireClass::B) > 0;
+        let has_pw = link.lanes(WireClass::Pw) > 0;
+        Optimizations {
+            cache_pipeline: has_l,
+            narrow_operands: has_l,
+            branch_signal: has_l,
+            pw_steering: has_b && has_pw,
+            load_balance: has_b && has_pw,
+            narrow_predictor: true,
+        }
+    }
+}
+
+/// Optional extensions the paper discusses but does not evaluate
+/// (§4 "other forms of data compaction", §5.3 critical words from L2/L3,
+/// §2/§5.2 transmission lines). All off by default; the ablation harness
+/// measures each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Extensions {
+    /// Frequent-value compaction (Yang et al. (ref. 47)): wide values matching
+    /// a small frequent-value table ride L-Wires as encoded indices.
+    pub frequent_value: bool,
+    /// Critical-word-first refills from L2/DRAM over L-Wires.
+    pub l2_critical_word: bool,
+    /// L-Wires implemented as transmission lines: latency immune to the
+    /// wire-constrained scaling and one third the dynamic energy.
+    pub transmission_lines: bool,
+}
+
+/// Full processor configuration (Table 1 defaults).
+#[derive(Debug, Clone)]
+pub struct ProcessorConfig {
+    /// Interconnect topology (4-cluster crossbar or 16-cluster hierarchy).
+    pub topology: Topology,
+    /// Wire composition of one direction of a cluster link.
+    pub link: LinkComposition,
+    /// Optimization toggles.
+    pub opts: Optimizations,
+    /// Reorder buffer size (480).
+    pub rob_size: usize,
+    /// Issue queue entries per cluster, int and fp each (15).
+    pub iq_per_cluster: usize,
+    /// Physical registers per cluster, int and fp each (32).
+    pub regs_per_cluster: usize,
+    /// Dispatch (and commit) width (8).
+    pub dispatch_width: usize,
+    /// Minimum branch mispredict penalty: front-end refill depth (12).
+    pub mispredict_refill: u64,
+    /// LS bits compared in the partial-address LSQ check (8).
+    pub ls_bits: u32,
+    /// Interconnect latency multiplier (sensitivity studies double it).
+    pub latency_scale: f64,
+    /// Optional paper-discussed extensions (all off by default).
+    pub extensions: Extensions,
+}
+
+impl ProcessorConfig {
+    /// The paper's baseline: 4 clusters, Model I (144 B-Wires), no
+    /// optimizations.
+    pub fn baseline4() -> Self {
+        ProcessorConfig {
+            topology: Topology::crossbar4(),
+            link: InterconnectModel::I.link(),
+            opts: Optimizations::none(),
+            rob_size: 480,
+            iq_per_cluster: 15,
+            regs_per_cluster: 32,
+            dispatch_width: 8,
+            mispredict_refill: 12,
+            ls_bits: 8,
+            latency_scale: 1.0,
+            extensions: Extensions::default(),
+        }
+    }
+
+    /// Builds the configuration for one of the Table-3/4 interconnect
+    /// models on the given topology, with all supported optimizations on.
+    pub fn for_model(model: InterconnectModel, topology: Topology) -> Self {
+        let link = model.link();
+        ProcessorConfig {
+            topology,
+            opts: Optimizations::for_link(&link),
+            link,
+            ..Self::baseline4()
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.topology.clusters()
+    }
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        Self::baseline4()
+    }
+}
+
+/// The ten interconnect models of Tables 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum InterconnectModel {
+    I,
+    II,
+    III,
+    IV,
+    V,
+    VI,
+    VII,
+    VIII,
+    IX,
+    X,
+}
+
+impl InterconnectModel {
+    /// All ten models in table order.
+    pub const ALL: [InterconnectModel; 10] = [
+        InterconnectModel::I,
+        InterconnectModel::II,
+        InterconnectModel::III,
+        InterconnectModel::IV,
+        InterconnectModel::V,
+        InterconnectModel::VI,
+        InterconnectModel::VII,
+        InterconnectModel::VIII,
+        InterconnectModel::IX,
+        InterconnectModel::X,
+    ];
+
+    /// The cluster-link wire composition of this model (Table 3's
+    /// "Description of each link" column).
+    pub fn link(self) -> LinkComposition {
+        let b = |n| WirePlane::new(WireClass::B, n);
+        let pw = |n| WirePlane::new(WireClass::Pw, n);
+        let l = |n| WirePlane::new(WireClass::L, n);
+        match self {
+            InterconnectModel::I => LinkComposition::new(vec![b(144)]),
+            InterconnectModel::II => LinkComposition::new(vec![pw(288)]),
+            InterconnectModel::III => LinkComposition::new(vec![pw(144), l(36)]),
+            InterconnectModel::IV => LinkComposition::new(vec![b(288)]),
+            InterconnectModel::V => LinkComposition::new(vec![b(144), pw(288)]),
+            InterconnectModel::VI => LinkComposition::new(vec![pw(288), l(36)]),
+            InterconnectModel::VII => LinkComposition::new(vec![b(144), l(36)]),
+            InterconnectModel::VIII => LinkComposition::new(vec![b(432)]),
+            InterconnectModel::IX => LinkComposition::new(vec![b(288), l(36)]),
+            InterconnectModel::X => {
+                LinkComposition::new(vec![b(144), pw(288), l(36)])
+            }
+        }
+    }
+
+    /// Metal area of one cluster link relative to Model I (the table's
+    /// "Relative Metal Area" column).
+    pub fn relative_metal_area(self) -> f64 {
+        self.link().metal_area() / InterconnectModel::I.link().metal_area()
+    }
+
+    /// Roman-numeral name as printed in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterconnectModel::I => "I",
+            InterconnectModel::II => "II",
+            InterconnectModel::III => "III",
+            InterconnectModel::IV => "IV",
+            InterconnectModel::V => "V",
+            InterconnectModel::VI => "VI",
+            InterconnectModel::VII => "VII",
+            InterconnectModel::VIII => "VIII",
+            InterconnectModel::IX => "IX",
+            InterconnectModel::X => "X",
+        }
+    }
+
+    /// Human-readable link description (as in the tables).
+    pub fn description(self) -> String {
+        self.link().to_string()
+    }
+}
+
+impl std::fmt::Display for InterconnectModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Model {}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_metal_areas_match_table3() {
+        let expect = [1.0, 1.0, 1.5, 2.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        for (m, &area) in InterconnectModel::ALL.iter().zip(&expect) {
+            assert!(
+                (m.relative_metal_area() - area).abs() < 1e-9,
+                "{m}: {} != {area}",
+                m.relative_metal_area()
+            );
+        }
+    }
+
+    #[test]
+    fn model_descriptions_match_paper() {
+        assert_eq!(InterconnectModel::I.description(), "144 B-Wires");
+        assert_eq!(
+            InterconnectModel::X.description(),
+            "144 B-Wires, 288 PW-Wires, 36 L-Wires"
+        );
+    }
+
+    #[test]
+    fn optimizations_follow_planes() {
+        let o = Optimizations::for_link(&InterconnectModel::I.link());
+        assert!(!o.cache_pipeline && !o.pw_steering);
+        let o = Optimizations::for_link(&InterconnectModel::VII.link());
+        assert!(o.cache_pipeline && o.narrow_operands && !o.pw_steering);
+        let o = Optimizations::for_link(&InterconnectModel::X.link());
+        assert!(o.cache_pipeline && o.pw_steering && o.load_balance);
+        // Model II (PW only): nothing to steer between, no L wires.
+        let o = Optimizations::for_link(&InterconnectModel::II.link());
+        assert!(!o.cache_pipeline && !o.pw_steering && !o.load_balance);
+    }
+
+    #[test]
+    fn baseline_is_table1() {
+        let c = ProcessorConfig::baseline4();
+        assert_eq!(c.clusters(), 4);
+        assert_eq!(c.rob_size, 480);
+        assert_eq!(c.iq_per_cluster, 15);
+        assert_eq!(c.regs_per_cluster, 32);
+        assert_eq!(c.dispatch_width, 8);
+        assert_eq!(c.mispredict_refill, 12);
+    }
+
+    #[test]
+    fn for_model_16_clusters() {
+        let c = ProcessorConfig::for_model(InterconnectModel::IX, Topology::hier16());
+        assert_eq!(c.clusters(), 16);
+        assert!(c.opts.narrow_operands);
+    }
+}

@@ -1,0 +1,225 @@
+//! The processor-level energy and ED² model of Tables 3 and 4.
+//!
+//! The paper normalises everything to Model I and assumes:
+//!
+//! * interconnect energy is 10% (or 20%) of total chip energy in Model I;
+//! * chip leakage : dynamic energy is 3 : 7 in Model I (applied to both the
+//!   interconnect and the rest of the chip);
+//! * rest-of-chip dynamic energy is workload-proportional (constant for a
+//!   fixed instruction count), while rest-of-chip *leakage* scales with
+//!   executed cycles;
+//! * `ED² = total processor energy x (executed cycles)²`.
+//!
+//! We verified this reconstruction against all thirty published rows of
+//! Tables 3 and 4 (see EXPERIMENTS.md).
+
+use crate::results::SimResults;
+
+/// Parameters of the chip-level energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Fraction of Model-I chip energy spent in the interconnect
+    /// (0.10 and 0.20 in the paper).
+    pub ic_fraction: f64,
+    /// Leakage share of Model-I chip energy (0.3; dynamic is 0.7).
+    pub leakage_share: f64,
+}
+
+impl EnergyParams {
+    /// The 10%-interconnect variant.
+    pub fn ten_percent() -> Self {
+        EnergyParams {
+            ic_fraction: 0.10,
+            leakage_share: 0.3,
+        }
+    }
+
+    /// The 20%-interconnect variant.
+    pub fn twenty_percent() -> Self {
+        EnergyParams {
+            ic_fraction: 0.20,
+            leakage_share: 0.3,
+        }
+    }
+}
+
+/// One model's row, normalised to the baseline (Model I): the quantities
+/// Tables 3 and 4 print.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeReport {
+    /// Absolute IPC of the model.
+    pub ipc: f64,
+    /// Interconnect dynamic energy, % of Model I's.
+    pub rel_ic_dynamic: f64,
+    /// Interconnect leakage energy, % of Model I's.
+    pub rel_ic_leakage: f64,
+    /// Total processor energy, % of Model I's.
+    pub rel_processor_energy: f64,
+    /// Processor ED², % of Model I's.
+    pub rel_ed2: f64,
+}
+
+/// Computes a model's Table-3-style row relative to the `baseline` run of
+/// the same workload.
+///
+/// # Panics
+///
+/// Panics if the baseline has zero cycles or zero interconnect energy.
+pub fn relative_report(
+    model: &SimResults,
+    baseline: &SimResults,
+    params: EnergyParams,
+) -> RelativeReport {
+    assert!(baseline.cycles > 0, "baseline must have executed");
+    assert!(
+        baseline.ic_dynamic_energy() > 0.0 && baseline.ic_leakage_energy() > 0.0,
+        "baseline must have interconnect activity"
+    );
+    let cycle_ratio = model.cycles as f64 / baseline.cycles as f64;
+    let rel_dyn = model.ic_dynamic_energy() / baseline.ic_dynamic_energy();
+    let rel_lkg = model.ic_leakage_energy() / baseline.ic_leakage_energy();
+
+    let f = params.ic_fraction;
+    let lkg = params.leakage_share;
+    let dynamic = 1.0 - lkg;
+    // Model-I chip energy = 100 units.
+    let rest_dynamic = dynamic * (1.0 - f) * 100.0;
+    let rest_leakage = lkg * (1.0 - f) * 100.0;
+    let ic_dynamic_base = dynamic * f * 100.0;
+    let ic_leakage_base = lkg * f * 100.0;
+
+    let energy = rest_dynamic
+        + rest_leakage * cycle_ratio
+        + ic_dynamic_base * rel_dyn
+        + ic_leakage_base * rel_lkg;
+    let ed2 = energy * cycle_ratio * cycle_ratio;
+
+    RelativeReport {
+        ipc: model.ipc(),
+        rel_ic_dynamic: rel_dyn * 100.0,
+        rel_ic_leakage: rel_lkg * 100.0,
+        rel_processor_energy: energy,
+        rel_ed2: ed2,
+    }
+}
+
+/// Averages per-benchmark relative reports into one table row (arithmetic
+/// mean, matching the paper's AM-of-IPCs aggregation).
+pub fn mean_report(reports: &[RelativeReport]) -> RelativeReport {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let n = reports.len() as f64;
+    RelativeReport {
+        ipc: reports.iter().map(|r| r.ipc).sum::<f64>() / n,
+        rel_ic_dynamic: reports.iter().map(|r| r.rel_ic_dynamic).sum::<f64>() / n,
+        rel_ic_leakage: reports.iter().map(|r| r.rel_ic_leakage).sum::<f64>() / n,
+        rel_processor_energy: reports
+            .iter()
+            .map(|r| r.rel_processor_energy)
+            .sum::<f64>()
+            / n,
+        rel_ed2: reports.iter().map(|r| r.rel_ed2).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterowire_frontend::FetchStats;
+    use heterowire_interconnect::NetStats;
+    use heterowire_memory::{LsqStats, MemStats};
+
+    fn run(cycles: u64, ic_dyn: f64, lkg_weight: f64) -> SimResults {
+        let mut net = NetStats::default();
+        net.dynamic_energy = ic_dyn;
+        SimResults {
+            instructions: 100_000,
+            cycles,
+            net,
+            leakage_weight: lkg_weight,
+            fetch: FetchStats::default(),
+            lsq: LsqStats::default(),
+            mem: MemStats::default(),
+            narrow_coverage: 0.0,
+            narrow_false_rate: 0.0,
+            metal_area: 0.0,
+        }
+    }
+
+    #[test]
+    fn baseline_relative_to_itself_is_100() {
+        let b = run(100_000, 1000.0, 10.0);
+        let r = relative_report(&b, &b, EnergyParams::ten_percent());
+        assert!((r.rel_processor_energy - 100.0).abs() < 1e-9);
+        assert!((r.rel_ed2 - 100.0).abs() < 1e-9);
+        assert!((r.rel_ic_dynamic - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproduces_table3_model_ii_row() {
+        // Model II: IPC 0.92 vs 0.95 (cycle ratio 1.0326), IC dyn 52%,
+        // IC lkg weight ratio (288*0.30)/(144*0.55) = 1.0909.
+        let baseline = run(95_000, 1000.0, 144.0 * 0.55);
+        let m2 = run(
+            (95_000.0 * (0.95 / 0.92)) as u64,
+            520.0,
+            288.0 * 0.30,
+        );
+        let r = relative_report(&m2, &baseline, EnergyParams::ten_percent());
+        assert!((r.rel_ic_dynamic - 52.0).abs() < 0.5, "{}", r.rel_ic_dynamic);
+        assert!(
+            (r.rel_ic_leakage - 112.6).abs() < 1.0,
+            "{}",
+            r.rel_ic_leakage
+        );
+        // Paper: processor energy 97, ED2(10%) 103.4.
+        assert!(
+            (r.rel_processor_energy - 97.0).abs() < 1.5,
+            "{}",
+            r.rel_processor_energy
+        );
+        assert!((r.rel_ed2 - 103.4).abs() < 1.5, "{}", r.rel_ed2);
+    }
+
+    #[test]
+    fn reproduces_table3_model_iv_row() {
+        // Model IV: 288 B-wires, IPC 0.98, IC dyn 99%, lkg 194%.
+        let baseline = run(95_000, 1000.0, 144.0 * 0.55);
+        let m4 = run(
+            (95_000.0 * (0.95 / 0.98)) as u64,
+            990.0,
+            288.0 * 0.55,
+        );
+        let r = relative_report(&m4, &baseline, EnergyParams::ten_percent());
+        assert!((r.rel_ic_leakage - 193.9).abs() < 1.5, "{}", r.rel_ic_leakage);
+        assert!(
+            (r.rel_processor_energy - 102.5).abs() < 1.5,
+            "{}",
+            r.rel_processor_energy
+        );
+        // Paper prints 96.6 for ED2(10%).
+        assert!((r.rel_ed2 - 96.3).abs() < 1.5, "{}", r.rel_ed2);
+    }
+
+    #[test]
+    fn twenty_percent_amplifies_interconnect_effects() {
+        let baseline = run(100_000, 1000.0, 100.0);
+        let cheap = run(100_000, 300.0, 30.0);
+        let r10 = relative_report(&cheap, &baseline, EnergyParams::ten_percent());
+        let r20 = relative_report(&cheap, &baseline, EnergyParams::twenty_percent());
+        assert!(r20.rel_processor_energy < r10.rel_processor_energy);
+    }
+
+    #[test]
+    fn mean_report_averages() {
+        let b = run(100_000, 1000.0, 10.0);
+        let r = relative_report(&b, &b, EnergyParams::ten_percent());
+        let avg = mean_report(&[r, r]);
+        assert!((avg.rel_ed2 - r.rel_ed2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average")]
+    fn empty_mean_panics() {
+        let _ = mean_report(&[]);
+    }
+}

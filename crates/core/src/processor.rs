@@ -1,0 +1,1501 @@
+//! The clustered dynamically-scheduled out-of-order processor.
+//!
+//! A cycle-driven, trace-driven timing model with the paper's structure:
+//! an 8-wide front end feeding a 480-entry ROB; dynamic steering of
+//! instructions to clusters (15-entry int/fp issue queues, 32 int/fp
+//! registers, one FU of each kind per cluster); a centralized LSQ + L1
+//! D-cache reached over the heterogeneous interconnect; copy transfers for
+//! cross-cluster register dependences with tag-ahead wakeup; and the three
+//! wire-management optimizations (partial-address cache pipeline, narrow
+//! operands + branch signals on L-Wires, non-critical traffic on PW-Wires).
+//!
+//! Deliberate trace-driven simplifications (documented in DESIGN.md):
+//! wrong-path instructions are not fetched (mispredicts stall fetch until
+//! resolution + signal transfer + 12-cycle refill); architected register
+//! state predating the simulation window is available in every cluster;
+//! physical registers bound in-flight destinations only.
+
+use std::collections::HashMap;
+
+use heterowire_frontend::FetchEngine;
+use heterowire_interconnect::{
+    MessageKind, NetConfig, NetStats, Network, Node, Topology, Transfer, TransferHints,
+    TransferId, WirePolicy,
+};
+use heterowire_interconnect::{AvailablePlanes, FrequentValueTable};
+use heterowire_isa::{MicroOp, OpClass, RegClass};
+use heterowire_memory::{LoadStatus, LoadStoreQueue, MemConfig, MemoryHierarchy};
+use heterowire_trace::TraceGenerator;
+use heterowire_wires::WireClass;
+
+use crate::config::ProcessorConfig;
+use crate::narrow::NarrowPredictor;
+use crate::results::SimResults;
+use crate::steer::{ClusterView, ProducerInfo, Steering, SteeringWeights};
+
+/// Execution phase of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// In an issue queue waiting for operands and a functional unit.
+    Waiting,
+    /// Executing; finishes at the contained cycle.
+    Executing(u64),
+    /// Load/store interacting with the LSQ, cache and network.
+    MemPending,
+    /// Result produced (or store fully delivered); ready to commit.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    op: MicroOp,
+    cluster: usize,
+    phase: Phase,
+    /// Producer seq per source (`None` = architected state, always ready).
+    src_producer: [Option<u64>; 2],
+    /// Cached cycle each source becomes ready in this cluster
+    /// (`u64::MAX` = not yet known).
+    src_ready: [u64; 2],
+    mispredict: bool,
+    /// Cycle this instruction dispatched (statistics).
+    dispatched_at: u64,
+    /// Cycle this instruction issued (statistics).
+    issued_at: u64,
+    /// Loads: cycle the cache RAM index arrived (partial bits).
+    ram_start: Option<u64>,
+    /// Loads: registered in the at-cache active list.
+    at_cache: bool,
+    /// Loads/stores: cycle the full address reached the LSQ (statistics).
+    addr_at_lsq: u64,
+    /// Stores: address has been sent after AGEN.
+    agen_done: bool,
+    /// Stores: data transfer has been sent.
+    store_data_sent: bool,
+    /// Stores: address arrived at the LSQ.
+    store_addr_arrived: bool,
+    /// Stores: data arrived at the LSQ.
+    store_data_arrived: bool,
+}
+
+#[derive(Debug, Clone)]
+struct ValueInfo {
+    cluster: usize,
+    done_at: Option<u64>,
+    narrow: bool,
+    value: u64,
+    pc: u64,
+    /// Cycle a copy arrives per remote cluster (`u64::MAX` = in flight).
+    arrivals: HashMap<usize, u64>,
+    /// Remote clusters awaiting a copy once the value completes.
+    subscribers: Vec<usize>,
+}
+
+/// What to do when a network transfer is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    ValueArrive { producer: u64, cluster: usize },
+    PartialAddr { seq: u64 },
+    FullAddr { seq: u64 },
+    StoreData { seq: u64 },
+    CacheData { seq: u64 },
+    BranchSignal,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClusterState {
+    iq_int_used: usize,
+    iq_fp_used: usize,
+    regs_int_used: usize,
+    regs_fp_used: usize,
+    fu_free: [u64; 4],
+}
+
+impl ClusterState {
+    fn new() -> Self {
+        ClusterState {
+            iq_int_used: 0,
+            iq_fp_used: 0,
+            regs_int_used: 0,
+            regs_fp_used: 0,
+            fu_free: [0; 4],
+        }
+    }
+}
+
+/// A send scheduled for a future cycle (e.g. cache data that becomes
+/// available when the RAM access finishes).
+#[derive(Debug, Clone, Copy)]
+struct DeferredSend {
+    at: u64,
+    transfer: Transfer,
+    action: Action,
+}
+
+/// The processor simulator. Create with [`Processor::new`], run with
+/// [`Processor::run`].
+#[derive(Debug)]
+pub struct Processor {
+    config: ProcessorConfig,
+    fetch: FetchEngine<TraceGenerator>,
+    network: Network,
+    policy: WirePolicy,
+    lsq: LoadStoreQueue,
+    memory: MemoryHierarchy,
+    steering: Steering,
+    narrow: NarrowPredictor,
+    fvc: FrequentValueTable,
+
+    rob: std::collections::VecDeque<Inflight>,
+    rob_base: u64, // seq of rob[0]
+    clusters: Vec<ClusterState>,
+    values: HashMap<u64, ValueInfo>,
+    rename: [Option<u64>; 64],
+    actions: HashMap<TransferId, Action>,
+    deferred: Vec<DeferredSend>,
+    active_loads: Vec<u64>,
+
+    cycle: u64,
+    committed: u64,
+    dispatched: u64,
+    /// Commit stops exactly at this count (set by `run`).
+    commit_target: u64,
+    misp_dispatch_wait: u64,
+    misp_issue_wait: u64,
+    misp_exec_wait: u64,
+    misp_count: u64,
+    load_lat_sum: u64,
+    load_count: u64,
+    lsq_wait_sum: u64,
+    lsq_wait_count: u64,
+    agen_to_lsq_sum: u64,
+    store_addr_delay_sum: u64,
+    store_addr_count: u64,
+    store_issue_wait_sum: u64,
+}
+
+impl Processor {
+    /// Builds a processor running `trace` under `config`.
+    pub fn new(config: ProcessorConfig, trace: TraceGenerator) -> Self {
+        let planes = AvailablePlanes::new(
+            config.link.lanes(WireClass::B) > 0,
+            config.link.lanes(WireClass::Pw) > 0,
+            config.link.lanes(WireClass::L) > 0,
+        );
+        let mut policy = WirePolicy::new(planes);
+        policy.use_l_wires = planes.l
+            && (config.opts.cache_pipeline
+                || config.opts.narrow_operands
+                || config.opts.branch_signal);
+        policy.use_pw_steering = config.opts.pw_steering && planes.pw && planes.b;
+        policy.use_balancing = config.opts.load_balance && planes.pw && planes.b;
+
+        let mut net_config = NetConfig::new(config.topology, config.link.clone());
+        net_config.latency_scale = config.latency_scale;
+        net_config.transmission_line_l = config.extensions.transmission_lines;
+
+        let mem_config = MemConfig {
+            critical_word_first: config.extensions.l2_critical_word
+                && config.link.lanes(WireClass::L) > 0,
+            ..MemConfig::default()
+        };
+
+        let n = config.clusters();
+        Processor {
+            fetch: FetchEngine::new(trace),
+            network: Network::new(net_config),
+            policy,
+            lsq: LoadStoreQueue::new(config.ls_bits),
+            memory: MemoryHierarchy::new(mem_config),
+            steering: Steering::new(config.topology, SteeringWeights::default()),
+            narrow: NarrowPredictor::paper(),
+            fvc: FrequentValueTable::yang(),
+            rob: std::collections::VecDeque::with_capacity(config.rob_size),
+            rob_base: 0,
+            clusters: vec![ClusterState::new(); n],
+            values: HashMap::new(),
+            rename: [None; 64],
+            actions: HashMap::new(),
+            deferred: Vec::new(),
+            active_loads: Vec::new(),
+            cycle: 0,
+            committed: 0,
+            dispatched: 0,
+            commit_target: u64::MAX,
+            misp_dispatch_wait: 0,
+            misp_issue_wait: 0,
+            misp_exec_wait: 0,
+            misp_count: 0,
+            load_lat_sum: 0,
+            load_count: 0,
+            lsq_wait_sum: 0,
+            lsq_wait_count: 0,
+            agen_to_lsq_sum: 0,
+            store_addr_delay_sum: 0,
+            store_addr_count: 0,
+            store_issue_wait_sum: 0,
+            config,
+        }
+    }
+
+    fn rob_get(&self, seq: u64) -> Option<&Inflight> {
+        if seq < self.rob_base {
+            return None;
+        }
+        self.rob.get((seq - self.rob_base) as usize)
+    }
+
+    fn rob_get_mut(&mut self, seq: u64) -> Option<&mut Inflight> {
+        if seq < self.rob_base {
+            return None;
+        }
+        self.rob.get_mut((seq - self.rob_base) as usize)
+    }
+
+    /// Cycle the value produced by `producer` is usable in `cluster`, if
+    /// known yet.
+    fn value_ready_in(&self, producer: u64, cluster: usize) -> Option<u64> {
+        let v = self.values.get(&producer)?;
+        if v.cluster == cluster {
+            v.done_at
+        } else {
+            v.arrivals.get(&cluster).copied().filter(|&c| c != u64::MAX)
+        }
+    }
+
+    /// Chooses a class and sends a register-value copy of `producer` to
+    /// `cluster`, honouring the narrow-operand and PW-steering policies.
+    /// `ready_at_dispatch` marks the paper's first PW criterion.
+    fn send_value_copy(&mut self, producer: u64, cluster: usize, ready_at_dispatch: bool) {
+        let (src_cluster, narrow, value, pc) = {
+            let v = &self.values[&producer];
+            (v.cluster, v.narrow, v.value, v.pc)
+        };
+        let hints = TransferHints {
+            ready_at_dispatch,
+            store_data: false,
+        };
+        // Narrow transfers need advance width knowledge: the predictor (or
+        // the actual width for already-completed values).
+        let mut kind = MessageKind::RegisterValue;
+        let mut extra_delay = 0;
+        if self.config.opts.narrow_operands && self.policy.planes().l {
+            if ready_at_dispatch || !self.config.opts.narrow_predictor {
+                // Width already known (value completed) or oracle mode.
+                if narrow {
+                    kind = MessageKind::NarrowValue;
+                }
+            } else {
+                // Prediction only: training happens once per result at
+                // completion, not once per transfer.
+                let predicted = self.narrow.predict(pc);
+                if predicted && narrow {
+                    kind = MessageKind::NarrowValue;
+                } else if predicted && !narrow {
+                    // False-narrow: tags went out on L-Wires; the wide value
+                    // must be rescheduled on a full-width lane next cycle.
+                    extra_delay = 1;
+                }
+            }
+        }
+        // Frequent-value extension: a wide value matching the FV table is
+        // sent as its table index on an L-Wire lane.
+        if kind == MessageKind::RegisterValue
+            && self.config.extensions.frequent_value
+            && self.policy.planes().l
+        {
+            let frequent = self.fvc.observe(value);
+            if frequent && self.fvc.encode(value).is_some() {
+                kind = MessageKind::NarrowValue;
+            }
+        }
+        // Prefer PW for non-critical traffic even when narrow (energy).
+        let class = if hints.ready_at_dispatch && self.policy.planes().pw && self.policy.use_pw_steering
+        {
+            WireClass::Pw
+        } else {
+            self.policy.choose(kind, hints, self.cycle)
+        };
+        let kind = if class == WireClass::L { kind } else { MessageKind::RegisterValue };
+        let transfer = Transfer {
+            src: Node::Cluster(src_cluster),
+            dst: Node::Cluster(cluster),
+            class,
+            kind,
+        };
+        let action = Action::ValueArrive { producer, cluster };
+        if extra_delay > 0 {
+            self.deferred.push(DeferredSend {
+                at: self.cycle + extra_delay,
+                transfer,
+                action,
+            });
+        } else {
+            let id = self.network.send(transfer, self.cycle);
+            self.actions.insert(id, action);
+        }
+        self.values
+            .get_mut(&producer)
+            .expect("value exists")
+            .arrivals
+            .insert(cluster, u64::MAX);
+    }
+
+    /// Processes everything the network delivered this cycle.
+    fn process_deliveries(&mut self) {
+        let delivered = self.network.take_delivered(self.cycle);
+        for (id, _t) in delivered {
+            let action = self.actions.remove(&id).expect("every transfer has an action");
+            match action {
+                Action::ValueArrive { producer, cluster } => {
+                    if let Some(v) = self.values.get_mut(&producer) {
+                        v.arrivals.insert(cluster, self.cycle);
+                    }
+                }
+                Action::PartialAddr { seq } => {
+                    if let Some(addr) = self.rob_get(seq).and_then(|i| i.op.addr()) {
+                        self.lsq.arrive_partial(seq, addr, self.cycle);
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            if !i.op.op().is_mem() {
+                                continue;
+                            }
+                            if i.op.op() == OpClass::Load && !i.at_cache {
+                                i.at_cache = true;
+                            } else {
+                                continue;
+                            }
+                        }
+                        if !self.active_loads.contains(&seq) {
+                            self.active_loads.push(seq);
+                        }
+                    }
+                }
+                Action::FullAddr { seq } => {
+                    let (addr, is_store) = match self.rob_get(seq) {
+                        Some(i) => (i.op.addr(), i.op.op() == OpClass::Store),
+                        None => (None, false),
+                    };
+                    if let Some(addr) = addr {
+                        let now = self.cycle;
+                        self.lsq.arrive_full(seq, addr, now);
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            i.addr_at_lsq = now;
+                        }
+                        if is_store {
+                            let mut delay = 0;
+                            let mut iss = 0;
+                            if let Some(i) = self.rob_get_mut(seq) {
+                                i.store_addr_arrived = true;
+                                delay = now.saturating_sub(i.dispatched_at);
+                                iss = i.issued_at.saturating_sub(i.dispatched_at);
+                            }
+                            self.store_addr_delay_sum += delay;
+                            self.store_issue_wait_sum += iss;
+                            self.store_addr_count += 1;
+                        } else {
+                            let newly = match self.rob_get_mut(seq) {
+                                Some(i) if !i.at_cache => {
+                                    i.at_cache = true;
+                                    true
+                                }
+                                _ => false,
+                            };
+                            if newly && !self.active_loads.contains(&seq) {
+                                self.active_loads.push(seq);
+                            }
+                        }
+                    }
+                }
+                Action::StoreData { seq } => {
+                    if let Some(i) = self.rob_get_mut(seq) {
+                        i.store_data_arrived = true;
+                    }
+                }
+                Action::CacheData { seq } => {
+                    let cycle = self.cycle;
+                    let (cluster, narrow, pc, has) = match self.rob_get(seq) {
+                        Some(i) => (i.cluster, i.op.is_narrow_result(), i.op.pc(), true),
+                        None => (0, false, 0, false),
+                    };
+                    if let Some(i) = self.rob_get(seq) {
+                        self.load_lat_sum += cycle.saturating_sub(i.issued_at);
+                        self.load_count += 1;
+                    }
+                    if has {
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            i.phase = Phase::Done;
+                        }
+                        let v = self.values.entry(seq).or_insert_with(|| ValueInfo {
+                            cluster,
+                            done_at: None,
+                            narrow,
+                            value: 0,
+                            pc,
+                            arrivals: HashMap::new(),
+                            subscribers: Vec::new(),
+                        });
+                        v.done_at = Some(cycle);
+                        let subs = std::mem::take(&mut v.subscribers);
+                        for c in subs {
+                            self.send_value_copy(seq, c, false);
+                        }
+                    }
+                }
+                Action::BranchSignal => {
+                    self.fetch.redirect(self.cycle + self.config.mispredict_refill);
+                }
+            }
+        }
+    }
+
+    /// Flushes deferred sends whose time has come.
+    fn process_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].at <= self.cycle {
+                let d = self.deferred.remove(i);
+                let id = self.network.send(d.transfer, self.cycle);
+                self.actions.insert(id, d.action);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Marks results produced this cycle, sends copies to subscribers,
+    /// launches memory-op address transfers and branch signals.
+    fn complete_execution(&mut self) {
+        let cycle = self.cycle;
+        let mut finished: Vec<u64> = Vec::new();
+        for (i, inst) in self.rob.iter().enumerate() {
+            if let Phase::Executing(done) = inst.phase {
+                if done <= cycle {
+                    finished.push(self.rob_base + i as u64);
+                }
+            }
+        }
+        for seq in finished {
+            let (op, cluster, mispredict) = {
+                let i = self.rob_get(seq).expect("in rob");
+                (i.op, i.cluster, i.mispredict)
+            };
+            match op.op() {
+                OpClass::Load => {
+                    // AGEN finished: ship the address to the LSQ.
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::MemPending;
+                    self.send_address(seq, cluster, op.op());
+                }
+                OpClass::Store => {
+                    let inst = self.rob_get_mut(seq).expect("in rob");
+                    inst.phase = Phase::MemPending;
+                    inst.agen_done = true;
+                    self.send_address(seq, cluster, op.op());
+                }
+                OpClass::Branch => {
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
+                    if mispredict {
+                        let (d, i) = {
+                            let inst = self.rob_get(seq).expect("in rob");
+                            (inst.dispatched_at, inst.issued_at)
+                        };
+                        let start = self.fetch.stall_started();
+                        self.misp_dispatch_wait += d.saturating_sub(start);
+                        self.misp_issue_wait += i.saturating_sub(d);
+                        self.misp_exec_wait += cycle.saturating_sub(i);
+                        self.misp_count += 1;
+                        let class = if self.config.opts.branch_signal && self.policy.planes().l
+                        {
+                            WireClass::L
+                        } else {
+                            self.policy
+                                .choose(MessageKind::RegisterValue, TransferHints::default(), cycle)
+                        };
+                        let kind = if class == WireClass::L {
+                            MessageKind::BranchMispredict
+                        } else {
+                            MessageKind::RegisterValue
+                        };
+                        let id = self.network.send(
+                            Transfer {
+                                src: Node::Cluster(cluster),
+                                dst: Node::Cache,
+                                class,
+                                kind,
+                            },
+                            cycle,
+                        );
+                        self.actions.insert(id, Action::BranchSignal);
+                    }
+                }
+                _ => {
+                    // ALU result: publish and notify subscribers.
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
+                    if let Some(d) = op.dest() {
+                        let subs = {
+                            let v = self.values.get_mut(&seq).expect("value registered");
+                            v.done_at = Some(cycle);
+                            std::mem::take(&mut v.subscribers)
+                        };
+                        for c in subs {
+                            self.send_value_copy(seq, c, false);
+                        }
+                        // Train the narrow predictor on every integer
+                        // result (the width detector sits next to the ALU).
+                        if self.config.opts.narrow_operands
+                            && self.config.opts.narrow_predictor
+                            && d.class() == RegClass::Int
+                        {
+                            self.narrow.update(op.pc(), op.is_narrow_result());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends the (partial +) full address of a load/store to the LSQ.
+    fn send_address(&mut self, seq: u64, cluster: usize, _op: OpClass) {
+        let cycle = self.cycle;
+        if self.config.opts.cache_pipeline && self.policy.planes().l {
+            let id = self.network.send(
+                Transfer {
+                    src: Node::Cluster(cluster),
+                    dst: Node::Cache,
+                    class: WireClass::L,
+                    kind: MessageKind::PartialAddress,
+                },
+                cycle,
+            );
+            self.actions.insert(id, Action::PartialAddr { seq });
+        }
+        let class = self
+            .policy
+            .choose(MessageKind::FullAddress, TransferHints::default(), cycle);
+        let id = self.network.send(
+            Transfer {
+                src: Node::Cluster(cluster),
+                dst: Node::Cache,
+                class,
+                kind: MessageKind::FullAddress,
+            },
+            cycle,
+        );
+        self.actions.insert(id, Action::FullAddr { seq });
+    }
+
+    /// Advances loads at the cache through disambiguation and RAM access,
+    /// and launches store-data transfers.
+    fn progress_memory(&mut self) {
+        let cycle = self.cycle;
+        let use_partial = self.config.opts.cache_pipeline;
+
+        // Loads at the LSQ/cache.
+        let mut i = 0;
+        while i < self.active_loads.len() {
+            let seq = self.active_loads[i];
+            let Some(inst) = self.rob_get(seq) else {
+                self.active_loads.swap_remove(i);
+                continue;
+            };
+            if inst.phase != Phase::MemPending {
+                i += 1;
+                continue;
+            }
+            let addr = inst.op.addr().expect("loads have addresses");
+            let cluster = inst.cluster;
+            let narrow = inst.op.is_narrow_result();
+            let pc = inst.op.pc();
+            let ram_start = inst.ram_start;
+            match self.lsq.load_status(seq, cycle, use_partial) {
+                LoadStatus::PartialReady => {
+                    if ram_start.is_none() {
+                        self.rob_get_mut(seq).expect("in rob").ram_start = Some(cycle);
+                    }
+                    i += 1;
+                }
+                LoadStatus::FullReady { forward } => {
+                    {
+                        let (at_lsq, issued) = {
+                            let i = self.rob_get(seq).expect("in rob");
+                            (i.addr_at_lsq, i.issued_at)
+                        };
+                        self.lsq_wait_sum += cycle.saturating_sub(at_lsq);
+                        self.agen_to_lsq_sum += at_lsq.saturating_sub(issued);
+                        self.lsq_wait_count += 1;
+                    }
+                    let data_ready = if forward {
+                        cycle + 1
+                    } else {
+                        let accelerated = use_partial
+                            && ram_start.map(|r| r < cycle).unwrap_or(false);
+                        let rs = if accelerated { ram_start.unwrap() } else { cycle };
+                        self.memory.load(addr, rs, cycle, accelerated)
+                    };
+                    // Return the data to the cluster over the network. The
+                    // narrow predictor is only consulted for integer loads
+                    // (FP loads are distinct opcodes and never narrow).
+                    let int_dest = self
+                        .rob_get(seq)
+                        .and_then(|i| i.op.dest())
+                        .map(|d| d.class() == RegClass::Int)
+                        .unwrap_or(false);
+                    let mut kind = MessageKind::CacheData;
+                    if self.config.opts.narrow_operands && self.policy.planes().l && int_dest {
+                        let predicted = if self.config.opts.narrow_predictor {
+                            let p = self.narrow.predict(pc);
+                            self.narrow.update(pc, narrow);
+                            p
+                        } else {
+                            narrow
+                        };
+                        if predicted && narrow {
+                            kind = MessageKind::NarrowValue;
+                        }
+                    }
+                    let class = self.policy.choose(kind, TransferHints::default(), cycle);
+                    let kind = if class == WireClass::L {
+                        kind
+                    } else {
+                        MessageKind::CacheData
+                    };
+                    self.deferred.push(DeferredSend {
+                        at: data_ready,
+                        transfer: Transfer {
+                            src: Node::Cache,
+                            dst: Node::Cluster(cluster),
+                            class,
+                            kind,
+                        },
+                        action: Action::CacheData { seq },
+                    });
+                    self.active_loads.swap_remove(i);
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+
+        // Store data: send once the data operand is ready in the cluster.
+        let mut to_send: Vec<(u64, usize)> = Vec::new();
+        for (off, inst) in self.rob.iter().enumerate() {
+            if inst.op.op() != OpClass::Store || inst.store_data_sent {
+                continue;
+            }
+            // Data operand is the second source when present.
+            let ready = match inst.src_producer[1] {
+                None => true,
+                Some(p) => self
+                    .value_ready_in(p, inst.cluster)
+                    .map(|c| c <= cycle)
+                    .unwrap_or(false),
+            };
+            if ready {
+                to_send.push((self.rob_base + off as u64, inst.cluster));
+            }
+        }
+        for (seq, cluster) in to_send {
+            let hints = TransferHints {
+                ready_at_dispatch: false,
+                store_data: true,
+            };
+            let class = self.policy.choose(MessageKind::StoreData, hints, cycle);
+            let id = self.network.send(
+                Transfer {
+                    src: Node::Cluster(cluster),
+                    dst: Node::Cache,
+                    class,
+                    kind: MessageKind::StoreData,
+                },
+                cycle,
+            );
+            self.actions.insert(id, Action::StoreData { seq });
+            self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
+        }
+
+        // Stores become committable when both address and data are at the
+        // LSQ.
+        for inst in self.rob.iter_mut() {
+            if inst.op.op() == OpClass::Store
+                && inst.phase == Phase::MemPending
+                && inst.store_addr_arrived
+                && inst.store_data_arrived
+            {
+                inst.phase = Phase::Done;
+            }
+        }
+    }
+
+    /// Issues ready instructions to functional units (oldest first, one new
+    /// op per FU kind per cluster per cycle).
+    fn issue(&mut self) {
+        let cycle = self.cycle;
+        let n = self.clusters.len();
+        let mut fu_started = vec![[false; 4]; n];
+
+        // Resolve cached source readiness lazily.
+        let len = self.rob.len();
+        for off in 0..len {
+            let (cluster, phase, op) = {
+                let i = &self.rob[off];
+                (i.cluster, i.phase, i.op)
+            };
+            if phase != Phase::Waiting {
+                continue;
+            }
+            let kind = op.op().unit();
+            if fu_started[cluster][kind.index()] {
+                continue;
+            }
+            if self.clusters[cluster].fu_free[kind.index()] > cycle {
+                continue;
+            }
+            // Operand readiness: stores only need their address operand
+            // (source 0) to begin AGEN.
+            let needed = if op.op() == OpClass::Store { 1 } else { 2 };
+            let mut ready = true;
+            for s in 0..needed {
+                let cached = self.rob[off].src_ready[s];
+                if cached != u64::MAX {
+                    if cached > cycle {
+                        ready = false;
+                        break;
+                    }
+                    continue;
+                }
+                match self.rob[off].src_producer[s] {
+                    None => {
+                        self.rob[off].src_ready[s] = 0;
+                    }
+                    Some(p) => match self.value_ready_in(p, cluster) {
+                        Some(c) => {
+                            self.rob[off].src_ready[s] = c;
+                            if c > cycle {
+                                ready = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ready {
+                continue;
+            }
+
+            // Issue.
+            fu_started[cluster][kind.index()] = true;
+            let latency = op.op().latency() as u64;
+            let cs = &mut self.clusters[cluster];
+            cs.fu_free[kind.index()] = if op.op().pipelined() {
+                cycle + 1
+            } else {
+                cycle + latency
+            };
+            if op.op().is_fp() {
+                cs.iq_fp_used = cs.iq_fp_used.saturating_sub(1);
+            } else {
+                cs.iq_int_used = cs.iq_int_used.saturating_sub(1);
+            }
+            self.rob[off].phase = Phase::Executing(cycle + latency);
+            self.rob[off].issued_at = cycle;
+        }
+    }
+
+    /// Commits completed instructions from the ROB head.
+    fn commit(&mut self) {
+        let cycle = self.cycle;
+        let mut budget = (self.config.dispatch_width as u64)
+            .min(self.commit_target.saturating_sub(self.committed));
+        while budget > 0 {
+            let Some(head) = self.rob.front() else { break };
+            if head.phase != Phase::Done {
+                break;
+            }
+            let inst = self.rob.pop_front().expect("nonempty");
+            let seq = self.rob_base;
+            self.rob_base += 1;
+            budget -= 1;
+            self.committed += 1;
+            let cs = &mut self.clusters[inst.cluster];
+            if let Some(d) = inst.op.dest() {
+                if d.class() == RegClass::Fp {
+                    cs.regs_fp_used = cs.regs_fp_used.saturating_sub(1);
+                } else {
+                    cs.regs_int_used = cs.regs_int_used.saturating_sub(1);
+                }
+            }
+            if inst.op.op().is_mem() {
+                self.lsq.retire_through(seq);
+            }
+            if inst.op.op() == OpClass::Store {
+                let addr = inst.op.addr().expect("stores have addresses");
+                self.memory.store(addr, cycle);
+            }
+        }
+    }
+
+    /// Dispatches from the fetch queue into the ROB and issue queues.
+    fn dispatch(&mut self) {
+        let mut budget = self.config.dispatch_width;
+        while budget > 0 {
+            if self.rob.len() >= self.config.rob_size {
+                break;
+            }
+            let Some(fetched) = self.fetch.peek().copied() else { break };
+            let op = fetched.op;
+
+            // Gather producer info for steering.
+            let mut producers: Vec<ProducerInfo> = Vec::new();
+            let mut src_producer = [None; 2];
+            let mut youngest_pending: Option<u64> = None;
+            for (s, slot) in op.src_slots().into_iter().enumerate() {
+                let Some(reg) = slot else { continue };
+                let p = self.rename[reg.flat_index()];
+                src_producer[s] = p;
+                if let Some(p) = p {
+                    if let Some(v) = self.values.get(&p) {
+                        if v.done_at.is_none()
+                            && youngest_pending.map(|y| p > y).unwrap_or(true)
+                        {
+                            youngest_pending = Some(p);
+                        }
+                        producers.push(ProducerInfo {
+                            cluster: v.cluster,
+                            critical: false,
+                        });
+                    }
+                }
+            }
+            // Mark the youngest still-pending producer as critical.
+            if let Some(y) = youngest_pending {
+                let yc = self.values[&y].cluster;
+                if let Some(pi) = producers.iter_mut().find(|pi| pi.cluster == yc) {
+                    pi.critical = true;
+                }
+            }
+
+            // Resource views.
+            let is_fp_q = op.op().is_fp();
+            let views: Vec<ClusterView> = self
+                .clusters
+                .iter()
+                .map(|c| {
+                    let free_iq = if is_fp_q {
+                        self.config.iq_per_cluster - c.iq_fp_used
+                    } else {
+                        self.config.iq_per_cluster - c.iq_int_used
+                    };
+                    let free_regs = match op.dest() {
+                        None => usize::MAX,
+                        Some(d) if d.class() == RegClass::Fp => {
+                            self.config.regs_per_cluster - c.regs_fp_used
+                        }
+                        Some(_) => self.config.regs_per_cluster - c.regs_int_used,
+                    };
+                    ClusterView { free_iq, free_regs }
+                })
+                .collect();
+
+            let Some(cluster) =
+                self.steering
+                    .choose(op.op() == OpClass::Load, &producers, &views)
+            else {
+                break; // structural stall
+            };
+
+            // Consume the fetch-queue entry.
+            let fetched = self.fetch.pop().expect("peeked");
+            budget -= 1;
+            self.dispatched += 1;
+
+            // Allocate resources.
+            {
+                let cs = &mut self.clusters[cluster];
+                if is_fp_q {
+                    cs.iq_fp_used += 1;
+                } else {
+                    cs.iq_int_used += 1;
+                }
+                if let Some(d) = op.dest() {
+                    if d.class() == RegClass::Fp {
+                        cs.regs_fp_used += 1;
+                    } else {
+                        cs.regs_int_used += 1;
+                    }
+                }
+            }
+            let seq = op.seq();
+            debug_assert_eq!(seq, self.rob_base + self.rob.len() as u64);
+
+            // Register the destination value and rename.
+            if let Some(d) = op.dest() {
+                self.values.insert(
+                    seq,
+                    ValueInfo {
+                        cluster,
+                        done_at: None,
+                        narrow: op.is_narrow_result(),
+                        value: op.result(),
+                        pc: op.pc(),
+                        arrivals: HashMap::new(),
+                        subscribers: Vec::new(),
+                    },
+                );
+                self.rename[d.flat_index()] = Some(seq);
+            }
+
+            // Cross-cluster operand copies / subscriptions.
+            for p in src_producer.iter().flatten() {
+                let (v_cluster, v_done, already) = {
+                    let v = &self.values[p];
+                    (
+                        v.cluster,
+                        v.done_at.is_some(),
+                        v.arrivals.contains_key(&cluster),
+                    )
+                };
+                if v_cluster == cluster || already {
+                    continue;
+                }
+                if v_done {
+                    self.send_value_copy(*p, cluster, true);
+                } else {
+                    let v = self.values.get_mut(p).expect("present");
+                    if !v.subscribers.contains(&cluster) {
+                        v.subscribers.push(cluster);
+                    }
+                }
+            }
+
+            // LSQ entry for memory ops.
+            if op.op().is_mem() {
+                self.lsq.insert(seq, op.op() == OpClass::Store);
+            }
+
+            self.rob.push_back(Inflight {
+                op,
+                cluster,
+                phase: Phase::Waiting,
+                src_producer,
+                src_ready: [u64::MAX; 2],
+                mispredict: fetched.mispredicted,
+                dispatched_at: self.cycle,
+                issued_at: 0,
+                ram_start: None,
+                at_cache: false,
+                addr_at_lsq: 0,
+                agen_done: false,
+                store_data_sent: false,
+                store_addr_arrived: false,
+                store_data_arrived: false,
+            });
+        }
+    }
+
+    /// Runs the simulation until `instructions` have committed (with the
+    /// first `warmup` committed instructions excluded from the returned
+    /// statistics), and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for 100 000 cycles) —
+    /// this indicates a simulator bug, not a workload property.
+    pub fn run(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        assert!(instructions > 0, "must simulate at least one instruction");
+        let target = instructions + warmup;
+        self.commit_target = target;
+        let mut warm_cycle = 0u64;
+        let mut warm_net = NetStats::default();
+        let mut warm_narrow = (0u64, 0u64, 0u64, 0u64);
+        let mut warm_done = warmup == 0;
+        let mut last_commit_cycle = 0u64;
+        let mut last_committed = 0u64;
+
+        while self.committed < target {
+            self.cycle += 1;
+            self.network.tick(self.cycle);
+            self.process_deliveries();
+            self.process_deferred();
+            self.complete_execution();
+            self.progress_memory();
+            self.commit();
+            self.issue();
+            self.dispatch();
+            self.fetch.tick(self.cycle);
+
+            if !warm_done && self.committed >= warmup {
+                warm_done = true;
+                warm_cycle = self.cycle;
+                warm_net = self.network.stats();
+                warm_narrow = (
+                    self.narrow.hits,
+                    self.narrow.missed,
+                    self.narrow.false_narrow,
+                    self.narrow.true_wide,
+                );
+            }
+            if self.committed > last_committed {
+                last_committed = self.committed;
+                last_commit_cycle = self.cycle;
+            } else if self.cycle - last_commit_cycle > 100_000 {
+                panic!(
+                    "pipeline deadlock at cycle {}: committed {}, rob {}, \
+                     head {:?}",
+                    self.cycle,
+                    self.committed,
+                    self.rob.len(),
+                    self.rob.front().map(|i| (i.op, i.phase)),
+                );
+            }
+            if self.fetch.is_done() && self.rob.is_empty() {
+                break;
+            }
+        }
+
+        let cycles = self.cycle - warm_cycle;
+        let insts = self.committed - warmup.min(self.committed);
+        let net = self.network.stats();
+        let mut measured = net;
+        for i in 0..4 {
+            measured.transfers[i] -= warm_net.transfers[i];
+            measured.bit_hops[i] -= warm_net.bit_hops[i];
+        }
+        measured.dynamic_energy -= warm_net.dynamic_energy;
+        measured.queue_cycles -= warm_net.queue_cycles;
+        measured.delivered -= warm_net.delivered;
+
+        // Warmup-excluded narrow-predictor rates.
+        let hits = self.narrow.hits - warm_narrow.0;
+        let missed = self.narrow.missed - warm_narrow.1;
+        let false_narrow = self.narrow.false_narrow - warm_narrow.2;
+        let narrow_coverage = if hits + missed == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + missed) as f64
+        };
+        let narrow_false_rate = if hits + false_narrow == 0 {
+            0.0
+        } else {
+            false_narrow as f64 / (hits + false_narrow) as f64
+        };
+
+        SimResults {
+            instructions: insts,
+            cycles,
+            net: measured,
+            leakage_weight: self.network.leakage_weight(),
+            fetch: self.fetch.stats(),
+            lsq: self.lsq.stats(),
+            mem: self.memory.stats(),
+            narrow_coverage,
+            narrow_false_rate,
+            metal_area: self.network.metal_area(),
+        }
+    }
+
+    /// Convenience: builds and runs in one call.
+    pub fn simulate(
+        config: ProcessorConfig,
+        trace: TraceGenerator,
+        instructions: u64,
+        warmup: u64,
+    ) -> SimResults {
+        Processor::new(config, trace).run(instructions, warmup)
+    }
+
+    /// Overrides the steering weights (must be called before `run`).
+    pub fn set_steering_weights(&mut self, weights: SteeringWeights) {
+        self.steering = Steering::new(self.config.topology, weights);
+    }
+
+    /// Mean load latency from address generation to data arrival at the
+    /// consuming cluster.
+    pub fn mean_load_latency(&self) -> f64 {
+        self.load_lat_sum as f64 / self.load_count.max(1) as f64
+    }
+
+    /// Mean `(AGEN issue -> address at LSQ, address at LSQ -> disambiguated)`
+    /// cycles for loads.
+    pub fn load_lsq_breakdown(&self) -> (f64, f64) {
+        let n = self.lsq_wait_count.max(1) as f64;
+        (self.agen_to_lsq_sum as f64 / n, self.lsq_wait_sum as f64 / n)
+    }
+
+    /// Mean cycles from a store's dispatch to its address reaching the LSQ.
+    pub fn mean_store_addr_delay(&self) -> f64 {
+        self.store_addr_delay_sum as f64 / self.store_addr_count.max(1) as f64
+    }
+
+    /// Mean cycles from a store's dispatch to its AGEN issuing.
+    pub fn mean_store_issue_wait(&self) -> f64 {
+        self.store_issue_wait_sum as f64 / self.store_addr_count.max(1) as f64
+    }
+
+    /// Mean mispredict-resolution breakdown:
+    /// `(stall->dispatch, dispatch->issue, issue->resolve)` cycles.
+    pub fn mispredict_breakdown(&self) -> (f64, f64, f64) {
+        let n = self.misp_count.max(1) as f64;
+        (
+            self.misp_dispatch_wait as f64 / n,
+            self.misp_issue_wait as f64 / n,
+            self.misp_exec_wait as f64 / n,
+        )
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// The topology in effect.
+    pub fn topology(&self) -> Topology {
+        self.config.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterconnectModel;
+    use heterowire_trace::profile;
+
+    fn run_model(model: InterconnectModel, bench: &str, n: u64) -> SimResults {
+        let config = ProcessorConfig::for_model(model, Topology::crossbar4());
+        let trace = TraceGenerator::new(profile::by_name(bench).unwrap(), 99);
+        Processor::simulate(config, trace, n, n / 10)
+    }
+
+    #[test]
+    fn baseline_ipc_is_plausible() {
+        let r = run_model(InterconnectModel::I, "gzip", 20_000);
+        let ipc = r.ipc();
+        assert!((0.3..=6.0).contains(&ipc), "gzip IPC {ipc}");
+        assert!(r.instructions == 20_000);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_model(InterconnectModel::VII, "vpr", 10_000);
+        let b = run_model(InterconnectModel::VII, "vpr", 10_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.net.transfers, b.net.transfers);
+    }
+
+    #[test]
+    fn l_wires_do_not_hurt_performance() {
+        // Model VII = Model I's B-wires + an L plane with all three L
+        // optimizations; across a few benchmarks the mean IPC must not drop.
+        let mut base = 0.0;
+        let mut lwire = 0.0;
+        for b in ["gzip", "mcf", "swim"] {
+            base += run_model(InterconnectModel::I, b, 10_000).ipc();
+            lwire += run_model(InterconnectModel::VII, b, 10_000).ipc();
+        }
+        assert!(
+            lwire >= base * 0.99,
+            "L-wires should help: base {base}, with L {lwire}"
+        );
+    }
+
+    #[test]
+    fn pw_only_interconnect_is_slower() {
+        let base = run_model(InterconnectModel::I, "gcc", 10_000).ipc();
+        let pw = run_model(InterconnectModel::II, "gcc", 10_000).ipc();
+        assert!(pw <= base, "PW-only must not beat B-wires: {pw} vs {base}");
+    }
+
+    #[test]
+    fn doubled_latency_degrades_performance() {
+        let mut fast = ProcessorConfig::baseline4();
+        let mut slow = ProcessorConfig::baseline4();
+        slow.latency_scale = 2.0;
+        let trace = || TraceGenerator::new(profile::by_name("vortex").unwrap(), 7);
+        let f = Processor::simulate(fast.clone(), trace(), 10_000, 1_000);
+        let s = Processor::simulate(slow.clone(), trace(), 10_000, 1_000);
+        assert!(
+            s.ipc() < f.ipc(),
+            "doubling wire latency must cost IPC: {} vs {}",
+            s.ipc(),
+            f.ipc()
+        );
+        // keep clippy quiet about mut
+        fast.latency_scale = 1.0;
+    }
+
+    #[test]
+    fn traffic_flows_on_the_network() {
+        let r = run_model(InterconnectModel::I, "gzip", 10_000);
+        assert!(r.net.total_transfers() > 1_000, "{:?}", r.net.transfers);
+        let tpi = r.transfers_per_inst();
+        assert!((0.1..=3.0).contains(&tpi), "transfers/inst {tpi}");
+    }
+
+    #[test]
+    fn model_x_uses_all_three_planes() {
+        let r = run_model(InterconnectModel::X, "gcc", 10_000);
+        for (i, class) in WireClass::ALL.iter().enumerate() {
+            if *class == WireClass::W {
+                continue;
+            }
+            assert!(
+                r.net.transfers[i] > 0,
+                "{class} plane unused: {:?}",
+                r.net.transfers
+            );
+        }
+    }
+
+    #[test]
+    fn hier16_runs_and_exceeds_4cluster_ilp_on_fp() {
+        let c4 = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let c16 = ProcessorConfig::for_model(InterconnectModel::I, Topology::hier16());
+        let t = || TraceGenerator::new(profile::by_name("swim").unwrap(), 5);
+        let r4 = Processor::simulate(c4, t(), 10_000, 1_000);
+        let r16 = Processor::simulate(c16, t(), 10_000, 1_000);
+        assert!(r16.ipc() > 0.0);
+        // 16 clusters offer more FUs/registers; high-ILP FP codes gain.
+        assert!(
+            r16.ipc() > r4.ipc() * 0.9,
+            "16-cluster should be competitive: {} vs {}",
+            r16.ipc(),
+            r4.ipc()
+        );
+    }
+
+    #[test]
+    fn false_dependence_rate_is_low_with_8_ls_bits() {
+        let r = run_model(InterconnectModel::VII, "gcc", 20_000);
+        let rate = r.lsq.false_dependence_rate();
+        assert!(rate < 0.09, "paper: <9% false deps, got {rate}");
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::config::{Extensions, InterconnectModel};
+    use heterowire_trace::profile;
+
+    fn run_ext(ext: Extensions, latency_scale: f64, bench: &str) -> SimResults {
+        let mut config =
+            ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+        config.extensions = ext;
+        config.latency_scale = latency_scale;
+        let trace = TraceGenerator::new(profile::by_name(bench).unwrap(), 31);
+        Processor::simulate(config, trace, 10_000, 3_000)
+    }
+
+    #[test]
+    fn critical_word_first_helps_memory_bound_code() {
+        let base = run_ext(Extensions::default(), 1.0, "mcf");
+        let cwf = run_ext(
+            Extensions {
+                l2_critical_word: true,
+                ..Extensions::default()
+            },
+            1.0,
+            "mcf",
+        );
+        assert!(
+            cwf.ipc() >= base.ipc(),
+            "CWF should not hurt: {} vs {}",
+            cwf.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn frequent_value_compaction_moves_traffic_to_l_wires() {
+        let base = run_ext(Extensions::default(), 1.0, "gcc");
+        let fvc = run_ext(
+            Extensions {
+                frequent_value: true,
+                ..Extensions::default()
+            },
+            1.0,
+            "gcc",
+        );
+        let l = WireClass::ALL.iter().position(|&c| c == WireClass::L).unwrap();
+        assert!(
+            fvc.net.transfers[l] >= base.net.transfers[l],
+            "FVC should add L traffic: {:?} vs {:?}",
+            fvc.net.transfers,
+            base.net.transfers
+        );
+        assert!(fvc.ipc() >= base.ipc() * 0.99);
+    }
+
+    #[test]
+    fn transmission_lines_resist_latency_scaling() {
+        // At 2x wire-constrained latency, TL L-wires keep their 1-cycle
+        // crossbar latency, so the TL machine must be at least as fast.
+        let rc = run_ext(Extensions::default(), 2.0, "gzip");
+        let tl = run_ext(
+            Extensions {
+                transmission_lines: true,
+                ..Extensions::default()
+            },
+            2.0,
+            "gzip",
+        );
+        assert!(
+            tl.ipc() >= rc.ipc(),
+            "TL L-wires should not be slower: {} vs {}",
+            tl.ipc(),
+            rc.ipc()
+        );
+        // ... and their dynamic energy must be lower (1/3 per L bit-hop).
+        assert!(tl.net.dynamic_energy < rc.net.dynamic_energy);
+    }
+}
+
+#[cfg(test)]
+mod mechanism_tests {
+    //! Tests pinning individual wire-management mechanisms inside the full
+    //! pipeline (beyond the aggregate behaviour covered above).
+
+    use super::*;
+    use crate::config::InterconnectModel;
+    use heterowire_trace::profile;
+
+    fn run(model: InterconnectModel, bench: &str, n: u64) -> (Processor, SimResults) {
+        let config = ProcessorConfig::for_model(model, Topology::crossbar4());
+        let trace = TraceGenerator::new(profile::by_name(bench).unwrap(), 77);
+        let mut p = Processor::new(config, trace);
+        let r = p.run(n, n / 4);
+        (p, r)
+    }
+
+    #[test]
+    fn store_data_rides_pw_wires_in_model_v() {
+        // Model V has B + PW: the PW plane must carry the store-data and
+        // ready-at-dispatch traffic (paper: 36% of transfers).
+        let (_, r) = run(InterconnectModel::V, "vortex", 10_000);
+        let pw_share = r.net.class_share(WireClass::Pw);
+        assert!(
+            (0.10..=0.70).contains(&pw_share),
+            "PW share {pw_share} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn model_i_has_no_l_or_pw_traffic() {
+        let (_, r) = run(InterconnectModel::I, "gap", 5_000);
+        assert_eq!(r.net.transfers[0], 0, "W plane never used");
+        assert_eq!(r.net.transfers[1], 0, "no PW plane in Model I");
+        assert_eq!(r.net.transfers[3], 0, "no L plane in Model I");
+        assert!(r.net.transfers[2] > 0);
+    }
+
+    #[test]
+    fn partial_addresses_reach_the_lsq_only_with_l_wires() {
+        let (_, base) = run(InterconnectModel::I, "parser", 8_000);
+        let (_, l) = run(InterconnectModel::VII, "parser", 8_000);
+        assert_eq!(base.lsq.partial_matches, 0, "baseline sends no partials");
+        assert!(
+            l.lsq.partial_matches > 0,
+            "the L-Wire pipeline must exercise partial comparisons"
+        );
+    }
+
+    #[test]
+    fn forwards_happen_through_the_lsq() {
+        // Store-to-load forwarding must occur on workloads with memory
+        // reuse.
+        let mut total = 0;
+        for b in ["gcc", "vortex", "crafty"] {
+            let (_, r) = run(InterconnectModel::I, b, 10_000);
+            total += r.lsq.forwards;
+        }
+        assert!(total > 0, "no store-to-load forwarding observed");
+    }
+
+    #[test]
+    fn mispredict_penalty_includes_refill() {
+        let (_, r) = run(InterconnectModel::I, "twolf", 10_000);
+        // The floor is resolution + signal + 12-cycle refill.
+        assert!(
+            r.fetch.mean_mispredict_penalty() >= 12.0,
+            "penalty {}",
+            r.fetch.mean_mispredict_penalty()
+        );
+    }
+
+    #[test]
+    fn load_latency_breakdown_is_consistent() {
+        let (p, _) = run(InterconnectModel::I, "gzip", 10_000);
+        let (agen_to_lsq, lsq_block) = p.load_lsq_breakdown();
+        let total = p.mean_load_latency();
+        assert!(agen_to_lsq >= 1.0, "addresses take at least a cycle");
+        assert!(lsq_block >= 0.0);
+        assert!(
+            total >= agen_to_lsq,
+            "total {total} < addr transfer {agen_to_lsq}"
+        );
+    }
+
+    #[test]
+    fn sixteen_cluster_ring_traffic_exists() {
+        let config = ProcessorConfig::for_model(InterconnectModel::I, Topology::hier16());
+        let trace = TraceGenerator::new(profile::by_name("swim").unwrap(), 77);
+        let r = Processor::simulate(config, trace, 8_000, 2_000);
+        assert!(r.net.total_transfers() > 0);
+        // Leakage weight of the 16-cluster net exceeds the 4-cluster one
+        // (more links).
+        let c4 = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let r4 = Processor::simulate(
+            c4,
+            TraceGenerator::new(profile::by_name("swim").unwrap(), 77),
+            2_000,
+            500,
+        );
+        assert!(r.leakage_weight > r4.leakage_weight);
+    }
+
+    #[test]
+    fn rob_never_exceeds_capacity() {
+        // Indirectly: a tiny ROB must slow the machine down, proving the
+        // cap binds.
+        let mut small = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        small.rob_size = 16;
+        let big = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let t = || TraceGenerator::new(profile::by_name("swim").unwrap(), 5);
+        let rs = Processor::simulate(small, t(), 5_000, 1_000);
+        let rb = Processor::simulate(big, t(), 5_000, 1_000);
+        assert!(
+            rs.ipc() < rb.ipc(),
+            "16-entry ROB ({}) should lose to 480 ({})",
+            rs.ipc(),
+            rb.ipc()
+        );
+    }
+
+    #[test]
+    fn narrower_dispatch_hurts() {
+        let mut narrow_cfg =
+            ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        narrow_cfg.dispatch_width = 2;
+        let t = || TraceGenerator::new(profile::by_name("apsi").unwrap(), 5);
+        let narrow = Processor::simulate(narrow_cfg, t(), 5_000, 1_000);
+        let wide = Processor::simulate(
+            ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4()),
+            t(),
+            5_000,
+            1_000,
+        );
+        assert!(narrow.ipc() <= wide.ipc());
+    }
+
+    #[test]
+    fn oracle_narrow_mode_never_sends_false_narrow() {
+        let mut cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+        cfg.opts.narrow_predictor = false; // oracle width knowledge
+        let trace = TraceGenerator::new(profile::by_name("bzip2").unwrap(), 8);
+        let r = Processor::simulate(cfg, trace, 8_000, 2_000);
+        assert_eq!(r.narrow_false_rate, 0.0, "oracle mode mispredicted width");
+        assert!(r.net.transfers[3] > 0, "oracle mode still uses L wires");
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulation results and per-run statistics.
+
+use heterowire_frontend::FetchStats;
+use heterowire_interconnect::NetStats;
+use heterowire_memory::{LsqStats, MemStats};
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResults {
+    /// Committed instructions in the measurement window.
+    pub instructions: u64,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Interconnect traffic and dynamic-energy statistics.
+    pub net: NetStats,
+    /// Interconnect leakage weight (wires x relative leakage summed over
+    /// all links); multiply by cycles for leakage energy units.
+    pub leakage_weight: f64,
+    /// Front-end statistics.
+    pub fetch: FetchStats,
+    /// LSQ statistics (partial matches, false dependences, forwards).
+    pub lsq: LsqStats,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+    /// Narrow predictor coverage (fraction of narrow results identified).
+    pub narrow_coverage: f64,
+    /// Narrow predictor false-narrow rate.
+    pub narrow_false_rate: f64,
+    /// Total interconnect metal area, W-wire track units.
+    pub metal_area: f64,
+}
+
+impl SimResults {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Interconnect leakage energy units (weight x cycles).
+    pub fn ic_leakage_energy(&self) -> f64 {
+        self.leakage_weight * self.cycles as f64
+    }
+
+    /// Interconnect dynamic energy units.
+    pub fn ic_dynamic_energy(&self) -> f64 {
+        self.net.dynamic_energy
+    }
+
+    /// Network transfers per committed instruction.
+    pub fn transfers_per_inst(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.net.total_transfers() as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Arithmetic mean of IPCs across benchmark runs — the paper's aggregate
+/// ("the AM of IPCs represents a workload where every program executes for
+/// an equal number of cycles").
+pub fn mean_ipc(runs: &[SimResults]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter().map(SimResults::ipc).sum::<f64>() / runs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(instructions: u64, cycles: u64) -> SimResults {
+        SimResults {
+            instructions,
+            cycles,
+            net: NetStats::default(),
+            leakage_weight: 100.0,
+            fetch: FetchStats::default(),
+            lsq: LsqStats::default(),
+            mem: MemStats::default(),
+            narrow_coverage: 0.0,
+            narrow_false_rate: 0.0,
+            metal_area: 0.0,
+        }
+    }
+
+    #[test]
+    fn ipc_math() {
+        assert!((dummy(100, 50).ipc() - 2.0).abs() < 1e-12);
+        assert_eq!(dummy(0, 0).ipc(), 0.0);
+    }
+
+    #[test]
+    fn mean_ipc_is_arithmetic() {
+        let runs = [dummy(100, 100), dummy(300, 100)];
+        assert!((mean_ipc(&runs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_ipc(&[]), 0.0);
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles() {
+        let a = dummy(100, 100);
+        let b = dummy(100, 200);
+        assert!((b.ic_leakage_energy() / a.ic_leakage_energy() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! The dynamic instruction steering heuristic (paper §4).
+//!
+//! While dispatching, each cluster is scored: weights for producing the
+//! instruction's input operands (extra weight for the operand predicted
+//! critical), weight proportional to free issue-queue entries, and — for
+//! loads — weight for proximity to the centralized data cache. The
+//! instruction goes to the highest-scoring cluster; if that cluster has no
+//! free resources, to the nearest cluster that has them.
+
+use heterowire_interconnect::Topology;
+
+/// Tunable weights of the steering heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteeringWeights {
+    /// Per input operand produced by the cluster.
+    pub dependence: i64,
+    /// Extra weight when the cluster produces the critical (last-arriving)
+    /// operand.
+    pub critical: i64,
+    /// Per free issue-queue slot, up to [`SteeringWeights::free_cap`].
+    pub free_slot: i64,
+    /// Cap on the free-slot bonus.
+    pub free_cap: i64,
+    /// Bonus for cache-adjacent clusters when steering a load.
+    pub cache_proximity: i64,
+}
+
+impl Default for SteeringWeights {
+    fn default() -> Self {
+        SteeringWeights {
+            dependence: 4,
+            critical: 3,
+            free_slot: 1,
+            free_cap: 8,
+            cache_proximity: 2,
+        }
+    }
+}
+
+/// A dispatching instruction's producer, as seen by the steering logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerInfo {
+    /// Cluster holding (or about to produce) the operand.
+    pub cluster: usize,
+    /// True if this operand is predicted to arrive last (critical path).
+    pub critical: bool,
+}
+
+/// Per-cluster resource availability at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterView {
+    /// Free issue-queue entries in the relevant (int/fp) queue.
+    pub free_iq: usize,
+    /// Free physical registers in the relevant file (usize::MAX when the
+    /// op needs no destination).
+    pub free_regs: usize,
+}
+
+impl ClusterView {
+    /// True if the cluster can accept the instruction.
+    pub fn has_resources(&self) -> bool {
+        self.free_iq > 0 && self.free_regs > 0
+    }
+}
+
+/// The steering engine.
+#[derive(Debug, Clone)]
+pub struct Steering {
+    weights: SteeringWeights,
+    topology: Topology,
+}
+
+impl Steering {
+    /// Creates a steering engine for `topology` with the given weights.
+    pub fn new(topology: Topology, weights: SteeringWeights) -> Self {
+        Steering { weights, topology }
+    }
+
+    /// Scores every cluster for an instruction.
+    fn scores(
+        &self,
+        is_load: bool,
+        producers: &[ProducerInfo],
+        clusters: &[ClusterView],
+    ) -> Vec<i64> {
+        let w = &self.weights;
+        (0..clusters.len())
+            .map(|c| {
+                let mut score = 0;
+                for p in producers {
+                    if p.cluster == c {
+                        score += w.dependence;
+                        if p.critical {
+                            score += w.critical;
+                        }
+                    }
+                }
+                score += (clusters[c].free_iq as i64).min(w.free_cap) * w.free_slot;
+                if is_load && self.topology.cache_adjacent(c) {
+                    score += w.cache_proximity;
+                }
+                score
+            })
+            .collect()
+    }
+
+    /// Chooses the cluster for an instruction, or `None` if no cluster has
+    /// free resources (dispatch must stall).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or does not match the topology.
+    pub fn choose(
+        &self,
+        is_load: bool,
+        producers: &[ProducerInfo],
+        clusters: &[ClusterView],
+    ) -> Option<usize> {
+        assert_eq!(
+            clusters.len(),
+            self.topology.clusters(),
+            "cluster view must cover the topology"
+        );
+        let scores = self.scores(is_load, producers, clusters);
+        // Ideal cluster by score (ties -> lower index for determinism).
+        let ideal = (0..clusters.len())
+            .max_by_key(|&c| (scores[c], std::cmp::Reverse(c)))
+            .expect("at least one cluster");
+        if clusters[ideal].has_resources() {
+            return Some(ideal);
+        }
+        // Nearest cluster with resources: same quad first, then by score.
+        let ideal_quad = self.topology.quad_of(ideal);
+        (0..clusters.len())
+            .filter(|&c| clusters[c].has_resources())
+            .max_by_key(|&c| {
+                let same_quad = self.topology.quad_of(c) == ideal_quad;
+                (same_quad, scores[c], std::cmp::Reverse(c))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(n: usize, free: usize) -> Vec<ClusterView> {
+        vec![
+            ClusterView {
+                free_iq: free,
+                free_regs: free,
+            };
+            n
+        ]
+    }
+
+    fn steering4() -> Steering {
+        Steering::new(Topology::crossbar4(), SteeringWeights::default())
+    }
+
+    #[test]
+    fn follows_the_producer() {
+        let s = steering4();
+        let got = s.choose(
+            false,
+            &[ProducerInfo {
+                cluster: 2,
+                critical: false,
+            }],
+            &views(4, 10),
+        );
+        assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn critical_producer_beats_non_critical() {
+        let s = steering4();
+        let got = s.choose(
+            false,
+            &[
+                ProducerInfo {
+                    cluster: 1,
+                    critical: false,
+                },
+                ProducerInfo {
+                    cluster: 3,
+                    critical: true,
+                },
+            ],
+            &views(4, 10),
+        );
+        assert_eq!(got, Some(3));
+    }
+
+    #[test]
+    fn load_balance_wins_without_dependences() {
+        let s = steering4();
+        let mut v = views(4, 1);
+        v[2].free_iq = 10;
+        let got = s.choose(false, &[], &v);
+        assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn full_ideal_cluster_falls_back() {
+        let s = steering4();
+        let mut v = views(4, 5);
+        v[2].free_iq = 0; // producer cluster is full
+        let got = s.choose(
+            false,
+            &[ProducerInfo {
+                cluster: 2,
+                critical: true,
+            }],
+            &v,
+        );
+        assert!(got.is_some());
+        assert_ne!(got, Some(2));
+    }
+
+    #[test]
+    fn no_resources_anywhere_stalls() {
+        let s = steering4();
+        let got = s.choose(false, &[], &views(4, 0));
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn loads_prefer_cache_quad_in_hier16() {
+        let s = Steering::new(Topology::hier16(), SteeringWeights::default());
+        // All else equal, a load should land in quad 0 (cache-adjacent).
+        let got = s.choose(true, &[], &views(16, 5)).unwrap();
+        assert!(got < 4, "load steered to cluster {got}");
+    }
+
+    #[test]
+    fn fallback_prefers_same_quad() {
+        let s = Steering::new(Topology::hier16(), SteeringWeights::default());
+        let mut v = views(16, 3);
+        // Producer in cluster 5 (quad 1), but it is full.
+        v[5].free_iq = 0;
+        let got = s
+            .choose(
+                false,
+                &[ProducerInfo {
+                    cluster: 5,
+                    critical: true,
+                }],
+                &v,
+            )
+            .unwrap();
+        assert_eq!(got / 4, 1, "fallback should stay in quad 1, got {got}");
+    }
+
+    #[test]
+    fn register_exhaustion_also_blocks() {
+        let s = steering4();
+        let mut v = views(4, 5);
+        for c in &mut v {
+            c.free_regs = 0;
+        }
+        assert_eq!(s.choose(false, &[], &v), None);
+    }
+}

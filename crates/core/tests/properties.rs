@@ -1,0 +1,88 @@
+//! Property-based tests over the core: steering, the narrow predictor, the
+//! energy model and short simulator invariants.
+
+use proptest::prelude::*;
+
+use heterowire_core::{
+    relative_report, EnergyParams, InterconnectModel, NarrowPredictor, Processor,
+    ProcessorConfig, Steering, SteeringWeights,
+};
+use heterowire_core::steer::{ClusterView, ProducerInfo};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{spec2000, TraceGenerator};
+
+proptest! {
+    /// Steering never returns a resource-less cluster, and returns None
+    /// exactly when no cluster has resources.
+    #[test]
+    fn steering_respects_resources(
+        free in proptest::collection::vec((0usize..4, 0usize..4), 4),
+        producer in proptest::option::of(0usize..4),
+        is_load in any::<bool>(),
+    ) {
+        let views: Vec<ClusterView> = free
+            .iter()
+            .map(|&(iq, regs)| ClusterView { free_iq: iq, free_regs: regs })
+            .collect();
+        let producers: Vec<ProducerInfo> = producer
+            .map(|c| vec![ProducerInfo { cluster: c, critical: true }])
+            .unwrap_or_default();
+        let s = Steering::new(Topology::crossbar4(), SteeringWeights::default());
+        match s.choose(is_load, &producers, &views) {
+            Some(c) => prop_assert!(views[c].has_resources()),
+            None => prop_assert!(views.iter().all(|v| !v.has_resources())),
+        }
+    }
+
+    /// The narrow predictor only predicts narrow after three consecutive
+    /// narrow outcomes, and any wide outcome resets it.
+    #[test]
+    fn narrow_counter_semantics(outcomes in proptest::collection::vec(any::<bool>(), 1..50)) {
+        let mut p = NarrowPredictor::new(1024);
+        let pc = 0x40;
+        let mut streak = 0u32;
+        for &narrow in &outcomes {
+            prop_assert_eq!(p.predict(pc), streak >= 3, "streak {}", streak);
+            p.update(pc, narrow);
+            streak = if narrow { streak + 1 } else { 0 };
+        }
+    }
+
+    /// Energy model identities: a model identical to the baseline scores
+    /// exactly 100 everywhere, for any interconnect fraction.
+    #[test]
+    fn energy_identity(f in 0.01f64..0.5) {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let trace = TraceGenerator::new(spec2000().swap_remove(0), 3);
+        let r = Processor::simulate(cfg, trace, 2_000, 200);
+        let params = EnergyParams { ic_fraction: f, leakage_share: 0.3 };
+        let rel = relative_report(&r, &r, params);
+        prop_assert!((rel.rel_processor_energy - 100.0).abs() < 1e-9);
+        prop_assert!((rel.rel_ed2 - 100.0).abs() < 1e-9);
+    }
+
+    /// Slower cycles with identical interconnect energy always increase
+    /// ED² (the D² term dominates the leakage credit).
+    #[test]
+    fn ed2_punishes_slowdowns(slowdown in 1.01f64..2.0) {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let trace = TraceGenerator::new(spec2000().swap_remove(5), 3);
+        let base = Processor::simulate(cfg, trace, 2_000, 200);
+        let mut slow = base;
+        slow.cycles = (base.cycles as f64 * slowdown) as u64;
+        let rel = relative_report(&slow, &base, EnergyParams::ten_percent());
+        prop_assert!(rel.rel_ed2 > 100.0, "{}", rel.rel_ed2);
+    }
+
+    /// The simulator commits exactly the requested window for any small
+    /// window size and any benchmark.
+    #[test]
+    fn exact_window_commit(bench in 0usize..23, window in 500u64..2_000) {
+        let profile = spec2000().swap_remove(bench);
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let trace = TraceGenerator::new(profile, 9);
+        let r = Processor::simulate(cfg, trace, window, 100);
+        prop_assert_eq!(r.instructions, window);
+        prop_assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Branch target buffer: 16K sets, 2-way (Table 1).
+
+/// One BTB entry: tag + target + LRU bit is kept implicitly by way order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+}
+
+/// A set-associative branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    /// `entries[set]` ordered most-recently-used first.
+    entries: Vec<Vec<BtbEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets of `ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        Btb {
+            sets,
+            ways,
+            entries: vec![Vec::new(); sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Table-1 configuration: 16K sets, 2-way.
+    pub fn table1() -> Self {
+        Self::new(16 * 1024, 2)
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, updating LRU
+    /// and hit statistics.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == pc) {
+            let e = ways.remove(pos);
+            ways.insert(0, e);
+            self.hits += 1;
+            Some(e.target)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs or refreshes the target for the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set];
+        if let Some(pos) = ways.iter().position(|e| e.tag == pc) {
+            ways.remove(pos);
+        } else if ways.len() == self.ways {
+            ways.pop();
+        }
+        ways.insert(0, BtbEntry { tag: pc, target });
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl Default for Btb {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(16, 2);
+        assert_eq!(btb.lookup(0x40), None);
+        btb.update(0x40, 0x100);
+        assert_eq!(btb.lookup(0x40), Some(0x100));
+        assert_eq!(btb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn update_replaces_target() {
+        let mut btb = Btb::new(16, 2);
+        btb.update(0x40, 0x100);
+        btb.update(0x40, 0x200);
+        assert_eq!(btb.lookup(0x40), Some(0x200));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        let mut btb = Btb::new(1, 2);
+        btb.update(0x10, 0xa);
+        btb.update(0x20, 0xb);
+        // Touch 0x10 so 0x20 becomes LRU.
+        assert_eq!(btb.lookup(0x10), Some(0xa));
+        btb.update(0x30, 0xc);
+        assert_eq!(btb.lookup(0x20), None, "LRU way should have been evicted");
+        assert_eq!(btb.lookup(0x10), Some(0xa));
+        assert_eq!(btb.lookup(0x30), Some(0xc));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut btb = Btb::new(2, 1);
+        btb.update(0x0, 0xa); // set 0
+        btb.update(0x4, 0xb); // set 1
+        assert_eq!(btb.lookup(0x0), Some(0xa));
+        assert_eq!(btb.lookup(0x4), Some(0xb));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # heterowire-frontend
+//!
+//! The front-end of the `heterowire` clustered processor: branch direction
+//! predictors ([`predictor`]), a branch target buffer ([`btb`]) and the
+//! fetch engine ([`fetch`]), all sized per Table 1 of the paper
+//! (16K-entry bimodal + 16K x 12-bit two-level with a 16K chooser, 16K-set
+//! 2-way BTB, 8-wide fetch across up to two basic blocks, 64-entry fetch
+//! queue).
+//!
+//! The front-end matters to the paper because the **branch mispredict
+//! signal** must travel from the resolving cluster back to the fetch unit
+//! over the inter-cluster interconnect; carrying it on low-latency L-Wires
+//! shaves cycles off every mispredict penalty.
+//!
+//! ```
+//! use heterowire_frontend::fetch::FetchEngine;
+//! use heterowire_isa::{MicroOp, OpClass, ArchReg};
+//!
+//! let ops = (0..16).map(|i| {
+//!     MicroOp::builder(i, 0x1000 + i * 4, OpClass::IntAlu)
+//!         .dest(ArchReg::int(1))
+//!         .build()
+//! });
+//! let mut fe = FetchEngine::new(ops);
+//! fe.tick(0);
+//! assert_eq!(fe.queue_len(), 8); // 8-wide fetch
+//! ```
+
+pub mod btb;
+pub mod fetch;
+pub mod predictor;
+
+pub use btb::Btb;
+pub use fetch::{FetchEngine, FetchStats, FetchedOp};
+pub use predictor::{Bimodal, Combined, DirectionPredictor, TwoLevel};

@@ -1,0 +1,296 @@
+//! Branch direction predictors: bimodal, two-level, and the combining
+//! predictor of Table 1 (16K bimodal + 16K-entry/12-bit-history two-level,
+//! with a 16K-entry chooser).
+
+/// A branch direction predictor.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `pc` (`true` = taken).
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Trains the predictor with the resolved direction.
+    fn update(&mut self, pc: u64, taken: bool);
+}
+
+#[inline]
+fn saturate_up(c: &mut u8, max: u8) {
+    if *c < max {
+        *c += 1;
+    }
+}
+
+#[inline]
+fn saturate_down(c: &mut u8) {
+    if *c > 0 {
+        *c -= 1;
+    }
+}
+
+/// Bimodal predictor: a table of 2-bit saturating counters indexed by PC.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` 2-bit counters,
+    /// initialised to weakly taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Bimodal {
+            counters: vec![2; entries],
+        }
+    }
+
+    /// Table-1 configuration: 16K entries.
+    pub fn table1() -> Self {
+        Self::new(16 * 1024)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        if taken {
+            saturate_up(&mut self.counters[i], 3);
+        } else {
+            saturate_down(&mut self.counters[i]);
+        }
+    }
+}
+
+/// Two-level (PAg-style) predictor: a first-level table of per-PC branch
+/// histories indexing a shared second-level table of 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    histories: Vec<u16>,
+    history_bits: u32,
+    pattern: Vec<u8>,
+}
+
+impl TwoLevel {
+    /// Creates a two-level predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is not a power of two or
+    /// `history_bits > 16`.
+    pub fn new(l1_entries: usize, history_bits: u32, l2_entries: usize) -> Self {
+        assert!(l1_entries.is_power_of_two() && l2_entries.is_power_of_two());
+        assert!(history_bits <= 16, "history is stored in 16 bits");
+        TwoLevel {
+            histories: vec![0; l1_entries],
+            history_bits,
+            pattern: vec![2; l2_entries],
+        }
+    }
+
+    /// Table-1 configuration: 16K histories of 12 bits, 16K counters.
+    pub fn table1() -> Self {
+        Self::new(16 * 1024, 12, 16 * 1024)
+    }
+
+    fn l1_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.histories.len() - 1)
+    }
+
+    fn l2_index(&self, pc: u64) -> usize {
+        let h = self.histories[self.l1_index(pc)] as usize;
+        // XOR-fold the PC into the history (gshare-flavoured hashing keeps
+        // aliasing low when many branch sites share history patterns).
+        (h ^ ((pc >> 2) as usize)) & (self.pattern.len() - 1)
+    }
+}
+
+impl DirectionPredictor for TwoLevel {
+    fn predict(&self, pc: u64) -> bool {
+        self.pattern[self.l2_index(pc)] >= 2
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let l2 = self.l2_index(pc);
+        if taken {
+            saturate_up(&mut self.pattern[l2], 3);
+        } else {
+            saturate_down(&mut self.pattern[l2]);
+        }
+        let l1 = self.l1_index(pc);
+        let mask = (1u16 << self.history_bits) - 1;
+        self.histories[l1] = ((self.histories[l1] << 1) | taken as u16) & mask;
+    }
+}
+
+/// The combining predictor of Table 1: bimodal + two-level with a 2-bit
+/// chooser trained toward whichever component was correct.
+#[derive(Debug, Clone)]
+pub struct Combined {
+    bimodal: Bimodal,
+    two_level: TwoLevel,
+    chooser: Vec<u8>,
+}
+
+impl Combined {
+    /// Creates a combining predictor with the given components and a
+    /// `chooser_entries`-entry selector table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chooser_entries` is not a power of two.
+    pub fn new(bimodal: Bimodal, two_level: TwoLevel, chooser_entries: usize) -> Self {
+        assert!(chooser_entries.is_power_of_two());
+        Combined {
+            bimodal,
+            two_level,
+            // Weakly prefer bimodal until the history component proves
+            // itself — avoids paying the two-level warmup on biased
+            // branches.
+            chooser: vec![1; chooser_entries],
+        }
+    }
+
+    /// The full Table-1 front-end predictor.
+    pub fn table1() -> Self {
+        Self::new(Bimodal::table1(), TwoLevel::table1(), 16 * 1024)
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.chooser.len() - 1)
+    }
+}
+
+impl Default for Combined {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+impl DirectionPredictor for Combined {
+    fn predict(&self, pc: u64) -> bool {
+        if self.chooser[self.chooser_index(pc)] >= 2 {
+            self.two_level.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let bi = self.bimodal.predict(pc) == taken;
+        let tl = self.two_level.predict(pc) == taken;
+        let i = self.chooser_index(pc);
+        // Train the chooser toward the component that was right.
+        if tl && !bi {
+            saturate_up(&mut self.chooser[i], 3);
+        } else if bi && !tl {
+            saturate_down(&mut self.chooser[i]);
+        }
+        self.bimodal.update(pc, taken);
+        self.two_level.update(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..10 {
+            p.update(0x40, true);
+        }
+        assert!(p.predict(0x40));
+        for _ in 0..10 {
+            p.update(0x40, false);
+        }
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn two_level_learns_an_alternating_pattern() {
+        // A strict T/NT alternation defeats bimodal but is trivial for a
+        // history-based predictor once warmed up.
+        let mut p = TwoLevel::new(1024, 8, 4096);
+        let pc = 0x100;
+        let mut taken = false;
+        for _ in 0..200 {
+            p.update(pc, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 95, "two-level got {correct}/100 on alternation");
+    }
+
+    #[test]
+    fn bimodal_fails_alternating_pattern() {
+        let mut p = Bimodal::new(1024);
+        let pc = 0x100;
+        let mut taken = false;
+        let mut correct = 0;
+        for _ in 0..200 {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+            taken = !taken;
+        }
+        assert!(correct <= 120, "bimodal got {correct}/200 on alternation");
+    }
+
+    #[test]
+    fn combined_picks_the_better_component() {
+        let mut p = Combined::new(Bimodal::new(1024), TwoLevel::new(1024, 8, 4096), 1024);
+        let pc = 0x200;
+        let mut taken = false;
+        for _ in 0..300 {
+            p.update(pc, taken);
+            taken = !taken;
+        }
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+            taken = !taken;
+        }
+        assert!(correct >= 90, "combined got {correct}/100");
+    }
+
+    #[test]
+    fn strongly_biased_branches_are_easy_for_everyone() {
+        let mut c = Combined::table1();
+        let mut correct = 0;
+        for i in 0..1000u64 {
+            let pc = 0x400 + (i % 16) * 4;
+            if c.predict(pc) {
+                correct += 1;
+            }
+            c.update(pc, true);
+        }
+        assert!(correct > 950);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Bimodal::new(1000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests over the predictors and fetch engine.
+
+use proptest::prelude::*;
+
+use heterowire_frontend::{Bimodal, Btb, Combined, DirectionPredictor, TwoLevel};
+
+proptest! {
+    /// A bimodal counter trained n >= 2 times in one direction predicts
+    /// that direction.
+    #[test]
+    fn bimodal_saturates(pc in any::<u64>(), taken in any::<bool>(), n in 2u32..10) {
+        let mut p = Bimodal::new(4096);
+        for _ in 0..n {
+            p.update(pc, taken);
+        }
+        prop_assert_eq!(p.predict(pc), taken);
+    }
+
+    /// The combined predictor is at least as good as its better component
+    /// on a biased stream (within a small warmup slack).
+    #[test]
+    fn combined_tracks_better_component(bias_taken in any::<bool>(), len in 100usize..400) {
+        let mut bi = Bimodal::new(4096);
+        let mut comb = Combined::new(Bimodal::new(4096), TwoLevel::new(1024, 8, 4096), 1024);
+        let pc = 0x4000;
+        let mut bi_correct = 0;
+        let mut comb_correct = 0;
+        for i in 0..len {
+            // 90% biased stream.
+            let taken = if i % 10 == 0 { !bias_taken } else { bias_taken };
+            if bi.predict(pc) == taken {
+                bi_correct += 1;
+            }
+            if comb.predict(pc) == taken {
+                comb_correct += 1;
+            }
+            bi.update(pc, taken);
+            comb.update(pc, taken);
+        }
+        prop_assert!(comb_correct + 12 >= bi_correct,
+            "combined {comb_correct} vs bimodal {bi_correct}");
+    }
+
+    /// The BTB returns exactly what was last installed for a PC.
+    #[test]
+    fn btb_returns_last_target(
+        updates in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..100),
+    ) {
+        let mut btb = Btb::new(1024, 2);
+        let mut last = std::collections::HashMap::new();
+        for (pc, target) in updates {
+            btb.update(pc, target);
+            last.insert(pc, target);
+            // The entry just installed must be retrievable.
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    /// Two-level history updates never panic and keep predictions boolean
+    /// for arbitrary pc streams (no index escapes).
+    #[test]
+    fn two_level_is_total(pcs in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut p = TwoLevel::table1();
+        for (i, pc) in pcs.iter().enumerate() {
+            let _ = p.predict(*pc);
+            p.update(*pc, i % 3 == 0);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Frequent-value compaction (the paper's §4 pointer to Yang et al. (ref. 47)):
+//! a small table of the most frequent data values; a value that matches an
+//! entry can be encoded by its index — a handful of bits — and therefore
+//! ride an L-Wire lane even when it is not numerically narrow.
+//!
+//! The paper leaves this as "other forms of data compaction might also be
+//! possible, but is not explored here"; we implement it as an optional
+//! extension and evaluate it in the ablation harness.
+
+use std::fmt;
+
+/// A frequency-ordered table of the hottest values seen on the network.
+///
+/// The table approximates an LFU top-k: each hit increments a counter;
+/// a miss decays the coldest entry and replaces it once its counter
+/// reaches zero (a compact variant of Space-Saving).
+#[derive(Debug, Clone)]
+pub struct FrequentValueTable {
+    entries: Vec<(u64, u32)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl FrequentValueTable {
+    /// Creates a table of `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "table needs at least one entry");
+        FrequentValueTable {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The Yang et al. configuration: eight values.
+    pub fn yang() -> Self {
+        Self::new(8)
+    }
+
+    /// Index of `value` in the table, if present (without updating
+    /// frequencies) — the encoding the sender would transmit.
+    pub fn encode(&self, value: u64) -> Option<u8> {
+        self.entries
+            .iter()
+            .position(|&(v, _)| v == value)
+            .map(|i| i as u8)
+    }
+
+    /// Observes `value`; returns `true` if it was (already) a frequent
+    /// value. Trains the table either way.
+    pub fn observe(&mut self, value: u64) -> bool {
+        if let Some(i) = self.entries.iter().position(|&(v, _)| v == value) {
+            self.entries[i].1 = self.entries[i].1.saturating_add(1);
+            self.hits += 1;
+            // Keep hottest first so `encode` indices are stable-ish.
+            self.entries[..=i].sort_by(|a, b| b.1.cmp(&a.1));
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push((value, 1));
+        } else if let Some(last) = self.entries.last_mut() {
+            // Decay the coldest; replace once it reaches zero.
+            if last.1 <= 1 {
+                *last = (value, 1);
+            } else {
+                last.1 -= 1;
+            }
+        }
+        false
+    }
+
+    /// Fraction of observed values that hit the table.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of values currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no values have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for FrequentValueTable {
+    fn default() -> Self {
+        Self::yang()
+    }
+}
+
+impl fmt::Display for FrequentValueTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FVC[{}] {:.0}% hit", self.entries.len(), self.hit_rate() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_values_become_encodable() {
+        let mut t = FrequentValueTable::new(4);
+        for _ in 0..10 {
+            t.observe(0);
+            t.observe(u64::MAX);
+        }
+        assert!(t.encode(0).is_some());
+        assert!(t.encode(u64::MAX).is_some());
+        assert!(t.encode(12345).is_none());
+    }
+
+    #[test]
+    fn skewed_stream_reaches_high_hit_rate() {
+        // 50% zeros (the classic frequent value), rest unique.
+        let mut t = FrequentValueTable::yang();
+        for i in 0..10_000u64 {
+            if i % 2 == 0 {
+                t.observe(0);
+            } else {
+                t.observe(0x1_0000 + i);
+            }
+        }
+        assert!(t.hit_rate() > 0.45, "hit rate {}", t.hit_rate());
+    }
+
+    #[test]
+    fn uniform_stream_stays_cold() {
+        let mut t = FrequentValueTable::yang();
+        for i in 0..10_000u64 {
+            t.observe(i);
+        }
+        assert!(t.hit_rate() < 0.01, "hit rate {}", t.hit_rate());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = FrequentValueTable::new(3);
+        for i in 0..100 {
+            t.observe(i % 7);
+        }
+        assert!(t.len() <= 3);
+    }
+
+    #[test]
+    fn encode_fits_a_byte() {
+        let mut t = FrequentValueTable::new(8);
+        for v in 0..8u64 {
+            for _ in 0..5 {
+                t.observe(v);
+            }
+        }
+        for v in 0..8u64 {
+            assert!(t.encode(v).expect("tracked") < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_panics() {
+        let _ = FrequentValueTable::new(0);
+    }
+}

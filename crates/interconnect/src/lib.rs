@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # heterowire-interconnect
+//!
+//! The heterogeneous inter-cluster interconnect of the `heterowire`
+//! processor: network topologies ([`topology`] — the 4-cluster crossbar and
+//! the 16-cluster hierarchical crossbar-of-rings of Figure 2), typed
+//! messages with wire-class eligibility ([`message`]), the cycle-driven
+//! arbitration/buffering/energy engine ([`network`]) and the dynamic
+//! wire-selection policy ([`policy`]) implementing the paper's three
+//! steering criteria plus the L-Wire fast paths.
+//!
+//! ```
+//! use heterowire_interconnect::{
+//!     message::{MessageKind, Transfer},
+//!     network::{NetConfig, Network},
+//!     topology::{Node, Topology},
+//! };
+//! use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+//!
+//! // Model VII of Table 3: 144 B-Wires + 36 L-Wires per cluster link.
+//! let link = LinkComposition::new(vec![
+//!     WirePlane::new(WireClass::B, 144),
+//!     WirePlane::new(WireClass::L, 36),
+//! ]);
+//! let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
+//! net.send(
+//!     Transfer {
+//!         src: Node::Cluster(0),
+//!         dst: Node::Cluster(1),
+//!         class: WireClass::L,
+//!         kind: MessageKind::NarrowValue,
+//!     },
+//!     0,
+//! );
+//! net.tick(1);
+//! assert_eq!(net.take_delivered(2).len(), 1); // L-Wires: 1-cycle crossbar
+//! ```
+
+pub mod fvc;
+pub mod message;
+pub mod network;
+pub mod policy;
+pub mod topology;
+
+pub use fvc::FrequentValueTable;
+pub use message::{MessageKind, Transfer};
+pub use network::{NetConfig, NetStats, Network, TransferId};
+pub use policy::{AvailablePlanes, LoadBalancer, TransferHints, WirePolicy};
+pub use topology::{LinkId, Node, Route, Topology};

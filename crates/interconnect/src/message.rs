@@ -1,0 +1,99 @@
+//! Message types carried by the inter-cluster network and their wire-class
+//! eligibility.
+
+use heterowire_wires::WireClass;
+
+/// What a network transfer carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// A register value copied from producer to consumer cluster (64-bit
+    /// data + 8-bit tag on a full lane).
+    RegisterValue,
+    /// A narrow register value (`0..=1023`): 10-bit payload + 8-bit tag,
+    /// fits one L-Wire lane.
+    NarrowValue,
+    /// The least-significant bits of a load/store effective address plus an
+    /// LSQ tag (paper: 6b tag + 8b cache index + 4b TLB index = 18 bits).
+    PartialAddress,
+    /// A full (or remaining most-significant) effective address.
+    FullAddress,
+    /// Store data on its way to the LSQ/cache.
+    StoreData,
+    /// A load's data returning from the cache to the consuming cluster.
+    CacheData,
+    /// A branch mispredict redirect to the front-end (a branch ID — tiny).
+    BranchMispredict,
+}
+
+impl MessageKind {
+    /// Payload bits on the wire (including tag bits).
+    pub fn bits(self) -> u32 {
+        match self {
+            MessageKind::RegisterValue | MessageKind::CacheData | MessageKind::StoreData => 72,
+            MessageKind::FullAddress => 72,
+            MessageKind::NarrowValue | MessageKind::PartialAddress => 18,
+            MessageKind::BranchMispredict => 18,
+        }
+    }
+
+    /// True if the message is small enough for one L-Wire lane.
+    pub fn fits_l_wire(self) -> bool {
+        self.bits() <= 18
+    }
+
+    /// True if the message may be carried on `class` wires.
+    ///
+    /// Full-width messages need a full 72-wire lane (B or PW); narrow
+    /// messages may additionally use an 18-wire L lane. (A narrow message
+    /// on a B/PW lane simply wastes the unused wires.)
+    pub fn allowed_on(self, class: WireClass) -> bool {
+        match class {
+            WireClass::L => self.fits_l_wire(),
+            WireClass::B | WireClass::Pw | WireClass::W => true,
+        }
+    }
+}
+
+/// A request to move one message through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transfer {
+    /// Source node.
+    pub src: crate::topology::Node,
+    /// Destination node.
+    pub dst: crate::topology::Node,
+    /// Wire class chosen by the selection policy.
+    pub class: WireClass,
+    /// Message kind (determines bits and lane eligibility).
+    pub kind: MessageKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_messages_fit_l_wires() {
+        assert!(MessageKind::NarrowValue.fits_l_wire());
+        assert!(MessageKind::PartialAddress.fits_l_wire());
+        assert!(MessageKind::BranchMispredict.fits_l_wire());
+        assert!(!MessageKind::RegisterValue.fits_l_wire());
+        assert!(!MessageKind::FullAddress.fits_l_wire());
+    }
+
+    #[test]
+    fn wide_messages_rejected_on_l() {
+        assert!(!MessageKind::RegisterValue.allowed_on(WireClass::L));
+        assert!(MessageKind::RegisterValue.allowed_on(WireClass::B));
+        assert!(MessageKind::RegisterValue.allowed_on(WireClass::Pw));
+        assert!(MessageKind::NarrowValue.allowed_on(WireClass::L));
+    }
+
+    #[test]
+    fn bit_budgets_match_the_paper() {
+        // 64b data + 8b tag.
+        assert_eq!(MessageKind::RegisterValue.bits(), 72);
+        // 8b tag + 10b data, and 6b LSQ tag + 8b index + 4b TLB index.
+        assert_eq!(MessageKind::NarrowValue.bits(), 18);
+        assert_eq!(MessageKind::PartialAddress.bits(), 18);
+    }
+}

@@ -1,0 +1,516 @@
+//! The cycle-driven network engine: lane arbitration, buffering, pipelined
+//! delivery and energy accounting.
+//!
+//! Per the paper's model: every link offers the full degree of heterogeneity
+//! (its composition in wire planes), transfers are fully pipelined (a lane
+//! accepts a new transfer every cycle), contention buffers losers in
+//! unbounded FIFOs, and the links in/out of the cache have twice the wires
+//! of cluster links.
+
+use std::collections::HashMap;
+
+use heterowire_wires::{LinkComposition, WireClass};
+
+use crate::message::Transfer;
+use crate::topology::{LinkId, Topology};
+
+/// Identifier of an in-flight or delivered transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(pub u64);
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Topology (crossbar or hierarchical ring).
+    pub topology: Topology,
+    /// Wire composition of one direction of a cluster link. Cache links are
+    /// twice this; ring segments equal a cluster link.
+    pub cluster_link: LinkComposition,
+    /// Latency multiplier for wire-constrained sensitivity studies
+    /// (§5.3 doubles all interconnect latencies).
+    pub latency_scale: f64,
+    /// Implement L-Wires as transmission lines (paper §2/§5.2): their
+    /// latency stops scaling with the RC-constrained `latency_scale` and
+    /// their dynamic energy drops to one third (Chang et al.).
+    pub transmission_line_l: bool,
+}
+
+impl NetConfig {
+    /// Creates a config with unit latency scale.
+    pub fn new(topology: Topology, cluster_link: LinkComposition) -> Self {
+        NetConfig {
+            topology,
+            cluster_link,
+            latency_scale: 1.0,
+            transmission_line_l: false,
+        }
+    }
+}
+
+/// Per-class traffic and energy statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetStats {
+    /// Transfers injected per class (indexed by `WireClass::ALL` order).
+    pub transfers: [u64; 4],
+    /// Bit-hops per class (payload bits x energy hops).
+    pub bit_hops: [u64; 4],
+    /// Weighted dynamic energy units (bit-hops x relative dynamic energy).
+    pub dynamic_energy: f64,
+    /// Total cycles transfers spent buffered waiting for a lane.
+    pub queue_cycles: u64,
+    /// Transfers delivered.
+    pub delivered: u64,
+}
+
+impl NetStats {
+    /// Total transfers injected.
+    pub fn total_transfers(&self) -> u64 {
+        self.transfers.iter().sum()
+    }
+
+    /// Fraction of transfers carried on the given class.
+    pub fn class_share(&self, class: WireClass) -> f64 {
+        let total = self.total_transfers();
+        if total == 0 {
+            return 0.0;
+        }
+        self.transfers[class_index(class)] as f64 / total as f64
+    }
+}
+
+fn class_index(class: WireClass) -> usize {
+    WireClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class is one of the four")
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    id: TransferId,
+    transfer: Transfer,
+    links: Vec<usize>,
+    latency: u64,
+    hops: u32,
+    enqueued: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    id: TransferId,
+    transfer: Transfer,
+    deliver_at: u64,
+}
+
+/// The inter-cluster network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetConfig,
+    link_ids: Vec<LinkId>,
+    link_index: HashMap<LinkId, usize>,
+    /// Lane capacity per link per wire class.
+    caps: Vec<[u32; 4]>,
+    /// Lanes used in the current cycle per link per class.
+    used: Vec<[u32; 4]>,
+    pending: Vec<Pending>,
+    in_flight: Vec<InFlight>,
+    next_id: u64,
+    last_tick: Option<u64>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Builds the network for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster link composition is empty.
+    pub fn new(config: NetConfig) -> Self {
+        assert!(
+            !config.cluster_link.is_empty(),
+            "links need at least one wire plane"
+        );
+        let link_ids = config.topology.all_links();
+        let cache_link = config.cluster_link.widened(2);
+        let mut caps = Vec::with_capacity(link_ids.len());
+        let mut link_index = HashMap::with_capacity(link_ids.len());
+        for (i, &id) in link_ids.iter().enumerate() {
+            link_index.insert(id, i);
+            let comp = match id {
+                LinkId::CacheIn | LinkId::CacheOut => &cache_link,
+                _ => &config.cluster_link,
+            };
+            let mut lanes = [0u32; 4];
+            for (ci, &c) in WireClass::ALL.iter().enumerate() {
+                lanes[ci] = comp.lanes(c);
+            }
+            caps.push(lanes);
+        }
+        let used = vec![[0; 4]; link_ids.len()];
+        Network {
+            config,
+            link_ids,
+            link_index,
+            caps,
+            used,
+            pending: Vec::new(),
+            in_flight: Vec::new(),
+            next_id: 0,
+            last_tick: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// True if the link composition offers any lanes of `class`.
+    pub fn has_class(&self, class: WireClass) -> bool {
+        self.config.cluster_link.lanes(class) > 0
+    }
+
+    /// Enqueues a transfer at `cycle`. It will compete for lanes starting
+    /// with the next [`Network::tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message kind is not allowed on the chosen wire class
+    /// or the network has no lanes of that class.
+    pub fn send(&mut self, transfer: Transfer, cycle: u64) -> TransferId {
+        assert!(
+            transfer.kind.allowed_on(transfer.class),
+            "{:?} cannot ride {} wires",
+            transfer.kind,
+            transfer.class
+        );
+        assert!(
+            self.has_class(transfer.class),
+            "network has no {} plane",
+            transfer.class
+        );
+        let route = self
+            .config
+            .topology
+            .route(transfer.src, transfer.dst, transfer.class);
+        // Transmission-line L-Wires fly at time-of-flight: wire-constrained
+        // latency scaling does not apply to them.
+        let scale = if self.config.transmission_line_l && transfer.class == WireClass::L {
+            1.0
+        } else {
+            self.config.latency_scale
+        };
+        let latency = ((route.latency as f64) * scale).round() as u64;
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.stats.transfers[class_index(transfer.class)] += 1;
+        self.pending.push(Pending {
+            id,
+            transfer,
+            links: route
+                .links
+                .iter()
+                .map(|l| self.link_index[l])
+                .collect(),
+            latency: latency.max(1),
+            hops: route.hops,
+            enqueued: cycle,
+        });
+        id
+    }
+
+    /// Arbitrates lanes for `cycle`: pending transfers (oldest first) that
+    /// can reserve a lane on every link of their route depart and will be
+    /// delivered `latency` cycles later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` moves backwards.
+    pub fn tick(&mut self, cycle: u64) {
+        if let Some(last) = self.last_tick {
+            assert!(cycle > last, "network ticked backwards ({last} -> {cycle})");
+        }
+        self.last_tick = Some(cycle);
+        for u in &mut self.used {
+            *u = [0; 4];
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            if p.enqueued >= cycle {
+                // Sent this cycle: eligible next cycle (send buffers add one
+                // cycle of wire scheduling).
+                i += 1;
+                continue;
+            }
+            let ci = class_index(p.transfer.class);
+            let free = p
+                .links
+                .iter()
+                .all(|&l| self.used[l][ci] < self.caps[l][ci]);
+            if free {
+                for &l in &p.links {
+                    self.used[l][ci] += 1;
+                }
+                let p = self.pending.remove(i);
+                self.stats.queue_cycles += cycle - p.enqueued - 1;
+                let bits = p.transfer.kind.bits() as u64 * p.hops as u64;
+                self.stats.bit_hops[ci] += bits;
+                let mut unit = p.transfer.class.params().relative_dynamic;
+                if self.config.transmission_line_l && p.transfer.class == WireClass::L {
+                    unit /= 3.0; // Chang et al.: 3x energy reduction
+                }
+                self.stats.dynamic_energy += bits as f64 * unit;
+                self.in_flight.push(InFlight {
+                    id: p.id,
+                    transfer: p.transfer,
+                    deliver_at: cycle + p.latency,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Removes and returns all transfers delivered at or before `cycle`.
+    pub fn take_delivered(&mut self, cycle: u64) -> Vec<(TransferId, Transfer)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].deliver_at <= cycle {
+                let f = self.in_flight.remove(i);
+                self.stats.delivered += 1;
+                out.push((f.id, f.transfer));
+            } else {
+                i += 1;
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Transfers still queued or in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.pending.len() + self.in_flight.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Total leakage weight of all wire planes on all links — multiply by
+    /// executed cycles and the leakage energy unit to get leakage energy.
+    pub fn leakage_weight(&self) -> f64 {
+        let cache_link = self.config.cluster_link.widened(2);
+        self.link_ids
+            .iter()
+            .map(|id| match id {
+                LinkId::CacheIn | LinkId::CacheOut => cache_link.leakage_weight(),
+                _ => self.config.cluster_link.leakage_weight(),
+            })
+            .sum()
+    }
+
+    /// Total metal area of the interconnect in W-wire track units.
+    pub fn metal_area(&self) -> f64 {
+        let cache_link = self.config.cluster_link.widened(2);
+        self.link_ids
+            .iter()
+            .map(|id| match id {
+                LinkId::CacheIn | LinkId::CacheOut => cache_link.metal_area(),
+                _ => self.config.cluster_link.metal_area(),
+            })
+            .sum()
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use crate::topology::Node;
+    use heterowire_wires::WirePlane;
+
+    fn b_l_link() -> LinkComposition {
+        LinkComposition::new(vec![
+            WirePlane::new(WireClass::B, 144),
+            WirePlane::new(WireClass::L, 36),
+        ])
+    }
+
+    fn net() -> Network {
+        Network::new(NetConfig::new(Topology::crossbar4(), b_l_link()))
+    }
+
+    fn reg_transfer(src: usize, dst: usize, class: WireClass) -> Transfer {
+        Transfer {
+            src: Node::Cluster(src),
+            dst: Node::Cluster(dst),
+            class,
+            kind: if class == WireClass::L {
+                MessageKind::NarrowValue
+            } else {
+                MessageKind::RegisterValue
+            },
+        }
+    }
+
+    #[test]
+    fn b_wire_transfer_takes_two_cycles() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.tick(1);
+        assert!(n.take_delivered(2).is_empty());
+        n.tick(2);
+        n.tick(3);
+        let d = n.take_delivered(3);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn l_wire_transfer_is_faster() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::L), 0);
+        n.tick(1);
+        let d = n.take_delivered(2);
+        assert_eq!(d.len(), 1, "L transfer: 1 cycle after departing at 1");
+    }
+
+    #[test]
+    fn contention_buffers_excess_transfers() {
+        let mut n = net();
+        // 144 B-wires = 2 lanes; three same-route transfers in one cycle.
+        for _ in 0..3 {
+            n.send(reg_transfer(0, 1, WireClass::B), 0);
+        }
+        n.tick(1);
+        n.tick(2);
+        n.tick(3);
+        n.tick(4);
+        let d = n.take_delivered(10);
+        assert_eq!(d.len(), 3);
+        assert_eq!(n.stats().queue_cycles, 1, "third transfer waited a cycle");
+    }
+
+    #[test]
+    fn different_routes_do_not_contend() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.send(reg_transfer(2, 3, WireClass::B), 0);
+        n.tick(1);
+        n.tick(2);
+        n.tick(3);
+        assert_eq!(n.take_delivered(3).len(), 2);
+        assert_eq!(n.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn cache_link_has_double_capacity() {
+        let mut n = net();
+        // 4 transfers from different clusters into the cache: cache-in has
+        // 4 B lanes, each cluster-out has 2 -> all four depart together.
+        for c in 0..4 {
+            n.send(
+                Transfer {
+                    src: Node::Cluster(c),
+                    dst: Node::Cache,
+                    class: WireClass::B,
+                    kind: MessageKind::FullAddress,
+                },
+                0,
+            );
+        }
+        n.tick(1);
+        n.tick(2);
+        n.tick(3);
+        assert_eq!(n.take_delivered(3).len(), 4);
+        assert_eq!(n.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot ride")]
+    fn wide_message_on_l_wire_panics() {
+        let mut n = net();
+        n.send(
+            Transfer {
+                src: Node::Cluster(0),
+                dst: Node::Cluster(1),
+                class: WireClass::L,
+                kind: MessageKind::RegisterValue,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no PW-Wires plane")]
+    fn missing_plane_panics() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::Pw), 0);
+    }
+
+    #[test]
+    fn latency_scale_doubles_delivery_time() {
+        let mut cfg = NetConfig::new(Topology::crossbar4(), b_l_link());
+        cfg.latency_scale = 2.0;
+        let mut n = Network::new(cfg);
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.tick(1);
+        assert!(n.take_delivered(4).is_empty());
+        let d = n.take_delivered(5);
+        assert_eq!(d.len(), 1, "doubled B latency = 4 cycles after depart");
+    }
+
+    #[test]
+    fn energy_accounting_weights_by_class() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.tick(1);
+        let e_b = n.stats().dynamic_energy;
+        assert!((e_b - 72.0 * 0.58).abs() < 1e-9);
+        n.send(reg_transfer(0, 1, WireClass::L), 1);
+        n.tick(2);
+        let e_total = n.stats().dynamic_energy;
+        assert!((e_total - e_b - 18.0 * 0.84).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_weight_counts_all_links() {
+        let n = net();
+        // 4 cluster links x2 dirs + cache x2 (double width).
+        let cluster = 144.0 * 0.55 + 36.0 * 0.79;
+        let expect = 8.0 * cluster + 2.0 * 2.0 * cluster;
+        assert!((n.leakage_weight() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hier_ring_transfer_traverses_ring() {
+        let mut n = Network::new(NetConfig::new(Topology::hier16(), b_l_link()));
+        n.send(
+            Transfer {
+                src: Node::Cluster(0),
+                dst: Node::Cluster(8),
+                class: WireClass::B,
+                kind: MessageKind::RegisterValue,
+            },
+            0,
+        );
+        n.tick(1);
+        // Latency 2 + 2*4 = 10, departing at 1 -> delivered at 11.
+        assert!(n.take_delivered(10).is_empty());
+        assert_eq!(n.take_delivered(11).len(), 1);
+    }
+
+    #[test]
+    fn stats_class_share() {
+        let mut n = net();
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.send(reg_transfer(0, 1, WireClass::L), 0);
+        let s = n.stats();
+        assert_eq!(s.total_transfers(), 3);
+        assert!((s.class_share(WireClass::B) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Dynamic wire-selection policy (paper §4, "Exploiting PW-Wires" and the
+//! L-Wire optimizations).
+//!
+//! For every transfer, the microarchitecture chooses a wire class:
+//!
+//! 1. messages that fit 18 bits (narrow results, partial addresses, branch
+//!    mispredict signals) ride **L-Wires** when present;
+//! 2. non-critical transfers — operands already ready at dispatch, store
+//!    data — ride **PW-Wires** when present;
+//! 3. under load imbalance (difference in traffic injected into the B and
+//!    PW planes over the last `N` cycles exceeding a threshold), subsequent
+//!    transfers steer to the less congested plane;
+//! 4. everything else rides **B-Wires** (falling back to PW if B is absent).
+
+use std::collections::VecDeque;
+
+use heterowire_wires::WireClass;
+
+use crate::message::MessageKind;
+
+/// Which wire planes the current interconnect model offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvailablePlanes {
+    /// B-Wires present.
+    pub b: bool,
+    /// PW-Wires present.
+    pub pw: bool,
+    /// L-Wires present.
+    pub l: bool,
+}
+
+impl AvailablePlanes {
+    /// Convenience constructor.
+    pub fn new(b: bool, pw: bool, l: bool) -> Self {
+        assert!(b || pw, "a link needs at least one full-width plane");
+        AvailablePlanes { b, pw, l }
+    }
+}
+
+/// Why the transfer is being made — the criticality hints the paper's
+/// steering criteria use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferHints {
+    /// The operand was already ready when the consumer dispatched (long
+    /// dispatch-to-issue gap tolerates slow wires).
+    pub ready_at_dispatch: bool,
+    /// This is store data (rarely on the critical path).
+    pub store_data: bool,
+}
+
+/// Sliding-window traffic monitor for the B/PW load-imbalance criterion
+/// (paper: N = 5 cycles, threshold = 10 transfers).
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    window: u64,
+    threshold: i64,
+    /// (cycle, was_pw) injections within the window.
+    recent: VecDeque<(u64, bool)>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over the last `window` cycles with the given
+    /// imbalance `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, threshold: i64) -> Self {
+        assert!(window > 0, "window must be positive");
+        LoadBalancer {
+            window,
+            threshold,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// The paper's parameters: N = 5, threshold = 10.
+    pub fn paper() -> Self {
+        Self::new(5, 10)
+    }
+
+    fn expire(&mut self, cycle: u64) {
+        while let Some(&(c, _)) = self.recent.front() {
+            if c + self.window <= cycle {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records an injection into the B (`false`) or PW (`true`) plane.
+    pub fn record(&mut self, cycle: u64, pw: bool) {
+        self.expire(cycle);
+        self.recent.push_back((cycle, pw));
+    }
+
+    /// If the imbalance exceeds the threshold, returns the less congested
+    /// plane to steer toward.
+    pub fn overflow_target(&mut self, cycle: u64) -> Option<WireClass> {
+        self.expire(cycle);
+        let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as i64;
+        let b = self.recent.len() as i64 - pw;
+        if (b - pw).abs() > self.threshold {
+            Some(if b > pw { WireClass::Pw } else { WireClass::B })
+        } else {
+            None
+        }
+    }
+
+    /// Current `(b, pw)` counts in the window.
+    pub fn counts(&mut self, cycle: u64) -> (u64, u64) {
+        self.expire(cycle);
+        let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as u64;
+        (self.recent.len() as u64 - pw, pw)
+    }
+}
+
+/// The full wire-selection policy.
+#[derive(Debug, Clone)]
+pub struct WirePolicy {
+    planes: AvailablePlanes,
+    balancer: LoadBalancer,
+    /// Enables the L-Wire optimizations (cache pipeline, narrow operands,
+    /// branch signal).
+    pub use_l_wires: bool,
+    /// Enables the PW steering criteria.
+    pub use_pw_steering: bool,
+    /// Enables the load-imbalance overflow criterion.
+    pub use_balancing: bool,
+}
+
+impl WirePolicy {
+    /// Creates the policy for the given planes with the paper's balancer.
+    pub fn new(planes: AvailablePlanes) -> Self {
+        WirePolicy {
+            planes,
+            balancer: LoadBalancer::paper(),
+            use_l_wires: planes.l,
+            use_pw_steering: planes.pw,
+            use_balancing: planes.b && planes.pw,
+        }
+    }
+
+    /// Wire planes available to this policy.
+    pub fn planes(&self) -> AvailablePlanes {
+        self.planes
+    }
+
+    /// Chooses the wire class for a message, recording the choice in the
+    /// balancer window.
+    pub fn choose(&mut self, kind: MessageKind, hints: TransferHints, cycle: u64) -> WireClass {
+        // 1. L-Wire-eligible messages.
+        if self.use_l_wires && self.planes.l && kind.fits_l_wire() {
+            return WireClass::L;
+        }
+
+        let full_default = if self.planes.b { WireClass::B } else { WireClass::Pw };
+
+        // 2. Non-critical traffic to PW.
+        let mut class = full_default;
+        if self.use_pw_steering
+            && self.planes.pw
+            && self.planes.b
+            && (hints.ready_at_dispatch || hints.store_data)
+        {
+            class = WireClass::Pw;
+        } else if self.use_balancing && self.planes.b && self.planes.pw {
+            // 3. Overflow steering under imbalance.
+            if let Some(target) = self.balancer.overflow_target(cycle) {
+                class = target;
+            }
+        }
+
+        if class == WireClass::Pw || class == WireClass::B {
+            self.balancer.record(cycle, class == WireClass::Pw);
+        }
+        class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_planes() -> AvailablePlanes {
+        AvailablePlanes::new(true, true, true)
+    }
+
+    #[test]
+    fn narrow_messages_take_l_wires() {
+        let mut p = WirePolicy::new(all_planes());
+        assert_eq!(
+            p.choose(MessageKind::NarrowValue, TransferHints::default(), 0),
+            WireClass::L
+        );
+        assert_eq!(
+            p.choose(MessageKind::BranchMispredict, TransferHints::default(), 0),
+            WireClass::L
+        );
+        assert_eq!(
+            p.choose(MessageKind::PartialAddress, TransferHints::default(), 0),
+            WireClass::L
+        );
+    }
+
+    #[test]
+    fn wide_critical_messages_take_b_wires() {
+        let mut p = WirePolicy::new(all_planes());
+        assert_eq!(
+            p.choose(MessageKind::RegisterValue, TransferHints::default(), 0),
+            WireClass::B
+        );
+    }
+
+    #[test]
+    fn non_critical_messages_take_pw_wires() {
+        let mut p = WirePolicy::new(all_planes());
+        let ready = TransferHints {
+            ready_at_dispatch: true,
+            store_data: false,
+        };
+        assert_eq!(p.choose(MessageKind::RegisterValue, ready, 0), WireClass::Pw);
+        let store = TransferHints {
+            ready_at_dispatch: false,
+            store_data: true,
+        };
+        assert_eq!(p.choose(MessageKind::StoreData, store, 0), WireClass::Pw);
+    }
+
+    #[test]
+    fn without_pw_plane_everything_wide_rides_b() {
+        let mut p = WirePolicy::new(AvailablePlanes::new(true, false, true));
+        let store = TransferHints {
+            ready_at_dispatch: false,
+            store_data: true,
+        };
+        assert_eq!(p.choose(MessageKind::StoreData, store, 0), WireClass::B);
+    }
+
+    #[test]
+    fn without_b_plane_everything_wide_rides_pw() {
+        let mut p = WirePolicy::new(AvailablePlanes::new(false, true, true));
+        assert_eq!(
+            p.choose(MessageKind::RegisterValue, TransferHints::default(), 0),
+            WireClass::Pw
+        );
+    }
+
+    #[test]
+    fn imbalance_steers_overflow_to_pw() {
+        let mut p = WirePolicy::new(all_planes());
+        // Saturate B with 11 critical transfers in one cycle window.
+        for _ in 0..11 {
+            assert_eq!(
+                p.choose(MessageKind::RegisterValue, TransferHints::default(), 10),
+                WireClass::B
+            );
+        }
+        // Imbalance (11 - 0 > 10): the next wide transfer diverts to PW.
+        assert_eq!(
+            p.choose(MessageKind::RegisterValue, TransferHints::default(), 10),
+            WireClass::Pw
+        );
+    }
+
+    #[test]
+    fn balancer_window_expires() {
+        let mut lb = LoadBalancer::new(5, 10);
+        for _ in 0..12 {
+            lb.record(0, false);
+        }
+        assert_eq!(lb.overflow_target(0), Some(WireClass::Pw));
+        // 5 cycles later the window is empty again.
+        assert_eq!(lb.overflow_target(5), None);
+        assert_eq!(lb.counts(5), (0, 0));
+    }
+
+    #[test]
+    fn balancer_steers_both_directions() {
+        let mut lb = LoadBalancer::new(5, 2);
+        for _ in 0..4 {
+            lb.record(0, true);
+        }
+        assert_eq!(lb.overflow_target(0), Some(WireClass::B));
+    }
+
+    #[test]
+    #[should_panic(expected = "full-width plane")]
+    fn l_only_planes_panic() {
+        let _ = AvailablePlanes::new(false, false, true);
+    }
+
+    #[test]
+    fn l_optimizations_can_be_disabled() {
+        let mut p = WirePolicy::new(all_planes());
+        p.use_l_wires = false;
+        assert_eq!(
+            p.choose(MessageKind::NarrowValue, TransferHints::default(), 0),
+            WireClass::B
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Network topologies: the 4-cluster crossbar and the 16-cluster
+//! hierarchical crossbar-of-rings (Figure 2 of the paper).
+
+use heterowire_wires::WireClass;
+
+/// A network endpoint: one of the clusters or the centralized L1 D-cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// Cluster `i`.
+    Cluster(usize),
+    /// The centralized data cache / LSQ.
+    Cache,
+}
+
+/// A directed link in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkId {
+    /// Cluster `i`'s injection link into its crossbar.
+    ClusterOut(usize),
+    /// Cluster `i`'s delivery link from its crossbar.
+    ClusterIn(usize),
+    /// The cache's injection link (double width).
+    CacheOut,
+    /// The cache's delivery link (double width).
+    CacheIn,
+    /// Directed ring segment between adjacent crossbar hubs.
+    Ring {
+        /// Source quad.
+        from: usize,
+        /// Destination quad (adjacent on the ring).
+        to: usize,
+    },
+}
+
+/// The shape of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `clusters` clusters and the cache on a single crossbar
+    /// (Figure 2(a); the paper uses 4 clusters).
+    Crossbar {
+        /// Number of clusters.
+        clusters: usize,
+    },
+    /// Quads of 4 clusters on local crossbars, crossbars on a ring, cache
+    /// attached to quad 0's crossbar (Figure 2(b); 16 clusters = 4 quads).
+    HierRing {
+        /// Number of quads (4 clusters each).
+        quads: usize,
+    },
+}
+
+/// A computed route: the links traversed and the end-to-end latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Directed links that must each grant a lane at injection time.
+    pub links: Vec<LinkId>,
+    /// Delivery latency in cycles for the given wire class.
+    pub latency: u64,
+    /// Energy hops: 1 for the crossbar traversal plus 1 per ring segment.
+    pub hops: u32,
+}
+
+impl Topology {
+    /// A 4-cluster crossbar (the paper's main configuration).
+    pub fn crossbar4() -> Self {
+        Topology::Crossbar { clusters: 4 }
+    }
+
+    /// The 16-cluster hierarchical configuration.
+    pub fn hier16() -> Self {
+        Topology::HierRing { quads: 4 }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        match *self {
+            Topology::Crossbar { clusters } => clusters,
+            Topology::HierRing { quads } => quads * 4,
+        }
+    }
+
+    /// Quad of a cluster (0 for flat crossbars).
+    pub fn quad_of(&self, cluster: usize) -> usize {
+        match *self {
+            Topology::Crossbar { .. } => 0,
+            Topology::HierRing { .. } => cluster / 4,
+        }
+    }
+
+    /// The quad that hosts the centralized cache.
+    pub const CACHE_QUAD: usize = 0;
+
+    /// All directed links in this topology, in a stable order.
+    pub fn all_links(&self) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        for c in 0..self.clusters() {
+            links.push(LinkId::ClusterOut(c));
+            links.push(LinkId::ClusterIn(c));
+        }
+        links.push(LinkId::CacheOut);
+        links.push(LinkId::CacheIn);
+        if let Topology::HierRing { quads } = *self {
+            for q in 0..quads {
+                links.push(LinkId::Ring {
+                    from: q,
+                    to: (q + 1) % quads,
+                });
+                links.push(LinkId::Ring {
+                    from: q,
+                    to: (q + quads - 1) % quads,
+                });
+            }
+        }
+        links
+    }
+
+    /// Ring path (sequence of segments) between two quads, shortest
+    /// direction, clockwise on ties.
+    fn ring_path(&self, from: usize, to: usize) -> Vec<LinkId> {
+        let Topology::HierRing { quads } = *self else {
+            return Vec::new();
+        };
+        if from == to {
+            return Vec::new();
+        }
+        let cw = (to + quads - from) % quads;
+        let ccw = (from + quads - to) % quads;
+        let mut path = Vec::new();
+        let mut q = from;
+        if cw <= ccw {
+            while q != to {
+                let n = (q + 1) % quads;
+                path.push(LinkId::Ring { from: q, to: n });
+                q = n;
+            }
+        } else {
+            while q != to {
+                let n = (q + quads - 1) % quads;
+                path.push(LinkId::Ring { from: q, to: n });
+                q = n;
+            }
+        }
+        path
+    }
+
+    /// Computes the route from `src` to `dst` for a transfer on `class`
+    /// wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or a cluster index is out of range.
+    pub fn route(&self, src: Node, dst: Node, class: WireClass) -> Route {
+        assert!(src != dst, "no self-transfers on the network");
+        let params = class.params();
+        let xbar = params.crossbar_latency as u64;
+        let ring = params.ring_hop_latency as u64;
+
+        let (src_quad, mut links) = match src {
+            Node::Cluster(c) => {
+                assert!(c < self.clusters(), "cluster {c} out of range");
+                (self.quad_of(c), vec![LinkId::ClusterOut(c)])
+            }
+            Node::Cache => (Self::CACHE_QUAD, vec![LinkId::CacheOut]),
+        };
+        let dst_quad = match dst {
+            Node::Cluster(c) => {
+                assert!(c < self.clusters(), "cluster {c} out of range");
+                self.quad_of(c)
+            }
+            Node::Cache => Self::CACHE_QUAD,
+        };
+
+        let ring_links = self.ring_path(src_quad, dst_quad);
+        let hops = 1 + ring_links.len() as u32;
+        let latency = xbar + ring * ring_links.len() as u64;
+        links.extend(ring_links);
+        links.push(match dst {
+            Node::Cluster(c) => LinkId::ClusterIn(c),
+            Node::Cache => LinkId::CacheIn,
+        });
+        Route {
+            links,
+            latency,
+            hops,
+        }
+    }
+
+    /// Cluster nearest to the cache (steering gives loads affinity to it).
+    /// For the crossbar every cluster is equidistant; quad-0 clusters win in
+    /// the hierarchical topology.
+    pub fn cache_adjacent(&self, cluster: usize) -> bool {
+        self.quad_of(cluster) == Self::CACHE_QUAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_latencies_match_table2() {
+        let t = Topology::crossbar4();
+        for (class, lat) in [(WireClass::Pw, 3), (WireClass::B, 2), (WireClass::L, 1)] {
+            let r = t.route(Node::Cluster(0), Node::Cluster(2), class);
+            assert_eq!(r.latency, lat, "{class}");
+            assert_eq!(r.hops, 1);
+            assert_eq!(
+                r.links,
+                vec![LinkId::ClusterOut(0), LinkId::ClusterIn(2)]
+            );
+        }
+    }
+
+    #[test]
+    fn cache_routes_use_cache_links() {
+        let t = Topology::crossbar4();
+        let r = t.route(Node::Cluster(1), Node::Cache, WireClass::B);
+        assert_eq!(r.links, vec![LinkId::ClusterOut(1), LinkId::CacheIn]);
+        let r = t.route(Node::Cache, Node::Cluster(3), WireClass::B);
+        assert_eq!(r.links, vec![LinkId::CacheOut, LinkId::ClusterIn(3)]);
+    }
+
+    #[test]
+    fn hier_ring_same_quad_is_one_crossbar() {
+        let t = Topology::hier16();
+        let r = t.route(Node::Cluster(4), Node::Cluster(7), WireClass::B);
+        assert_eq!(r.latency, 2);
+        assert_eq!(r.hops, 1);
+    }
+
+    #[test]
+    fn hier_ring_adjacent_quad_adds_one_hop() {
+        let t = Topology::hier16();
+        // Quad 0 -> quad 1.
+        let r = t.route(Node::Cluster(0), Node::Cluster(4), WireClass::B);
+        assert_eq!(r.latency, 2 + 4);
+        assert_eq!(r.hops, 2);
+        assert!(r.links.contains(&LinkId::Ring { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn hier_ring_opposite_quad_is_two_hops() {
+        let t = Topology::hier16();
+        // Quad 0 -> quad 2: two hops either way.
+        let r = t.route(Node::Cluster(0), Node::Cluster(8), WireClass::L);
+        assert_eq!(r.latency, 1 + 2 * 2);
+        assert_eq!(r.hops, 3);
+    }
+
+    #[test]
+    fn hier_ring_picks_short_direction() {
+        let t = Topology::hier16();
+        // Quad 3 -> quad 0 should go 3->0 directly (one hop ccw... the ring
+        // is bidirectional so 3->0 clockwise is 1 hop).
+        let r = t.route(Node::Cluster(12), Node::Cache, WireClass::B);
+        assert_eq!(r.hops, 2);
+        assert!(r.links.contains(&LinkId::Ring { from: 3, to: 0 }));
+    }
+
+    #[test]
+    fn cache_is_adjacent_to_quad0_only() {
+        let t = Topology::hier16();
+        assert!(t.cache_adjacent(2));
+        assert!(!t.cache_adjacent(5));
+        let t4 = Topology::crossbar4();
+        assert!(t4.cache_adjacent(3));
+    }
+
+    #[test]
+    fn all_links_enumerates_everything_once() {
+        let t = Topology::hier16();
+        let links = t.all_links();
+        let unique: std::collections::HashSet<_> = links.iter().collect();
+        assert_eq!(links.len(), unique.len());
+        // 16 clusters * 2 + cache 2 + 8 ring segments.
+        assert_eq!(links.len(), 16 * 2 + 2 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfers")]
+    fn self_route_panics() {
+        let _ = Topology::crossbar4().route(Node::Cluster(0), Node::Cluster(0), WireClass::B);
+    }
+}

@@ -1,0 +1,340 @@
+//! The dynamic micro-op record that flows through the simulator.
+//!
+//! A [`MicroOp`] is one *dynamic* instruction from a trace: operation class,
+//! architectural source/destination registers, effective address (for memory
+//! ops), produced value (for narrow-operand classification) and branch
+//! outcome (for the front-end model).
+
+use std::fmt;
+
+use crate::opclass::OpClass;
+use crate::reg::ArchReg;
+use crate::value;
+
+/// Branch outcome attached to a [`MicroOp`] of class [`OpClass::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Target address if taken.
+    pub target: u64,
+}
+
+/// One dynamic instruction.
+///
+/// Construct with [`MicroOp::builder`]; the builder validates the
+/// op-class-specific invariants (memory ops carry addresses, branches carry
+/// outcomes, stores and branches produce no register result).
+///
+/// # Examples
+///
+/// ```
+/// use heterowire_isa::inst::MicroOp;
+/// use heterowire_isa::opclass::OpClass;
+/// use heterowire_isa::reg::ArchReg;
+///
+/// let op = MicroOp::builder(0, 0x1000, OpClass::IntAlu)
+///     .dest(ArchReg::int(3))
+///     .src(ArchReg::int(1))
+///     .src(ArchReg::int(2))
+///     .result(42)
+///     .build();
+/// assert!(op.is_narrow_result());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    seq: u64,
+    pc: u64,
+    op: OpClass,
+    dest: Option<ArchReg>,
+    srcs: [Option<ArchReg>; 2],
+    addr: Option<u64>,
+    result: u64,
+    branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// Starts building a micro-op with the mandatory fields.
+    pub fn builder(seq: u64, pc: u64, op: OpClass) -> MicroOpBuilder {
+        MicroOpBuilder {
+            inner: MicroOp {
+                seq,
+                pc,
+                op,
+                dest: None,
+                srcs: [None, None],
+                addr: None,
+                result: 0,
+                branch: None,
+            },
+        }
+    }
+
+    /// Dynamic sequence number (position in the trace).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Program counter of the static instruction.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Operation class.
+    pub fn op(&self) -> OpClass {
+        self.op
+    }
+
+    /// Destination register, if the op produces one.
+    pub fn dest(&self) -> Option<ArchReg> {
+        self.dest
+    }
+
+    /// Source registers (iterate over the `Some` entries).
+    pub fn srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Raw source slots. Slot 0 is the address base for memory ops; slot 1
+    /// is the data operand for stores.
+    pub fn src_slots(&self) -> [Option<ArchReg>; 2] {
+        self.srcs
+    }
+
+    /// Number of source registers.
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+
+    /// Effective address for loads and stores.
+    pub fn addr(&self) -> Option<u64> {
+        self.addr
+    }
+
+    /// The value produced by the op (0 for stores/branches).
+    pub fn result(&self) -> u64 {
+        self.result
+    }
+
+    /// Branch outcome for branches.
+    pub fn branch(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+
+    /// True if the produced value fits the narrow L-Wire encoding and the
+    /// destination is an integer register (the paper restricts narrow
+    /// transfers to integer results in `0..=1023`).
+    pub fn is_narrow_result(&self) -> bool {
+        self.dest
+            .map(|d| d.class() == crate::reg::RegClass::Int && value::is_narrow(self.result))
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:#x} {}", self.seq, self.pc, self.op)?;
+        if let Some(d) = self.dest {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.srcs() {
+            write!(f, " {s}")?;
+        }
+        if let Some(a) = self.addr {
+            write!(f, " @{a:#x}")?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " {}", if b.taken { "T" } else { "NT" })?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`MicroOp`]; see [`MicroOp::builder`].
+#[derive(Debug, Clone)]
+pub struct MicroOpBuilder {
+    inner: MicroOp,
+}
+
+impl MicroOpBuilder {
+    /// Sets the destination register.
+    pub fn dest(mut self, reg: ArchReg) -> Self {
+        self.inner.dest = Some(reg);
+        self
+    }
+
+    /// Adds a source register (at most two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if two sources are already present.
+    pub fn src(mut self, reg: ArchReg) -> Self {
+        let slot = self
+            .inner
+            .srcs
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("a micro-op has at most two source registers");
+        *slot = Some(reg);
+        self
+    }
+
+    /// Sets source slot 1 explicitly (the store-data slot), leaving slot 0
+    /// for the address base even when no base register is read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot 1 is already occupied.
+    pub fn src_data(mut self, reg: ArchReg) -> Self {
+        assert!(self.inner.srcs[1].is_none(), "data slot already occupied");
+        self.inner.srcs[1] = Some(reg);
+        self
+    }
+
+    /// Sets the effective address (loads/stores only).
+    pub fn addr(mut self, addr: u64) -> Self {
+        self.inner.addr = Some(addr);
+        self
+    }
+
+    /// Sets the produced value.
+    pub fn result(mut self, value: u64) -> Self {
+        self.inner.result = value;
+        self
+    }
+
+    /// Sets the branch outcome (branches only).
+    pub fn branch(mut self, taken: bool, target: u64) -> Self {
+        self.inner.branch = Some(BranchInfo { taken, target });
+        self
+    }
+
+    /// Finishes the micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op-class invariants are violated: memory ops without an
+    /// address, branches without an outcome, stores/branches with a
+    /// destination, or FP ops writing integer registers (and vice versa for
+    /// loads, which may write either file).
+    pub fn build(self) -> MicroOp {
+        let op = self.inner.op;
+        if op.is_mem() {
+            assert!(
+                self.inner.addr.is_some(),
+                "{op} micro-op requires an effective address"
+            );
+        }
+        match op {
+            OpClass::Branch => {
+                assert!(
+                    self.inner.branch.is_some(),
+                    "branch micro-op requires an outcome"
+                );
+                assert!(self.inner.dest.is_none(), "branches produce no register");
+            }
+            OpClass::Store => {
+                assert!(self.inner.dest.is_none(), "stores produce no register");
+            }
+            OpClass::Load => {
+                assert!(self.inner.dest.is_some(), "loads must have a destination");
+            }
+            _ => {
+                assert!(
+                    self.inner.dest.is_some(),
+                    "{op} micro-op must have a destination"
+                );
+                if let Some(d) = self.inner.dest {
+                    assert_eq!(
+                        d.class() == crate::reg::RegClass::Fp,
+                        op.is_fp(),
+                        "destination register file must match the op class"
+                    );
+                }
+            }
+        }
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::RegClass;
+
+    #[test]
+    fn builder_roundtrip() {
+        let op = MicroOp::builder(7, 0x400, OpClass::Load)
+            .dest(ArchReg::int(4))
+            .src(ArchReg::int(2))
+            .addr(0xdead_0000)
+            .result(1024)
+            .build();
+        assert_eq!(op.seq(), 7);
+        assert_eq!(op.addr(), Some(0xdead_0000));
+        assert_eq!(op.num_srcs(), 1);
+        assert!(!op.is_narrow_result());
+    }
+
+    #[test]
+    fn narrow_detection_requires_int_dest() {
+        let fp = MicroOp::builder(0, 0, OpClass::FpAlu)
+            .dest(ArchReg::fp(1))
+            .result(5)
+            .build();
+        assert!(!fp.is_narrow_result(), "FP results are never narrow");
+        let int = MicroOp::builder(0, 0, OpClass::IntAlu)
+            .dest(ArchReg::int(1))
+            .result(5)
+            .build();
+        assert!(int.is_narrow_result());
+    }
+
+    #[test]
+    #[should_panic(expected = "effective address")]
+    fn load_without_addr_panics() {
+        let _ = MicroOp::builder(0, 0, OpClass::Load)
+            .dest(ArchReg::int(0))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outcome")]
+    fn branch_without_outcome_panics() {
+        let _ = MicroOp::builder(0, 0, OpClass::Branch).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn three_sources_panic() {
+        let _ = MicroOp::builder(0, 0, OpClass::IntAlu)
+            .dest(ArchReg::int(0))
+            .src(ArchReg::int(1))
+            .src(ArchReg::int(2))
+            .src(ArchReg::int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "register file")]
+    fn fp_op_with_int_dest_panics() {
+        let _ = MicroOp::builder(0, 0, OpClass::FpMul)
+            .dest(ArchReg::int(0))
+            .build();
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let op = MicroOp::builder(1, 0x10, OpClass::Branch).branch(true, 0x20).build();
+        let s = op.to_string();
+        assert!(s.contains("br") && s.contains('T'), "{s}");
+    }
+
+    #[test]
+    fn loads_may_write_fp_file() {
+        let op = MicroOp::builder(0, 0, OpClass::Load)
+            .dest(ArchReg::fp(2))
+            .addr(64)
+            .build();
+        assert_eq!(op.dest().unwrap().class(), RegClass::Fp);
+    }
+}

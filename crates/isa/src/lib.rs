@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # heterowire-isa
+//!
+//! The micro-op instruction representation shared by every component of the
+//! `heterowire` clustered-processor simulator (a reproduction of the HPCA-11
+//! 2005 wire-management paper, which used the Alpha AXP ISA under
+//! SimpleScalar).
+//!
+//! The simulator is trace-driven, so the ISA layer is deliberately compact:
+//! a [`inst::MicroOp`] captures exactly what the timing model needs — the
+//! operation class and its functional-unit latency ([`opclass`]), up to two
+//! architectural source registers and one destination ([`reg`]), the
+//! effective address of memory operations, the branch outcome, and the
+//! produced value, from which the narrow-operand classification is derived
+//! ([`value`]).
+//!
+//! ```
+//! use heterowire_isa::inst::MicroOp;
+//! use heterowire_isa::opclass::OpClass;
+//! use heterowire_isa::reg::ArchReg;
+//!
+//! let add = MicroOp::builder(0, 0x120004, OpClass::IntAlu)
+//!     .dest(ArchReg::int(1))
+//!     .src(ArchReg::int(2))
+//!     .result(977)
+//!     .build();
+//! // 977 <= 1023, so this result could ride the 18-bit L-Wire lane:
+//! assert!(add.is_narrow_result());
+//! ```
+
+pub mod inst;
+pub mod opclass;
+pub mod reg;
+pub mod value;
+
+pub use inst::{BranchInfo, MicroOp, MicroOpBuilder};
+pub use opclass::{FuKind, OpClass};
+pub use reg::{ArchReg, RegClass};

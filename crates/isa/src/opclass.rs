@@ -1,0 +1,180 @@
+//! Operation classes and their execution latencies.
+
+use std::fmt;
+
+/// Functional classification of a micro-op, matching the Table-1 machine
+/// (one integer ALU, one integer mul/div, one FP ALU and one FP mul/div per
+/// cluster, plus memory and control operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Simple integer arithmetic/logic, 1 cycle.
+    IntAlu,
+    /// Integer multiply, 3 cycles (variable on narrow operands in real
+    /// PowerPC-style hardware; we use the worst case).
+    IntMul,
+    /// Integer divide, 20 cycles, unpipelined.
+    IntDiv,
+    /// Floating-point add/sub/compare, 2 cycles.
+    FpAlu,
+    /// Floating-point multiply, 4 cycles.
+    FpMul,
+    /// Floating-point divide, 12 cycles, unpipelined.
+    FpDiv,
+    /// Memory load: address generation in the cluster, then cache access.
+    Load,
+    /// Memory store: address + data sent to the LSQ.
+    Store,
+    /// Conditional branch (resolved on an integer ALU).
+    Branch,
+}
+
+impl OpClass {
+    /// All op classes.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Execution latency in cycles on the functional unit (cache access time
+    /// for loads is modelled separately by the memory hierarchy).
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 20,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            // Address generation.
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Which functional unit executes this op.
+    pub fn unit(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Load | OpClass::Store => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::FpAlu => FuKind::FpAlu,
+            OpClass::FpMul | OpClass::FpDiv => FuKind::FpMulDiv,
+        }
+    }
+
+    /// True for ops whose destination lives in the FP register file.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// True if the unit is pipelined (can accept a new op every cycle).
+    pub fn pipelined(self) -> bool {
+        !matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "ialu",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::FpAlu => "falu",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The four functional-unit kinds each cluster owns one of (Table 1:
+/// "Integer ALUs/mult-div 1/1 per cluster, FP ALUs/mult-div 1/1").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU (also executes branches and address generation).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMulDiv,
+    /// Floating-point adder.
+    FpAlu,
+    /// Floating-point multiplier/divider.
+    FpMulDiv,
+}
+
+impl FuKind {
+    /// All functional-unit kinds.
+    pub const ALL: [FuKind; 4] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::FpAlu,
+        FuKind::FpMulDiv,
+    ];
+
+    /// Index into a per-cluster FU array.
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMulDiv => 1,
+            FuKind::FpAlu => 2,
+            FuKind::FpMulDiv => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_are_positive_and_ordered() {
+        for op in OpClass::ALL {
+            assert!(op.latency() >= 1);
+        }
+        assert!(OpClass::IntMul.latency() > OpClass::IntAlu.latency());
+        assert!(OpClass::IntDiv.latency() > OpClass::IntMul.latency());
+        assert!(OpClass::FpDiv.latency() > OpClass::FpMul.latency());
+    }
+
+    #[test]
+    fn fp_ops_use_fp_units() {
+        assert!(OpClass::FpMul.is_fp());
+        assert_eq!(OpClass::FpMul.unit(), FuKind::FpMulDiv);
+        assert!(!OpClass::Load.is_fp());
+        assert_eq!(OpClass::Branch.unit(), FuKind::IntAlu);
+    }
+
+    #[test]
+    fn divides_are_unpipelined() {
+        assert!(!OpClass::IntDiv.pipelined());
+        assert!(!OpClass::FpDiv.pipelined());
+        assert!(OpClass::IntMul.pipelined());
+    }
+
+    #[test]
+    fn fu_indices_are_unique() {
+        let mut seen = [false; 4];
+        for k in FuKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+    }
+
+    #[test]
+    fn display_is_short() {
+        assert_eq!(OpClass::Load.to_string(), "load");
+        assert_eq!(OpClass::Branch.to_string(), "br");
+    }
+}

@@ -1,0 +1,127 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_REGS: u8 = 32;
+
+/// Which register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+/// An architectural register: a class and an index within the file.
+///
+/// # Examples
+///
+/// ```
+/// use heterowire_isa::reg::{ArchReg, RegClass};
+///
+/// let r = ArchReg::int(5);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!(ArchReg::fp(3).to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_REGS`.
+    pub fn int(index: u8) -> Self {
+        assert!(index < NUM_INT_REGS, "integer register {index} out of range");
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_REGS`.
+    pub fn fp(index: u8) -> Self {
+        assert!(index < NUM_FP_REGS, "fp register {index} out of range");
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
+    }
+
+    /// Register file this register lives in.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Index within the register file.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// Flat index over both files (`0..64`), handy for dependence tables.
+    pub fn flat_index(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_REGS as usize + self.index as usize,
+        }
+    }
+
+    /// Total number of architectural registers across both files.
+    pub const fn total() -> usize {
+        (NUM_INT_REGS + NUM_FP_REGS) as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_indices_do_not_collide() {
+        let mut seen = vec![false; ArchReg::total()];
+        for i in 0..NUM_INT_REGS {
+            let idx = ArchReg::int(i).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        for i in 0..NUM_FP_REGS {
+            let idx = ArchReg::fp(i).flat_index();
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    fn ordering_groups_by_class() {
+        assert!(ArchReg::int(31) < ArchReg::fp(0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Operand value widths and the narrow-operand classification.
+//!
+//! The paper's simplest data-compaction scheme sends integer results in
+//! `0..=1023` — ten payload bits — on the 18-bit L-Wire lane (8-bit tag +
+//! 10-bit data). The PowerPC 603's leading-zero detector is cited as an
+//! existence proof that the required hardware is trivial.
+
+/// Payload bits available on one L-Wire lane after the 8-bit register tag.
+pub const NARROW_PAYLOAD_BITS: u32 = 10;
+
+/// Largest value that fits the default narrow-operand encoding (`0..=1023`).
+pub const NARROW_MAX: u64 = (1 << NARROW_PAYLOAD_BITS) - 1;
+
+/// Number of significant bits in `value` (0 for value 0).
+///
+/// # Examples
+///
+/// ```
+/// use heterowire_isa::value::bit_width;
+/// assert_eq!(bit_width(0), 0);
+/// assert_eq!(bit_width(1), 1);
+/// assert_eq!(bit_width(1023), 10);
+/// assert_eq!(bit_width(1024), 11);
+/// ```
+pub fn bit_width(value: u64) -> u32 {
+    64 - value.leading_zeros()
+}
+
+/// True if `value` can be encoded in the narrow L-Wire format
+/// (unsigned, at most [`NARROW_PAYLOAD_BITS`] bits).
+pub fn is_narrow(value: u64) -> bool {
+    value <= NARROW_MAX
+}
+
+/// True if `value` fits in `bits` payload bits — used by the narrow-width
+/// ablation sweeps.
+pub fn fits_in(value: u64, bits: u32) -> bool {
+    if bits >= 64 {
+        return true;
+    }
+    value < (1u64 << bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_boundary() {
+        assert!(is_narrow(0));
+        assert!(is_narrow(1023));
+        assert!(!is_narrow(1024));
+    }
+
+    #[test]
+    fn bit_width_monotone() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 255, 1 << 20, u64::MAX] {
+            let w = bit_width(v);
+            assert!(w >= prev);
+            prev = w;
+        }
+        assert_eq!(bit_width(u64::MAX), 64);
+    }
+
+    #[test]
+    fn fits_in_edges() {
+        assert!(fits_in(1023, 10));
+        assert!(!fits_in(1024, 10));
+        assert!(fits_in(u64::MAX, 64));
+        assert!(fits_in(0, 0) == false || fits_in(0, 0)); // 0 < 1<<0 == 1 -> true
+        assert!(fits_in(0, 1));
+    }
+}

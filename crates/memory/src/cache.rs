@@ -1,0 +1,202 @@
+//! Generic set-associative cache with true-LRU replacement.
+//!
+//! Used for the 32 KB 2-way L1 I-cache, the 32 KB 4-way L1 D-cache and the
+//! 8 MB 8-way unified L2 (Table 1). The cache tracks hits/misses only —
+//! latency and bank occupancy are the hierarchy's job.
+
+/// A set-associative cache model (tags only; no data storage).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_bytes: u64,
+    sets: u64,
+    ways: usize,
+    /// `tags[set]` ordered most-recently-used first.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways`-way associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
+    /// line or set counts, or `size < ways * line`).
+    pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            size_bytes >= ways as u64 * line_bytes,
+            "cache smaller than one set"
+        );
+        let sets = size_bytes / (ways as u64 * line_bytes);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Table-1 L1 D-cache: 32 KB, 4-way, 64 B lines.
+    pub fn l1d_table1() -> Self {
+        Self::new(32 * 1024, 4, 64)
+    }
+
+    /// Table-1 L1 I-cache: 32 KB, 2-way, 64 B lines.
+    pub fn l1i_table1() -> Self {
+        Self::new(32 * 1024, 2, 64)
+    }
+
+    /// Table-1 unified L2: 8 MB, 8-way, 128 B lines.
+    pub fn l2_table1() -> Self {
+        Self::new(8 * 1024 * 1024, 8, 128)
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) & (self.sets - 1)) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes / self.sets
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses install the line
+    /// (evicting LRU).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.ways {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes `addr` without updating LRU or installing.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.tags[set].contains(&tag)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss rate so far (0 when no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x104), "same line");
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2-way, 1 set: three distinct lines thrash.
+        let mut c = Cache::new(128, 2, 64);
+        assert_eq!(c.sets(), 1);
+        c.access(0x000);
+        c.access(0x040);
+        c.access(0x000); // refresh line 0
+        c.access(0x080); // evicts 0x040
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x040));
+        assert!(c.probe(0x080));
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = Cache::l1d_table1();
+        // 16 KB working set fits in a 32 KB cache.
+        for round in 0..4 {
+            for a in (0..16 * 1024).step_by(64) {
+                let hit = c.access(a);
+                if round > 0 {
+                    assert!(hit, "address {a:#x} missed in round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Cache::new(1024, 1, 64); // direct-mapped 1 KB
+        for _ in 0..3 {
+            // 2 KB working set, direct-mapped: every access conflicts.
+            for a in (0..2048).step_by(64) {
+                c.access(a);
+            }
+        }
+        assert!(c.miss_rate() > 0.9, "miss rate {}", c.miss_rate());
+    }
+
+    #[test]
+    fn probe_does_not_install() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.probe(0x40));
+        assert!(!c.access(0x40));
+    }
+
+    #[test]
+    fn table1_geometries() {
+        assert_eq!(Cache::l1d_table1().ways(), 4);
+        assert_eq!(Cache::l1i_table1().ways(), 2);
+        assert_eq!(Cache::l2_table1().ways(), 8);
+        // 32KB / (4 * 64) = 128 sets -> 7 index bits + 6 offset bits.
+        assert_eq!(Cache::l1d_table1().sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(1024, 2, 48);
+    }
+}

@@ -1,0 +1,459 @@
+//! The centralized load/store queue with **partial-address disambiguation**.
+//!
+//! In the baseline pipeline a load may access the cache only after the
+//! addresses of all earlier stores are known. The paper's optimization
+//! transmits the least-significant address bits on low-latency L-Wires
+//! ahead of the full address; the LSQ compares those partial addresses and,
+//! if the load matches no earlier store, lets the cache RAM access begin
+//! before the full address arrives. A partial match that the full addresses
+//! later disprove is a *false dependence* — the paper measures fewer than 9%
+//! of loads suffering one with 8 LS bits.
+
+use std::collections::VecDeque;
+
+/// Disambiguation state of a load at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadStatus {
+    /// The load's own address (partial or full) has not arrived yet.
+    WaitOwnAddress,
+    /// Some earlier store's address has not arrived yet.
+    WaitStoreAddress,
+    /// Partial comparison passed: the cache RAM access may begin, but the
+    /// full address is still in flight.
+    PartialReady,
+    /// Fully disambiguated and free of conflicts; `forward` is true when an
+    /// earlier store to the same word supplies the data.
+    FullReady {
+        /// Data comes from an in-flight store rather than the cache.
+        forward: bool,
+    },
+    /// The partial address matched an earlier store; the load must wait for
+    /// full addresses to resolve the (possibly false) dependence.
+    PartialConflict,
+}
+
+/// LSQ statistics, including the false-dependence counters of §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LsqStats {
+    /// Loads inserted.
+    pub loads: u64,
+    /// Stores inserted.
+    pub stores: u64,
+    /// Loads whose partial comparison matched an earlier store.
+    pub partial_matches: u64,
+    /// Partial matches that full addresses later disproved.
+    pub false_dependences: u64,
+    /// Loads forwarded from an earlier in-flight store.
+    pub forwards: u64,
+}
+
+impl LsqStats {
+    /// Fraction of loads that hit a false dependence (paper: < 9% at 8 LS
+    /// bits).
+    pub fn false_dependence_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.false_dependences as f64 / self.loads as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LsqEntry {
+    seq: u64,
+    is_store: bool,
+    /// Word-granular partial address and its arrival cycle.
+    partial: Option<(u64, u64)>,
+    /// Word-granular full address and its arrival cycle.
+    full: Option<(u64, u64)>,
+    /// Set once a load's partial match has been classified (avoid double
+    /// counting in the stats).
+    partial_match_counted: bool,
+}
+
+/// The centralized load/store queue.
+///
+/// Entries are inserted in program order at dispatch; addresses arrive later
+/// (partial bits possibly earlier than full addresses); loads query their
+/// disambiguation status each cycle.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    entries: VecDeque<LsqEntry>,
+    ls_bits: u32,
+    stats: LsqStats,
+}
+
+/// Byte address → word (8-byte) granule, the conflict-detection granularity.
+fn word_of(addr: u64) -> u64 {
+    addr >> 3
+}
+
+impl LoadStoreQueue {
+    /// Creates an LSQ comparing `ls_bits` least-significant bits of the
+    /// *word* address in the partial check (the paper's default is 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ls_bits` is 0 or exceeds 32.
+    pub fn new(ls_bits: u32) -> Self {
+        assert!((1..=32).contains(&ls_bits), "ls_bits must be in 1..=32");
+        LoadStoreQueue {
+            entries: VecDeque::new(),
+            ls_bits,
+            stats: LsqStats::default(),
+        }
+    }
+
+    fn partial_of(&self, addr: u64) -> u64 {
+        word_of(addr) & ((1u64 << self.ls_bits) - 1)
+    }
+
+    /// Inserts a memory op at dispatch. `seq` values must be strictly
+    /// increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` does not exceed the youngest entry's.
+    pub fn insert(&mut self, seq: u64, is_store: bool) {
+        if let Some(back) = self.entries.back() {
+            assert!(seq > back.seq, "LSQ inserts must be in program order");
+        }
+        if is_store {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        self.entries.push_back(LsqEntry {
+            seq,
+            is_store,
+            partial: None,
+            full: None,
+            partial_match_counted: false,
+        });
+    }
+
+    fn find(&self, seq: u64) -> Option<usize> {
+        // Entries are seq-sorted; binary search.
+        self.entries
+            .binary_search_by(|e| e.seq.cmp(&seq))
+            .ok()
+    }
+
+    /// Records the arrival of the LS bits of `seq`'s address at `cycle`.
+    pub fn arrive_partial(&mut self, seq: u64, addr: u64, cycle: u64) {
+        let p = self.partial_of(addr);
+        if let Some(i) = self.find(seq) {
+            let e = &mut self.entries[i];
+            if e.partial.is_none() {
+                e.partial = Some((p, cycle));
+            }
+        }
+    }
+
+    /// Records the arrival of `seq`'s full address at `cycle`. Also fills
+    /// the partial bits if they were never sent separately.
+    pub fn arrive_full(&mut self, seq: u64, addr: u64, cycle: u64) {
+        let p = self.partial_of(addr);
+        let w = word_of(addr);
+        if let Some(i) = self.find(seq) {
+            let e = &mut self.entries[i];
+            if e.full.is_none() {
+                e.full = Some((w, cycle));
+            }
+            if e.partial.is_none() {
+                e.partial = Some((p, cycle));
+            }
+        }
+    }
+
+    /// Disambiguation status of the load `seq` as of `cycle`.
+    ///
+    /// With `use_partial` false the LSQ behaves like the baseline: loads
+    /// wait for full addresses of all earlier stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not a load in the queue.
+    pub fn load_status(&mut self, seq: u64, cycle: u64, use_partial: bool) -> LoadStatus {
+        let idx = self.find(seq).expect("load must be in the LSQ");
+        assert!(!self.entries[idx].is_store, "entry {seq} is a store");
+
+        let own_full = self.entries[idx].full.filter(|&(_, t)| t <= cycle);
+        let own_partial = self.entries[idx].partial.filter(|&(_, t)| t <= cycle);
+
+        // Full disambiguation first: if every earlier store's full address
+        // is known and the load's own full address is known, we can give a
+        // definitive answer.
+        if let Some((w, _)) = own_full {
+            let mut all_known = true;
+            let mut forward = false;
+            // Scan older entries (younger than the load are irrelevant);
+            // the *youngest* matching store wins for forwarding.
+            for e in self.entries.iter().take(idx) {
+                if !e.is_store {
+                    continue;
+                }
+                match e.full.filter(|&(_, t)| t <= cycle) {
+                    Some((sw, _)) => {
+                        if sw == w {
+                            forward = true;
+                        }
+                    }
+                    None => {
+                        all_known = false;
+                    }
+                }
+            }
+            if all_known {
+                // Classify a previously flagged partial conflict.
+                let e = &mut self.entries[idx];
+                if e.partial_match_counted && !forward {
+                    e.partial_match_counted = false;
+                    self.stats.false_dependences += 1;
+                } else if e.partial_match_counted && forward {
+                    e.partial_match_counted = false;
+                }
+                if forward {
+                    self.stats.forwards += 1;
+                }
+                return LoadStatus::FullReady { forward };
+            }
+        }
+
+        if !use_partial {
+            return if own_full.is_none() {
+                LoadStatus::WaitOwnAddress
+            } else {
+                LoadStatus::WaitStoreAddress
+            };
+        }
+
+        // Partial path.
+        let Some((p, _)) = own_partial else {
+            return LoadStatus::WaitOwnAddress;
+        };
+        let mut any_unknown = false;
+        let mut partial_match = false;
+        for e in self.entries.iter().take(idx) {
+            if !e.is_store {
+                continue;
+            }
+            match e.partial.filter(|&(_, t)| t <= cycle) {
+                Some((sp, _)) => {
+                    if sp == p {
+                        partial_match = true;
+                    }
+                }
+                None => any_unknown = true,
+            }
+        }
+        if any_unknown {
+            return LoadStatus::WaitStoreAddress;
+        }
+        if partial_match {
+            let e = &mut self.entries[idx];
+            if !e.partial_match_counted {
+                e.partial_match_counted = true;
+                self.stats.partial_matches += 1;
+            }
+            return LoadStatus::PartialConflict;
+        }
+        LoadStatus::PartialReady
+    }
+
+    /// Removes all entries with `seq <= bound` (commit).
+    pub fn retire_through(&mut self, bound: u64) {
+        while let Some(front) = self.entries.front() {
+            if front.seq <= bound {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes a single entry (squash or early completion).
+    pub fn remove(&mut self, seq: u64) {
+        if let Some(i) = self.find(seq) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> LsqStats {
+        self.stats
+    }
+}
+
+impl Default for LoadStoreQueue {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_no_earlier_stores_is_ready_on_full_arrival() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, false);
+        assert_eq!(lsq.load_status(1, 0, true), LoadStatus::WaitOwnAddress);
+        lsq.arrive_full(1, 0x1000, 3);
+        assert_eq!(lsq.load_status(1, 2, true), LoadStatus::WaitOwnAddress);
+        assert_eq!(
+            lsq.load_status(1, 3, true),
+            LoadStatus::FullReady { forward: false }
+        );
+    }
+
+    #[test]
+    fn partial_mismatch_allows_early_prefetch() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, true); // store
+        lsq.insert(2, false); // load
+        lsq.arrive_partial(1, 0x1000, 1);
+        lsq.arrive_partial(2, 0x2008, 1);
+        // Partials differ (word 0x200 vs 0x401 -> LS bits differ), so the
+        // load may start its RAM access before any full address arrives.
+        assert_eq!(lsq.load_status(2, 1, true), LoadStatus::PartialReady);
+        // Baseline mode still waits for the store's full address.
+        assert_eq!(lsq.load_status(2, 1, false), LoadStatus::WaitOwnAddress);
+    }
+
+    #[test]
+    fn false_dependence_is_detected_and_counted() {
+        let mut lsq = LoadStoreQueue::new(4);
+        lsq.insert(1, true);
+        lsq.insert(2, false);
+        // Same 4 LS word bits, different full word: 0x1000>>3=0x200,
+        // 0x1080>>3=0x210; (0x200 & 0xF) == (0x210 & 0xF) == 0.
+        lsq.arrive_partial(1, 0x1000, 1);
+        lsq.arrive_partial(2, 0x1080, 1);
+        assert_eq!(lsq.load_status(2, 1, true), LoadStatus::PartialConflict);
+        lsq.arrive_full(1, 0x1000, 4);
+        lsq.arrive_full(2, 0x1080, 4);
+        assert_eq!(
+            lsq.load_status(2, 4, true),
+            LoadStatus::FullReady { forward: false }
+        );
+        let s = lsq.stats();
+        assert_eq!(s.partial_matches, 1);
+        assert_eq!(s.false_dependences, 1);
+        assert!((s.false_dependence_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_dependence_forwards() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, true);
+        lsq.insert(2, false);
+        lsq.arrive_full(1, 0x3000, 2);
+        lsq.arrive_full(2, 0x3000, 2);
+        assert_eq!(
+            lsq.load_status(2, 2, true),
+            LoadStatus::FullReady { forward: true }
+        );
+        assert_eq!(lsq.stats().forwards, 1);
+        assert_eq!(lsq.stats().false_dependences, 0);
+    }
+
+    #[test]
+    fn unknown_store_address_blocks() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, true);
+        lsq.insert(2, false);
+        lsq.arrive_partial(2, 0x4000, 1);
+        lsq.arrive_full(2, 0x4000, 1);
+        // Store address entirely unknown: blocked in both modes.
+        assert_eq!(lsq.load_status(2, 1, true), LoadStatus::WaitStoreAddress);
+        assert_eq!(lsq.load_status(2, 1, false), LoadStatus::WaitStoreAddress);
+        // Store partial arrives, differs -> partial path unblocks first.
+        lsq.arrive_partial(1, 0x5008, 2);
+        assert_eq!(lsq.load_status(2, 2, true), LoadStatus::PartialReady);
+        assert_eq!(lsq.load_status(2, 2, false), LoadStatus::WaitStoreAddress);
+    }
+
+    #[test]
+    fn retire_drops_old_entries() {
+        let mut lsq = LoadStoreQueue::new(8);
+        for s in 1..=5 {
+            lsq.insert(s, s % 2 == 0);
+        }
+        lsq.retire_through(3);
+        assert_eq!(lsq.len(), 2);
+        lsq.remove(5);
+        assert_eq!(lsq.len(), 1);
+    }
+
+    #[test]
+    fn later_stores_do_not_affect_loads() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, false); // load
+        lsq.insert(2, true); // younger store
+        lsq.arrive_full(1, 0x6000, 1);
+        assert_eq!(
+            lsq.load_status(1, 1, true),
+            LoadStatus::FullReady { forward: false }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn out_of_order_insert_panics() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(5, false);
+        lsq.insert(3, false);
+    }
+
+    #[test]
+    fn more_ls_bits_reduce_false_matches() {
+        // Statistical check: random store/load pairs with distinct words;
+        // the 4-bit LSQ must flag at least as many partial matches as the
+        // 12-bit one.
+        let count_matches = |bits: u32| {
+            let mut lsq = LoadStoreQueue::new(bits);
+            let mut seq = 0;
+            let mut matches = 0;
+            let mix = |x: u64| {
+                // splitmix64-style avalanche so low bits are well mixed.
+                let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for i in 0..2000u64 {
+                let saddr = 0x1_0000 + (mix(i) % 65536) * 8;
+                let laddr = 0x1_0000 + (mix(i + 1_000_000) % 65536) * 8;
+                if saddr == laddr {
+                    continue;
+                }
+                lsq.insert(seq, true);
+                lsq.insert(seq + 1, false);
+                lsq.arrive_partial(seq, saddr, 0);
+                lsq.arrive_partial(seq + 1, laddr, 0);
+                if lsq.load_status(seq + 1, 0, true) == LoadStatus::PartialConflict {
+                    matches += 1;
+                }
+                lsq.retire_through(seq + 1);
+                seq += 2;
+            }
+            matches
+        };
+        let few_bits = count_matches(4);
+        let many_bits = count_matches(12);
+        assert!(few_bits > many_bits, "4-bit {few_bits} vs 12-bit {many_bits}");
+    }
+}

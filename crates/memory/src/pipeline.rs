@@ -1,0 +1,110 @@
+//! Pure timing arithmetic for the baseline and accelerated cache pipelines.
+//!
+//! **Baseline:** the cache RAM access starts once the *full* effective
+//! address has arrived and the LSQ has disambiguated; data is ready
+//! `l1_latency` cycles later (TLB and tag compare are folded into that
+//! latency, as in SimpleScalar).
+//!
+//! **Accelerated (paper §4):** the LS address bits arrive early on L-Wires
+//! and index the cache RAM and TLB banks immediately; when the MS bits
+//! arrive on B-Wires, one extra cycle selects the right TLB translation and
+//! performs the tag comparison. If the RAM access already finished, the
+//! load's effective latency collapses to `ms_arrival + 1`.
+
+/// Timing parameters of one cache level's access pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePipelineParams {
+    /// RAM access latency of the cache (6 cycles for the Table-1 L1).
+    pub ram_latency: u64,
+    /// Extra cycle(s) for the late TLB select + tag compare in the
+    /// accelerated pipeline.
+    pub tag_compare: u64,
+}
+
+impl CachePipelineParams {
+    /// Table-1 L1 D-cache: 6-cycle RAM, 1-cycle late tag compare.
+    pub fn l1_table1() -> Self {
+        CachePipelineParams {
+            ram_latency: 6,
+            tag_compare: 1,
+        }
+    }
+}
+
+/// Completion cycle of a **baseline** load: RAM access starts at
+/// `start` (never before the full address is present) and data is ready
+/// after the full RAM latency.
+pub fn baseline_hit_completion(params: &CachePipelineParams, start: u64) -> u64 {
+    start + params.ram_latency
+}
+
+/// Completion cycle of an **accelerated** load hit: the RAM access started
+/// at `ram_start` (LS bits in hand), the full address arrived at
+/// `ms_arrival`, and the late tag compare takes `tag_compare` cycles.
+pub fn accelerated_hit_completion(
+    params: &CachePipelineParams,
+    ram_start: u64,
+    ms_arrival: u64,
+) -> u64 {
+    (ram_start + params.ram_latency).max(ms_arrival) + params.tag_compare
+}
+
+/// Cycles the accelerated pipeline saves over the baseline for a hit whose
+/// LS bits arrived at `ram_start` and whose full address arrived at
+/// `ms_arrival` (both relative to the same clock).
+pub fn acceleration_benefit(
+    params: &CachePipelineParams,
+    ram_start: u64,
+    ms_arrival: u64,
+) -> i64 {
+    let base = baseline_hit_completion(params, ms_arrival);
+    let fast = accelerated_hit_completion(params, ram_start, ms_arrival);
+    base as i64 - fast as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: CachePipelineParams = CachePipelineParams {
+        ram_latency: 6,
+        tag_compare: 1,
+    };
+
+    #[test]
+    fn baseline_is_start_plus_latency() {
+        assert_eq!(baseline_hit_completion(&P, 10), 16);
+    }
+
+    #[test]
+    fn fully_hidden_ram_costs_one_extra_cycle_after_ms_bits() {
+        // LS bits at 0, RAM done at 6; MS bits at 8 -> data at 9.
+        assert_eq!(accelerated_hit_completion(&P, 0, 8), 9);
+        // Baseline with full address at 8 would finish at 14: 5 cycles saved.
+        assert_eq!(acceleration_benefit(&P, 0, 8), 5);
+    }
+
+    #[test]
+    fn partially_hidden_ram_still_helps() {
+        // LS at 4, RAM done at 10; MS at 6 -> data at 11 vs baseline 12.
+        assert_eq!(accelerated_hit_completion(&P, 4, 6), 11);
+        assert_eq!(acceleration_benefit(&P, 4, 6), 1);
+    }
+
+    #[test]
+    fn no_head_start_means_the_tag_cycle_is_pure_overhead() {
+        // LS and MS arrive together: accelerated = baseline + tag_compare.
+        assert_eq!(accelerated_hit_completion(&P, 6, 6), 13);
+        assert_eq!(acceleration_benefit(&P, 6, 6), -1);
+    }
+
+    #[test]
+    fn benefit_is_monotone_in_head_start() {
+        let mut prev = i64::MIN;
+        for head_start in 0..10 {
+            let b = acceleration_benefit(&P, 10 - head_start, 10);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

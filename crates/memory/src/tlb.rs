@@ -1,0 +1,137 @@
+//! Translation lookaside buffer: 128 entries, 8 KB pages (Table 1).
+//!
+//! The paper's cache-pipeline optimization sends a few bits of the virtual
+//! page number on L-Wires so TLB bank lookup can start before the full
+//! address arrives; a set-associative organisation (rather than fully
+//! associative CAM) makes that partial indexing practical, so the model is
+//! set-associative with configurable associativity (8-way by default,
+//! matching the paper's "4 index bits ... associativity of 8 for the TLB").
+
+/// A set-associative TLB model.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    page_bytes: u64,
+    sets: u64,
+    ways: usize,
+    /// `vpns[set]`, most-recently-used first.
+    vpns: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries, `ways` associativity and
+    /// `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`crate::cache::Cache::new`]).
+    pub fn new(entries: usize, ways: usize, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(ways > 0 && entries % ways == 0, "entries must divide into ways");
+        let sets = (entries / ways) as u64;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            page_bytes,
+            sets,
+            ways,
+            vpns: vec![Vec::new(); sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Table-1 D-TLB: 128 entries, 8 KB pages, 8-way (paper §4: partial
+    /// indexing with 4 index bits implies 8-way associativity).
+    pub fn table1() -> Self {
+        Self::new(128, 8, 8 * 1024)
+    }
+
+    fn vpn(&self, addr: u64) -> u64 {
+        addr / self.page_bytes
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn & (self.sets - 1)) as usize
+    }
+
+    /// Accesses the translation for `addr`; returns `true` on hit. Misses
+    /// install the translation.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let vpn = self.vpn(addr);
+        let set = self.set_of(vpn);
+        let ways = &mut self.vpns[set];
+        if let Some(pos) = ways.iter().position(|&v| v == vpn) {
+            let v = ways.remove(pos);
+            ways.insert(0, v);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.ways {
+                ways.pop();
+            }
+            ways.insert(0, vpn);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of sets (the paper's partial-address TLB index selects one).
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry_matches_paper_partial_indexing() {
+        let t = Tlb::table1();
+        // 128 entries 8-way => 16 sets => 4 TLB index bits, exactly the
+        // paper's L-Wire budget.
+        assert_eq!(t.sets(), 16);
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::table1();
+        assert!(!t.access(0x10_0000));
+        assert!(t.access(0x10_1fff), "same 8KB page");
+        assert!(!t.access(0x10_2000), "next page");
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let mut t = Tlb::new(2, 2, 4096);
+        t.access(0x0000); // vpn 0
+        t.access(0x1000); // vpn 1
+        t.access(0x2000); // vpn 2 evicts vpn 0 (LRU)
+        assert!(!t.access(0x0000), "vpn 0 must have been evicted");
+    }
+
+    #[test]
+    fn large_working_set_misses() {
+        let mut t = Tlb::table1();
+        // 4 MB working set = 512 pages >> 128 entries.
+        for _ in 0..3 {
+            for a in (0..4 * 1024 * 1024).step_by(8192) {
+                t.access(a);
+            }
+        }
+        let (h, m) = t.stats();
+        assert!(m > h, "hits {h} misses {m}");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # heterowire-trace
+//!
+//! Synthetic SPEC2000-like workloads for the `heterowire` simulator.
+//!
+//! The HPCA-11 2005 paper simulates 23 SPEC2000 programs over SimPoint
+//! windows. Neither the binaries nor an Alpha functional front-end can ship
+//! with this reproduction, so this crate substitutes **statistically
+//! calibrated synthetic traces**: each program is a
+//! [`profile::BenchmarkProfile`] and [`generator::TraceGenerator`] expands
+//! it into a deterministic, seeded stream of micro-ops with
+//!
+//! * the program's instruction mix (loads/stores/branches/FP),
+//! * geometric register-dependency distances (controls extractable ILP and
+//!   inter-cluster communication),
+//! * hot/cold/streaming memory address behaviour (drives *real* cache-model
+//!   misses rather than pre-labelled ones),
+//! * per-site biased branch outcomes (drives *real* predictor mispredicts),
+//! * a calibrated fraction of narrow (`0..=1023`) integer results.
+//!
+//! ```
+//! use heterowire_trace::{generator::TraceGenerator, profile, stats::TraceStats};
+//!
+//! let gen = TraceGenerator::new(profile::by_name("swim").unwrap(), 0xfeed);
+//! let stats = TraceStats::from_ops(gen.take(10_000));
+//! assert!(stats.mem_frac() > 0.3);
+//! ```
+
+pub mod generator;
+pub mod profile;
+pub mod stats;
+
+pub use generator::TraceGenerator;
+pub use profile::{by_name, spec2000, BenchmarkProfile};
+pub use stats::TraceStats;

@@ -1,0 +1,340 @@
+//! Benchmark profiles: statistical models of the 23 SPEC2000 programs the
+//! paper simulates.
+//!
+//! We cannot ship SPEC binaries or an Alpha functional simulator, so each
+//! program is replaced by a `BenchmarkProfile` — a small set of parameters
+//! (instruction mix, branch predictability, dependency-distance
+//! distribution, working-set sizes, narrow-result fraction) from which
+//! [`crate::generator::TraceGenerator`] synthesises a deterministic
+//! instruction stream. The parameters are calibrated to the published
+//! character of each program (FP vs INT suite, memory-boundedness, branch
+//! behaviour); see DESIGN.md §4 for why this substitution preserves the
+//! paper's effects.
+
+use std::fmt;
+
+/// Statistical description of one benchmark program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Program name (SPEC2000 shorthand, e.g. `"gzip"`).
+    pub name: &'static str,
+    /// Fraction of dynamic instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction that are stores.
+    pub store_frac: f64,
+    /// Fraction that are conditional branches.
+    pub branch_frac: f64,
+    /// Fraction that are FP operations (splits 60/30/10 into add/mul/div).
+    pub fp_frac: f64,
+    /// Fraction that are integer multiplies (of the non-FP remainder).
+    pub int_mul_frac: f64,
+    /// Probability a branch follows its per-site bias. The real predictor's
+    /// accuracy emerges from this and the site count.
+    pub branch_bias: f64,
+    /// Number of static branch sites (smaller = more predictable history).
+    pub branch_sites: usize,
+    /// Mean of the geometric register-dependency distance. Larger means
+    /// more ILP (consumers sit further from producers).
+    pub dep_distance_mean: f64,
+    /// Fraction of integer results that are narrow (`0..=1023`).
+    pub narrow_frac: f64,
+    /// Bytes of the hot (cache-resident) data working set.
+    pub hot_working_set: u64,
+    /// Bytes of the cold working set (drives L2/memory misses).
+    pub cold_working_set: u64,
+    /// Probability a memory access falls in the hot set.
+    pub hot_frac: f64,
+    /// Fraction of memory ops that walk sequential streams (unit stride) —
+    /// characteristic of FP array codes.
+    pub stream_frac: f64,
+    /// Probability a source operand references long-dead architected state
+    /// rather than a recently produced value. Breaks the dependence web
+    /// into independent chains — the knob controlling how much of the
+    /// memory latency sits on the critical path.
+    pub independence: f64,
+    /// Bytes each sequential stream walks before wrapping. Small wraps
+    /// model blocked/tiled loops that reuse an L2-resident buffer; large
+    /// wraps model grand streaming codes (swim) that defeat the L2.
+    pub stream_wrap: u64,
+    /// Probability a load/store address base references architected state
+    /// (stack/frame pointers, globals) rather than a produced value.
+    pub addr_independence: f64,
+    /// When an address base *is* produced in-window: probability it is a
+    /// fresh value (pointer chasing) rather than an old, long-completed one
+    /// (induction variables).
+    pub addr_freshness: f64,
+}
+
+impl BenchmarkProfile {
+    /// Fraction of instructions that are plain integer ALU ops.
+    pub fn int_alu_frac(&self) -> f64 {
+        1.0 - self.load_frac
+            - self.store_frac
+            - self.branch_frac
+            - self.fp_frac
+            - self.int_mul_frac
+    }
+
+    /// Validates that all fractions are sane probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |v: f64, what: &str| {
+            if !(0.0..=1.0).contains(&v) {
+                Err(format!("{}: {what} = {v} out of [0,1]", self.name))
+            } else {
+                Ok(())
+            }
+        };
+        check(self.load_frac, "load_frac")?;
+        check(self.store_frac, "store_frac")?;
+        check(self.branch_frac, "branch_frac")?;
+        check(self.fp_frac, "fp_frac")?;
+        check(self.int_mul_frac, "int_mul_frac")?;
+        check(self.branch_bias, "branch_bias")?;
+        check(self.narrow_frac, "narrow_frac")?;
+        check(self.hot_frac, "hot_frac")?;
+        check(self.stream_frac, "stream_frac")?;
+        check(self.independence, "independence")?;
+        check(self.addr_independence, "addr_independence")?;
+        check(self.addr_freshness, "addr_freshness")?;
+        if self.int_alu_frac() < 0.0 {
+            return Err(format!(
+                "{}: instruction mix exceeds 100% (int residue {})",
+                self.name,
+                self.int_alu_frac()
+            ));
+        }
+        if self.dep_distance_mean < 1.0 {
+            return Err(format!(
+                "{}: dep_distance_mean must be >= 1",
+                self.name
+            ));
+        }
+        if self.branch_sites == 0 {
+            return Err(format!("{}: needs at least one branch site", self.name));
+        }
+        Ok(())
+    }
+
+    /// Is this an FP-suite program (fp_frac above 20%)?
+    pub fn is_fp_suite(&self) -> bool {
+        self.fp_frac > 0.20
+    }
+}
+
+impl fmt::Display for BenchmarkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} suite, {:.0}% mem, {:.0}% br)",
+            self.name,
+            if self.is_fp_suite() { "FP" } else { "INT" },
+            (self.load_frac + self.store_frac) * 100.0,
+            self.branch_frac * 100.0,
+        )
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Builds one profile; keeps the 23-entry table below readable.
+#[allow(clippy::too_many_arguments)]
+const fn profile(
+    name: &'static str,
+    load_frac: f64,
+    store_frac: f64,
+    branch_frac: f64,
+    fp_frac: f64,
+    branch_bias: f64,
+    dep_distance_mean: f64,
+    narrow_frac: f64,
+    hot_working_set: u64,
+    cold_working_set: u64,
+    hot_frac: f64,
+    stream_frac: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        load_frac,
+        store_frac,
+        branch_frac,
+        fp_frac,
+        int_mul_frac: 0.01,
+        branch_bias,
+        branch_sites: 512,
+        dep_distance_mean,
+        narrow_frac,
+        hot_working_set,
+        cold_working_set,
+        hot_frac,
+        stream_frac,
+        independence: 0.3,
+        stream_wrap: 64 * KB,
+        addr_independence: 0.75,
+        addr_freshness: 0.15,
+    }
+}
+
+/// The 23 SPEC2000 programs of Figure 3, in the paper's (alphabetical)
+/// order. Sixtrack, facerec and perlbmk are excluded, as in the paper.
+pub fn spec2000() -> Vec<BenchmarkProfile> {
+    let mut all = raw_profiles();
+    for p in &mut all {
+        // FP loop nests have few static branch sites; integer codes many.
+        p.branch_sites = if p.is_fp_suite() { 64 } else { 512 };
+        // FP array codes have more independent chains than integer codes;
+        // mcf's pointer chase is the serial extreme.
+        // ILP calibration: these two knobs were fit so the 4-cluster
+        // Model-I baseline lands in a SimpleScalar-like IPC range (see
+        // EXPERIMENTS.md): integer codes carry several independent chains,
+        // FP loop nests more; mcf's pointer chase is the serial extreme.
+        p.independence = if p.is_fp_suite() { 0.60 } else { 0.50 };
+        p.dep_distance_mean *= 2.0;
+        if p.name == "mcf" {
+            p.independence = 0.30;
+        }
+        // Grand-streaming FP codes walk far past the L2; everything else
+        // re-uses a blocked buffer.
+        // Wrap lengths are scaled to the simulation windows this
+        // reproduction uses (~100k instructions; the paper used 100M):
+        // buffers must wrap within the window for their reuse to register.
+        p.stream_wrap = match p.name {
+            "swim" | "mgrid" => 1024 * KB,
+            "applu" | "lucas" | "art" | "equake" | "fma3d" | "galgel" | "wupwise" => 32 * KB,
+            _ => 8 * KB,
+        };
+        // mcf is the pointer chaser: its addresses depend on fresh load
+        // results, serialising its cache misses.
+        if p.name == "mcf" {
+            p.addr_independence = 0.30;
+            p.addr_freshness = 0.90;
+        }
+    }
+    all
+}
+
+fn raw_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        //        name      ld    st    br    fp    bias  dep   narrow hotWS    coldWS   hot   stream
+        profile("ammp",     0.26, 0.08, 0.05, 0.38, 0.97, 9.0,  0.10,  24 * KB, 16 * MB, 0.90, 0.55),
+        profile("applu",    0.27, 0.11, 0.02, 0.45, 0.99, 12.0, 0.08,  28 * KB, 32 * MB, 0.85, 0.75),
+        profile("apsi",     0.25, 0.10, 0.04, 0.40, 0.97, 10.0, 0.09,  24 * KB, 24 * MB, 0.88, 0.65),
+        profile("art",      0.30, 0.07, 0.06, 0.35, 0.96, 8.0,  0.12,  64 * KB, 4 * MB,  0.55, 0.70),
+        profile("bzip2",    0.24, 0.09, 0.13, 0.00, 0.955, 4.5,  0.22,  20 * KB, 8 * MB,  0.96, 0.30),
+        profile("crafty",   0.27, 0.08, 0.12, 0.00, 0.95, 4.0,  0.20,  16 * KB, 2 * MB,  0.98, 0.15),
+        profile("eon",      0.25, 0.12, 0.10, 0.12, 0.965, 5.0,  0.15,  16 * KB, 1 * MB,  0.98, 0.20),
+        profile("equake",   0.30, 0.09, 0.04, 0.38, 0.97, 9.0,  0.09,  32 * KB, 24 * MB, 0.88, 0.60),
+        profile("fma3d",    0.26, 0.12, 0.05, 0.40, 0.96, 9.0,  0.08,  28 * KB, 32 * MB, 0.84, 0.55),
+        profile("galgel",   0.28, 0.08, 0.03, 0.45, 0.98, 12.0, 0.07,  24 * KB, 16 * MB, 0.88, 0.80),
+        profile("gap",      0.24, 0.10, 0.11, 0.00, 0.955, 4.5,  0.24,  20 * KB, 8 * MB,  0.95, 0.25),
+        profile("gcc",      0.25, 0.11, 0.14, 0.00, 0.94, 3.8,  0.23,  28 * KB, 12 * MB, 0.94, 0.15),
+        profile("gzip",     0.22, 0.08, 0.12, 0.00, 0.955, 4.2,  0.25,  16 * KB, 4 * MB,  0.97, 0.35),
+        profile("lucas",    0.24, 0.10, 0.02, 0.48, 0.99, 13.0, 0.06,  24 * KB, 32 * MB, 0.88, 0.85),
+        profile("mcf",      0.32, 0.09, 0.12, 0.00, 0.94, 3.5,  0.22,  96 * KB, 96 * MB, 0.35, 0.10),
+        profile("mesa",     0.24, 0.11, 0.08, 0.25, 0.97, 6.0,  0.14,  20 * KB, 4 * MB,  0.93, 0.40),
+        profile("mgrid",    0.30, 0.08, 0.01, 0.48, 0.99, 13.0, 0.06,  28 * KB, 32 * MB, 0.86, 0.85),
+        profile("parser",   0.24, 0.09, 0.13, 0.00, 0.94, 3.8,  0.21,  24 * KB, 8 * MB,  0.94, 0.15),
+        profile("swim",     0.28, 0.10, 0.01, 0.48, 0.99, 13.0, 0.05,  32 * KB, 48 * MB, 0.82, 0.90),
+        profile("twolf",    0.26, 0.08, 0.12, 0.02, 0.93, 3.6,  0.19,  24 * KB, 2 * MB,  0.95, 0.10),
+        profile("vortex",   0.27, 0.12, 0.11, 0.00, 0.96, 4.5,  0.20,  28 * KB, 16 * MB, 0.93, 0.20),
+        profile("vpr",      0.26, 0.09, 0.11, 0.03, 0.945, 4.0,  0.19,  24 * KB, 4 * MB,  0.95, 0.15),
+        profile("wupwise",  0.24, 0.10, 0.03, 0.45, 0.98, 11.0, 0.07,  20 * KB, 24 * MB, 0.86, 0.70),
+    ]
+}
+
+/// Looks up a profile by name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    spec2000().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_23_profiles_validate() {
+        let all = spec2000();
+        assert_eq!(all.len(), 23);
+        for p in &all {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let all = spec2000();
+        for w in all.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn more_than_a_third_memory_ops_on_average() {
+        // Paper §4: "more than one third of all instructions are loads or
+        // stores", motivating the double-width cache links.
+        let all = spec2000();
+        let avg: f64 = all
+            .iter()
+            .map(|p| p.load_frac + p.store_frac)
+            .sum::<f64>()
+            / all.len() as f64;
+        assert!(avg > 1.0 / 3.0, "average memory fraction {avg}");
+    }
+
+    #[test]
+    fn narrow_fraction_averages_near_paper_value() {
+        // Paper §5.3: "Only 14% of all register traffic ... are integers
+        // between 0 and 1023". Register traffic weights int results only, so
+        // the per-program narrow_frac should average in that neighbourhood.
+        let all = spec2000();
+        let avg: f64 = all
+            .iter()
+            .map(|p| p.narrow_frac * (1.0 - p.fp_frac))
+            .sum::<f64>()
+            / all.len() as f64;
+        assert!((0.08..=0.20).contains(&avg), "avg narrow {avg}");
+    }
+
+    #[test]
+    fn fp_suite_split_matches_spec2000() {
+        let all = spec2000();
+        let fp = all.iter().filter(|p| p.is_fp_suite()).count();
+        // 12 CFP2000 programs survive the paper's selection.
+        assert_eq!(fp, 12, "FP programs: {fp}");
+    }
+
+    #[test]
+    fn mcf_is_the_memory_monster() {
+        let mcf = by_name("mcf").unwrap();
+        for p in spec2000() {
+            assert!(p.cold_working_set <= mcf.cold_working_set);
+        }
+        assert!(mcf.hot_frac < 0.5);
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        assert!(by_name("perlbmk").is_none());
+        assert!(by_name("gzip").is_some());
+    }
+
+    #[test]
+    fn validate_rejects_bad_mix() {
+        let mut p = by_name("gzip").unwrap();
+        p.load_frac = 0.9;
+        assert!(p.validate().is_err());
+        p.load_frac = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_suite() {
+        assert!(by_name("swim").unwrap().to_string().contains("FP"));
+        assert!(by_name("gcc").unwrap().to_string().contains("INT"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Descriptive statistics over a trace window — used to validate that the
+//! generator reproduces its profile and to report workload characteristics
+//! in the harness output.
+
+use std::fmt;
+
+use heterowire_isa::{MicroOp, OpClass, RegClass};
+
+/// Aggregate statistics of a window of micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total micro-ops observed.
+    pub total: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// FP arithmetic ops.
+    pub fp_ops: u64,
+    /// Ops producing an integer register result.
+    pub int_results: u64,
+    /// Integer results in `0..=1023`.
+    pub narrow_results: u64,
+}
+
+impl TraceStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one micro-op into the statistics.
+    pub fn record(&mut self, op: &MicroOp) {
+        self.total += 1;
+        match op.op() {
+            OpClass::Load => self.loads += 1,
+            OpClass::Store => self.stores += 1,
+            OpClass::Branch => {
+                self.branches += 1;
+                if op.branch().map(|b| b.taken).unwrap_or(false) {
+                    self.taken_branches += 1;
+                }
+            }
+            c if c.is_fp() => self.fp_ops += 1,
+            _ => {}
+        }
+        if let Some(d) = op.dest() {
+            if d.class() == RegClass::Int {
+                self.int_results += 1;
+                if op.is_narrow_result() {
+                    self.narrow_results += 1;
+                }
+            }
+        }
+    }
+
+    /// Computes statistics over an iterator of micro-ops.
+    pub fn from_ops<I: IntoIterator<Item = MicroOp>>(ops: I) -> Self {
+        let mut s = Self::new();
+        for op in ops {
+            s.record(&op);
+        }
+        s
+    }
+
+    /// Fraction of memory operations.
+    pub fn mem_frac(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 / self.total as f64
+    }
+
+    /// Fraction of integer results that are narrow.
+    pub fn narrow_frac(&self) -> f64 {
+        if self.int_results == 0 {
+            return 0.0;
+        }
+        self.narrow_results as f64 / self.int_results as f64
+    }
+
+    /// Fraction of branches that were taken.
+    pub fn taken_frac(&self) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        self.taken_branches as f64 / self.branches as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops: {:.1}% mem, {:.1}% br ({:.0}% taken), {:.1}% narrow int results",
+            self.total,
+            self.mem_frac() * 100.0,
+            self.branches as f64 / self.total.max(1) as f64 * 100.0,
+            self.taken_frac() * 100.0,
+            self.narrow_frac() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::by_name;
+
+    #[test]
+    fn stats_track_generator() {
+        let p = by_name("vpr").unwrap();
+        let stats =
+            TraceStats::from_ops(TraceGenerator::new(p.clone(), 13).take(100_000));
+        assert_eq!(stats.total, 100_000);
+        assert!((stats.mem_frac() - (p.load_frac + p.store_frac)).abs() < 0.01);
+        // Narrowness is a per-site property, so the realized fraction has
+        // site-sampling variance on top of instance noise.
+        assert!((stats.narrow_frac() - p.narrow_frac).abs() < 0.08);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.mem_frac(), 0.0);
+        assert_eq!(s.narrow_frac(), 0.0);
+        assert_eq!(s.taken_frac(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = TraceStats::from_ops(
+            TraceGenerator::new(by_name("gzip").unwrap(), 1).take(1000),
+        );
+        let text = s.to_string();
+        assert!(text.contains("1000 ops"), "{text}");
+    }
+}

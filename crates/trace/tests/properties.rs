@@ -1,0 +1,112 @@
+//! Property-based tests over the workload generator: structural invariants
+//! that must hold for any profile and seed.
+
+use proptest::prelude::*;
+
+use heterowire_isa::{OpClass, RegClass};
+use heterowire_trace::{spec2000, TraceGenerator};
+
+fn arb_profile() -> impl Strategy<Value = heterowire_trace::BenchmarkProfile> {
+    (0usize..23).prop_map(|i| spec2000().swap_remove(i))
+}
+
+proptest! {
+    /// Micro-op structural invariants hold for every generated op: memory
+    /// ops carry addresses, branches outcomes, dests match the op class.
+    #[test]
+    fn ops_are_well_formed(profile in arb_profile(), seed in any::<u64>()) {
+        for op in TraceGenerator::new(profile, seed).take(2_000) {
+            match op.op() {
+                OpClass::Load => {
+                    prop_assert!(op.addr().is_some());
+                    prop_assert!(op.dest().is_some());
+                }
+                OpClass::Store => {
+                    prop_assert!(op.addr().is_some());
+                    prop_assert!(op.dest().is_none());
+                }
+                OpClass::Branch => {
+                    prop_assert!(op.branch().is_some());
+                    prop_assert!(op.dest().is_none());
+                }
+                c if c.is_fp() => {
+                    prop_assert_eq!(op.dest().unwrap().class(), RegClass::Fp);
+                }
+                _ => {
+                    prop_assert_eq!(op.dest().unwrap().class(), RegClass::Int);
+                }
+            }
+            // Addresses are 8-byte aligned (the generator's word model).
+            if let Some(a) = op.addr() {
+                prop_assert_eq!(a % 8, 0);
+            }
+        }
+    }
+
+    /// Sequence numbers are dense and ordered for any profile/seed.
+    #[test]
+    fn seqs_are_dense(profile in arb_profile(), seed in any::<u64>()) {
+        for (i, op) in TraceGenerator::new(profile, seed).take(500).enumerate() {
+            prop_assert_eq!(op.seq(), i as u64);
+        }
+    }
+
+    /// Determinism holds for arbitrary seeds.
+    #[test]
+    fn determinism(profile in arb_profile(), seed in any::<u64>()) {
+        let a: Vec<_> = TraceGenerator::new(profile.clone(), seed).take(300).collect();
+        let b: Vec<_> = TraceGenerator::new(profile, seed).take(300).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Source registers always refer to previously written registers once
+    /// the write window has warmed up.
+    #[test]
+    fn no_dangling_sources(profile in arb_profile(), seed in any::<u64>()) {
+        let mut written = std::collections::HashSet::new();
+        for op in TraceGenerator::new(profile, seed).take(3_000) {
+            if written.len() > 62 {
+                for s in op.srcs() {
+                    prop_assert!(written.contains(&s), "dangling {s}");
+                }
+            }
+            if let Some(d) = op.dest() {
+                written.insert(d);
+            }
+        }
+    }
+
+    /// The instruction mix converges to the profile for every benchmark.
+    #[test]
+    fn mix_tracks_profile(profile in arb_profile()) {
+        let n = 30_000;
+        let mut loads = 0u32;
+        let mut branches = 0u32;
+        for op in TraceGenerator::new(profile.clone(), 1).take(n) {
+            match op.op() {
+                OpClass::Load => loads += 1,
+                OpClass::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let lf = loads as f64 / n as f64;
+        let bf = branches as f64 / n as f64;
+        prop_assert!((lf - profile.load_frac).abs() < 0.02, "{lf}");
+        prop_assert!((bf - profile.branch_frac).abs() < 0.02, "{bf}");
+    }
+
+    /// Branch PCs live in their own region, apart from straight-line code.
+    #[test]
+    fn branch_pcs_are_disjoint(profile in arb_profile(), seed in any::<u64>()) {
+        let mut branch_pcs = std::collections::HashSet::new();
+        let mut line_pcs = std::collections::HashSet::new();
+        for op in TraceGenerator::new(profile, seed).take(5_000) {
+            if op.op() == OpClass::Branch {
+                branch_pcs.insert(op.pc());
+            } else {
+                line_pcs.insert(op.pc());
+            }
+        }
+        prop_assert!(branch_pcs.is_disjoint(&line_pcs));
+    }
+}

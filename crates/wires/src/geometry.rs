@@ -1,0 +1,242 @@
+//! Geometric RC models for on-chip wires.
+//!
+//! Implements Equations (1) and (2) of the paper: per-unit-length resistance
+//! from the conductor cross-section and per-unit-length capacitance from a
+//! parallel-plate + fringe model. All dimensions are in metres and the
+//! results are in SI units (Ω/m, F/m).
+
+use std::fmt;
+
+/// Vacuum permittivity, F/m.
+pub const EPSILON_0: f64 = 8.854e-12;
+
+/// Resistivity of copper at operating temperature, Ω·m.
+///
+/// Slightly above the room-temperature bulk value (1.68e-8) to account for
+/// the elevated junction temperatures and surface scattering of narrow
+/// damascene wires.
+pub const RHO_COPPER: f64 = 2.2e-8;
+
+/// Cross-sectional geometry of a wire on one metal layer.
+///
+/// The same struct describes minimum-pitch `W`-style wires and fat
+/// `L`-style wires; only the dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use heterowire_wires::geometry::WireGeometry;
+///
+/// let w = WireGeometry::minimum_45nm();
+/// let fat = w.scaled(8.0);
+/// assert!(fat.resistance_per_m() < w.resistance_per_m() / 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Conductor width, m.
+    pub width: f64,
+    /// Conductor thickness (height), m.
+    pub thickness: f64,
+    /// Lateral gap to the neighbouring wire on the same layer, m.
+    pub spacing: f64,
+    /// Vertical gap to the adjacent metal layers, m.
+    pub layer_spacing: f64,
+    /// Diffusion-barrier liner thickness eating into the copper, m.
+    pub barrier: f64,
+    /// Relative dielectric constant between same-layer neighbours.
+    pub eps_horiz: f64,
+    /// Relative dielectric constant between layers.
+    pub eps_vert: f64,
+    /// Miller-effect coupling factor `K` for switching neighbours.
+    pub miller_k: f64,
+    /// Constant fringing capacitance, F/m.
+    pub fringe: f64,
+}
+
+impl WireGeometry {
+    /// Minimum-width, minimum-spacing wire on a 45 nm-node semi-global
+    /// metal layer. This is the paper's `W`-wire geometry.
+    pub fn minimum_45nm() -> Self {
+        WireGeometry {
+            width: 70e-9,
+            thickness: 140e-9,
+            spacing: 70e-9,
+            layer_spacing: 140e-9,
+            barrier: 5e-9,
+            eps_horiz: 2.7,
+            eps_vert: 2.7,
+            miller_k: 1.5,
+            fringe: 40e-15 / 1e-3, // 40 fF/mm of fixed fringe capacitance
+        }
+    }
+
+    /// Returns the same wire with width *and* spacing scaled by `factor`.
+    ///
+    /// This is the transformation used to derive `L`-wires from `W`-wires
+    /// (factor 8 in the paper). Fat global wires are routed on higher metal
+    /// layers with thicker inter-layer dielectrics, so the layer spacing
+    /// grows with `sqrt(factor)`; without this the vertical plate term would
+    /// unrealistically dominate and fat wires would not get faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite, got {factor}"
+        );
+        WireGeometry {
+            width: self.width * factor,
+            spacing: self.spacing * factor,
+            layer_spacing: self.layer_spacing * factor.sqrt(),
+            ..*self
+        }
+    }
+
+    /// Returns the same wire with only the spacing scaled by `factor`.
+    ///
+    /// The paper derives `B`-wires from `W`-wires by keeping the width and
+    /// increasing the spacing until each wire occupies twice the metal area.
+    pub fn with_spacing_factor(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "spacing factor must be positive and finite, got {factor}"
+        );
+        WireGeometry {
+            spacing: self.spacing * factor,
+            ..*self
+        }
+    }
+
+    /// Metal-area footprint per unit length: the wire pitch (width +
+    /// spacing), in metres. Relative pitches determine how many wires of
+    /// each class fit in a fixed-width routing channel.
+    pub fn pitch(&self) -> f64 {
+        self.width + self.spacing
+    }
+
+    /// Per-unit-length resistance, Ω/m — Equation (1) of the paper:
+    ///
+    /// `R = ρ / ((thickness − barrier) · (width − 2·barrier))`
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier consumes the entire conductor cross-section.
+    pub fn resistance_per_m(&self) -> f64 {
+        let t = self.thickness - self.barrier;
+        let w = self.width - 2.0 * self.barrier;
+        assert!(
+            t > 0.0 && w > 0.0,
+            "barrier layer ({} m) leaves no conductor in a {} x {} m wire",
+            self.barrier,
+            self.width,
+            self.thickness
+        );
+        RHO_COPPER / (t * w)
+    }
+
+    /// Per-unit-length capacitance, F/m — Equation (2) of the paper:
+    ///
+    /// `C = ε0 (2·K·ε_h·thickness/spacing + 2·ε_v·width/layer_spacing) + fringe`
+    pub fn capacitance_per_m(&self) -> f64 {
+        EPSILON_0
+            * (2.0 * self.miller_k * self.eps_horiz * self.thickness / self.spacing
+                + 2.0 * self.eps_vert * self.width / self.layer_spacing)
+            + self.fringe
+    }
+
+    /// The distributed RC product per unit length squared, s/m².
+    ///
+    /// The delay of an optimally repeated wire is proportional to the square
+    /// root of this quantity, so it is the figure of merit that orders wire
+    /// classes by latency.
+    pub fn rc_per_m2(&self) -> f64 {
+        self.resistance_per_m() * self.capacitance_per_m()
+    }
+
+    /// Unrepeated (quadratic) Elmore delay of a wire of length `len` metres,
+    /// in seconds: `0.38 · R·C · len²`.
+    pub fn unrepeated_delay(&self, len: f64) -> f64 {
+        0.38 * self.rc_per_m2() * len * len
+    }
+}
+
+impl fmt::Display for WireGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}nm wide / {}nm spaced wire ({:.0} Ω/mm, {:.0} fF/mm)",
+            self.width * 1e9,
+            self.spacing * 1e9,
+            self.resistance_per_m() * 1e-3,
+            self.capacitance_per_m() * 1e15 * 1e-3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_decreases_with_width() {
+        let w = WireGeometry::minimum_45nm();
+        let fat = w.scaled(8.0);
+        assert!(fat.resistance_per_m() < w.resistance_per_m());
+        // Equation (1): the conductor width grows 8x but the barrier stays
+        // fixed, so resistance falls by slightly more than 8x.
+        let ratio = w.resistance_per_m() / fat.resistance_per_m();
+        assert!(ratio > 8.0 && ratio < 10.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn capacitance_drops_when_spacing_grows() {
+        let w = WireGeometry::minimum_45nm();
+        let sparse = w.with_spacing_factor(3.0);
+        assert!(sparse.capacitance_per_m() < w.capacitance_per_m());
+    }
+
+    #[test]
+    fn l_wire_rc_matches_paper_calibration() {
+        // The paper (via Banerjee et al.) computes R_L = 0.125 R_W and
+        // C_L = 0.8 C_W for 8x width/spacing at 45 nm. Our analytical model
+        // should land in the same neighbourhood.
+        let w = WireGeometry::minimum_45nm();
+        let l = w.scaled(8.0);
+        let r_ratio = l.resistance_per_m() / w.resistance_per_m();
+        let c_ratio = l.capacitance_per_m() / w.capacitance_per_m();
+        assert!((0.08..=0.14).contains(&r_ratio), "R ratio {r_ratio}");
+        assert!((0.55..=1.0).contains(&c_ratio), "C ratio {c_ratio}");
+        // Optimally repeated delay scales with sqrt(RC): should be ~0.3.
+        let delay_ratio = (l.rc_per_m2() / w.rc_per_m2()).sqrt();
+        assert!((0.2..=0.4).contains(&delay_ratio), "delay ratio {delay_ratio}");
+    }
+
+    #[test]
+    fn unrepeated_delay_is_quadratic() {
+        let w = WireGeometry::minimum_45nm();
+        let d1 = w.unrepeated_delay(1e-3);
+        let d2 = w.unrepeated_delay(2e-3);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_factor_panics() {
+        let _ = WireGeometry::minimum_45nm().scaled(0.0);
+    }
+
+    #[test]
+    fn pitch_accounts_for_width_and_spacing() {
+        let w = WireGeometry::minimum_45nm();
+        assert!((w.pitch() - 140e-9).abs() < 1e-12);
+        assert!((w.scaled(8.0).pitch() - 8.0 * w.pitch()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = WireGeometry::minimum_45nm().to_string();
+        assert!(s.contains("wire"));
+    }
+}

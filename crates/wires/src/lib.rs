@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # heterowire-wires
+//!
+//! Physical models of on-chip global wires for the `heterowire` project, a
+//! reproduction of *"Microarchitectural Wire Management for Performance and
+//! Power in Partitioned Architectures"* (Balasubramonian et al., HPCA-11,
+//! 2005).
+//!
+//! VLSI techniques allow the same routing channel to be populated with wires
+//! of very different latency / bandwidth / energy trade-offs:
+//!
+//! * wider, more widely spaced wires have a smaller RC product and are
+//!   faster, but fewer of them fit ([`geometry`]);
+//! * smaller, sparser repeaters save most of the interconnect energy at a
+//!   modest delay penalty ([`repeater`]);
+//! * transmission lines approach time-of-flight latency at a large area cost
+//!   ([`transmission`]).
+//!
+//! The paper distills these into four *wire classes* — `W`, `PW`, `B`, `L`
+//! ([`classes::WireClass`]) — whose canonical relative parameters (Table 2)
+//! this crate both hard-codes and re-derives from first principles.
+//! [`plane`] expresses link compositions such as "144 B-Wires + 36 L-Wires"
+//! and their lane/metal-area arithmetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use heterowire_wires::classes::{WireClass, table2};
+//! use heterowire_wires::plane::{LinkComposition, WirePlane};
+//!
+//! // Relative latency of the classes (Table 2): L < B < W < PW.
+//! assert!(WireClass::L.params().relative_delay < WireClass::B.params().relative_delay);
+//!
+//! // A heterogeneous link and its metal-area cost in W-wire tracks:
+//! let link = LinkComposition::new(vec![
+//!     WirePlane::new(WireClass::B, 144),
+//!     WirePlane::new(WireClass::L, 36),
+//! ]);
+//! assert_eq!(link.metal_area(), 576.0);
+//!
+//! // Re-derive Table 2 from the physics:
+//! for row in table2() {
+//!     println!("{:?}", row);
+//! }
+//! ```
+
+pub mod classes;
+pub mod geometry;
+pub mod plane;
+pub mod repeater;
+pub mod transmission;
+
+pub use classes::{table2, WireClass, WireParams};
+pub use plane::{LinkComposition, WirePlane};

@@ -1,0 +1,324 @@
+//! Repeater insertion: delay-optimal and power-optimal configurations.
+//!
+//! Long wires are broken into segments driven by inverter repeaters, turning
+//! the quadratic unrepeated delay into a linear one. Delay-optimal repeater
+//! size and spacing follow Bakoglu's classical derivation; power-optimal
+//! configurations shrink and space out the repeaters, trading delay for
+//! energy, following the methodology of Banerjee and Mehrotra that the paper
+//! builds on (a ~20% delay penalty buys roughly 70% interconnect energy
+//! savings at the 45/50 nm node).
+
+use crate::geometry::WireGeometry;
+
+/// Electrical characteristics of a minimum-sized inverter at the process
+/// node, used as the unit in repeater sizing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// On-resistance of the minimum inverter, Ω.
+    pub r0: f64,
+    /// Input (gate) capacitance of the minimum inverter, F.
+    pub c0: f64,
+    /// Output (drain/parasitic) capacitance of the minimum inverter, F.
+    pub cp: f64,
+    /// Subthreshold + gate leakage power of the minimum inverter, W.
+    pub leak0: f64,
+    /// Supply voltage, V.
+    pub vdd: f64,
+}
+
+impl DeviceParams {
+    /// Representative 45 nm high-performance device corner.
+    pub fn node_45nm() -> Self {
+        DeviceParams {
+            r0: 12_000.0,
+            c0: 0.10e-15,
+            cp: 0.05e-15,
+            leak0: 2.0e-9,
+            vdd: 1.0,
+        }
+    }
+}
+
+/// A concrete repeater assignment for a wire: inverter `size` (in multiples
+/// of the minimum inverter) every `spacing` metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterConfig {
+    /// Repeater size as a multiple of the minimum inverter.
+    pub size: f64,
+    /// Distance between consecutive repeaters, m.
+    pub spacing: f64,
+}
+
+/// A fully characterised repeated wire: geometry + devices + repeaters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeatedWire {
+    /// Cross-sectional geometry of the wire.
+    pub geometry: WireGeometry,
+    /// Device corner used for the repeaters.
+    pub devices: DeviceParams,
+    /// The chosen repeater size and spacing.
+    pub repeaters: RepeaterConfig,
+}
+
+impl RepeatedWire {
+    /// Builds the **delay-optimal** repeated wire for `geometry`.
+    ///
+    /// Writing the per-unit-length delay of [`RepeatedWire::delay`] as
+    /// `A/h + B/s + C·h + D·s` with `A = 0.7·R0·(C0+Cp)`, `B = 0.7·R0·Cw`,
+    /// `C = 0.4·Rw·Cw`, `D = 0.7·Rw·C0`, the minimum is at
+    /// `h_opt = sqrt(A/C)` and `s_opt = sqrt(B/D)` (Bakoglu's derivation
+    /// specialised to our Elmore coefficients).
+    pub fn delay_optimal(geometry: WireGeometry, devices: DeviceParams) -> Self {
+        let rw = geometry.resistance_per_m();
+        let cw = geometry.capacitance_per_m();
+        let h = (0.7 * devices.r0 * (devices.c0 + devices.cp) / (0.4 * rw * cw)).sqrt();
+        let s = (devices.r0 * cw / (rw * devices.c0)).sqrt();
+        RepeatedWire {
+            geometry,
+            devices,
+            repeaters: RepeaterConfig { size: s, spacing: h },
+        }
+    }
+
+    /// Builds a **power-optimal** repeated wire: starting from the
+    /// delay-optimal configuration, repeaters are shrunk by `size_factor`
+    /// (< 1) and spread out by `spacing_factor` (> 1).
+    ///
+    /// With the paper's calibration (`size_factor = 0.42`,
+    /// `spacing_factor = 2.0`) this costs about 20% extra delay and saves
+    /// about 70% of the interconnect energy, matching Banerjee-Mehrotra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_factor` is not in `(0, 1]` or `spacing_factor < 1`.
+    pub fn power_optimal(
+        geometry: WireGeometry,
+        devices: DeviceParams,
+        size_factor: f64,
+        spacing_factor: f64,
+    ) -> Self {
+        assert!(
+            size_factor > 0.0 && size_factor <= 1.0,
+            "size_factor must be in (0, 1], got {size_factor}"
+        );
+        assert!(
+            spacing_factor >= 1.0,
+            "spacing_factor must be >= 1, got {spacing_factor}"
+        );
+        let opt = Self::delay_optimal(geometry, devices);
+        RepeatedWire {
+            repeaters: RepeaterConfig {
+                size: opt.repeaters.size * size_factor,
+                spacing: opt.repeaters.spacing * spacing_factor,
+            },
+            ..opt
+        }
+    }
+
+    /// Finds the repeater configuration that **minimises dynamic energy
+    /// subject to a delay budget** of `delay_penalty` times the
+    /// delay-optimal wire — the Banerjee-Mehrotra methodology the paper
+    /// cites ("estimate repeater size and spacing that minimizes power
+    /// consumption for a fixed wire delay").
+    ///
+    /// The search is a dense grid over size factors `(0, 1]` and spacing
+    /// factors `[1, 8]` relative to the delay-optimal configuration,
+    /// evaluated over a 10 mm wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_penalty < 1`.
+    pub fn power_optimal_for_penalty(
+        geometry: WireGeometry,
+        devices: DeviceParams,
+        delay_penalty: f64,
+    ) -> Self {
+        assert!(
+            delay_penalty >= 1.0,
+            "delay penalty must be >= 1, got {delay_penalty}"
+        );
+        let opt = Self::delay_optimal(geometry, devices);
+        let len = 10e-3;
+        let budget = opt.delay(len) * delay_penalty;
+        let mut best = opt;
+        let mut best_energy = opt.dynamic_energy(len);
+        for si in 1..=100 {
+            let sf = si as f64 / 100.0;
+            for hi in 0..=140 {
+                let hf = 1.0 + hi as f64 / 20.0;
+                let cand = RepeatedWire {
+                    repeaters: RepeaterConfig {
+                        size: opt.repeaters.size * sf,
+                        spacing: opt.repeaters.spacing * hf,
+                    },
+                    ..opt
+                };
+                if cand.delay(len) <= budget {
+                    let e = cand.dynamic_energy(len);
+                    if e < best_energy {
+                        best_energy = e;
+                        best = cand;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The paper's canonical PW-wire repeatering: the Banerjee-Mehrotra
+    /// point trading ~20% delay for most of the interconnect energy.
+    pub fn paper_power_optimal(geometry: WireGeometry, devices: DeviceParams) -> Self {
+        Self::power_optimal_for_penalty(geometry, devices, 1.2)
+    }
+
+    /// Number of repeater stages over a wire of `len` metres (at least 1).
+    pub fn stages(&self, len: f64) -> usize {
+        (len / self.repeaters.spacing).ceil().max(1.0) as usize
+    }
+
+    /// End-to-end delay of a wire of `len` metres, in seconds.
+    ///
+    /// Per-segment Elmore delay with a repeater of size `s` driving a
+    /// segment of length `h`:
+    ///
+    /// `t_seg = 0.7·(R0/s)·(s·Cp + s·C0 + Cw·h) + Rw·h·(0.4·Cw·h + 0.7·s·C0)`
+    pub fn delay(&self, len: f64) -> f64 {
+        let n = self.stages(len) as f64;
+        let h = len / n;
+        let s = self.repeaters.size;
+        let d = &self.devices;
+        let rw = self.geometry.resistance_per_m();
+        let cw = self.geometry.capacitance_per_m();
+        let t_seg = 0.7 * (d.r0 / s) * (s * d.cp + s * d.c0 + cw * h)
+            + rw * h * (0.4 * cw * h + 0.7 * s * d.c0);
+        n * t_seg
+    }
+
+    /// Per-repeater energy overhead factor folding short-circuit current and
+    /// internal-node switching into the gate+drain capacitance term.
+    /// Banerjee et al. observe that optimally sized repeaters (~450x the
+    /// minimum inverter) dominate global-interconnect power at sub-100 nm
+    /// nodes; this factor calibrates our simple Elmore/CV² model to that
+    /// regime.
+    pub const REPEATER_ENERGY_OVERHEAD: f64 = 8.0;
+
+    /// Dynamic (switching) energy for one full-swing transition over `len`
+    /// metres, in joules:
+    /// `E = Vdd² · (Cw·len + OVERHEAD·n·s·(C0+Cp))`.
+    ///
+    /// (The conventional ½CV² is doubled because a transfer toggles the wire
+    /// once on average in each direction; only ratios matter downstream.)
+    pub fn dynamic_energy(&self, len: f64) -> f64 {
+        let n = self.stages(len) as f64;
+        let s = self.repeaters.size;
+        let d = &self.devices;
+        let cw = self.geometry.capacitance_per_m();
+        d.vdd * d.vdd * (cw * len + Self::REPEATER_ENERGY_OVERHEAD * n * s * (d.c0 + d.cp))
+    }
+
+    /// Static leakage power of the repeaters along `len` metres, in watts.
+    pub fn leakage_power(&self, len: f64) -> f64 {
+        let n = self.stages(len) as f64;
+        n * self.repeaters.size * self.devices.leak0
+    }
+
+    /// Delay per millimetre, in seconds — convenient for comparing classes.
+    pub fn delay_per_mm(&self) -> f64 {
+        self.delay(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w_wire() -> RepeatedWire {
+        RepeatedWire::delay_optimal(WireGeometry::minimum_45nm(), DeviceParams::node_45nm())
+    }
+
+    #[test]
+    fn repeated_delay_is_linear_in_length() {
+        let w = w_wire();
+        let d5 = w.delay(5e-3);
+        let d10 = w.delay(10e-3);
+        let ratio = d10 / d5;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn repeated_beats_unrepeated_on_long_wires() {
+        let w = w_wire();
+        let len = 10e-3;
+        assert!(w.delay(len) < w.geometry.unrepeated_delay(len) / 5.0);
+    }
+
+    #[test]
+    fn delay_optimal_is_a_local_minimum() {
+        // Perturbing size or spacing away from the optimum must not reduce
+        // delay (within numerical tolerance).
+        let opt = w_wire();
+        let len = 10e-3;
+        let base = opt.delay(len);
+        for &(sf, hf) in &[(0.8, 1.0), (1.25, 1.0), (1.0, 0.8), (1.0, 1.25)] {
+            let perturbed = RepeatedWire {
+                repeaters: RepeaterConfig {
+                    size: opt.repeaters.size * sf,
+                    spacing: opt.repeaters.spacing * hf,
+                },
+                ..opt
+            };
+            assert!(
+                perturbed.delay(len) >= base * 0.999,
+                "perturbation ({sf}, {hf}) beat the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn power_optimal_trades_delay_for_energy() {
+        let geometry = WireGeometry::minimum_45nm();
+        let devices = DeviceParams::node_45nm();
+        let opt = RepeatedWire::delay_optimal(geometry, devices);
+        let pw = RepeatedWire::paper_power_optimal(geometry, devices);
+        let len = 10e-3;
+
+        let delay_penalty = pw.delay(len) / opt.delay(len);
+        let energy_ratio = pw.dynamic_energy(len) / opt.dynamic_energy(len);
+        let leak_ratio = pw.leakage_power(len) / opt.leakage_power(len);
+
+        // Paper calibration: ~1.2x delay buys away most of the interconnect
+        // energy (Banerjee-Mehrotra report ~70% savings; our simpler Elmore
+        // + CV² model recovers 45-70%).
+        assert!(delay_penalty <= 1.21, "delay penalty {delay_penalty}");
+        assert!(delay_penalty >= 1.05, "delay penalty {delay_penalty}");
+        assert!((0.25..=0.60).contains(&energy_ratio), "energy {energy_ratio}");
+        assert!(leak_ratio < 0.30, "leakage ratio {leak_ratio}");
+    }
+
+    #[test]
+    fn fat_wire_is_faster() {
+        let devices = DeviceParams::node_45nm();
+        let w = RepeatedWire::delay_optimal(WireGeometry::minimum_45nm(), devices);
+        let l = RepeatedWire::delay_optimal(WireGeometry::minimum_45nm().scaled(8.0), devices);
+        let ratio = l.delay_per_mm() / w.delay_per_mm();
+        // Paper: Delay_L = 0.3 Delay_W.
+        assert!((0.2..=0.42).contains(&ratio), "L/W delay ratio {ratio}");
+    }
+
+    #[test]
+    fn stages_is_at_least_one() {
+        let w = w_wire();
+        assert!(w.stages(1e-6) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size_factor")]
+    fn oversized_power_factor_panics() {
+        let _ = RepeatedWire::power_optimal(
+            WireGeometry::minimum_45nm(),
+            DeviceParams::node_45nm(),
+            1.5,
+            2.0,
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Transmission-line wire model.
+//!
+//! When a wire is wide, thick and far from its neighbours, and the signal
+//! edge is fast, inductance dominates and the wire behaves as a transmission
+//! line: the delay is set by the LC time-of-flight of the voltage ripple
+//! rather than by diffusive RC charging. The paper cites Chang et al.: at
+//! 180 nm a transmission line beats an equal-width repeated RC wire by at
+//! least 4/3 in delay and by about 3x in energy. The paper's evaluation
+//! restricts itself to RC-based L-wires, and so does ours, but this module
+//! models the option so the headroom can be quantified.
+
+use crate::geometry::WireGeometry;
+use crate::repeater::{DeviceParams, RepeatedWire};
+
+/// Speed of light in vacuum, m/s.
+pub const C_LIGHT: f64 = 2.998e8;
+
+/// A wire operated as an on-chip transmission line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionLine {
+    /// Relative dielectric constant of the surrounding insulator.
+    pub eps_r: f64,
+    /// Energy per transferred bit relative to a delay-optimal repeated RC
+    /// wire of the same width (Chang et al. report ~1/3).
+    pub energy_vs_rc: f64,
+    /// Area multiplier versus an L-class RC wire (reference planes, shield
+    /// wires and very wide conductors).
+    pub area_overhead: f64,
+}
+
+impl TransmissionLine {
+    /// Parameters following Chang et al. (ref. 16) as cited by the paper.
+    pub fn chang_et_al() -> Self {
+        TransmissionLine {
+            eps_r: 2.7,
+            energy_vs_rc: 1.0 / 3.0,
+            area_overhead: 2.0,
+        }
+    }
+
+    /// Signal propagation velocity, m/s: `c / sqrt(eps_r)`.
+    pub fn velocity(&self) -> f64 {
+        C_LIGHT / self.eps_r.sqrt()
+    }
+
+    /// Time-of-flight delay over `len` metres, in seconds.
+    pub fn delay(&self, len: f64) -> f64 {
+        len / self.velocity()
+    }
+
+    /// Speedup versus a given repeated RC wire over `len` metres.
+    pub fn speedup_vs(&self, rc: &RepeatedWire, len: f64) -> f64 {
+        rc.delay(len) / self.delay(len)
+    }
+}
+
+impl Default for TransmissionLine {
+    fn default() -> Self {
+        Self::chang_et_al()
+    }
+}
+
+/// Convenience: how much faster would a transmission-line L-wire be than the
+/// RC L-wire the paper actually evaluates, over a 10 mm inter-cluster span?
+pub fn transmission_line_headroom() -> f64 {
+    let devices = DeviceParams::node_45nm();
+    let l_rc = RepeatedWire::delay_optimal(WireGeometry::minimum_45nm().scaled(8.0), devices);
+    TransmissionLine::default().speedup_vs(&l_rc, 10e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_is_below_light_speed() {
+        let tl = TransmissionLine::default();
+        assert!(tl.velocity() < C_LIGHT);
+        assert!(tl.velocity() > 0.5 * C_LIGHT);
+    }
+
+    #[test]
+    fn delay_is_linear() {
+        let tl = TransmissionLine::default();
+        assert!((tl.delay(20e-3) / tl.delay(10e-3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beats_rc_l_wire() {
+        // Chang et al.: at least 4/3 faster than an RC wire of equal width;
+        // by 45 nm the gap should be comfortably larger.
+        let headroom = transmission_line_headroom();
+        assert!(headroom > 4.0 / 3.0, "headroom = {headroom}");
+    }
+
+    #[test]
+    fn energy_is_a_third_of_rc() {
+        let tl = TransmissionLine::chang_et_al();
+        assert!((tl.energy_vs_rc - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

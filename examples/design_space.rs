@@ -1,0 +1,47 @@
+//! Interconnect design-space walk: evaluate a workload on several
+//! heterogeneous link compositions and report the performance / energy /
+//! ED² landscape — a miniature, single-benchmark version of Table 3.
+//!
+//! ```sh
+//! cargo run --release -p heterowire-bench --example design_space [benchmark]
+//! ```
+
+use heterowire_core::{
+    relative_report, EnergyParams, InterconnectModel, Processor, ProcessorConfig,
+};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{by_name, TraceGenerator};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
+    let profile = by_name(&bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench:?}; try gzip, gcc, swim, mcf ...");
+        std::process::exit(1);
+    });
+    println!("design-space walk for {profile}\n");
+
+    let run = |model: InterconnectModel| {
+        let config = ProcessorConfig::for_model(model, Topology::crossbar4());
+        let trace = TraceGenerator::new(profile.clone(), 7);
+        Processor::simulate(config, trace, 30_000, 8_000)
+    };
+
+    let baseline = run(InterconnectModel::I);
+    println!(
+        "{:<10} {:<40} {:>7} {:>8} {:>9}",
+        "model", "link composition", "IPC", "energy%", "ED2(10%)"
+    );
+    for model in InterconnectModel::ALL {
+        let r = run(model);
+        let rel = relative_report(&r, &baseline, EnergyParams::ten_percent());
+        println!(
+            "{:<10} {:<40} {:>7.3} {:>8.1} {:>9.1}",
+            format!("Model {}", model.name()),
+            model.description(),
+            rel.ipc,
+            rel.rel_processor_energy,
+            rel.rel_ed2
+        );
+    }
+    println!("\n(values relative to Model I; lower ED2 is better)");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: simulate one benchmark on a heterogeneous interconnect and
+//! print the headline statistics.
+//!
+//! ```sh
+//! cargo run --release -p heterowire-bench --example quickstart
+//! ```
+
+use heterowire_core::{InterconnectModel, ProcessorConfig, Processor};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{by_name, TraceGenerator};
+use heterowire_wires::WireClass;
+
+fn main() {
+    // Model X: every link carries all three wire planes —
+    // 144 B-Wires + 288 PW-Wires + 36 L-Wires.
+    let model = InterconnectModel::X;
+    let config = ProcessorConfig::for_model(model, Topology::crossbar4());
+    println!("simulating gzip on a 4-cluster processor, {model}: {}", model.description());
+
+    let profile = by_name("gzip").expect("gzip is in the suite");
+    let trace = TraceGenerator::new(profile, 42);
+    let mut processor = Processor::new(config, trace);
+    let results = processor.run(50_000, 10_000);
+
+    println!("\ninstructions    {:>10}", results.instructions);
+    println!("cycles          {:>10}", results.cycles);
+    println!("IPC             {:>10.3}", results.ipc());
+    println!("transfers/inst  {:>10.2}", results.transfers_per_inst());
+    println!("\ntraffic split across the wire planes:");
+    for (i, class) in WireClass::ALL.iter().enumerate() {
+        if results.net.transfers[i] > 0 {
+            println!(
+                "  {:<9} {:>8} transfers ({:>4.1}%)",
+                class.to_string(),
+                results.net.transfers[i],
+                results.net.class_share(*class) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nbranch mispredict rate {:.1}%, mean penalty {:.1} cycles",
+        results.fetch.mispredict_rate() * 100.0,
+        results.fetch.mean_mispredict_penalty()
+    );
+    println!(
+        "false partial-address dependences: {:.1}% of loads",
+        results.lsq.false_dependence_rate() * 100.0
+    );
+    println!(
+        "narrow predictor: {:.1}% coverage, {:.1}% false-narrow",
+        results.narrow_coverage * 100.0,
+        results.narrow_false_rate * 100.0
+    );
+}

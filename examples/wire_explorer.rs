@@ -1,0 +1,61 @@
+//! Wire-design explorer: walk the physical design space of on-chip wires —
+//! width/spacing scaling, repeater sizing, the energy-delay trade-off curve
+//! and the transmission-line option.
+//!
+//! ```sh
+//! cargo run --release -p heterowire-bench --example wire_explorer
+//! ```
+
+use heterowire_wires::geometry::WireGeometry;
+use heterowire_wires::repeater::{DeviceParams, RepeatedWire};
+use heterowire_wires::transmission::TransmissionLine;
+
+fn main() {
+    let devices = DeviceParams::node_45nm();
+    let len = 10e-3; // a 10 mm cross-chip wire
+
+    println!("== width/spacing scaling (delay-optimal repeaters, 10 mm) ==");
+    println!("{:>6} {:>12} {:>14} {:>12}", "scale", "delay (ps)", "energy (pJ)", "pitch (nm)");
+    for scale in [1.0, 2.0, 4.0, 8.0] {
+        let g = WireGeometry::minimum_45nm().scaled(scale);
+        let w = RepeatedWire::delay_optimal(g, devices);
+        println!(
+            "{:>5}x {:>12.0} {:>14.2} {:>12.0}",
+            scale,
+            w.delay(len) * 1e12,
+            w.dynamic_energy(len) * 1e12,
+            g.pitch() * 1e9
+        );
+    }
+
+    println!("\n== energy-delay trade-off via repeater sizing (min-pitch wire) ==");
+    println!("{:>14} {:>12} {:>14}", "delay budget", "delay (ps)", "energy (pJ)");
+    let g = WireGeometry::minimum_45nm();
+    let optimal = RepeatedWire::delay_optimal(g, devices);
+    for penalty in [1.0, 1.1, 1.2, 1.5, 2.0] {
+        let w = RepeatedWire::power_optimal_for_penalty(g, devices, penalty);
+        println!(
+            "{:>13.1}x {:>12.0} {:>14.2}",
+            penalty,
+            w.delay(len) * 1e12,
+            w.dynamic_energy(len) * 1e12
+        );
+    }
+    println!(
+        "(the paper's PW-Wires sit at the 1.2x point: {:.0}% of the optimal wire's energy)",
+        RepeatedWire::paper_power_optimal(g, devices).dynamic_energy(len)
+            / optimal.dynamic_energy(len)
+            * 100.0
+    );
+
+    println!("\n== transmission line (the L-Wire end game) ==");
+    let tl = TransmissionLine::default();
+    let l_rc = RepeatedWire::delay_optimal(WireGeometry::minimum_45nm().scaled(8.0), devices);
+    println!(
+        "RC L-wire: {:.0} ps; transmission line: {:.0} ps ({:.1}x faster, ~{:.0}% the energy)",
+        l_rc.delay(len) * 1e12,
+        tl.delay(len) * 1e12,
+        tl.speedup_vs(&l_rc, len),
+        tl.energy_vs_rc * 100.0
+    );
+}

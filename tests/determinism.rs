@@ -1,0 +1,79 @@
+//! Determinism and reproducibility: identical inputs must give identical
+//! simulations, and different inputs must actually differ.
+
+use heterowire_core::{InterconnectModel, Processor, ProcessorConfig};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{by_name, spec2000, TraceGenerator};
+
+fn run(model: InterconnectModel, bench: &str, seed: u64) -> (u64, [u64; 4], f64) {
+    let cfg = ProcessorConfig::for_model(model, Topology::crossbar4());
+    let trace = TraceGenerator::new(by_name(bench).expect("benchmark"), seed);
+    let r = Processor::simulate(cfg, trace, 5_000, 1_000);
+    (r.cycles, r.net.transfers, r.net.dynamic_energy)
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for model in [InterconnectModel::I, InterconnectModel::X] {
+        let a = run(model, "gap", 17);
+        let b = run(model, "gap", 17);
+        assert_eq!(a, b, "{model} diverged between runs");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_trace_but_not_the_story() {
+    let a = run(InterconnectModel::I, "gap", 1);
+    let b = run(InterconnectModel::I, "gap", 2);
+    assert_ne!(a.0, b.0, "different seeds should perturb cycle counts");
+    // ... but not wildly: same program character.
+    let ratio = a.0 as f64 / b.0 as f64;
+    assert!((0.7..1.3).contains(&ratio), "seeds changed IPC by {ratio}");
+}
+
+#[test]
+fn different_benchmarks_differ() {
+    let a = run(InterconnectModel::I, "mcf", 9);
+    let b = run(InterconnectModel::I, "eon", 9);
+    assert!(a.0 > b.0, "mcf must be much slower than eon");
+}
+
+#[test]
+fn trace_streams_are_reproducible_across_construction() {
+    for p in spec2000().into_iter().take(5) {
+        let x: Vec<_> = TraceGenerator::new(p.clone(), 77).take(500).collect();
+        let y: Vec<_> = TraceGenerator::new(p, 77).take(500).collect();
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn window_extension_is_prefix_stable() {
+    // Taking a longer window must not change the prefix of the stream.
+    let p = by_name("apsi").expect("apsi");
+    let short: Vec<_> = TraceGenerator::new(p.clone(), 4).take(1_000).collect();
+    let long: Vec<_> = TraceGenerator::new(p, 4).take(2_000).collect();
+    assert_eq!(short[..], long[..1_000]);
+}
+
+#[test]
+fn window_length_stability() {
+    // DESIGN.md §4: shorter windows with warmup preserve relative ordering.
+    // Check that per-benchmark IPCs are stable (within 25%) between a short
+    // and a 3x longer window, and that the slowest program stays slowest.
+    let ipc = |bench: &str, window: u64| {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let trace = TraceGenerator::new(by_name(bench).expect("benchmark"), 11);
+        Processor::simulate(cfg, trace, window, window / 3).ipc()
+    };
+    for bench in ["gzip", "swim", "mcf"] {
+        let short = ipc(bench, 6_000);
+        let long = ipc(bench, 18_000);
+        let ratio = short / long;
+        assert!(
+            (0.75..=1.33).contains(&ratio),
+            "{bench}: short {short} vs long {long}"
+        );
+    }
+    assert!(ipc("mcf", 18_000) < ipc("gzip", 18_000));
+}
