@@ -1,70 +1,47 @@
-//! Criterion benches over individual simulator components: trace
-//! generation, branch prediction, cache/LSQ models and the network engine.
+//! Timing benches over individual simulator components: trace generation,
+//! branch prediction, cache/LSQ models and the network engine.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use heterowire_bench::timing::bench;
 use heterowire_frontend::{Combined, DirectionPredictor};
-use heterowire_interconnect::{
-    MessageKind, NetConfig, Network, Node, Topology, Transfer,
-};
+use heterowire_interconnect::{MessageKind, NetConfig, Network, Node, Topology, Transfer};
 use heterowire_memory::{Cache, LoadStoreQueue};
 use heterowire_trace::{by_name, TraceGenerator};
 use heterowire_wires::{LinkComposition, WireClass, WirePlane};
 
-fn bench_trace(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("generate_10k_gcc", |b| {
-        b.iter(|| {
+fn main() {
+    let samples = [
+        bench("trace/generate_10k_gcc", 20, || {
             let gen = TraceGenerator::new(by_name("gcc").unwrap(), 1);
-            std::hint::black_box(gen.take(10_000).count())
-        })
-    });
-    g.finish();
-}
-
-fn bench_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictor");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("combined_10k", |b| {
-        let mut p = Combined::table1();
-        b.iter(|| {
-            let mut correct = 0u32;
-            for i in 0..10_000u64 {
-                let pc = 0x1000 + (i % 256) * 4;
-                let taken = (i / 7) % 3 != 0;
-                if p.predict(pc) == taken {
-                    correct += 1;
+            gen.take(10_000).count()
+        }),
+        {
+            let mut p = Combined::table1();
+            bench("predictor/combined_10k", 20, move || {
+                let mut correct = 0u32;
+                for i in 0..10_000u64 {
+                    let pc = 0x1000 + (i % 256) * 4;
+                    let taken = (i / 7) % 3 != 0;
+                    if p.predict(pc) == taken {
+                        correct += 1;
+                    }
+                    p.update(pc, taken);
                 }
-                p.update(pc, taken);
-            }
-            std::hint::black_box(correct)
-        })
-    });
-    g.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("l1d_10k_accesses", |b| {
-        let mut cache = Cache::l1d_table1();
-        b.iter(|| {
-            let mut hits = 0u32;
-            for i in 0..10_000u64 {
-                if cache.access((i * 4391) % (1 << 20)) {
-                    hits += 1;
+                correct
+            })
+        },
+        {
+            let mut cache = Cache::l1d_table1();
+            bench("cache/l1d_10k_accesses", 20, move || {
+                let mut hits = 0u32;
+                for i in 0..10_000u64 {
+                    if cache.access((i * 4391) % (1 << 20)) {
+                        hits += 1;
+                    }
                 }
-            }
-            std::hint::black_box(hits)
-        })
-    });
-    g.finish();
-}
-
-fn bench_lsq(c: &mut Criterion) {
-    c.bench_function("lsq_1k_pairs", |b| {
-        b.iter(|| {
+                hits
+            })
+        },
+        bench("lsq/1k_pairs", 20, || {
             let mut lsq = LoadStoreQueue::new(8);
             for i in 0..1_000u64 {
                 let s = i * 2;
@@ -75,17 +52,11 @@ fn bench_lsq(c: &mut Criterion) {
                 std::hint::black_box(lsq.load_status(s + 1, i, true));
                 lsq.retire_through(s + 1);
             }
-        })
-    });
-}
-
-fn bench_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network");
-    g.throughput(Throughput::Elements(4_000));
-    g.bench_function("crossbar_4k_transfers", |b| {
-        b.iter(|| {
+        }),
+        bench("network/crossbar_4k_transfers", 20, || {
             let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]);
             let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
+            let mut delivered = 0usize;
             for cycle in 1..=1_000u64 {
                 for src in 0..4usize {
                     net.send(
@@ -99,19 +70,12 @@ fn bench_network(c: &mut Criterion) {
                     );
                 }
                 net.tick(cycle);
-                std::hint::black_box(net.take_delivered(cycle).len());
+                delivered += net.take_delivered(cycle).len();
             }
-        })
-    });
-    g.finish();
+            delivered
+        }),
+    ];
+    for s in &samples {
+        println!("{}", s.report());
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_trace,
-    bench_predictor,
-    bench_cache,
-    bench_lsq,
-    bench_network
-);
-criterion_main!(benches);

@@ -1,35 +1,25 @@
-//! Criterion wrapper around the Figure-3 experiment: times one
-//! baseline-vs-L-Wires benchmark pair at reduced scale and reports the IPCs
-//! through Criterion's output. The full figure is produced by the `fig3`
-//! binary; this bench guards against simulator performance regressions on
-//! the exact code path the figure uses.
+//! Timing wrapper around the Figure-3 experiment: times one
+//! baseline-vs-L-Wires benchmark pair at reduced scale. The full figure is
+//! produced by the `fig3` binary; this bench guards against simulator
+//! performance regressions on the exact code path the figure uses.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use heterowire_bench::timing::bench;
 use heterowire_bench::{run_one, RunScale};
 use heterowire_core::{InterconnectModel, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::by_name;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let scale = RunScale {
         window: 5_000,
         warmup: 1_000,
     };
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(scale.window + scale.warmup));
     for model in [InterconnectModel::I, InterconnectModel::VII] {
-        g.bench_function(format!("gzip_model_{}", model.name()), |b| {
-            b.iter(|| {
-                let cfg = ProcessorConfig::for_model(model, Topology::crossbar4());
-                let r = run_one(cfg, by_name("gzip").expect("gzip exists"), scale);
-                std::hint::black_box(r.ipc())
-            })
+        let s = bench(&format!("fig3/gzip_model_{}", model.name()), 10, || {
+            let cfg = ProcessorConfig::for_model(model, Topology::crossbar4());
+            let r = run_one(cfg, by_name("gzip").expect("gzip exists"), scale);
+            r.ipc()
         });
+        println!("{}", s.report());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

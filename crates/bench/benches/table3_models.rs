@@ -1,37 +1,28 @@
-//! Criterion wrapper around the Table-3 code path: times single-benchmark
+//! Timing wrapper around the Table-3 code path: times single-benchmark
 //! runs of the extreme 4-cluster models (homogeneous baseline, PW-only,
 //! full heterogeneous). The full table is produced by the `table3` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use heterowire_bench::timing::bench;
 use heterowire_bench::{run_one, RunScale};
 use heterowire_core::{InterconnectModel, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::by_name;
 
-fn bench_table3(c: &mut Criterion) {
+fn main() {
     let scale = RunScale {
         window: 5_000,
         warmup: 1_000,
     };
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(scale.window + scale.warmup));
     for model in [
         InterconnectModel::I,
         InterconnectModel::II,
         InterconnectModel::X,
     ] {
-        g.bench_function(format!("gcc_model_{}", model.name()), |b| {
-            b.iter(|| {
-                let cfg = ProcessorConfig::for_model(model, Topology::crossbar4());
-                let r = run_one(cfg, by_name("gcc").expect("gcc exists"), scale);
-                std::hint::black_box((r.ipc(), r.net.dynamic_energy))
-            })
+        let s = bench(&format!("table3/gcc_model_{}", model.name()), 10, || {
+            let cfg = ProcessorConfig::for_model(model, Topology::crossbar4());
+            let r = run_one(cfg, by_name("gcc").expect("gcc exists"), scale);
+            (r.ipc(), r.net.dynamic_energy)
         });
+        println!("{}", s.report());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

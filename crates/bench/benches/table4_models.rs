@@ -1,33 +1,28 @@
-//! Criterion wrapper around the Table-4 code path: times the 16-cluster
+//! Timing wrapper around the Table-4 code path: times the 16-cluster
 //! hierarchical topology (the paper's most interconnect-sensitive
 //! configuration). The full table is produced by the `table4` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use heterowire_bench::timing::bench;
 use heterowire_bench::{run_one, RunScale};
 use heterowire_core::{InterconnectModel, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::by_name;
 
-fn bench_table4(c: &mut Criterion) {
+fn main() {
     let scale = RunScale {
         window: 5_000,
         warmup: 1_000,
     };
-    let mut g = c.benchmark_group("table4");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(scale.window + scale.warmup));
     for model in [InterconnectModel::I, InterconnectModel::IX] {
-        g.bench_function(format!("swim_16cl_model_{}", model.name()), |b| {
-            b.iter(|| {
+        let s = bench(
+            &format!("table4/swim_16cl_model_{}", model.name()),
+            10,
+            || {
                 let cfg = ProcessorConfig::for_model(model, Topology::hier16());
                 let r = run_one(cfg, by_name("swim").expect("swim exists"), scale);
-                std::hint::black_box(r.ipc())
-            })
-        });
+                r.ipc()
+            },
+        );
+        println!("{}", s.report());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table4);
-criterion_main!(benches);

@@ -1,27 +1,24 @@
-//! Criterion benches over the wire-physics substrate: Table-2 derivation
-//! and the power-optimal repeater search.
+//! Timing benches over the wire-physics substrate: Table-2 derivation and
+//! the power-optimal repeater search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use heterowire_bench::timing::bench;
 use heterowire_wires::classes::{derive_relative_delays, table2};
 use heterowire_wires::geometry::WireGeometry;
 use heterowire_wires::repeater::{DeviceParams, RepeatedWire};
 
-fn bench_wire_physics(c: &mut Criterion) {
-    c.bench_function("table2_derivation", |b| {
-        b.iter(|| std::hint::black_box(table2()))
-    });
-    c.bench_function("relative_delays", |b| {
-        b.iter(|| std::hint::black_box(derive_relative_delays()))
-    });
-    c.bench_function("power_optimal_search", |b| {
-        let g = WireGeometry::minimum_45nm();
-        let d = DeviceParams::node_45nm();
-        b.iter(|| {
-            std::hint::black_box(RepeatedWire::power_optimal_for_penalty(g, d, 1.2))
+fn main() {
+    println!("{}", bench("wires/table2_derivation", 50, table2).report());
+    println!(
+        "{}",
+        bench("wires/relative_delays", 50, derive_relative_delays).report()
+    );
+    let g = WireGeometry::minimum_45nm();
+    let d = DeviceParams::node_45nm();
+    println!(
+        "{}",
+        bench("wires/power_optimal_search", 50, || {
+            RepeatedWire::power_optimal_for_penalty(g, d, 1.2)
         })
-    });
+        .report()
+    );
 }
-
-criterion_group!(benches, bench_wire_physics);
-criterion_main!(benches);

@@ -5,8 +5,8 @@
 //! * `narrow`   — narrow-width threshold (paper picks 10 bits);
 //! * `opts`     — each L-Wire optimization enabled alone;
 //! * `ext`      — the paper's discussed-but-unevaluated extensions
-//!                (frequent-value compaction, L2 critical-word-first,
-//!                transmission-line L-Wires).
+//!   (frequent-value compaction, L2 critical-word-first, transmission-line
+//!   L-Wires).
 //!
 //! Run `cargo run -p heterowire-bench --bin ablation -- <which>`; with no
 //! argument, all four sweeps run.
@@ -39,7 +39,10 @@ fn ls_bits(scale: RunScale) {
 fn balance(scale: RunScale) {
     println!("\n== Load-balancer sweep (Model V: 144 B + 288 PW) ==");
     println!("(the balancer diverts overflow traffic to the less congested plane)");
-    println!("{:>10} {:>10} {:>10} {:>10}", "window", "threshold", "AM IPC", "PW share");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "window", "threshold", "AM IPC", "PW share"
+    );
     // The balancer lives in the policy; window/threshold are fixed at the
     // paper's values in the public API, so this sweep exercises on/off and
     // the PW-steering criteria combinations instead.
@@ -92,10 +95,12 @@ fn narrow(_scale: RunScale) {
     println!("(paper uses 10 bits: 8-bit tag + 10-bit payload on 18 L-Wires)");
 }
 
+type OptVariant = (&'static str, fn(&mut Optimizations));
+
 fn opts(scale: RunScale) {
     println!("\n== Individual L-Wire optimization contributions (Model VII) ==");
     let bench_set = ["gzip", "gcc", "twolf", "swim", "mcf", "applu"];
-    let variants: [(&str, fn(&mut Optimizations)); 5] = [
+    let variants: [OptVariant; 5] = [
         ("none (baseline wires)", |o| {
             o.cache_pipeline = false;
             o.narrow_operands = false;
@@ -119,8 +124,7 @@ fn opts(scale: RunScale) {
     for (label, tweak) in variants {
         let mut sum = 0.0;
         for b in bench_set {
-            let mut cfg =
-                ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+            let mut cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
             tweak(&mut cfg.opts);
             let r = run_one(cfg, by_name(b).expect("known benchmark"), scale);
             sum += r.ipc();
@@ -135,10 +139,35 @@ fn extensions(scale: RunScale) {
     let bench_set = ["gzip", "gcc", "mcf", "swim", "applu", "twolf"];
     let variants: [(&str, Extensions); 5] = [
         ("paper (no extensions)", Extensions::default()),
-        ("frequent-value compaction", Extensions { frequent_value: true, ..Default::default() }),
-        ("L2 critical-word-first", Extensions { l2_critical_word: true, ..Default::default() }),
-        ("transmission-line L-wires", Extensions { transmission_lines: true, ..Default::default() }),
-        ("all extensions", Extensions { frequent_value: true, l2_critical_word: true, transmission_lines: true }),
+        (
+            "frequent-value compaction",
+            Extensions {
+                frequent_value: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "L2 critical-word-first",
+            Extensions {
+                l2_critical_word: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "transmission-line L-wires",
+            Extensions {
+                transmission_lines: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "all extensions",
+            Extensions {
+                frequent_value: true,
+                l2_critical_word: true,
+                transmission_lines: true,
+            },
+        ),
     ];
     println!("{:<28} {:>8} {:>12}", "variant", "AM IPC", "IC dyn (rel)");
     let mut base_energy = 0.0;

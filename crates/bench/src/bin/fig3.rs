@@ -58,7 +58,10 @@ fn main() {
     let lam = lwire.mean_ipc();
     println!(
         "{:<10} {:>10.3} {:>14.3} {:>+7.1}%",
-        "AM", bam, lam, (lam / bam - 1.0) * 100.0
+        "AM",
+        bam,
+        lam,
+        (lam / bam - 1.0) * 100.0
     );
     println!(
         "\npaper: +4.2% AM IPC from the three L-Wire optimizations \

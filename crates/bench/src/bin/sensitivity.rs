@@ -80,10 +80,8 @@ fn main() {
         "5. false partial-address dependences @8 LS bits: {:.1}% of loads (paper: <9%)",
         fd as f64 / loads as f64 * 100.0
     );
-    let cov =
-        lwire.runs.iter().map(|r| r.narrow_coverage).sum::<f64>() / lwire.runs.len() as f64;
-    let fnr =
-        lwire.runs.iter().map(|r| r.narrow_false_rate).sum::<f64>() / lwire.runs.len() as f64;
+    let cov = lwire.runs.iter().map(|r| r.narrow_coverage).sum::<f64>() / lwire.runs.len() as f64;
+    let fnr = lwire.runs.iter().map(|r| r.narrow_false_rate).sum::<f64>() / lwire.runs.len() as f64;
     println!(
         "6. narrow predictor: {:.1}% coverage, {:.1}% false-narrow (paper: 95% / 2%)",
         cov * 100.0,

@@ -1,0 +1,82 @@
+//! Times the quick-scale Table-3 model sweep two ways — the seed's serial
+//! reference loop and the flattened work-queue executor — verifies the two
+//! produce bit-identical results, and appends one CSV row per invocation
+//! to `results/sweep_timing.csv` (pass `--label` to tag the row, `--out`
+//! to redirect it). This is the reproducible before/after number behind
+//! EXPERIMENTS.md's executor section.
+
+use heterowire_bench::timing::time_once;
+use heterowire_bench::{executor, sweep_runs, sweep_runs_serial, RunScale};
+use heterowire_interconnect::Topology;
+
+const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH]\n\
+    times the quick-scale model sweep (serial vs. executor) and appends a\n\
+    CSV row to --out (default results/sweep_timing.csv)";
+
+fn main() {
+    let mut label = "run".to_string();
+    let mut out = "results/sweep_timing.csv".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{arg} requires a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--label" => label = value(&mut args),
+            "--out" => out = value(&mut args),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = RunScale::quick();
+    let workers = executor::default_workers();
+    let topology = Topology::crossbar4();
+
+    eprintln!("quick-scale model sweep, serial reference ...");
+    let (serial, t_serial) = time_once(|| sweep_runs_serial(topology, scale));
+    eprintln!("quick-scale model sweep, executor ({workers} workers) ...");
+    let (parallel, t_parallel) = time_once(|| sweep_runs(topology, scale, workers));
+
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.runs, p.runs, "executor must be bit-identical to serial");
+    }
+
+    let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64();
+    println!(
+        "label={label} host_threads={workers} serial={:.3}s executor={:.3}s speedup={speedup:.2}x",
+        t_serial.as_secs_f64(),
+        t_parallel.as_secs_f64(),
+    );
+
+    let path = std::path::Path::new(&out);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let header = "label,host_threads,window,warmup,serial_s,executor_s,speedup\n";
+    let mut body = match std::fs::read_to_string(path) {
+        Ok(existing) => existing,
+        Err(_) => String::from(header),
+    };
+    body.push_str(&format!(
+        "{},{},{},{},{:.3},{:.3},{:.2}\n",
+        label,
+        workers,
+        scale.window,
+        scale.warmup,
+        t_serial.as_secs_f64(),
+        t_parallel.as_secs_f64(),
+        speedup
+    ));
+    std::fs::write(path, body).expect("write timing csv");
+    println!("appended to {out}");
+}

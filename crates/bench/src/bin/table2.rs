@@ -34,8 +34,16 @@ fn main() {
     let len = 10e-3;
     let geoms = [
         ("W (min pitch)", WireGeometry::minimum_45nm(), false),
-        ("B (2x area)", WireGeometry::minimum_45nm().with_spacing_factor(3.0), false),
-        ("L (8x pitch)", WireGeometry::minimum_45nm().scaled(8.0), false),
+        (
+            "B (2x area)",
+            WireGeometry::minimum_45nm().with_spacing_factor(3.0),
+            false,
+        ),
+        (
+            "L (8x pitch)",
+            WireGeometry::minimum_45nm().scaled(8.0),
+            false,
+        ),
         ("PW (power rep.)", WireGeometry::minimum_45nm(), true),
     ];
     for (name, g, power) in geoms {

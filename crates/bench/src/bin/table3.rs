@@ -3,7 +3,9 @@
 //! dynamic and leakage energy, relative processor energy, and ED² at 10%
 //! and 20% interconnect energy fractions, all normalised to Model I.
 
-use heterowire_bench::{csv_path_from_args, format_model_csv, format_model_table, model_sweep, RunScale};
+use heterowire_bench::{
+    csv_path_from_args, format_model_csv, format_model_table, model_sweep, RunScale,
+};
 use heterowire_interconnect::Topology;
 
 fn main() {

@@ -1,0 +1,102 @@
+//! Bounded work-queue executor shared by the suite and sweep drivers.
+//!
+//! The seed spawned one OS thread per benchmark (23 threads regardless of
+//! core count) and ran the ten interconnect models strictly serially. This
+//! module replaces both with a single pool: callers flatten their work into
+//! a job list, and a fixed set of workers (sized to
+//! [`std::thread::available_parallelism`] by default) drains a shared queue.
+//! Results come back in job order, so parallel execution is bit-identical
+//! to a serial loop over the same jobs.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Worker count used when the caller does not specify one: the number of
+/// hardware threads the OS reports, with a floor of 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every item on a pool of `workers` scoped threads and
+/// returns the results in item order.
+///
+/// Jobs are drained from a shared queue, so long and short jobs interleave
+/// freely instead of being bucketed per thread. `workers` is clamped to
+/// `1..=items.len()`; with one worker (or one item) the pool is skipped
+/// entirely and the items run inline. A panic in any job propagates to the
+/// caller when its worker thread is joined.
+pub fn run_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("executor queue poisoned").pop_front();
+                let Some((i, item)) = job else { break };
+                let result = f(item);
+                *slots[i].lock().expect("executor slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("executor slot poisoned")
+                .expect("all jobs drained before the scope ended")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        for workers in [1, 2, 4, 7] {
+            let out = run_indexed((0..100u64).collect(), workers, |i| i * i);
+            assert_eq!(out, (0..100u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = run_indexed(Vec::<u64>::new(), 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = run_indexed(vec![1u64, 2, 3], 64, |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    // `std::thread::scope` re-raises panics from unjoined workers with its
+    // own payload; what matters is that the caller does not get a silent
+    // partial result.
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn propagates_panics() {
+        run_indexed((0..8u64).collect(), 2, |i| {
+            if i == 3 {
+                panic!("job 3 panicked");
+            }
+            i
+        });
+    }
+}

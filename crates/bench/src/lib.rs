@@ -13,8 +13,12 @@
 //! | `ablation`    | design-choice sweeps (LS bits, balancer, narrow threshold, per-optimization) |
 //!
 //! The library part hosts the shared experiment-running machinery so the
-//! binaries, the integration tests and the Criterion benches all run the
-//! exact same code.
+//! binaries, the integration tests and the timing benches all run the
+//! exact same code. Suite and sweep runs are parallelised by the bounded
+//! work-queue in [`executor`]; wall-clock measurement lives in [`timing`].
+
+pub mod executor;
+pub mod timing;
 
 use heterowire_core::{
     mean_report, relative_report, EnergyParams, InterconnectModel, Processor, ProcessorConfig,
@@ -56,13 +60,25 @@ impl RunScale {
         }
     }
 
-    /// Reads `HETEROWIRE_SCALE=quick|full` from the environment (default
-    /// full) so CI can downscale the harness.
-    pub fn from_env() -> Self {
-        match std::env::var("HETEROWIRE_SCALE").as_deref() {
-            Ok("quick") => Self::quick(),
-            _ => Self::full(),
+    /// Maps a `HETEROWIRE_SCALE` value to a scale: `"quick"` and `"full"`
+    /// select the matching preset, unset/empty defaults to full, and
+    /// anything else is an error (a typo must not silently run the
+    /// hour-long full scale).
+    pub fn from_env_value(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("") | Some("full") => Ok(Self::full()),
+            Some("quick") => Ok(Self::quick()),
+            Some(other) => Err(format!(
+                "unknown HETEROWIRE_SCALE value {other:?}; expected \"quick\" or \"full\""
+            )),
         }
+    }
+
+    /// Reads `HETEROWIRE_SCALE=quick|full` from the environment (default
+    /// full) so CI can downscale the harness. Panics on unknown values.
+    pub fn from_env() -> Self {
+        let value = std::env::var("HETEROWIRE_SCALE").ok();
+        Self::from_env_value(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -88,25 +104,19 @@ impl SuiteResults {
     }
 }
 
-/// Runs the full 23-benchmark suite under a configuration, one OS thread
-/// per benchmark (runs are independent and deterministic, so this changes
-/// nothing but wall-clock time).
+/// Runs the full 23-benchmark suite under a configuration on the shared
+/// work-queue executor, sized to the host's hardware threads. Runs are
+/// independent and deterministic, so parallelism changes nothing but
+/// wall-clock time.
 pub fn run_suite(config: &ProcessorConfig, scale: RunScale) -> SuiteResults {
+    run_suite_on(config, scale, executor::default_workers())
+}
+
+/// [`run_suite`] with an explicit worker count (`1` = serial).
+pub fn run_suite_on(config: &ProcessorConfig, scale: RunScale, workers: usize) -> SuiteResults {
     let profiles = spec2000();
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
-    let runs = std::thread::scope(|s| {
-        let handles: Vec<_> = profiles
-            .into_iter()
-            .map(|p| {
-                let config = config.clone();
-                s.spawn(move || run_one(config, p, scale))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark thread panicked"))
-            .collect()
-    });
+    let runs = executor::run_indexed(profiles, workers, |p| run_one(config.clone(), p, scale));
     SuiteResults { names, runs }
 }
 
@@ -125,20 +135,66 @@ pub struct ModelRow {
     pub at_20: RelativeReport,
 }
 
-/// Regenerates a Table-3/4-style model sweep on the given topology.
-/// Returns one row per model, each relative to Model I.
-pub fn model_sweep(topology: Topology, scale: RunScale) -> Vec<ModelRow> {
-    let baseline_cfg = ProcessorConfig::for_model(InterconnectModel::I, topology);
-    let baseline = run_suite(&baseline_cfg, scale);
+/// Runs every (model × benchmark) pair of a Table-3/4 sweep as one
+/// flattened job list on the shared executor, returning one
+/// [`SuiteResults`] per model in [`InterconnectModel::ALL`] order. Model I
+/// runs exactly once; its runs double as the baseline for every row.
+pub fn sweep_runs(topology: Topology, scale: RunScale, workers: usize) -> Vec<SuiteResults> {
+    let profiles = spec2000();
+    let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
+    let jobs: Vec<(InterconnectModel, BenchmarkProfile)> = InterconnectModel::ALL
+        .iter()
+        .flat_map(|&model| profiles.iter().map(move |p| (model, p.clone())))
+        .collect();
+    let results = executor::run_indexed(jobs, workers, |(model, profile)| {
+        run_one(ProcessorConfig::for_model(model, topology), profile, scale)
+    });
+    results
+        .chunks(names.len())
+        .map(|runs| SuiteResults {
+            names: names.clone(),
+            runs: runs.to_vec(),
+        })
+        .collect()
+}
+
+/// Serial reference for [`sweep_runs`]: the seed's original shape — a
+/// plain nested loop over models and benchmarks on the calling thread.
+/// Kept so the determinism test can assert the parallel path is
+/// bit-identical.
+pub fn sweep_runs_serial(topology: Topology, scale: RunScale) -> Vec<SuiteResults> {
+    let profiles = spec2000();
+    let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
     InterconnectModel::ALL
         .iter()
         .map(|&model| {
-            let cfg = ProcessorConfig::for_model(model, topology);
-            let suite = if model == InterconnectModel::I {
-                baseline.clone()
-            } else {
-                run_suite(&cfg, scale)
-            };
+            let runs = profiles
+                .iter()
+                .map(|p| {
+                    run_one(
+                        ProcessorConfig::for_model(model, topology),
+                        p.clone(),
+                        scale,
+                    )
+                })
+                .collect();
+            SuiteResults {
+                names: names.clone(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Builds Table-3/4 rows from per-model suite results; `suites[0]` (Model
+/// I) is the baseline every row is normalised against.
+pub fn rows_from_runs(suites: &[SuiteResults]) -> Vec<ModelRow> {
+    assert_eq!(suites.len(), InterconnectModel::ALL.len());
+    let baseline = &suites[0];
+    InterconnectModel::ALL
+        .iter()
+        .zip(suites)
+        .map(|(&model, suite)| {
             let reports_10: Vec<_> = suite
                 .runs
                 .iter()
@@ -162,12 +218,28 @@ pub fn model_sweep(topology: Topology, scale: RunScale) -> Vec<ModelRow> {
         .collect()
 }
 
+/// Regenerates a Table-3/4-style model sweep on the given topology.
+/// Returns one row per model, each relative to Model I. All 230
+/// (model × benchmark) runs execute on one executor pool sized to the
+/// host's hardware threads.
+pub fn model_sweep(topology: Topology, scale: RunScale) -> Vec<ModelRow> {
+    rows_from_runs(&sweep_runs(topology, scale, executor::default_workers()))
+}
+
 /// Formats a model sweep as an aligned text table (Table-3 layout).
 pub fn format_model_table(rows: &[ModelRow], include_10: bool) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:<40} {:>5} {:>6} {:>7} {:>7} {:>7} {:>9} {:>9}\n",
-        "Model", "Link composition", "Area", "IPC", "IC-dyn", "IC-lkg", "Energy", "ED2(10%)", "ED2(20%)"
+        "Model",
+        "Link composition",
+        "Area",
+        "IPC",
+        "IC-dyn",
+        "IC-lkg",
+        "Energy",
+        "ED2(10%)",
+        "ED2(20%)"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -190,6 +262,17 @@ pub fn format_model_table(rows: &[ModelRow], include_10: bool) -> String {
     out
 }
 
+/// Quotes a CSV field per RFC 4180: fields containing a comma, quote or
+/// newline are wrapped in double quotes with internal quotes doubled;
+/// plain fields pass through unchanged.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Formats a model sweep as CSV (machine-readable companion to
 /// [`format_model_table`]); pass the path via `--csv <file>` on the
 /// `table3`/`table4` binaries.
@@ -200,9 +283,9 @@ pub fn format_model_csv(rows: &[ModelRow]) -> String {
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{:?},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
+            "{},{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}\n",
             r.model.name(),
-            r.description,
+            csv_field(&r.description),
             r.metal_area,
             r.at_10.ipc,
             r.at_10.rel_ic_dynamic,
@@ -255,8 +338,29 @@ pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
 mod tests {
     use super::*;
 
+    /// Splits one CSV line into fields, honouring RFC-4180 quoting.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if in_quotes && chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
+    }
+
     #[test]
-    fn csv_has_one_row_per_model() {
+    fn csv_has_one_row_per_model_and_consistent_fields() {
         let rows = model_sweep(
             Topology::crossbar4(),
             RunScale {
@@ -269,6 +373,27 @@ mod tests {
         assert!(csv.starts_with("model,"));
         assert!(csv.contains("\nI,"));
         assert!(csv.contains("\nX,"));
+        let header = parse_csv_line(csv.lines().next().unwrap());
+        for (line, row) in csv.lines().skip(1).zip(&rows) {
+            let fields = parse_csv_line(line);
+            assert_eq!(
+                fields.len(),
+                header.len(),
+                "row has as many fields as the header: {line}"
+            );
+            assert_eq!(fields[0], row.model.name());
+            // The description round-trips through quoting even though it
+            // contains commas (e.g. "72 B-Wires, 144 L-Wires").
+            assert_eq!(fields[1], row.description);
+        }
+    }
+
+    #[test]
+    fn csv_field_escapes_specials() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]
@@ -300,9 +425,30 @@ mod tests {
     }
 
     #[test]
-    fn scale_from_env_defaults_to_full() {
-        // No env set in tests -> full scale.
-        let s = RunScale::from_env();
-        assert!(s.window >= RunScale::quick().window);
+    fn scale_from_env_value() {
+        // Value-based so the test is immune to whatever HETEROWIRE_SCALE
+        // the ambient environment carries (e.g. quick-scale CI).
+        assert_eq!(RunScale::from_env_value(None), Ok(RunScale::full()));
+        assert_eq!(RunScale::from_env_value(Some("")), Ok(RunScale::full()));
+        assert_eq!(RunScale::from_env_value(Some("full")), Ok(RunScale::full()));
+        assert_eq!(
+            RunScale::from_env_value(Some("quick")),
+            Ok(RunScale::quick())
+        );
+        assert!(RunScale::from_env_value(Some("fast")).is_err());
+        assert!(RunScale::from_env_value(Some("QUICK")).is_err());
+    }
+
+    #[test]
+    fn suite_executor_matches_serial() {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::IV, Topology::crossbar4());
+        let scale = RunScale {
+            window: 800,
+            warmup: 200,
+        };
+        let serial = run_suite_on(&cfg, scale, 1);
+        let parallel = run_suite_on(&cfg, scale, 4);
+        assert_eq!(serial.names, parallel.names);
+        assert_eq!(serial.runs, parallel.runs, "bit-identical results");
     }
 }

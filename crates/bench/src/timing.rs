@@ -1,0 +1,78 @@
+//! Minimal wall-clock timing harness (std-only stand-in for Criterion).
+//!
+//! Used by the `benches/` programs and the `sweep_timing` binary. Each
+//! measurement runs one untimed warmup iteration, then `iters` timed
+//! iterations, and reports the mean and minimum per-iteration wall-clock.
+
+use std::time::{Duration, Instant};
+
+/// One timed measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Measurement label.
+    pub name: String,
+    /// Timed iterations (excluding the warmup pass).
+    pub iters: u32,
+    /// Mean wall-clock per iteration.
+    pub mean: Duration,
+    /// Minimum wall-clock over all iterations.
+    pub min: Duration,
+}
+
+impl Sample {
+    /// Aligned one-line report.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<44} {:>4} iters  mean {:>12.3?}  min {:>12.3?}",
+            self.name, self.iters, self.mean, self.min
+        )
+    }
+}
+
+/// Times `f` over `iters` iterations after one warmup pass.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+    assert!(iters > 0, "need at least one timed iteration");
+    std::hint::black_box(f());
+    let mut min = Duration::MAX;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        min = min.min(t.elapsed());
+    }
+    let total = start.elapsed();
+    Sample {
+        name: name.to_string(),
+        iters,
+        mean: total / iters,
+        min,
+    }
+}
+
+/// Times a single run of `f`, returning its result and the elapsed time.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations() {
+        let mut calls = 0u32;
+        let s = bench("noop", 5, || calls += 1);
+        assert_eq!(calls, 6, "5 timed + 1 warmup");
+        assert_eq!(s.iters, 5);
+        assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 42u32);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(5));
+    }
+}

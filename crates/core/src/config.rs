@@ -189,9 +189,7 @@ impl InterconnectModel {
             InterconnectModel::VII => LinkComposition::new(vec![b(144), l(36)]),
             InterconnectModel::VIII => LinkComposition::new(vec![b(432)]),
             InterconnectModel::IX => LinkComposition::new(vec![b(288), l(36)]),
-            InterconnectModel::X => {
-                LinkComposition::new(vec![b(144), pw(288), l(36)])
-            }
+            InterconnectModel::X => LinkComposition::new(vec![b(144), pw(288), l(36)]),
         }
     }
 

@@ -112,11 +112,7 @@ pub fn mean_report(reports: &[RelativeReport]) -> RelativeReport {
         ipc: reports.iter().map(|r| r.ipc).sum::<f64>() / n,
         rel_ic_dynamic: reports.iter().map(|r| r.rel_ic_dynamic).sum::<f64>() / n,
         rel_ic_leakage: reports.iter().map(|r| r.rel_ic_leakage).sum::<f64>() / n,
-        rel_processor_energy: reports
-            .iter()
-            .map(|r| r.rel_processor_energy)
-            .sum::<f64>()
-            / n,
+        rel_processor_energy: reports.iter().map(|r| r.rel_processor_energy).sum::<f64>() / n,
         rel_ed2: reports.iter().map(|r| r.rel_ed2).sum::<f64>() / n,
     }
 }
@@ -129,8 +125,10 @@ mod tests {
     use heterowire_memory::{LsqStats, MemStats};
 
     fn run(cycles: u64, ic_dyn: f64, lkg_weight: f64) -> SimResults {
-        let mut net = NetStats::default();
-        net.dynamic_energy = ic_dyn;
+        let net = NetStats {
+            dynamic_energy: ic_dyn,
+            ..NetStats::default()
+        };
         SimResults {
             instructions: 100_000,
             cycles,
@@ -159,13 +157,13 @@ mod tests {
         // Model II: IPC 0.92 vs 0.95 (cycle ratio 1.0326), IC dyn 52%,
         // IC lkg weight ratio (288*0.30)/(144*0.55) = 1.0909.
         let baseline = run(95_000, 1000.0, 144.0 * 0.55);
-        let m2 = run(
-            (95_000.0 * (0.95 / 0.92)) as u64,
-            520.0,
-            288.0 * 0.30,
-        );
+        let m2 = run((95_000.0 * (0.95 / 0.92)) as u64, 520.0, 288.0 * 0.30);
         let r = relative_report(&m2, &baseline, EnergyParams::ten_percent());
-        assert!((r.rel_ic_dynamic - 52.0).abs() < 0.5, "{}", r.rel_ic_dynamic);
+        assert!(
+            (r.rel_ic_dynamic - 52.0).abs() < 0.5,
+            "{}",
+            r.rel_ic_dynamic
+        );
         assert!(
             (r.rel_ic_leakage - 112.6).abs() < 1.0,
             "{}",
@@ -184,13 +182,13 @@ mod tests {
     fn reproduces_table3_model_iv_row() {
         // Model IV: 288 B-wires, IPC 0.98, IC dyn 99%, lkg 194%.
         let baseline = run(95_000, 1000.0, 144.0 * 0.55);
-        let m4 = run(
-            (95_000.0 * (0.95 / 0.98)) as u64,
-            990.0,
-            288.0 * 0.55,
-        );
+        let m4 = run((95_000.0 * (0.95 / 0.98)) as u64, 990.0, 288.0 * 0.55);
         let r = relative_report(&m4, &baseline, EnergyParams::ten_percent());
-        assert!((r.rel_ic_leakage - 193.9).abs() < 1.5, "{}", r.rel_ic_leakage);
+        assert!(
+            (r.rel_ic_leakage - 193.9).abs() < 1.5,
+            "{}",
+            r.rel_ic_leakage
+        );
         assert!(
             (r.rel_processor_energy - 102.5).abs() < 1.5,
             "{}",

@@ -28,7 +28,10 @@ impl NarrowPredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         NarrowPredictor {
             counters: vec![0; entries],
             hits: 0,

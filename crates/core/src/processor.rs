@@ -15,14 +15,12 @@
 //! state predating the simulation window is available in every cluster;
 //! physical registers bound in-flight destinations only.
 
-use std::collections::HashMap;
-
 use heterowire_frontend::FetchEngine;
-use heterowire_interconnect::{
-    MessageKind, NetConfig, NetStats, Network, Node, Topology, Transfer, TransferHints,
-    TransferId, WirePolicy,
-};
 use heterowire_interconnect::{AvailablePlanes, FrequentValueTable};
+use heterowire_interconnect::{
+    MessageKind, NetConfig, NetStats, Network, Node, Topology, Transfer, TransferHints, TransferId,
+    WirePolicy,
+};
 use heterowire_isa::{MicroOp, OpClass, RegClass};
 use heterowire_memory::{LoadStatus, LoadStoreQueue, MemConfig, MemoryHierarchy};
 use heterowire_trace::TraceGenerator;
@@ -77,6 +75,14 @@ struct Inflight {
     store_data_arrived: bool,
 }
 
+/// Most clusters any supported topology has (16 = four quads); bounds the
+/// inline per-value arrival array.
+const MAX_CLUSTERS: usize = 16;
+/// Arrival-slot sentinel: no copy was ever sent to this cluster.
+const NOT_SENT: u64 = u64::MAX;
+/// Arrival-slot sentinel: a copy is in flight, arrival cycle unknown.
+const IN_FLIGHT: u64 = u64::MAX - 1;
+
 #[derive(Debug, Clone)]
 struct ValueInfo {
     cluster: usize,
@@ -84,10 +90,52 @@ struct ValueInfo {
     narrow: bool,
     value: u64,
     pc: u64,
-    /// Cycle a copy arrives per remote cluster (`u64::MAX` = in flight).
-    arrivals: HashMap<usize, u64>,
+    /// Cycle a copy arrives per remote cluster ([`NOT_SENT`]/[`IN_FLIGHT`]
+    /// sentinels; inline so the rename/dispatch path never hashes).
+    arrivals: [u64; MAX_CLUSTERS],
     /// Remote clusters awaiting a copy once the value completes.
-    subscribers: Vec<usize>,
+    subscribers: SubscriberList,
+}
+
+/// Insertion-ordered set of clusters, inline so the publish path never
+/// allocates. Copies must be sent in subscription order — the network
+/// assigns transfer ids (and breaks arbitration ties) in send order, so
+/// iterating in any other order changes simulated timing.
+#[derive(Debug, Clone, Copy, Default)]
+struct SubscriberList {
+    clusters: [u8; MAX_CLUSTERS],
+    len: u8,
+}
+
+impl SubscriberList {
+    fn push_unique(&mut self, cluster: usize) {
+        let n = self.len as usize;
+        if self.clusters[..n].contains(&(cluster as u8)) {
+            return;
+        }
+        self.clusters[n] = cluster as u8;
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.clusters[..self.len as usize]
+            .iter()
+            .map(|&c| c as usize)
+    }
+}
+
+impl ValueInfo {
+    fn new(cluster: usize, narrow: bool, value: u64, pc: u64) -> Self {
+        ValueInfo {
+            cluster,
+            done_at: None,
+            narrow,
+            value,
+            pc,
+            arrivals: [NOT_SENT; MAX_CLUSTERS],
+            subscribers: SubscriberList::default(),
+        }
+    }
 }
 
 /// What to do when a network transfer is delivered.
@@ -131,6 +179,16 @@ struct DeferredSend {
     action: Action,
 }
 
+/// Reusable buffers for the per-instruction dispatch path. Taken out of
+/// the processor with `mem::take` for the duration of `dispatch()` (so the
+/// borrow checker sees them as locals) and put back afterwards.
+#[derive(Debug, Default)]
+struct DispatchScratch {
+    producers: Vec<ProducerInfo>,
+    views: Vec<ClusterView>,
+    scores: Vec<i64>,
+}
+
 /// The processor simulator. Create with [`Processor::new`], run with
 /// [`Processor::run`].
 #[derive(Debug)]
@@ -148,11 +206,22 @@ pub struct Processor {
     rob: std::collections::VecDeque<Inflight>,
     rob_base: u64, // seq of rob[0]
     clusters: Vec<ClusterState>,
-    values: HashMap<u64, ValueInfo>,
+    /// Destination-value bookkeeping, indexed directly by seq (seqs are
+    /// dense from 0; `None` for ops without a destination).
+    values: Vec<Option<ValueInfo>>,
     rename: [Option<u64>; 64],
-    actions: HashMap<TransferId, Action>,
+    /// Delivery action per transfer, indexed by `TransferId` (ids are
+    /// assigned densely in send order).
+    actions: Vec<Action>,
     deferred: Vec<DeferredSend>,
     active_loads: Vec<u64>,
+
+    // Reusable per-cycle buffers (steady-state hot path allocates nothing).
+    scratch: DispatchScratch,
+    fu_started: Vec<[bool; 4]>,
+    finished_scratch: Vec<u64>,
+    store_send_scratch: Vec<(u64, usize)>,
+    delivered_scratch: Vec<(TransferId, Transfer)>,
 
     cycle: u64,
     committed: u64,
@@ -200,6 +269,10 @@ impl Processor {
         };
 
         let n = config.clusters();
+        assert!(
+            n <= MAX_CLUSTERS,
+            "at most {MAX_CLUSTERS} clusters supported, got {n}"
+        );
         Processor {
             fetch: FetchEngine::new(trace),
             network: Network::new(net_config),
@@ -212,11 +285,16 @@ impl Processor {
             rob: std::collections::VecDeque::with_capacity(config.rob_size),
             rob_base: 0,
             clusters: vec![ClusterState::new(); n],
-            values: HashMap::new(),
+            values: Vec::new(),
             rename: [None; 64],
-            actions: HashMap::new(),
+            actions: Vec::new(),
             deferred: Vec::new(),
             active_loads: Vec::new(),
+            scratch: DispatchScratch::default(),
+            fu_started: vec![[false; 4]; n],
+            finished_scratch: Vec::new(),
+            store_send_scratch: Vec::new(),
+            delivered_scratch: Vec::new(),
             cycle: 0,
             committed: 0,
             dispatched: 0,
@@ -251,14 +329,24 @@ impl Processor {
         self.rob.get_mut((seq - self.rob_base) as usize)
     }
 
+    /// The value record for `producer`, if one was registered.
+    fn value(&self, producer: u64) -> Option<&ValueInfo> {
+        self.values.get(producer as usize)?.as_ref()
+    }
+
+    fn value_mut(&mut self, producer: u64) -> Option<&mut ValueInfo> {
+        self.values.get_mut(producer as usize)?.as_mut()
+    }
+
     /// Cycle the value produced by `producer` is usable in `cluster`, if
     /// known yet.
     fn value_ready_in(&self, producer: u64, cluster: usize) -> Option<u64> {
-        let v = self.values.get(&producer)?;
+        let v = self.value(producer)?;
         if v.cluster == cluster {
             v.done_at
         } else {
-            v.arrivals.get(&cluster).copied().filter(|&c| c != u64::MAX)
+            let arrival = v.arrivals[cluster];
+            (arrival < IN_FLIGHT).then_some(arrival)
         }
     }
 
@@ -267,7 +355,7 @@ impl Processor {
     /// `ready_at_dispatch` marks the paper's first PW criterion.
     fn send_value_copy(&mut self, producer: u64, cluster: usize, ready_at_dispatch: bool) {
         let (src_cluster, narrow, value, pc) = {
-            let v = &self.values[&producer];
+            let v = self.value(producer).expect("value exists");
             (v.cluster, v.narrow, v.value, v.pc)
         };
         let hints = TransferHints {
@@ -309,13 +397,17 @@ impl Processor {
             }
         }
         // Prefer PW for non-critical traffic even when narrow (energy).
-        let class = if hints.ready_at_dispatch && self.policy.planes().pw && self.policy.use_pw_steering
-        {
-            WireClass::Pw
+        let class =
+            if hints.ready_at_dispatch && self.policy.planes().pw && self.policy.use_pw_steering {
+                WireClass::Pw
+            } else {
+                self.policy.choose(kind, hints, self.cycle)
+            };
+        let kind = if class == WireClass::L {
+            kind
         } else {
-            self.policy.choose(kind, hints, self.cycle)
+            MessageKind::RegisterValue
         };
-        let kind = if class == WireClass::L { kind } else { MessageKind::RegisterValue };
         let transfer = Transfer {
             src: Node::Cluster(src_cluster),
             dst: Node::Cluster(cluster),
@@ -331,24 +423,29 @@ impl Processor {
             });
         } else {
             let id = self.network.send(transfer, self.cycle);
-            self.actions.insert(id, action);
+            self.record_action(id, action);
         }
-        self.values
-            .get_mut(&producer)
-            .expect("value exists")
-            .arrivals
-            .insert(cluster, u64::MAX);
+        self.value_mut(producer).expect("value exists").arrivals[cluster] = IN_FLIGHT;
+    }
+
+    /// Records the delivery action of a freshly sent transfer. Transfer
+    /// ids are dense in send order, so actions live in a plain vector.
+    fn record_action(&mut self, id: TransferId, action: Action) {
+        debug_assert_eq!(id.0 as usize, self.actions.len());
+        self.actions.push(action);
     }
 
     /// Processes everything the network delivered this cycle.
     fn process_deliveries(&mut self) {
-        let delivered = self.network.take_delivered(self.cycle);
-        for (id, _t) in delivered {
-            let action = self.actions.remove(&id).expect("every transfer has an action");
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        self.network.take_delivered_into(self.cycle, &mut delivered);
+        for &(id, _t) in &delivered {
+            let action = self.actions[id.0 as usize];
             match action {
                 Action::ValueArrive { producer, cluster } => {
-                    if let Some(v) = self.values.get_mut(&producer) {
-                        v.arrivals.insert(cluster, self.cycle);
+                    let cycle = self.cycle;
+                    if let Some(v) = self.value_mut(producer) {
+                        v.arrivals[cluster] = cycle;
                     }
                 }
                 Action::PartialAddr { seq } => {
@@ -424,27 +521,22 @@ impl Processor {
                         if let Some(i) = self.rob_get_mut(seq) {
                             i.phase = Phase::Done;
                         }
-                        let v = self.values.entry(seq).or_insert_with(|| ValueInfo {
-                            cluster,
-                            done_at: None,
-                            narrow,
-                            value: 0,
-                            pc,
-                            arrivals: HashMap::new(),
-                            subscribers: Vec::new(),
-                        });
+                        let slot = &mut self.values[seq as usize];
+                        let v = slot.get_or_insert_with(|| ValueInfo::new(cluster, narrow, 0, pc));
                         v.done_at = Some(cycle);
                         let subs = std::mem::take(&mut v.subscribers);
-                        for c in subs {
+                        for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }
                     }
                 }
                 Action::BranchSignal => {
-                    self.fetch.redirect(self.cycle + self.config.mispredict_refill);
+                    self.fetch
+                        .redirect(self.cycle + self.config.mispredict_refill);
                 }
             }
         }
+        self.delivered_scratch = delivered;
     }
 
     /// Flushes deferred sends whose time has come.
@@ -454,7 +546,7 @@ impl Processor {
             if self.deferred[i].at <= self.cycle {
                 let d = self.deferred.remove(i);
                 let id = self.network.send(d.transfer, self.cycle);
-                self.actions.insert(id, d.action);
+                self.record_action(id, d.action);
             } else {
                 i += 1;
             }
@@ -465,7 +557,8 @@ impl Processor {
     /// launches memory-op address transfers and branch signals.
     fn complete_execution(&mut self) {
         let cycle = self.cycle;
-        let mut finished: Vec<u64> = Vec::new();
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
         for (i, inst) in self.rob.iter().enumerate() {
             if let Phase::Executing(done) = inst.phase {
                 if done <= cycle {
@@ -473,7 +566,7 @@ impl Processor {
                 }
             }
         }
-        for seq in finished {
+        for &seq in &finished {
             let (op, cluster, mispredict) = {
                 let i = self.rob_get(seq).expect("in rob");
                 (i.op, i.cluster, i.mispredict)
@@ -502,12 +595,14 @@ impl Processor {
                         self.misp_issue_wait += i.saturating_sub(d);
                         self.misp_exec_wait += cycle.saturating_sub(i);
                         self.misp_count += 1;
-                        let class = if self.config.opts.branch_signal && self.policy.planes().l
-                        {
+                        let class = if self.config.opts.branch_signal && self.policy.planes().l {
                             WireClass::L
                         } else {
-                            self.policy
-                                .choose(MessageKind::RegisterValue, TransferHints::default(), cycle)
+                            self.policy.choose(
+                                MessageKind::RegisterValue,
+                                TransferHints::default(),
+                                cycle,
+                            )
                         };
                         let kind = if class == WireClass::L {
                             MessageKind::BranchMispredict
@@ -523,7 +618,7 @@ impl Processor {
                             },
                             cycle,
                         );
-                        self.actions.insert(id, Action::BranchSignal);
+                        self.record_action(id, Action::BranchSignal);
                     }
                 }
                 _ => {
@@ -531,11 +626,11 @@ impl Processor {
                     self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
                     if let Some(d) = op.dest() {
                         let subs = {
-                            let v = self.values.get_mut(&seq).expect("value registered");
+                            let v = self.value_mut(seq).expect("value registered");
                             v.done_at = Some(cycle);
                             std::mem::take(&mut v.subscribers)
                         };
-                        for c in subs {
+                        for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }
                         // Train the narrow predictor on every integer
@@ -550,6 +645,7 @@ impl Processor {
                 }
             }
         }
+        self.finished_scratch = finished;
     }
 
     /// Sends the (partial +) full address of a load/store to the LSQ.
@@ -565,7 +661,7 @@ impl Processor {
                 },
                 cycle,
             );
-            self.actions.insert(id, Action::PartialAddr { seq });
+            self.record_action(id, Action::PartialAddr { seq });
         }
         let class = self
             .policy
@@ -579,7 +675,7 @@ impl Processor {
             },
             cycle,
         );
-        self.actions.insert(id, Action::FullAddr { seq });
+        self.record_action(id, Action::FullAddr { seq });
     }
 
     /// Advances loads at the cache through disambiguation and RAM access,
@@ -625,9 +721,13 @@ impl Processor {
                     let data_ready = if forward {
                         cycle + 1
                     } else {
-                        let accelerated = use_partial
-                            && ram_start.map(|r| r < cycle).unwrap_or(false);
-                        let rs = if accelerated { ram_start.unwrap() } else { cycle };
+                        let accelerated =
+                            use_partial && ram_start.map(|r| r < cycle).unwrap_or(false);
+                        let rs = if accelerated {
+                            ram_start.unwrap()
+                        } else {
+                            cycle
+                        };
                         self.memory.load(addr, rs, cycle, accelerated)
                     };
                     // Return the data to the cluster over the network. The
@@ -676,7 +776,8 @@ impl Processor {
         }
 
         // Store data: send once the data operand is ready in the cluster.
-        let mut to_send: Vec<(u64, usize)> = Vec::new();
+        let mut to_send = std::mem::take(&mut self.store_send_scratch);
+        to_send.clear();
         for (off, inst) in self.rob.iter().enumerate() {
             if inst.op.op() != OpClass::Store || inst.store_data_sent {
                 continue;
@@ -693,7 +794,7 @@ impl Processor {
                 to_send.push((self.rob_base + off as u64, inst.cluster));
             }
         }
-        for (seq, cluster) in to_send {
+        for &(seq, cluster) in &to_send {
             let hints = TransferHints {
                 ready_at_dispatch: false,
                 store_data: true,
@@ -708,9 +809,10 @@ impl Processor {
                 },
                 cycle,
             );
-            self.actions.insert(id, Action::StoreData { seq });
+            self.record_action(id, Action::StoreData { seq });
             self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
         }
+        self.store_send_scratch = to_send;
 
         // Stores become committable when both address and data are at the
         // LSQ.
@@ -729,8 +831,9 @@ impl Processor {
     /// op per FU kind per cluster per cycle).
     fn issue(&mut self) {
         let cycle = self.cycle;
-        let n = self.clusters.len();
-        let mut fu_started = vec![[false; 4]; n];
+        for f in self.fu_started.iter_mut() {
+            *f = [false; 4];
+        }
 
         // Resolve cached source readiness lazily.
         let len = self.rob.len();
@@ -743,7 +846,7 @@ impl Processor {
                 continue;
             }
             let kind = op.op().unit();
-            if fu_started[cluster][kind.index()] {
+            if self.fu_started[cluster][kind.index()] {
                 continue;
             }
             if self.clusters[cluster].fu_free[kind.index()] > cycle {
@@ -786,7 +889,7 @@ impl Processor {
             }
 
             // Issue.
-            fu_started[cluster][kind.index()] = true;
+            self.fu_started[cluster][kind.index()] = true;
             let latency = op.op().latency() as u64;
             let cs = &mut self.clusters[cluster];
             cs.fu_free[kind.index()] = if op.op().pipelined() {
@@ -839,16 +942,19 @@ impl Processor {
 
     /// Dispatches from the fetch queue into the ROB and issue queues.
     fn dispatch(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut budget = self.config.dispatch_width;
         while budget > 0 {
             if self.rob.len() >= self.config.rob_size {
                 break;
             }
-            let Some(fetched) = self.fetch.peek().copied() else { break };
+            let Some(fetched) = self.fetch.peek().copied() else {
+                break;
+            };
             let op = fetched.op;
 
             // Gather producer info for steering.
-            let mut producers: Vec<ProducerInfo> = Vec::new();
+            scratch.producers.clear();
             let mut src_producer = [None; 2];
             let mut youngest_pending: Option<u64> = None;
             for (s, slot) in op.src_slots().into_iter().enumerate() {
@@ -856,13 +962,11 @@ impl Processor {
                 let p = self.rename[reg.flat_index()];
                 src_producer[s] = p;
                 if let Some(p) = p {
-                    if let Some(v) = self.values.get(&p) {
-                        if v.done_at.is_none()
-                            && youngest_pending.map(|y| p > y).unwrap_or(true)
-                        {
+                    if let Some(v) = self.value(p) {
+                        if v.done_at.is_none() && youngest_pending.map(|y| p > y).unwrap_or(true) {
                             youngest_pending = Some(p);
                         }
-                        producers.push(ProducerInfo {
+                        scratch.producers.push(ProducerInfo {
                             cluster: v.cluster,
                             critical: false,
                         });
@@ -871,38 +975,37 @@ impl Processor {
             }
             // Mark the youngest still-pending producer as critical.
             if let Some(y) = youngest_pending {
-                let yc = self.values[&y].cluster;
-                if let Some(pi) = producers.iter_mut().find(|pi| pi.cluster == yc) {
+                let yc = self.value(y).expect("pending producer").cluster;
+                if let Some(pi) = scratch.producers.iter_mut().find(|pi| pi.cluster == yc) {
                     pi.critical = true;
                 }
             }
 
             // Resource views.
             let is_fp_q = op.op().is_fp();
-            let views: Vec<ClusterView> = self
-                .clusters
-                .iter()
-                .map(|c| {
-                    let free_iq = if is_fp_q {
-                        self.config.iq_per_cluster - c.iq_fp_used
-                    } else {
-                        self.config.iq_per_cluster - c.iq_int_used
-                    };
-                    let free_regs = match op.dest() {
-                        None => usize::MAX,
-                        Some(d) if d.class() == RegClass::Fp => {
-                            self.config.regs_per_cluster - c.regs_fp_used
-                        }
-                        Some(_) => self.config.regs_per_cluster - c.regs_int_used,
-                    };
-                    ClusterView { free_iq, free_regs }
-                })
-                .collect();
+            scratch.views.clear();
+            scratch.views.extend(self.clusters.iter().map(|c| {
+                let free_iq = if is_fp_q {
+                    self.config.iq_per_cluster - c.iq_fp_used
+                } else {
+                    self.config.iq_per_cluster - c.iq_int_used
+                };
+                let free_regs = match op.dest() {
+                    None => usize::MAX,
+                    Some(d) if d.class() == RegClass::Fp => {
+                        self.config.regs_per_cluster - c.regs_fp_used
+                    }
+                    Some(_) => self.config.regs_per_cluster - c.regs_int_used,
+                };
+                ClusterView { free_iq, free_regs }
+            }));
 
-            let Some(cluster) =
-                self.steering
-                    .choose(op.op() == OpClass::Load, &producers, &views)
-            else {
+            let Some(cluster) = self.steering.choose_into(
+                op.op() == OpClass::Load,
+                &scratch.producers,
+                &scratch.views,
+                &mut scratch.scores,
+            ) else {
                 break; // structural stall
             };
 
@@ -929,44 +1032,37 @@ impl Processor {
             }
             let seq = op.seq();
             debug_assert_eq!(seq, self.rob_base + self.rob.len() as u64);
+            debug_assert_eq!(seq as usize, self.values.len(), "seqs are dense");
 
-            // Register the destination value and rename.
+            // Register the destination value (a slot exists for every
+            // dispatched op, `None` when there is no destination) and
+            // rename.
+            self.values.push(
+                op.dest()
+                    .map(|_| ValueInfo::new(cluster, op.is_narrow_result(), op.result(), op.pc())),
+            );
             if let Some(d) = op.dest() {
-                self.values.insert(
-                    seq,
-                    ValueInfo {
-                        cluster,
-                        done_at: None,
-                        narrow: op.is_narrow_result(),
-                        value: op.result(),
-                        pc: op.pc(),
-                        arrivals: HashMap::new(),
-                        subscribers: Vec::new(),
-                    },
-                );
                 self.rename[d.flat_index()] = Some(seq);
             }
 
             // Cross-cluster operand copies / subscriptions.
-            for p in src_producer.iter().flatten() {
+            for &p in src_producer.iter().flatten() {
                 let (v_cluster, v_done, already) = {
-                    let v = &self.values[p];
+                    let v = self.value(p).expect("present");
                     (
                         v.cluster,
                         v.done_at.is_some(),
-                        v.arrivals.contains_key(&cluster),
+                        v.arrivals[cluster] != NOT_SENT,
                     )
                 };
                 if v_cluster == cluster || already {
                     continue;
                 }
                 if v_done {
-                    self.send_value_copy(*p, cluster, true);
+                    self.send_value_copy(p, cluster, true);
                 } else {
-                    let v = self.values.get_mut(p).expect("present");
-                    if !v.subscribers.contains(&cluster) {
-                        v.subscribers.push(cluster);
-                    }
+                    let v = self.value_mut(p).expect("present");
+                    v.subscribers.push_unique(cluster);
                 }
             }
 
@@ -993,6 +1089,7 @@ impl Processor {
                 store_data_arrived: false,
             });
         }
+        self.scratch = scratch;
     }
 
     /// Runs the simulation until `instructions` have committed (with the
@@ -1121,7 +1218,10 @@ impl Processor {
     /// cycles for loads.
     pub fn load_lsq_breakdown(&self) -> (f64, f64) {
         let n = self.lsq_wait_count.max(1) as f64;
-        (self.agen_to_lsq_sum as f64 / n, self.lsq_wait_sum as f64 / n)
+        (
+            self.agen_to_lsq_sum as f64 / n,
+            self.lsq_wait_sum as f64 / n,
+        )
     }
 
     /// Mean cycles from a store's dispatch to its address reaching the LSQ.
@@ -1280,8 +1380,7 @@ mod extension_tests {
     use heterowire_trace::profile;
 
     fn run_ext(ext: Extensions, latency_scale: f64, bench: &str) -> SimResults {
-        let mut config =
-            ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+        let mut config = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
         config.extensions = ext;
         config.latency_scale = latency_scale;
         let trace = TraceGenerator::new(profile::by_name(bench).unwrap(), 31);
@@ -1318,7 +1417,10 @@ mod extension_tests {
             1.0,
             "gcc",
         );
-        let l = WireClass::ALL.iter().position(|&c| c == WireClass::L).unwrap();
+        let l = WireClass::ALL
+            .iter()
+            .position(|&c| c == WireClass::L)
+            .unwrap();
         assert!(
             fvc.net.transfers[l] >= base.net.transfers[l],
             "FVC should add L traffic: {:?} vs {:?}",

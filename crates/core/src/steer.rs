@@ -76,36 +76,37 @@ impl Steering {
         Steering { weights, topology }
     }
 
-    /// Scores every cluster for an instruction.
-    fn scores(
+    /// Scores every cluster for an instruction into `out` (cleared first).
+    fn scores_into(
         &self,
         is_load: bool,
         producers: &[ProducerInfo],
         clusters: &[ClusterView],
-    ) -> Vec<i64> {
+        out: &mut Vec<i64>,
+    ) {
         let w = &self.weights;
-        (0..clusters.len())
-            .map(|c| {
-                let mut score = 0;
-                for p in producers {
-                    if p.cluster == c {
-                        score += w.dependence;
-                        if p.critical {
-                            score += w.critical;
-                        }
+        out.clear();
+        out.extend((0..clusters.len()).map(|c| {
+            let mut score = 0;
+            for p in producers {
+                if p.cluster == c {
+                    score += w.dependence;
+                    if p.critical {
+                        score += w.critical;
                     }
                 }
-                score += (clusters[c].free_iq as i64).min(w.free_cap) * w.free_slot;
-                if is_load && self.topology.cache_adjacent(c) {
-                    score += w.cache_proximity;
-                }
-                score
-            })
-            .collect()
+            }
+            score += (clusters[c].free_iq as i64).min(w.free_cap) * w.free_slot;
+            if is_load && self.topology.cache_adjacent(c) {
+                score += w.cache_proximity;
+            }
+            score
+        }));
     }
 
     /// Chooses the cluster for an instruction, or `None` if no cluster has
-    /// free resources (dispatch must stall).
+    /// free resources (dispatch must stall). Allocating convenience form of
+    /// [`Steering::choose_into`].
     ///
     /// # Panics
     ///
@@ -116,12 +117,30 @@ impl Steering {
         producers: &[ProducerInfo],
         clusters: &[ClusterView],
     ) -> Option<usize> {
+        let mut scratch = Vec::with_capacity(clusters.len());
+        self.choose_into(is_load, producers, clusters, &mut scratch)
+    }
+
+    /// [`Steering::choose`] with a caller-provided score buffer, so the
+    /// per-instruction dispatch path performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty or does not match the topology.
+    pub fn choose_into(
+        &self,
+        is_load: bool,
+        producers: &[ProducerInfo],
+        clusters: &[ClusterView],
+        scratch: &mut Vec<i64>,
+    ) -> Option<usize> {
         assert_eq!(
             clusters.len(),
             self.topology.clusters(),
             "cluster view must cover the topology"
         );
-        let scores = self.scores(is_load, producers, clusters);
+        self.scores_into(is_load, producers, clusters, scratch);
+        let scores = &*scratch;
         // Ideal cluster by score (ties -> lower index for determinism).
         let ideal = (0..clusters.len())
             .max_by_key(|&c| (scores[c], std::cmp::Reverse(c)))

@@ -1,88 +1,151 @@
-//! Property-based tests over the core: steering, the narrow predictor, the
-//! energy model and short simulator invariants.
+//! Randomized property-style tests over the core: steering, the narrow
+//! predictor, the energy model and short simulator invariants (std-only).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
-use heterowire_core::{
-    relative_report, EnergyParams, InterconnectModel, NarrowPredictor, Processor,
-    ProcessorConfig, Steering, SteeringWeights,
-};
 use heterowire_core::steer::{ClusterView, ProducerInfo};
+use heterowire_core::{
+    relative_report, EnergyParams, InterconnectModel, NarrowPredictor, Processor, ProcessorConfig,
+    Steering, SteeringWeights,
+};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{spec2000, TraceGenerator};
 
-proptest! {
-    /// Steering never returns a resource-less cluster, and returns None
-    /// exactly when no cluster has resources.
-    #[test]
-    fn steering_respects_resources(
-        free in proptest::collection::vec((0usize..4, 0usize..4), 4),
-        producer in proptest::option::of(0usize..4),
-        is_load in any::<bool>(),
-    ) {
-        let views: Vec<ClusterView> = free
-            .iter()
-            .map(|&(iq, regs)| ClusterView { free_iq: iq, free_regs: regs })
+const CASES: usize = 256;
+
+/// Steering never returns a resource-less cluster, and returns None
+/// exactly when no cluster has resources.
+#[test]
+fn steering_respects_resources() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0001);
+    let s = Steering::new(Topology::crossbar4(), SteeringWeights::default());
+    for _ in 0..CASES {
+        let views: Vec<ClusterView> = (0..4)
+            .map(|_| ClusterView {
+                free_iq: rng.gen_range(0usize..4),
+                free_regs: rng.gen_range(0usize..4),
+            })
             .collect();
-        let producers: Vec<ProducerInfo> = producer
-            .map(|c| vec![ProducerInfo { cluster: c, critical: true }])
-            .unwrap_or_default();
-        let s = Steering::new(Topology::crossbar4(), SteeringWeights::default());
+        let producers: Vec<ProducerInfo> = if rng.gen_bool(0.5) {
+            vec![ProducerInfo {
+                cluster: rng.gen_range(0usize..4),
+                critical: true,
+            }]
+        } else {
+            Vec::new()
+        };
+        let is_load = rng.gen_bool(0.5);
         match s.choose(is_load, &producers, &views) {
-            Some(c) => prop_assert!(views[c].has_resources()),
-            None => prop_assert!(views.iter().all(|v| !v.has_resources())),
+            Some(c) => assert!(views[c].has_resources()),
+            None => assert!(views.iter().all(|v| !v.has_resources())),
         }
     }
+}
 
-    /// The narrow predictor only predicts narrow after three consecutive
-    /// narrow outcomes, and any wide outcome resets it.
-    #[test]
-    fn narrow_counter_semantics(outcomes in proptest::collection::vec(any::<bool>(), 1..50)) {
+/// `choose` and the scratch-buffer `choose_into` agree on randomized
+/// inputs for both topologies (the simulator hot path uses the latter).
+#[test]
+fn choose_into_matches_choose() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0006);
+    let mut scratch = Vec::new();
+    for topology in [Topology::crossbar4(), Topology::hier16()] {
+        let s = Steering::new(topology, SteeringWeights::default());
+        let n = topology.clusters();
+        for _ in 0..CASES {
+            let views: Vec<ClusterView> = (0..n)
+                .map(|_| ClusterView {
+                    free_iq: rng.gen_range(0usize..6),
+                    free_regs: if rng.gen_bool(0.2) {
+                        usize::MAX
+                    } else {
+                        rng.gen_range(0usize..6)
+                    },
+                })
+                .collect();
+            let mut producers = Vec::new();
+            for _ in 0..rng.gen_range(0usize..3) {
+                producers.push(ProducerInfo {
+                    cluster: rng.gen_range(0..n),
+                    critical: rng.gen_bool(0.5),
+                });
+            }
+            let is_load = rng.gen_bool(0.3);
+            let a = s.choose(is_load, &producers, &views);
+            let b = s.choose_into(is_load, &producers, &views, &mut scratch);
+            assert_eq!(a, b, "views {views:?} producers {producers:?}");
+        }
+    }
+}
+
+/// The narrow predictor only predicts narrow after three consecutive
+/// narrow outcomes, and any wide outcome resets it.
+#[test]
+fn narrow_counter_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0002);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..50);
         let mut p = NarrowPredictor::new(1024);
         let pc = 0x40;
         let mut streak = 0u32;
-        for &narrow in &outcomes {
-            prop_assert_eq!(p.predict(pc), streak >= 3, "streak {}", streak);
+        for _ in 0..len {
+            let narrow = rng.gen_bool(0.5);
+            assert_eq!(p.predict(pc), streak >= 3, "streak {streak}");
             p.update(pc, narrow);
             streak = if narrow { streak + 1 } else { 0 };
         }
     }
+}
 
-    /// Energy model identities: a model identical to the baseline scores
-    /// exactly 100 everywhere, for any interconnect fraction.
-    #[test]
-    fn energy_identity(f in 0.01f64..0.5) {
-        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
-        let trace = TraceGenerator::new(spec2000().swap_remove(0), 3);
-        let r = Processor::simulate(cfg, trace, 2_000, 200);
-        let params = EnergyParams { ic_fraction: f, leakage_share: 0.3 };
+/// Energy model identities: a model identical to the baseline scores
+/// exactly 100 everywhere, for any interconnect fraction.
+#[test]
+fn energy_identity() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0003);
+    let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+    let trace = TraceGenerator::new(spec2000().swap_remove(0), 3);
+    let r = Processor::simulate(cfg, trace, 2_000, 200);
+    for _ in 0..32 {
+        let f = rng.gen_range(0.01f64..0.5);
+        let params = EnergyParams {
+            ic_fraction: f,
+            leakage_share: 0.3,
+        };
         let rel = relative_report(&r, &r, params);
-        prop_assert!((rel.rel_processor_energy - 100.0).abs() < 1e-9);
-        prop_assert!((rel.rel_ed2 - 100.0).abs() < 1e-9);
+        assert!((rel.rel_processor_energy - 100.0).abs() < 1e-9);
+        assert!((rel.rel_ed2 - 100.0).abs() < 1e-9);
     }
+}
 
-    /// Slower cycles with identical interconnect energy always increase
-    /// ED² (the D² term dominates the leakage credit).
-    #[test]
-    fn ed2_punishes_slowdowns(slowdown in 1.01f64..2.0) {
-        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
-        let trace = TraceGenerator::new(spec2000().swap_remove(5), 3);
-        let base = Processor::simulate(cfg, trace, 2_000, 200);
+/// Slower cycles with identical interconnect energy always increase ED²
+/// (the D² term dominates the leakage credit).
+#[test]
+fn ed2_punishes_slowdowns() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0004);
+    let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+    let trace = TraceGenerator::new(spec2000().swap_remove(5), 3);
+    let base = Processor::simulate(cfg, trace, 2_000, 200);
+    for _ in 0..32 {
+        let slowdown = rng.gen_range(1.01f64..2.0);
         let mut slow = base;
         slow.cycles = (base.cycles as f64 * slowdown) as u64;
         let rel = relative_report(&slow, &base, EnergyParams::ten_percent());
-        prop_assert!(rel.rel_ed2 > 100.0, "{}", rel.rel_ed2);
+        assert!(rel.rel_ed2 > 100.0, "{}", rel.rel_ed2);
     }
+}
 
-    /// The simulator commits exactly the requested window for any small
-    /// window size and any benchmark.
-    #[test]
-    fn exact_window_commit(bench in 0usize..23, window in 500u64..2_000) {
+/// The simulator commits exactly the requested window for any small window
+/// size and any benchmark.
+#[test]
+fn exact_window_commit() {
+    let mut rng = SmallRng::seed_from_u64(0xc04e_0005);
+    for _ in 0..8 {
+        let bench = rng.gen_range(0usize..23);
+        let window = rng.gen_range(500u64..2_000);
         let profile = spec2000().swap_remove(bench);
         let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
         let trace = TraceGenerator::new(profile, 9);
         let r = Processor::simulate(cfg, trace, window, 100);
-        prop_assert_eq!(r.instructions, window);
-        prop_assert!(r.cycles > 0);
+        assert_eq!(r.instructions, window);
+        assert!(r.cycles > 0);
     }
 }

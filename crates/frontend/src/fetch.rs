@@ -138,7 +138,10 @@ impl<I: Iterator<Item = MicroOp>> FetchEngine<I> {
                 self.stats.branches += 1;
                 let predicted_taken = self.predictor.predict(op.pc());
                 let target_known = if info.taken {
-                    self.btb.lookup(op.pc()).map(|t| t == info.target).unwrap_or(false)
+                    self.btb
+                        .lookup(op.pc())
+                        .map(|t| t == info.target)
+                        .unwrap_or(false)
                 } else {
                     true
                 };
@@ -164,7 +167,10 @@ impl<I: Iterator<Item = MicroOp>> FetchEngine<I> {
                     }
                 }
             } else {
-                self.queue.push_back(FetchedOp { op, mispredicted: false });
+                self.queue.push_back(FetchedOp {
+                    op,
+                    mispredicted: false,
+                });
             }
         }
     }
@@ -269,7 +275,10 @@ mod tests {
         fe.tick(4);
         assert_eq!(fe.queue_len(), fetched_at_stall, "still stalled at cycle 4");
         fe.tick(5);
-        assert!(fe.queue_len() > fetched_at_stall, "fetch resumed at cycle 5");
+        assert!(
+            fe.queue_len() > fetched_at_stall,
+            "fetch resumed at cycle 5"
+        );
         assert_eq!(fe.stats().mispredicts, 1);
     }
 

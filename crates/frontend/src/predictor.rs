@@ -39,7 +39,10 @@ impl Bimodal {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Bimodal {
             counters: vec![2; entries],
         }

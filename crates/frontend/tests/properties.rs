@@ -1,25 +1,37 @@
-//! Property-based tests over the predictors and fetch engine.
+//! Randomized property-style tests over the predictors and fetch engine,
+//! driven by the workspace's own deterministic RNG (std-only).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
 use heterowire_frontend::{Bimodal, Btb, Combined, DirectionPredictor, TwoLevel};
 
-proptest! {
-    /// A bimodal counter trained n >= 2 times in one direction predicts
-    /// that direction.
-    #[test]
-    fn bimodal_saturates(pc in any::<u64>(), taken in any::<bool>(), n in 2u32..10) {
+const CASES: usize = 64;
+
+/// A bimodal counter trained n >= 2 times in one direction predicts that
+/// direction.
+#[test]
+fn bimodal_saturates() {
+    let mut rng = SmallRng::seed_from_u64(0xf00d_0001);
+    for _ in 0..CASES {
+        let pc: u64 = rng.gen();
+        let taken = rng.gen_bool(0.5);
+        let n = rng.gen_range(2u32..10);
         let mut p = Bimodal::new(4096);
         for _ in 0..n {
             p.update(pc, taken);
         }
-        prop_assert_eq!(p.predict(pc), taken);
+        assert_eq!(p.predict(pc), taken, "pc {pc:#x} n {n}");
     }
+}
 
-    /// The combined predictor is at least as good as its better component
-    /// on a biased stream (within a small warmup slack).
-    #[test]
-    fn combined_tracks_better_component(bias_taken in any::<bool>(), len in 100usize..400) {
+/// The combined predictor is at least as good as its better component on a
+/// biased stream (within a small warmup slack).
+#[test]
+fn combined_tracks_better_component() {
+    let mut rng = SmallRng::seed_from_u64(0xf00d_0002);
+    for _ in 0..CASES {
+        let bias_taken = rng.gen_bool(0.5);
+        let len = rng.gen_range(100usize..400);
         let mut bi = Bimodal::new(4096);
         let mut comb = Combined::new(Bimodal::new(4096), TwoLevel::new(1024, 8, 4096), 1024);
         let pc = 0x4000;
@@ -37,33 +49,42 @@ proptest! {
             bi.update(pc, taken);
             comb.update(pc, taken);
         }
-        prop_assert!(comb_correct + 12 >= bi_correct,
-            "combined {comb_correct} vs bimodal {bi_correct}");
+        assert!(
+            comb_correct + 12 >= bi_correct,
+            "combined {comb_correct} vs bimodal {bi_correct}"
+        );
     }
+}
 
-    /// The BTB returns exactly what was last installed for a PC.
-    #[test]
-    fn btb_returns_last_target(
-        updates in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..100),
-    ) {
+/// The BTB returns exactly what was last installed for a PC.
+#[test]
+fn btb_returns_last_target() {
+    let mut rng = SmallRng::seed_from_u64(0xf00d_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..100);
         let mut btb = Btb::new(1024, 2);
-        let mut last = std::collections::HashMap::new();
-        for (pc, target) in updates {
+        for _ in 0..n {
+            let pc: u64 = rng.gen();
+            let target: u64 = rng.gen();
             btb.update(pc, target);
-            last.insert(pc, target);
             // The entry just installed must be retrievable.
-            prop_assert_eq!(btb.lookup(pc), Some(target));
+            assert_eq!(btb.lookup(pc), Some(target));
         }
     }
+}
 
-    /// Two-level history updates never panic and keep predictions boolean
-    /// for arbitrary pc streams (no index escapes).
-    #[test]
-    fn two_level_is_total(pcs in proptest::collection::vec(any::<u64>(), 1..200)) {
+/// Two-level history updates never panic and keep predictions boolean for
+/// arbitrary pc streams (no index escapes).
+#[test]
+fn two_level_is_total() {
+    let mut rng = SmallRng::seed_from_u64(0xf00d_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
         let mut p = TwoLevel::table1();
-        for (i, pc) in pcs.iter().enumerate() {
-            let _ = p.predict(*pc);
-            p.update(*pc, i % 3 == 0);
+        for i in 0..n {
+            let pc: u64 = rng.gen();
+            let _ = p.predict(pc);
+            p.update(pc, i % 3 == 0);
         }
     }
 }

@@ -59,7 +59,7 @@ impl FrequentValueTable {
             self.entries[i].1 = self.entries[i].1.saturating_add(1);
             self.hits += 1;
             // Keep hottest first so `encode` indices are stable-ish.
-            self.entries[..=i].sort_by(|a, b| b.1.cmp(&a.1));
+            self.entries[..=i].sort_by_key(|e| std::cmp::Reverse(e.1));
             return true;
         }
         self.misses += 1;
@@ -105,7 +105,12 @@ impl Default for FrequentValueTable {
 
 impl fmt::Display for FrequentValueTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FVC[{}] {:.0}% hit", self.entries.len(), self.hit_rate() * 100.0)
+        write!(
+            f,
+            "FVC[{}] {:.0}% hit",
+            self.entries.len(),
+            self.hit_rate() * 100.0
+        )
     }
 }
 

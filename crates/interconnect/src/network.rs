@@ -7,12 +7,10 @@
 //! unbounded FIFOs, and the links in/out of the cache have twice the wires
 //! of cluster links.
 
-use std::collections::HashMap;
-
 use heterowire_wires::{LinkComposition, WireClass};
 
 use crate::message::Transfer;
-use crate::topology::{LinkId, Topology};
+use crate::topology::{LinkId, Topology, MAX_ROUTE_LINKS};
 
 /// Identifier of an in-flight or delivered transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -85,17 +83,43 @@ fn class_index(class: WireClass) -> usize {
         .expect("class is one of the four")
 }
 
-#[derive(Debug, Clone)]
+/// Index of a link in [`Topology::all_links`] order, computed
+/// arithmetically so the send hot path needs no hash lookup. Checked
+/// against the enumeration in [`Network::new`].
+fn link_slot(topology: Topology, id: LinkId) -> usize {
+    let n = topology.clusters();
+    match id {
+        LinkId::ClusterOut(c) => 2 * c,
+        LinkId::ClusterIn(c) => 2 * c + 1,
+        LinkId::CacheOut => 2 * n,
+        LinkId::CacheIn => 2 * n + 1,
+        LinkId::Ring { from, to } => {
+            let quads = n / 4;
+            let clockwise = to == (from + 1) % quads;
+            2 * n + 2 + 2 * from + usize::from(!clockwise)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct Pending {
     id: TransferId,
     transfer: Transfer,
-    links: Vec<usize>,
+    /// Link slots of the route, stored inline (no per-transfer heap).
+    links: [u16; MAX_ROUTE_LINKS],
+    nlinks: u8,
     latency: u64,
     hops: u32,
     enqueued: u64,
 }
 
-#[derive(Debug, Clone)]
+impl Pending {
+    fn links(&self) -> &[u16] {
+        &self.links[..self.nlinks as usize]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct InFlight {
     id: TransferId,
     transfer: Transfer,
@@ -107,7 +131,6 @@ struct InFlight {
 pub struct Network {
     config: NetConfig,
     link_ids: Vec<LinkId>,
-    link_index: HashMap<LinkId, usize>,
     /// Lane capacity per link per wire class.
     caps: Vec<[u32; 4]>,
     /// Lanes used in the current cycle per link per class.
@@ -133,9 +156,7 @@ impl Network {
         let link_ids = config.topology.all_links();
         let cache_link = config.cluster_link.widened(2);
         let mut caps = Vec::with_capacity(link_ids.len());
-        let mut link_index = HashMap::with_capacity(link_ids.len());
-        for (i, &id) in link_ids.iter().enumerate() {
-            link_index.insert(id, i);
+        for &id in &link_ids {
             let comp = match id {
                 LinkId::CacheIn | LinkId::CacheOut => &cache_link,
                 _ => &config.cluster_link,
@@ -147,10 +168,17 @@ impl Network {
             caps.push(lanes);
         }
         let used = vec![[0; 4]; link_ids.len()];
+        // `link_slot` must agree with the enumeration order of `all_links`.
+        for (i, &id) in link_ids.iter().enumerate() {
+            debug_assert_eq!(
+                link_slot(config.topology, id),
+                i,
+                "link slot mismatch for {id:?}"
+            );
+        }
         Network {
             config,
             link_ids,
-            link_index,
             caps,
             used,
             pending: Vec::new(),
@@ -188,7 +216,7 @@ impl Network {
         let route = self
             .config
             .topology
-            .route(transfer.src, transfer.dst, transfer.class);
+            .route_inline(transfer.src, transfer.dst, transfer.class);
         // Transmission-line L-Wires fly at time-of-flight: wire-constrained
         // latency scaling does not apply to them.
         let scale = if self.config.transmission_line_l && transfer.class == WireClass::L {
@@ -200,14 +228,15 @@ impl Network {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.stats.transfers[class_index(transfer.class)] += 1;
+        let mut links = [0u16; MAX_ROUTE_LINKS];
+        for (slot, &l) in links.iter_mut().zip(route.links()) {
+            *slot = link_slot(self.config.topology, l) as u16;
+        }
         self.pending.push(Pending {
             id,
             transfer,
-            links: route
-                .links
-                .iter()
-                .map(|l| self.link_index[l])
-                .collect(),
+            links,
+            nlinks: route.links().len() as u8,
             latency: latency.max(1),
             hops: route.hops,
             enqueued: cycle,
@@ -230,25 +259,22 @@ impl Network {
         for u in &mut self.used {
             *u = [0; 4];
         }
-        let mut i = 0;
-        while i < self.pending.len() {
-            let p = &self.pending[i];
-            if p.enqueued >= cycle {
-                // Sent this cycle: eligible next cycle (send buffers add one
-                // cycle of wire scheduling).
-                i += 1;
-                continue;
-            }
+        // Single ordered pass compacting survivors in place (oldest-first
+        // arbitration order is preserved; no per-element shifting).
+        let mut kept = 0;
+        for i in 0..self.pending.len() {
+            let p = self.pending[i];
             let ci = class_index(p.transfer.class);
-            let free = p
-                .links
-                .iter()
-                .all(|&l| self.used[l][ci] < self.caps[l][ci]);
-            if free {
-                for &l in &p.links {
-                    self.used[l][ci] += 1;
+            // A transfer sent this cycle is eligible next cycle (send
+            // buffers add one cycle of wire scheduling).
+            let departs = p.enqueued < cycle
+                && p.links()
+                    .iter()
+                    .all(|&l| self.used[l as usize][ci] < self.caps[l as usize][ci]);
+            if departs {
+                for &l in p.links() {
+                    self.used[l as usize][ci] += 1;
                 }
-                let p = self.pending.remove(i);
                 self.stats.queue_cycles += cycle - p.enqueued - 1;
                 let bits = p.transfer.kind.bits() as u64 * p.hops as u64;
                 self.stats.bit_hops[ci] += bits;
@@ -263,25 +289,38 @@ impl Network {
                     deliver_at: cycle + p.latency,
                 });
             } else {
-                i += 1;
+                self.pending[kept] = p;
+                kept += 1;
             }
         }
+        self.pending.truncate(kept);
     }
 
-    /// Removes and returns all transfers delivered at or before `cycle`.
-    pub fn take_delivered(&mut self, cycle: u64) -> Vec<(TransferId, Transfer)> {
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].deliver_at <= cycle {
-                let f = self.in_flight.remove(i);
+    /// Removes all transfers delivered at or before `cycle` into `out`
+    /// (cleared first, then sorted by id) without allocating in steady
+    /// state.
+    pub fn take_delivered_into(&mut self, cycle: u64, out: &mut Vec<(TransferId, Transfer)>) {
+        out.clear();
+        let mut kept = 0;
+        for i in 0..self.in_flight.len() {
+            let f = self.in_flight[i];
+            if f.deliver_at <= cycle {
                 self.stats.delivered += 1;
                 out.push((f.id, f.transfer));
             } else {
-                i += 1;
+                self.in_flight[kept] = f;
+                kept += 1;
             }
         }
-        out.sort_by_key(|(id, _)| *id);
+        self.in_flight.truncate(kept);
+        out.sort_unstable_by_key(|(id, _)| *id);
+    }
+
+    /// Removes and returns all transfers delivered at or before `cycle`
+    /// (allocating convenience form of [`Network::take_delivered_into`]).
+    pub fn take_delivered(&mut self, cycle: u64) -> Vec<(TransferId, Transfer)> {
+        let mut out = Vec::new();
+        self.take_delivered_into(cycle, &mut out);
         out
     }
 

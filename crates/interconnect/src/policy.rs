@@ -155,7 +155,11 @@ impl WirePolicy {
             return WireClass::L;
         }
 
-        let full_default = if self.planes.b { WireClass::B } else { WireClass::Pw };
+        let full_default = if self.planes.b {
+            WireClass::B
+        } else {
+            WireClass::Pw
+        };
 
         // 2. Non-critical traffic to PW.
         let mut class = full_default;
@@ -220,7 +224,10 @@ mod tests {
             ready_at_dispatch: true,
             store_data: false,
         };
-        assert_eq!(p.choose(MessageKind::RegisterValue, ready, 0), WireClass::Pw);
+        assert_eq!(
+            p.choose(MessageKind::RegisterValue, ready, 0),
+            WireClass::Pw
+        );
         let store = TransferHints {
             ready_at_dispatch: false,
             store_data: true,

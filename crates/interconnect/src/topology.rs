@@ -60,6 +60,30 @@ pub struct Route {
     pub hops: u32,
 }
 
+/// Longest possible route: source link + `quads/2` ring segments + sink
+/// link. With the paper's 4 quads that is 4; 6 leaves headroom for an
+/// 8-quad ring.
+pub const MAX_ROUTE_LINKS: usize = 6;
+
+/// An allocation-free [`Route`] with the link set stored inline — the
+/// network's hot send path computes one of these per transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineRoute {
+    links: [LinkId; MAX_ROUTE_LINKS],
+    len: u8,
+    /// Delivery latency in cycles for the given wire class.
+    pub latency: u64,
+    /// Energy hops: 1 for the crossbar traversal plus 1 per ring segment.
+    pub hops: u32,
+}
+
+impl InlineRoute {
+    /// The links traversed, in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..self.len as usize]
+    }
+}
+
 impl Topology {
     /// A 4-cluster crossbar (the paper's main configuration).
     pub fn crossbar4() -> Self {
@@ -114,54 +138,33 @@ impl Topology {
         links
     }
 
-    /// Ring path (sequence of segments) between two quads, shortest
-    /// direction, clockwise on ties.
-    fn ring_path(&self, from: usize, to: usize) -> Vec<LinkId> {
-        let Topology::HierRing { quads } = *self else {
-            return Vec::new();
-        };
-        if from == to {
-            return Vec::new();
-        }
-        let cw = (to + quads - from) % quads;
-        let ccw = (from + quads - to) % quads;
-        let mut path = Vec::new();
-        let mut q = from;
-        if cw <= ccw {
-            while q != to {
-                let n = (q + 1) % quads;
-                path.push(LinkId::Ring { from: q, to: n });
-                q = n;
-            }
-        } else {
-            while q != to {
-                let n = (q + quads - 1) % quads;
-                path.push(LinkId::Ring { from: q, to: n });
-                q = n;
-            }
-        }
-        path
-    }
-
     /// Computes the route from `src` to `dst` for a transfer on `class`
-    /// wires.
+    /// wires without heap allocation.
     ///
     /// # Panics
     ///
-    /// Panics if `src == dst` or a cluster index is out of range.
-    pub fn route(&self, src: Node, dst: Node, class: WireClass) -> Route {
+    /// Panics if `src == dst`, a cluster index is out of range, or the
+    /// route exceeds [`MAX_ROUTE_LINKS`] links.
+    pub fn route_inline(&self, src: Node, dst: Node, class: WireClass) -> InlineRoute {
         assert!(src != dst, "no self-transfers on the network");
         let params = class.params();
         let xbar = params.crossbar_latency as u64;
         let ring = params.ring_hop_latency as u64;
 
-        let (src_quad, mut links) = match src {
+        let mut links = [LinkId::CacheOut; MAX_ROUTE_LINKS];
+        let mut len = 0usize;
+        let src_quad = match src {
             Node::Cluster(c) => {
                 assert!(c < self.clusters(), "cluster {c} out of range");
-                (self.quad_of(c), vec![LinkId::ClusterOut(c)])
+                links[len] = LinkId::ClusterOut(c);
+                self.quad_of(c)
             }
-            Node::Cache => (Self::CACHE_QUAD, vec![LinkId::CacheOut]),
+            Node::Cache => {
+                links[len] = LinkId::CacheOut;
+                Self::CACHE_QUAD
+            }
         };
+        len += 1;
         let dst_quad = match dst {
             Node::Cluster(c) => {
                 assert!(c < self.clusters(), "cluster {c} out of range");
@@ -170,18 +173,48 @@ impl Topology {
             Node::Cache => Self::CACHE_QUAD,
         };
 
-        let ring_links = self.ring_path(src_quad, dst_quad);
-        let hops = 1 + ring_links.len() as u32;
-        let latency = xbar + ring * ring_links.len() as u64;
-        links.extend(ring_links);
-        links.push(match dst {
+        // Ring path between quads: shortest direction, clockwise on ties.
+        let mut segments = 0u64;
+        if let Topology::HierRing { quads } = *self {
+            if src_quad != dst_quad {
+                let cw = (dst_quad + quads - src_quad) % quads;
+                let ccw = (src_quad + quads - dst_quad) % quads;
+                let step = if cw <= ccw { 1 } else { quads - 1 };
+                let mut q = src_quad;
+                while q != dst_quad {
+                    let n = (q + step) % quads;
+                    links[len] = LinkId::Ring { from: q, to: n };
+                    len += 1;
+                    segments += 1;
+                    q = n;
+                }
+            }
+        }
+        links[len] = match dst {
             Node::Cluster(c) => LinkId::ClusterIn(c),
             Node::Cache => LinkId::CacheIn,
-        });
-        Route {
+        };
+        len += 1;
+        InlineRoute {
             links,
-            latency,
-            hops,
+            len: len as u8,
+            latency: xbar + ring * segments,
+            hops: 1 + segments as u32,
+        }
+    }
+
+    /// Computes the route from `src` to `dst` for a transfer on `class`
+    /// wires (allocating convenience form of [`Topology::route_inline`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or a cluster index is out of range.
+    pub fn route(&self, src: Node, dst: Node, class: WireClass) -> Route {
+        let r = self.route_inline(src, dst, class);
+        Route {
+            links: r.links().to_vec(),
+            latency: r.latency,
+            hops: r.hops,
         }
     }
 
@@ -204,10 +237,7 @@ mod tests {
             let r = t.route(Node::Cluster(0), Node::Cluster(2), class);
             assert_eq!(r.latency, lat, "{class}");
             assert_eq!(r.hops, 1);
-            assert_eq!(
-                r.links,
-                vec![LinkId::ClusterOut(0), LinkId::ClusterIn(2)]
-            );
+            assert_eq!(r.links, vec![LinkId::ClusterOut(0), LinkId::ClusterIn(2)]);
         }
     }
 

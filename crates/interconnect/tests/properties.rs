@@ -1,70 +1,87 @@
-//! Property-based tests over routing, arbitration and traffic accounting.
+//! Randomized property-style tests over routing, arbitration and traffic
+//! accounting (std-only, driven by the workspace RNG).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
-use heterowire_interconnect::{
-    LinkId, MessageKind, NetConfig, Network, Node, Topology, Transfer,
-};
+use heterowire_interconnect::{LinkId, MessageKind, NetConfig, Network, Node, Topology, Transfer};
 use heterowire_wires::{LinkComposition, WireClass, WirePlane};
 
-proptest! {
-    /// Every route starts at the source's output link, ends at the
-    /// destination's input link, uses only links the topology declares,
-    /// and its latency matches the class parameters.
-    #[test]
-    fn routes_are_well_formed(
-        hier in any::<bool>(),
-        src_i in 0usize..16,
-        dst_i in 0usize..16,
-        class_i in 0usize..3,
-    ) {
-        let topo = if hier { Topology::hier16() } else { Topology::crossbar4() };
+const CASES: usize = 128;
+
+/// Every route starts at the source's output link, ends at the
+/// destination's input link, uses only links the topology declares, and
+/// its latency matches the class parameters.
+#[test]
+fn routes_are_well_formed() {
+    let mut rng = SmallRng::seed_from_u64(0x10c_0001);
+    for _ in 0..CASES {
+        let topo = if rng.gen_bool(0.5) {
+            Topology::hier16()
+        } else {
+            Topology::crossbar4()
+        };
         let n = topo.clusters();
-        let src = if src_i % (n + 1) == n { Node::Cache } else { Node::Cluster(src_i % (n + 1)) };
-        let dst = if dst_i % (n + 1) == n { Node::Cache } else { Node::Cluster(dst_i % (n + 1)) };
-        prop_assume!(src != dst);
-        let class = [WireClass::Pw, WireClass::B, WireClass::L][class_i];
+        let src_i = rng.gen_range(0usize..16);
+        let dst_i = rng.gen_range(0usize..16);
+        let src = if src_i % (n + 1) == n {
+            Node::Cache
+        } else {
+            Node::Cluster(src_i % (n + 1))
+        };
+        let dst = if dst_i % (n + 1) == n {
+            Node::Cache
+        } else {
+            Node::Cluster(dst_i % (n + 1))
+        };
+        if src == dst {
+            continue;
+        }
+        let class = [WireClass::Pw, WireClass::B, WireClass::L][rng.gen_range(0usize..3)];
         let route = topo.route(src, dst, class);
 
         let all: Vec<LinkId> = topo.all_links();
         for l in &route.links {
-            prop_assert!(all.contains(l), "route uses undeclared link {l:?}");
+            assert!(all.contains(l), "route uses undeclared link {l:?}");
         }
         match src {
-            Node::Cluster(c) => prop_assert_eq!(route.links[0], LinkId::ClusterOut(c)),
-            Node::Cache => prop_assert_eq!(route.links[0], LinkId::CacheOut),
+            Node::Cluster(c) => assert_eq!(route.links[0], LinkId::ClusterOut(c)),
+            Node::Cache => assert_eq!(route.links[0], LinkId::CacheOut),
         }
         match dst {
             Node::Cluster(c) => {
-                prop_assert_eq!(*route.links.last().unwrap(), LinkId::ClusterIn(c))
+                assert_eq!(*route.links.last().unwrap(), LinkId::ClusterIn(c))
             }
-            Node::Cache => prop_assert_eq!(*route.links.last().unwrap(), LinkId::CacheIn),
+            Node::Cache => assert_eq!(*route.links.last().unwrap(), LinkId::CacheIn),
         }
         // Latency = crossbar + hops * ring-hop for the class.
         let p = class.params();
         let ring_segments = route.links.len() as u64 - 2;
-        prop_assert_eq!(
+        assert_eq!(
             route.latency,
             p.crossbar_latency as u64 + p.ring_hop_latency as u64 * ring_segments
         );
-        prop_assert_eq!(route.hops as u64, 1 + ring_segments);
+        assert_eq!(route.hops as u64, 1 + ring_segments);
         // Ring paths take the short way round (<= half the ring).
-        prop_assert!(ring_segments <= 2);
+        assert!(ring_segments <= 2);
     }
+}
 
-    /// Conservation: every sent transfer is eventually delivered exactly
-    /// once, regardless of contention.
-    #[test]
-    fn transfers_are_conserved(
-        sends in proptest::collection::vec((0usize..4, 0usize..4), 1..60),
-    ) {
+/// Conservation: every sent transfer is eventually delivered exactly once,
+/// regardless of contention.
+#[test]
+fn transfers_are_conserved() {
+    let mut rng = SmallRng::seed_from_u64(0x10c_0002);
+    for _ in 0..32 {
+        let n = rng.gen_range(1usize..60);
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 72),
             WirePlane::new(WireClass::L, 18),
         ]);
         let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
         let mut sent = 0u64;
-        for (i, &(src, dst)) in sends.iter().enumerate() {
+        for i in 0..n {
+            let src = rng.gen_range(0usize..4);
+            let dst = rng.gen_range(0usize..4);
             if src == dst {
                 continue;
             }
@@ -72,7 +89,11 @@ proptest! {
                 Transfer {
                     src: Node::Cluster(src),
                     dst: Node::Cluster(dst),
-                    class: if i % 3 == 0 { WireClass::L } else { WireClass::B },
+                    class: if i % 3 == 0 {
+                        WireClass::L
+                    } else {
+                        WireClass::B
+                    },
                     kind: if i % 3 == 0 {
                         MessageKind::NarrowValue
                     } else {
@@ -91,18 +112,20 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(delivered, sent);
-        prop_assert_eq!(net.inflight_len(), 0);
-        prop_assert_eq!(net.stats().delivered, sent);
+        assert_eq!(delivered, sent);
+        assert_eq!(net.inflight_len(), 0);
+        assert_eq!(net.stats().delivered, sent);
     }
+}
 
-    /// Dynamic energy accounting: total equals the sum over classes of
-    /// bit-hops x relative dynamic energy.
-    #[test]
-    fn energy_is_sum_of_weighted_bit_hops(
-        n_b in 0u32..20,
-        n_l in 0u32..20,
-    ) {
+/// Dynamic energy accounting: total equals the sum over classes of
+/// bit-hops x relative dynamic energy.
+#[test]
+fn energy_is_sum_of_weighted_bit_hops() {
+    let mut rng = SmallRng::seed_from_u64(0x10c_0003);
+    for _ in 0..32 {
+        let n_b = rng.gen_range(0u32..20);
+        let n_l = rng.gen_range(0u32..20);
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
@@ -137,8 +160,8 @@ proptest! {
         let s = net.stats();
         let expect: f64 = s.bit_hops[2] as f64 * WireClass::B.params().relative_dynamic
             + s.bit_hops[3] as f64 * WireClass::L.params().relative_dynamic;
-        prop_assert!((s.dynamic_energy - expect).abs() < 1e-6);
-        prop_assert_eq!(s.bit_hops[2], n_b as u64 * 72);
-        prop_assert_eq!(s.bit_hops[3], n_l as u64 * 18);
+        assert!((s.dynamic_energy - expect).abs() < 1e-6);
+        assert_eq!(s.bit_hops[2], n_b as u64 * 72);
+        assert_eq!(s.bit_hops[3], n_l as u64 * 18);
     }
 }

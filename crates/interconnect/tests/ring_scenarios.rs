@@ -1,9 +1,7 @@
 //! Scenario tests for the 16-cluster hierarchical topology: ring
 //! contention, direction choice and cache placement (paper Figure 2(b)).
 
-use heterowire_interconnect::{
-    MessageKind, NetConfig, Network, Node, Topology, Transfer,
-};
+use heterowire_interconnect::{MessageKind, NetConfig, Network, Node, Topology, Transfer};
 use heterowire_wires::{LinkComposition, WireClass, WirePlane};
 
 fn hier_net() -> Network {
@@ -128,7 +126,5 @@ fn energy_hops_scale_with_distance() {
     send(&mut far, 0, 8, 0);
     far.tick(1);
     // Same bits, 1 vs 3 energy hops.
-    assert!(
-        (far.stats().dynamic_energy / near.stats().dynamic_energy - 3.0).abs() < 1e-9
-    );
+    assert!((far.stats().dynamic_energy / near.stats().dynamic_energy - 3.0).abs() < 1e-9);
 }

@@ -324,7 +324,9 @@ mod tests {
 
     #[test]
     fn display_contains_fields() {
-        let op = MicroOp::builder(1, 0x10, OpClass::Branch).branch(true, 0x20).build();
+        let op = MicroOp::builder(1, 0x10, OpClass::Branch)
+            .branch(true, 0x20)
+            .build();
         let s = op.to_string();
         assert!(s.contains("br") && s.contains('T'), "{s}");
     }

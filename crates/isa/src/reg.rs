@@ -41,7 +41,10 @@ impl ArchReg {
     ///
     /// Panics if `index >= NUM_INT_REGS`.
     pub fn int(index: u8) -> Self {
-        assert!(index < NUM_INT_REGS, "integer register {index} out of range");
+        assert!(
+            index < NUM_INT_REGS,
+            "integer register {index} out of range"
+        );
         ArchReg {
             class: RegClass::Int,
             index,

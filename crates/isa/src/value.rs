@@ -68,7 +68,7 @@ mod tests {
         assert!(fits_in(1023, 10));
         assert!(!fits_in(1024, 10));
         assert!(fits_in(u64::MAX, 64));
-        assert!(fits_in(0, 0) == false || fits_in(0, 0)); // 0 < 1<<0 == 1 -> true
+        assert!(fits_in(0, 0)); // 0 < 1<<0 == 1
         assert!(fits_in(0, 1));
     }
 }

@@ -1,89 +1,119 @@
-//! Property-based tests over the micro-op layer.
+//! Randomized property-style tests over the micro-op layer, driven by the
+//! workspace's own deterministic RNG (std-only; no external test deps).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
 use heterowire_isa::value::{bit_width, fits_in, is_narrow};
 use heterowire_isa::{ArchReg, MicroOp, OpClass, RegClass};
 
-proptest! {
-    /// `bit_width` is the inverse of shifting: values of width w fit in w
-    /// bits but not in w-1.
-    #[test]
-    fn bit_width_is_tight(v in any::<u64>()) {
+const CASES: usize = 512;
+
+/// `bit_width` is the inverse of shifting: values of width w fit in w bits
+/// but not in w-1.
+#[test]
+fn bit_width_is_tight() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_0001);
+    for _ in 0..CASES {
+        let v: u64 = rng.gen();
         let w = bit_width(v);
-        prop_assert!(fits_in(v, w));
+        assert!(fits_in(v, w), "{v:#x} must fit in {w} bits");
         if w > 0 {
-            prop_assert!(!fits_in(v, w - 1));
+            assert!(!fits_in(v, w - 1), "{v:#x} must not fit in {} bits", w - 1);
         }
     }
-
-    /// The narrow predicate agrees with `fits_in(_, 10)`.
-    #[test]
-    fn narrow_is_ten_bits(v in any::<u64>()) {
-        prop_assert_eq!(is_narrow(v), fits_in(v, 10));
+    // Edges the random draw may miss.
+    for v in [0u64, 1, 1023, 1024, u64::MAX] {
+        let w = bit_width(v);
+        assert!(fits_in(v, w));
     }
+}
 
-    /// Builder round-trip preserves every field for ALU ops.
-    #[test]
-    fn builder_roundtrip(
-        seq in any::<u64>(),
-        pc in any::<u64>(),
-        d in 0u8..32,
-        s1 in 0u8..32,
-        s2 in 0u8..32,
-        result in any::<u64>(),
-    ) {
+/// The narrow predicate agrees with `fits_in(_, 10)`.
+#[test]
+fn narrow_is_ten_bits() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_0002);
+    for _ in 0..CASES {
+        // Mix full-range values with small ones so both outcomes occur.
+        let v = if rng.gen_bool(0.5) {
+            rng.gen_range(0u64..4096)
+        } else {
+            rng.gen()
+        };
+        assert_eq!(is_narrow(v), fits_in(v, 10), "v = {v:#x}");
+    }
+}
+
+/// Builder round-trip preserves every field for ALU ops.
+#[test]
+fn builder_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_0003);
+    for _ in 0..CASES {
+        let seq: u64 = rng.gen();
+        let pc: u64 = rng.gen();
+        let d = rng.gen_range(0u8..32);
+        let s1 = rng.gen_range(0u8..32);
+        let s2 = rng.gen_range(0u8..32);
+        let result: u64 = rng.gen();
         let op = MicroOp::builder(seq, pc, OpClass::IntAlu)
             .dest(ArchReg::int(d))
             .src(ArchReg::int(s1))
             .src(ArchReg::int(s2))
             .result(result)
             .build();
-        prop_assert_eq!(op.seq(), seq);
-        prop_assert_eq!(op.pc(), pc);
-        prop_assert_eq!(op.dest(), Some(ArchReg::int(d)));
-        prop_assert_eq!(op.num_srcs(), 2);
-        prop_assert_eq!(op.result(), result);
-        prop_assert_eq!(
-            op.is_narrow_result(),
-            result <= 1023,
-        );
+        assert_eq!(op.seq(), seq);
+        assert_eq!(op.pc(), pc);
+        assert_eq!(op.dest(), Some(ArchReg::int(d)));
+        assert_eq!(op.num_srcs(), 2);
+        assert_eq!(op.result(), result);
+        assert_eq!(op.is_narrow_result(), result <= 1023);
     }
+}
 
-    /// Flat register indices are a bijection onto 0..64.
-    #[test]
-    fn flat_index_bijection(i in 0u8..32) {
+/// Flat register indices are a bijection onto 0..64.
+#[test]
+fn flat_index_bijection() {
+    for i in 0u8..32 {
         let int = ArchReg::int(i);
         let fp = ArchReg::fp(i);
-        prop_assert!(int.flat_index() < 32);
-        prop_assert!((32..64).contains(&fp.flat_index()));
-        prop_assert_ne!(int.flat_index(), fp.flat_index());
+        assert!(int.flat_index() < 32);
+        assert!((32..64).contains(&fp.flat_index()));
+        assert_ne!(int.flat_index(), fp.flat_index());
     }
+}
 
-    /// Store data always lands in slot 1, leaving slot 0 for the base.
-    #[test]
-    fn store_slots_are_stable(data in 0u8..32, base in proptest::option::of(0u8..32)) {
+/// Store data always lands in slot 1, leaving slot 0 for the base.
+#[test]
+fn store_slots_are_stable() {
+    let mut rng = SmallRng::seed_from_u64(0x15a_0004);
+    for _ in 0..CASES {
+        let data = rng.gen_range(0u8..32);
+        let base = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0u8..32))
+        } else {
+            None
+        };
         let mut b = MicroOp::builder(0, 0, OpClass::Store).addr(0x100);
         if let Some(base) = base {
             b = b.src(ArchReg::int(base));
         }
         let op = b.src_data(ArchReg::int(data)).build();
         let slots = op.src_slots();
-        prop_assert_eq!(slots[1], Some(ArchReg::int(data)));
-        prop_assert_eq!(slots[0], base.map(ArchReg::int));
+        assert_eq!(slots[1], Some(ArchReg::int(data)));
+        assert_eq!(slots[0], base.map(ArchReg::int));
     }
+}
 
-    /// Every op class reports a unit and a positive latency, and only FP
-    /// classes claim FP units.
-    #[test]
-    fn opclass_invariants(idx in 0usize..9) {
-        let op = OpClass::ALL[idx];
-        prop_assert!(op.latency() >= 1);
+/// Every op class reports a unit and a positive latency, and only FP
+/// classes claim FP units.
+#[test]
+fn opclass_invariants() {
+    for op in OpClass::ALL {
+        assert!(op.latency() >= 1);
         let fp_unit = matches!(
             op.unit(),
             heterowire_isa::FuKind::FpAlu | heterowire_isa::FuKind::FpMulDiv
         );
-        prop_assert_eq!(fp_unit, op.is_fp());
+        assert_eq!(fp_unit, op.is_fp(), "{op:?}");
     }
 }
 

@@ -25,7 +25,10 @@ impl Cache {
     /// Panics if the geometry is inconsistent (zero sizes, non-power-of-two
     /// line or set counts, or `size < ways * line`).
     pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
         assert!(
             size_bytes >= ways as u64 * line_bytes,

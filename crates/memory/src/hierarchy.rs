@@ -113,13 +113,7 @@ impl MemoryHierarchy {
     ///
     /// Returns the cycle the data is ready at the cache, before the return
     /// network transfer.
-    pub fn load(
-        &mut self,
-        addr: u64,
-        ram_start: u64,
-        full_arrival: u64,
-        accelerated: bool,
-    ) -> u64 {
+    pub fn load(&mut self, addr: u64, ram_start: u64, full_arrival: u64, accelerated: bool) -> u64 {
         self.stats.loads += 1;
         let begin = if accelerated {
             self.claim_bank(addr, ram_start)
@@ -163,7 +157,11 @@ impl MemoryHierarchy {
             self.stats.l2_misses += 1;
             (self.config.mem_latency, self.config.mem_line_tail)
         };
-        let saved = if self.config.critical_word_first { tail } else { 0 };
+        let saved = if self.config.critical_word_first {
+            tail
+        } else {
+            0
+        };
         hit_done + latency - saved.min(latency)
     }
 
@@ -232,7 +230,10 @@ mod tests {
     fn cold_miss_goes_to_memory() {
         let mut m = MemoryHierarchy::default();
         let done = m.load(0x5_0000, 0, 0, false);
-        assert!(done >= 300, "cold miss should cost DRAM latency, got {done}");
+        assert!(
+            done >= 300,
+            "cold miss should cost DRAM latency, got {done}"
+        );
         assert_eq!(m.stats().l2_misses, 1);
     }
 
@@ -240,8 +241,8 @@ mod tests {
     fn l2_hit_costs_thirty_extra() {
         let mut m = MemoryHierarchy::default();
         m.load(0x9_0000, 0, 0, false); // install in L1+L2
-        // Evict from L1 by filling its set: L1 is 4-way, 128 sets, 64B
-        // lines; same set stride = 128*64 = 8192.
+                                       // Evict from L1 by filling its set: L1 is 4-way, 128 sets, 64B
+                                       // lines; same set stride = 128*64 = 8192.
         for i in 1..=4u64 {
             m.load(0x9_0000 + i * 8192, 0, 0, false);
         }
@@ -272,8 +273,8 @@ mod tests {
     fn tlb_miss_delays_tag_compare() {
         let mut m = MemoryHierarchy::default();
         m.load(0x1000, 0, 0, false); // warm L1 + TLB
-        // Far page, same cache line can't be: use same line via aliasing is
-        // impossible; so warm the line under a cold TLB page instead.
+                                     // Far page, same cache line can't be: use same line via aliasing is
+                                     // impossible; so warm the line under a cold TLB page instead.
         let addr = 0x1000 + 8192 * 16; // same L1 set region, new page
         m.load(addr, 0, 0, false); // cold everything
         let warm = m.load(addr, 500, 500, false);

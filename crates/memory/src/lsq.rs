@@ -135,9 +135,7 @@ impl LoadStoreQueue {
 
     fn find(&self, seq: u64) -> Option<usize> {
         // Entries are seq-sorted; binary search.
-        self.entries
-            .binary_search_by(|e| e.seq.cmp(&seq))
-            .ok()
+        self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()
     }
 
     /// Records the arrival of the LS bits of `seq`'s address at `cycle`.
@@ -454,6 +452,9 @@ mod tests {
         };
         let few_bits = count_matches(4);
         let many_bits = count_matches(12);
-        assert!(few_bits > many_bits, "4-bit {few_bits} vs 12-bit {many_bits}");
+        assert!(
+            few_bits > many_bits,
+            "4-bit {few_bits} vs 12-bit {many_bits}"
+        );
     }
 }

@@ -52,11 +52,7 @@ pub fn accelerated_hit_completion(
 /// Cycles the accelerated pipeline saves over the baseline for a hit whose
 /// LS bits arrived at `ram_start` and whose full address arrived at
 /// `ms_arrival` (both relative to the same clock).
-pub fn acceleration_benefit(
-    params: &CachePipelineParams,
-    ram_start: u64,
-    ms_arrival: u64,
-) -> i64 {
+pub fn acceleration_benefit(params: &CachePipelineParams, ram_start: u64, ms_arrival: u64) -> i64 {
     let base = baseline_hit_completion(params, ms_arrival);
     let fast = accelerated_hit_completion(params, ram_start, ms_arrival);
     base as i64 - fast as i64

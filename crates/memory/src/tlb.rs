@@ -27,8 +27,14 @@ impl Tlb {
     ///
     /// Panics on inconsistent geometry (see [`crate::cache::Cache::new`]).
     pub fn new(entries: usize, ways: usize, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "entries must divide into ways");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "entries must divide into ways"
+        );
         let sets = (entries / ways) as u64;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Tlb {

@@ -1,0 +1,358 @@
+//! # heterowire-rng
+//!
+//! A small, dependency-free, deterministic pseudo-random number generator
+//! for the simulator's workload synthesis and the workspace's randomized
+//! tests. The generator is xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64, which gives a 2^256-1 period and excellent equidistribution
+//! at a few ns per draw — more than enough statistical quality for
+//! synthesizing instruction mixes and driving property-style tests.
+//!
+//! The API intentionally mirrors the subset of the `rand` crate the
+//! workspace uses (`seed_from_u64`, `gen`, `gen_bool`, `gen_range`), so
+//! call sites read identically, but everything here is `std`-only: the
+//! repository builds with no network access and no external crates.
+//!
+//! Determinism is a hard requirement (the whole experiment pipeline is
+//! seeded), so the algorithm is pinned: changing it changes every
+//! synthesized trace and therefore every simulated number.
+//!
+//! # Examples
+//!
+//! ```
+//! use heterowire_rng::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let d = rng.gen_range(1u64..=6);
+//! assert!((1..=6).contains(&d));
+//! // Same seed => same stream.
+//! let mut again = SmallRng::seed_from_u64(42);
+//! let y: f64 = again.gen();
+//! assert_eq!(x, y);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// 2^-53, the weight of one 53-bit mantissa step in [0, 1).
+const F64_UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// A fast deterministic PRNG: xoshiro256++ seeded via SplitMix64.
+///
+/// The name keeps parity with `rand::rngs::SmallRng`, which this type
+/// replaces throughout the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// with SplitMix64 (the seeding procedure recommended by the xoshiro
+    /// authors: consecutive or zero seeds still yield well-mixed states).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value of `T` (see [`Sample`] for the per-type meaning;
+    /// floats are uniform in `[0, 1)`).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        // 53-bit comparison: exact for p = 0 and p = 1.
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A uniform `u64` in `[0, bound)` via Lemire's widening-multiply
+    /// method with rejection (unbiased). `bound = 0` means the full range.
+    #[inline]
+    fn u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next_u64();
+        }
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // Threshold = 2^64 mod bound; rejecting below it removes bias.
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce directly.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * F64_UNIT
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.u64_below(span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                // Span hi-lo+1 wraps to 0 on the full domain, which
+                // u64_below treats as "no bound".
+                let span = (hi - lo) as u64 + 1;
+                lo.wrapping_add(rng.u64_below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, usize);
+
+// u64 needs its own impl: the span itself can overflow 64 bits.
+impl SampleRange<u64> for Range<u64> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.u64_below(self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        // hi-lo+1 wraps to 0 exactly on the full u64 domain, which
+        // u64_below treats as "no bound".
+        lo.wrapping_add(rng.u64_below((hi - lo).wrapping_add(1)))
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.u64_below(span) as i64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_pins_the_algorithm() {
+        // Hand-computed SplitMix64 expansion of seed 0 followed by
+        // xoshiro256++ outputs; if this test fails, every seeded trace in
+        // the workspace has silently changed.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        let mut again = SmallRng::seed_from_u64(0);
+        assert_eq!(first, again.next_u64());
+        // SplitMix64(0) state expansion is a known vector.
+        let fresh = SmallRng::seed_from_u64(0);
+        assert_eq!(
+            fresh.s,
+            [
+                0xe220a8397b1dcdaf,
+                0x6e789e6aa1b965f4,
+                0x06c45d188009454f,
+                0xf88bb8a8724c81ec
+            ]
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..100).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(8);
+            (0..100).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!((10..20u64).contains(&r.gen_range(10..20u64)));
+            assert!((0..=5u32).contains(&r.gen_range(0..=5u32)));
+            assert!((3..9usize).contains(&r.gen_range(3..9usize)));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            assert!((-4..7i64).contains(&r.gen_range(-4..7i64)));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut r = SmallRng::seed_from_u64(9);
+        // Must not panic or loop forever on the span-wrapping path.
+        let x = r.gen_range(0..=u64::MAX);
+        let _ = x;
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let mut hits = 0u32;
+        for _ in 0..100_000 {
+            if r.gen_bool(0.3) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn u64_below_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(21);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((9_000..11_000).contains(&b), "bucket {i}: {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5u64);
+    }
+}

@@ -11,8 +11,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use heterowire_rng::SmallRng;
 
 use heterowire_isa::{ArchReg, MicroOp, OpClass, RegClass};
 
@@ -77,22 +76,19 @@ impl TraceGenerator {
         }
         // Mix the program name into the seed so each benchmark gets an
         // independent stream even under a shared experiment seed.
-        let name_hash = profile
-            .name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let name_hash = profile.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         let mut rng = SmallRng::seed_from_u64(seed ^ name_hash);
-        let branch_bias_taken = (0..profile.branch_sites).map(|_| rng.gen_bool(0.5)).collect();
+        let branch_bias_taken = (0..profile.branch_sites)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         // Stagger stream starting points by distinct cache-line and page
         // offsets so concurrent streams do not conflict-miss in the same
         // cache sets (real array bases are not set-aligned).
         let streams = (0..NUM_STREAMS as u64)
             .map(|i| {
-                0x4000_0000
-                    + i * (profile.cold_working_set / NUM_STREAMS as u64)
-                    + i * (4096 + 64)
+                0x4000_0000 + i * (profile.cold_working_set / NUM_STREAMS as u64) + i * (4096 + 64)
             })
             .collect();
         TraceGenerator {
@@ -179,7 +175,9 @@ impl TraceGenerator {
         if self.recent_int.len() < 8 {
             return None;
         }
-        let d = self.rng.gen_range(self.recent_int.len() / 2..self.recent_int.len());
+        let d = self
+            .rng
+            .gen_range(self.recent_int.len() / 2..self.recent_int.len());
         Some(self.recent_int[self.recent_int.len() - 1 - d])
     }
 
@@ -189,7 +187,11 @@ impl TraceGenerator {
         match class {
             RegClass::Int => {
                 let r = ArchReg::int(self.int_rr);
-                self.int_rr = if self.int_rr >= 30 { 1 } else { self.int_rr + 1 };
+                self.int_rr = if self.int_rr >= 30 {
+                    1
+                } else {
+                    self.int_rr + 1
+                };
                 if self.recent_int.len() == RECENT_WINDOW {
                     self.recent_int.pop_front();
                 }
@@ -236,7 +238,7 @@ impl TraceGenerator {
                 let off = self.rng.gen_range(0..p.cold_working_set.max(64)) & !63;
                 self.cold_ptr = 0x8000_0000 + off;
             } else {
-                let stride = 8 * self.rng.gen_range(1..=3);
+                let stride = 8 * self.rng.gen_range(1u64..=3);
                 self.cold_ptr = 0x8000_0000
                     + (self.cold_ptr - 0x8000_0000 + stride) % p.cold_working_set.max(64);
             }
@@ -281,7 +283,7 @@ impl TraceGenerator {
         // Each site has a stable PC in its own region and a stable target
         // within the straight-line code footprint.
         let pc = BRANCH_REGION + site as u64 * 4;
-        let target = 0x0040_0000 + ((site as u64).wrapping_mul(2654435761) % CODE_FOOTPRINT) & !3;
+        let target = (0x0040_0000 + ((site as u64).wrapping_mul(2654435761) % CODE_FOOTPRINT)) & !3;
         let mut b = MicroOp::builder(seq, pc, OpClass::Branch).branch(taken, target);
         // Branch conditions (loop counters, flags) are usually computed well
         // ahead of the branch; only a minority wait on fresh values.
@@ -397,9 +399,7 @@ mod tests {
         let p = by_name("gcc").unwrap();
         let n = 200_000;
         let window: Vec<_> = TraceGenerator::new(p.clone(), 1).take(n).collect();
-        let frac = |cls: OpClass| {
-            window.iter().filter(|i| i.op() == cls).count() as f64 / n as f64
-        };
+        let frac = |cls: OpClass| window.iter().filter(|i| i.op() == cls).count() as f64 / n as f64;
         assert!((frac(OpClass::Load) - p.load_frac).abs() < 0.01);
         assert!((frac(OpClass::Store) - p.store_frac).abs() < 0.01);
         assert!((frac(OpClass::Branch) - p.branch_frac).abs() < 0.01);
@@ -445,11 +445,14 @@ mod tests {
         let window: Vec<_> = TraceGenerator::new(p.clone(), 5).take(100_000).collect();
         let int_results: Vec<_> = window
             .iter()
-            .filter(|o| o.dest().map(|d| d.class() == RegClass::Int).unwrap_or(false))
+            .filter(|o| {
+                o.dest()
+                    .map(|d| d.class() == RegClass::Int)
+                    .unwrap_or(false)
+            })
             .collect();
-        let narrow =
-            int_results.iter().filter(|o| o.is_narrow_result()).count() as f64
-                / int_results.len() as f64;
+        let narrow = int_results.iter().filter(|o| o.is_narrow_result()).count() as f64
+            / int_results.len() as f64;
         // Per-site narrowness: expect site-sampling variance around the
         // profile value.
         assert!((narrow - p.narrow_frac).abs() < 0.08, "narrow = {narrow}");
@@ -481,7 +484,10 @@ mod tests {
             if let Some(a) = op.addr() {
                 if (0x4000_0000..0x8000_0000).contains(&a) {
                     let lane = by_name("swim").unwrap().cold_working_set / 8;
-                    per_stream.entry((a - 0x4000_0000) / lane).or_default().push(a);
+                    per_stream
+                        .entry((a - 0x4000_0000) / lane)
+                        .or_default()
+                        .push(a);
                 }
             }
         }

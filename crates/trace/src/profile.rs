@@ -68,11 +68,7 @@ pub struct BenchmarkProfile {
 impl BenchmarkProfile {
     /// Fraction of instructions that are plain integer ALU ops.
     pub fn int_alu_frac(&self) -> f64 {
-        1.0 - self.load_frac
-            - self.store_frac
-            - self.branch_frac
-            - self.fp_frac
-            - self.int_mul_frac
+        1.0 - self.load_frac - self.store_frac - self.branch_frac - self.fp_frac - self.int_mul_frac
     }
 
     /// Validates that all fractions are sane probabilities.
@@ -109,10 +105,7 @@ impl BenchmarkProfile {
             ));
         }
         if self.dep_distance_mean < 1.0 {
-            return Err(format!(
-                "{}: dep_distance_mean must be >= 1",
-                self.name
-            ));
+            return Err(format!("{}: dep_distance_mean must be >= 1", self.name));
         }
         if self.branch_sites == 0 {
             return Err(format!("{}: needs at least one branch site", self.name));
@@ -221,29 +214,328 @@ pub fn spec2000() -> Vec<BenchmarkProfile> {
 fn raw_profiles() -> Vec<BenchmarkProfile> {
     vec![
         //        name      ld    st    br    fp    bias  dep   narrow hotWS    coldWS   hot   stream
-        profile("ammp",     0.26, 0.08, 0.05, 0.38, 0.97, 9.0,  0.10,  24 * KB, 16 * MB, 0.90, 0.55),
-        profile("applu",    0.27, 0.11, 0.02, 0.45, 0.99, 12.0, 0.08,  28 * KB, 32 * MB, 0.85, 0.75),
-        profile("apsi",     0.25, 0.10, 0.04, 0.40, 0.97, 10.0, 0.09,  24 * KB, 24 * MB, 0.88, 0.65),
-        profile("art",      0.30, 0.07, 0.06, 0.35, 0.96, 8.0,  0.12,  64 * KB, 4 * MB,  0.55, 0.70),
-        profile("bzip2",    0.24, 0.09, 0.13, 0.00, 0.955, 4.5,  0.22,  20 * KB, 8 * MB,  0.96, 0.30),
-        profile("crafty",   0.27, 0.08, 0.12, 0.00, 0.95, 4.0,  0.20,  16 * KB, 2 * MB,  0.98, 0.15),
-        profile("eon",      0.25, 0.12, 0.10, 0.12, 0.965, 5.0,  0.15,  16 * KB, 1 * MB,  0.98, 0.20),
-        profile("equake",   0.30, 0.09, 0.04, 0.38, 0.97, 9.0,  0.09,  32 * KB, 24 * MB, 0.88, 0.60),
-        profile("fma3d",    0.26, 0.12, 0.05, 0.40, 0.96, 9.0,  0.08,  28 * KB, 32 * MB, 0.84, 0.55),
-        profile("galgel",   0.28, 0.08, 0.03, 0.45, 0.98, 12.0, 0.07,  24 * KB, 16 * MB, 0.88, 0.80),
-        profile("gap",      0.24, 0.10, 0.11, 0.00, 0.955, 4.5,  0.24,  20 * KB, 8 * MB,  0.95, 0.25),
-        profile("gcc",      0.25, 0.11, 0.14, 0.00, 0.94, 3.8,  0.23,  28 * KB, 12 * MB, 0.94, 0.15),
-        profile("gzip",     0.22, 0.08, 0.12, 0.00, 0.955, 4.2,  0.25,  16 * KB, 4 * MB,  0.97, 0.35),
-        profile("lucas",    0.24, 0.10, 0.02, 0.48, 0.99, 13.0, 0.06,  24 * KB, 32 * MB, 0.88, 0.85),
-        profile("mcf",      0.32, 0.09, 0.12, 0.00, 0.94, 3.5,  0.22,  96 * KB, 96 * MB, 0.35, 0.10),
-        profile("mesa",     0.24, 0.11, 0.08, 0.25, 0.97, 6.0,  0.14,  20 * KB, 4 * MB,  0.93, 0.40),
-        profile("mgrid",    0.30, 0.08, 0.01, 0.48, 0.99, 13.0, 0.06,  28 * KB, 32 * MB, 0.86, 0.85),
-        profile("parser",   0.24, 0.09, 0.13, 0.00, 0.94, 3.8,  0.21,  24 * KB, 8 * MB,  0.94, 0.15),
-        profile("swim",     0.28, 0.10, 0.01, 0.48, 0.99, 13.0, 0.05,  32 * KB, 48 * MB, 0.82, 0.90),
-        profile("twolf",    0.26, 0.08, 0.12, 0.02, 0.93, 3.6,  0.19,  24 * KB, 2 * MB,  0.95, 0.10),
-        profile("vortex",   0.27, 0.12, 0.11, 0.00, 0.96, 4.5,  0.20,  28 * KB, 16 * MB, 0.93, 0.20),
-        profile("vpr",      0.26, 0.09, 0.11, 0.03, 0.945, 4.0,  0.19,  24 * KB, 4 * MB,  0.95, 0.15),
-        profile("wupwise",  0.24, 0.10, 0.03, 0.45, 0.98, 11.0, 0.07,  20 * KB, 24 * MB, 0.86, 0.70),
+        profile(
+            "ammp",
+            0.26,
+            0.08,
+            0.05,
+            0.38,
+            0.97,
+            9.0,
+            0.10,
+            24 * KB,
+            16 * MB,
+            0.90,
+            0.55,
+        ),
+        profile(
+            "applu",
+            0.27,
+            0.11,
+            0.02,
+            0.45,
+            0.99,
+            12.0,
+            0.08,
+            28 * KB,
+            32 * MB,
+            0.85,
+            0.75,
+        ),
+        profile(
+            "apsi",
+            0.25,
+            0.10,
+            0.04,
+            0.40,
+            0.97,
+            10.0,
+            0.09,
+            24 * KB,
+            24 * MB,
+            0.88,
+            0.65,
+        ),
+        profile(
+            "art",
+            0.30,
+            0.07,
+            0.06,
+            0.35,
+            0.96,
+            8.0,
+            0.12,
+            64 * KB,
+            4 * MB,
+            0.55,
+            0.70,
+        ),
+        profile(
+            "bzip2",
+            0.24,
+            0.09,
+            0.13,
+            0.00,
+            0.955,
+            4.5,
+            0.22,
+            20 * KB,
+            8 * MB,
+            0.96,
+            0.30,
+        ),
+        profile(
+            "crafty",
+            0.27,
+            0.08,
+            0.12,
+            0.00,
+            0.95,
+            4.0,
+            0.20,
+            16 * KB,
+            2 * MB,
+            0.98,
+            0.15,
+        ),
+        profile(
+            "eon",
+            0.25,
+            0.12,
+            0.10,
+            0.12,
+            0.965,
+            5.0,
+            0.15,
+            16 * KB,
+            MB,
+            0.98,
+            0.20,
+        ),
+        profile(
+            "equake",
+            0.30,
+            0.09,
+            0.04,
+            0.38,
+            0.97,
+            9.0,
+            0.09,
+            32 * KB,
+            24 * MB,
+            0.88,
+            0.60,
+        ),
+        profile(
+            "fma3d",
+            0.26,
+            0.12,
+            0.05,
+            0.40,
+            0.96,
+            9.0,
+            0.08,
+            28 * KB,
+            32 * MB,
+            0.84,
+            0.55,
+        ),
+        profile(
+            "galgel",
+            0.28,
+            0.08,
+            0.03,
+            0.45,
+            0.98,
+            12.0,
+            0.07,
+            24 * KB,
+            16 * MB,
+            0.88,
+            0.80,
+        ),
+        profile(
+            "gap",
+            0.24,
+            0.10,
+            0.11,
+            0.00,
+            0.955,
+            4.5,
+            0.24,
+            20 * KB,
+            8 * MB,
+            0.95,
+            0.25,
+        ),
+        profile(
+            "gcc",
+            0.25,
+            0.11,
+            0.14,
+            0.00,
+            0.94,
+            3.8,
+            0.23,
+            28 * KB,
+            12 * MB,
+            0.94,
+            0.15,
+        ),
+        profile(
+            "gzip",
+            0.22,
+            0.08,
+            0.12,
+            0.00,
+            0.955,
+            4.2,
+            0.25,
+            16 * KB,
+            4 * MB,
+            0.97,
+            0.35,
+        ),
+        profile(
+            "lucas",
+            0.24,
+            0.10,
+            0.02,
+            0.48,
+            0.99,
+            13.0,
+            0.06,
+            24 * KB,
+            32 * MB,
+            0.88,
+            0.85,
+        ),
+        profile(
+            "mcf",
+            0.32,
+            0.09,
+            0.12,
+            0.00,
+            0.94,
+            3.5,
+            0.22,
+            96 * KB,
+            96 * MB,
+            0.35,
+            0.10,
+        ),
+        profile(
+            "mesa",
+            0.24,
+            0.11,
+            0.08,
+            0.25,
+            0.97,
+            6.0,
+            0.14,
+            20 * KB,
+            4 * MB,
+            0.93,
+            0.40,
+        ),
+        profile(
+            "mgrid",
+            0.30,
+            0.08,
+            0.01,
+            0.48,
+            0.99,
+            13.0,
+            0.06,
+            28 * KB,
+            32 * MB,
+            0.86,
+            0.85,
+        ),
+        profile(
+            "parser",
+            0.24,
+            0.09,
+            0.13,
+            0.00,
+            0.94,
+            3.8,
+            0.21,
+            24 * KB,
+            8 * MB,
+            0.94,
+            0.15,
+        ),
+        profile(
+            "swim",
+            0.28,
+            0.10,
+            0.01,
+            0.48,
+            0.99,
+            13.0,
+            0.05,
+            32 * KB,
+            48 * MB,
+            0.82,
+            0.90,
+        ),
+        profile(
+            "twolf",
+            0.26,
+            0.08,
+            0.12,
+            0.02,
+            0.93,
+            3.6,
+            0.19,
+            24 * KB,
+            2 * MB,
+            0.95,
+            0.10,
+        ),
+        profile(
+            "vortex",
+            0.27,
+            0.12,
+            0.11,
+            0.00,
+            0.96,
+            4.5,
+            0.20,
+            28 * KB,
+            16 * MB,
+            0.93,
+            0.20,
+        ),
+        profile(
+            "vpr",
+            0.26,
+            0.09,
+            0.11,
+            0.03,
+            0.945,
+            4.0,
+            0.19,
+            24 * KB,
+            4 * MB,
+            0.95,
+            0.15,
+        ),
+        profile(
+            "wupwise",
+            0.24,
+            0.10,
+            0.03,
+            0.45,
+            0.98,
+            11.0,
+            0.07,
+            20 * KB,
+            24 * MB,
+            0.86,
+            0.70,
+        ),
     ]
 }
 
@@ -278,11 +570,8 @@ mod tests {
         // Paper §4: "more than one third of all instructions are loads or
         // stores", motivating the double-width cache links.
         let all = spec2000();
-        let avg: f64 = all
-            .iter()
-            .map(|p| p.load_frac + p.store_frac)
-            .sum::<f64>()
-            / all.len() as f64;
+        let avg: f64 =
+            all.iter().map(|p| p.load_frac + p.store_frac).sum::<f64>() / all.len() as f64;
         assert!(avg > 1.0 / 3.0, "average memory fraction {avg}");
     }
 

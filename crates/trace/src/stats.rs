@@ -115,8 +115,7 @@ mod tests {
     #[test]
     fn stats_track_generator() {
         let p = by_name("vpr").unwrap();
-        let stats =
-            TraceStats::from_ops(TraceGenerator::new(p.clone(), 13).take(100_000));
+        let stats = TraceStats::from_ops(TraceGenerator::new(p.clone(), 13).take(100_000));
         assert_eq!(stats.total, 100_000);
         assert!((stats.mem_frac() - (p.load_frac + p.store_frac)).abs() < 0.01);
         // Narrowness is a per-site property, so the realized fraction has
@@ -134,9 +133,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = TraceStats::from_ops(
-            TraceGenerator::new(by_name("gzip").unwrap(), 1).take(1000),
-        );
+        let s = TraceStats::from_ops(TraceGenerator::new(by_name("gzip").unwrap(), 1).take(1000));
         let text = s.to_string();
         assert!(text.contains("1000 ops"), "{text}");
     }

@@ -1,73 +1,93 @@
-//! Property-based tests over the workload generator: structural invariants
-//! that must hold for any profile and seed.
+//! Randomized property-style tests over the workload generator: structural
+//! invariants that must hold for any profile and seed (std-only).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
 use heterowire_isa::{OpClass, RegClass};
-use heterowire_trace::{spec2000, TraceGenerator};
+use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
 
-fn arb_profile() -> impl Strategy<Value = heterowire_trace::BenchmarkProfile> {
-    (0usize..23).prop_map(|i| spec2000().swap_remove(i))
+/// Draws a benchmark profile and a fresh seed for each case.
+fn arb_case(rng: &mut SmallRng) -> (BenchmarkProfile, u64) {
+    let idx = rng.gen_range(0usize..23);
+    (spec2000().swap_remove(idx), rng.gen())
 }
 
-proptest! {
-    /// Micro-op structural invariants hold for every generated op: memory
-    /// ops carry addresses, branches outcomes, dests match the op class.
-    #[test]
-    fn ops_are_well_formed(profile in arb_profile(), seed in any::<u64>()) {
+const CASES: usize = 24;
+
+/// Micro-op structural invariants hold for every generated op: memory ops
+/// carry addresses, branches outcomes, dests match the op class.
+#[test]
+fn ops_are_well_formed() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace_0001);
+    for _ in 0..CASES {
+        let (profile, seed) = arb_case(&mut rng);
         for op in TraceGenerator::new(profile, seed).take(2_000) {
             match op.op() {
                 OpClass::Load => {
-                    prop_assert!(op.addr().is_some());
-                    prop_assert!(op.dest().is_some());
+                    assert!(op.addr().is_some());
+                    assert!(op.dest().is_some());
                 }
                 OpClass::Store => {
-                    prop_assert!(op.addr().is_some());
-                    prop_assert!(op.dest().is_none());
+                    assert!(op.addr().is_some());
+                    assert!(op.dest().is_none());
                 }
                 OpClass::Branch => {
-                    prop_assert!(op.branch().is_some());
-                    prop_assert!(op.dest().is_none());
+                    assert!(op.branch().is_some());
+                    assert!(op.dest().is_none());
                 }
                 c if c.is_fp() => {
-                    prop_assert_eq!(op.dest().unwrap().class(), RegClass::Fp);
+                    assert_eq!(op.dest().unwrap().class(), RegClass::Fp);
                 }
                 _ => {
-                    prop_assert_eq!(op.dest().unwrap().class(), RegClass::Int);
+                    assert_eq!(op.dest().unwrap().class(), RegClass::Int);
                 }
             }
             // Addresses are 8-byte aligned (the generator's word model).
             if let Some(a) = op.addr() {
-                prop_assert_eq!(a % 8, 0);
+                assert_eq!(a % 8, 0);
             }
         }
     }
+}
 
-    /// Sequence numbers are dense and ordered for any profile/seed.
-    #[test]
-    fn seqs_are_dense(profile in arb_profile(), seed in any::<u64>()) {
+/// Sequence numbers are dense and ordered for any profile/seed.
+#[test]
+fn seqs_are_dense() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace_0002);
+    for _ in 0..CASES {
+        let (profile, seed) = arb_case(&mut rng);
         for (i, op) in TraceGenerator::new(profile, seed).take(500).enumerate() {
-            prop_assert_eq!(op.seq(), i as u64);
+            assert_eq!(op.seq(), i as u64);
         }
     }
+}
 
-    /// Determinism holds for arbitrary seeds.
-    #[test]
-    fn determinism(profile in arb_profile(), seed in any::<u64>()) {
-        let a: Vec<_> = TraceGenerator::new(profile.clone(), seed).take(300).collect();
+/// Determinism holds for arbitrary seeds.
+#[test]
+fn determinism() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace_0003);
+    for _ in 0..CASES {
+        let (profile, seed) = arb_case(&mut rng);
+        let a: Vec<_> = TraceGenerator::new(profile.clone(), seed)
+            .take(300)
+            .collect();
         let b: Vec<_> = TraceGenerator::new(profile, seed).take(300).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Source registers always refer to previously written registers once
-    /// the write window has warmed up.
-    #[test]
-    fn no_dangling_sources(profile in arb_profile(), seed in any::<u64>()) {
+/// Source registers always refer to previously written registers once the
+/// write window has warmed up.
+#[test]
+fn no_dangling_sources() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace_0004);
+    for _ in 0..CASES {
+        let (profile, seed) = arb_case(&mut rng);
         let mut written = std::collections::HashSet::new();
         for op in TraceGenerator::new(profile, seed).take(3_000) {
             if written.len() > 62 {
                 for s in op.srcs() {
-                    prop_assert!(written.contains(&s), "dangling {s}");
+                    assert!(written.contains(&s), "dangling {s}");
                 }
             }
             if let Some(d) = op.dest() {
@@ -75,10 +95,12 @@ proptest! {
             }
         }
     }
+}
 
-    /// The instruction mix converges to the profile for every benchmark.
-    #[test]
-    fn mix_tracks_profile(profile in arb_profile()) {
+/// The instruction mix converges to the profile for every benchmark.
+#[test]
+fn mix_tracks_profile() {
+    for profile in spec2000() {
         let n = 30_000;
         let mut loads = 0u32;
         let mut branches = 0u32;
@@ -91,13 +113,25 @@ proptest! {
         }
         let lf = loads as f64 / n as f64;
         let bf = branches as f64 / n as f64;
-        prop_assert!((lf - profile.load_frac).abs() < 0.02, "{lf}");
-        prop_assert!((bf - profile.branch_frac).abs() < 0.02, "{bf}");
+        assert!(
+            (lf - profile.load_frac).abs() < 0.02,
+            "{}: load frac {lf}",
+            profile.name
+        );
+        assert!(
+            (bf - profile.branch_frac).abs() < 0.02,
+            "{}: branch frac {bf}",
+            profile.name
+        );
     }
+}
 
-    /// Branch PCs live in their own region, apart from straight-line code.
-    #[test]
-    fn branch_pcs_are_disjoint(profile in arb_profile(), seed in any::<u64>()) {
+/// Branch PCs live in their own region, apart from straight-line code.
+#[test]
+fn branch_pcs_are_disjoint() {
+    let mut rng = SmallRng::seed_from_u64(0x7ace_0005);
+    for _ in 0..CASES {
+        let (profile, seed) = arb_case(&mut rng);
         let mut branch_pcs = std::collections::HashSet::new();
         let mut line_pcs = std::collections::HashSet::new();
         for op in TraceGenerator::new(profile, seed).take(5_000) {
@@ -107,6 +141,6 @@ proptest! {
                 line_pcs.insert(op.pc());
             }
         }
-        prop_assert!(branch_pcs.is_disjoint(&line_pcs));
+        assert!(branch_pcs.is_disjoint(&line_pcs));
     }
 }

@@ -210,7 +210,10 @@ mod tests {
         assert!((0.55..=1.0).contains(&c_ratio), "C ratio {c_ratio}");
         // Optimally repeated delay scales with sqrt(RC): should be ~0.3.
         let delay_ratio = (l.rc_per_m2() / w.rc_per_m2()).sqrt();
-        assert!((0.2..=0.4).contains(&delay_ratio), "delay ratio {delay_ratio}");
+        assert!(
+            (0.2..=0.4).contains(&delay_ratio),
+            "delay ratio {delay_ratio}"
+        );
     }
 
     #[test]

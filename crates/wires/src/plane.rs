@@ -48,7 +48,7 @@ impl WirePlane {
         assert!(count > 0, "a wire plane must contain at least one wire");
         let lane = Self::wires_per_lane(class);
         assert!(
-            count % lane == 0,
+            count.is_multiple_of(lane),
             "{count} {class} must be a multiple of the {lane}-wire lane width"
         );
         WirePlane { class, count }

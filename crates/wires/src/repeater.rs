@@ -76,7 +76,10 @@ impl RepeatedWire {
         RepeatedWire {
             geometry,
             devices,
-            repeaters: RepeaterConfig { size: s, spacing: h },
+            repeaters: RepeaterConfig {
+                size: s,
+                spacing: h,
+            },
         }
     }
 
@@ -291,7 +294,10 @@ mod tests {
         // + CV² model recovers 45-70%).
         assert!(delay_penalty <= 1.21, "delay penalty {delay_penalty}");
         assert!(delay_penalty >= 1.05, "delay penalty {delay_penalty}");
-        assert!((0.25..=0.60).contains(&energy_ratio), "energy {energy_ratio}");
+        assert!(
+            (0.25..=0.60).contains(&energy_ratio),
+            "energy {energy_ratio}"
+        );
         assert!(leak_ratio < 0.30, "leakage ratio {leak_ratio}");
     }
 

@@ -1,102 +1,134 @@
-//! Property-based tests over the wire-physics models.
+//! Randomized property-style tests over the wire-physics models, driven by
+//! the workspace's own deterministic RNG (std-only; no external test deps).
 
-use proptest::prelude::*;
+use heterowire_rng::SmallRng;
 
 use heterowire_wires::geometry::WireGeometry;
 use heterowire_wires::plane::{LinkComposition, WirePlane};
 use heterowire_wires::repeater::{DeviceParams, RepeatedWire};
 use heterowire_wires::WireClass;
 
-proptest! {
-    /// Widening a wire (width + spacing) never increases its RC product.
-    #[test]
-    fn widening_reduces_rc(factor in 1.0f64..16.0) {
-        let base = WireGeometry::minimum_45nm();
+const CASES: usize = 64;
+
+/// Widening a wire (width + spacing) never increases its RC product.
+#[test]
+fn widening_reduces_rc() {
+    let mut rng = SmallRng::seed_from_u64(0x21e_0001);
+    let base = WireGeometry::minimum_45nm();
+    for _ in 0..CASES {
+        let factor = rng.gen_range(1.0f64..16.0);
         let fat = base.scaled(factor);
-        prop_assert!(fat.rc_per_m2() <= base.rc_per_m2() * 1.0001);
-    }
-
-    /// Increasing spacing alone never increases capacitance.
-    #[test]
-    fn spacing_reduces_capacitance(factor in 1.0f64..8.0) {
-        let base = WireGeometry::minimum_45nm();
-        let sparse = base.with_spacing_factor(factor);
-        prop_assert!(sparse.capacitance_per_m() <= base.capacitance_per_m() * 1.0001);
-    }
-
-    /// Repeated-wire delay grows monotonically (and ~linearly) with length.
-    #[test]
-    fn repeated_delay_monotone_in_length(
-        len_a in 1.0f64..20.0,
-        len_b in 1.0f64..20.0,
-    ) {
-        prop_assume!(len_a < len_b);
-        let w = RepeatedWire::delay_optimal(
-            WireGeometry::minimum_45nm(),
-            DeviceParams::node_45nm(),
+        assert!(
+            fat.rc_per_m2() <= base.rc_per_m2() * 1.0001,
+            "factor {factor}"
         );
+    }
+}
+
+/// Increasing spacing alone never increases capacitance.
+#[test]
+fn spacing_reduces_capacitance() {
+    let mut rng = SmallRng::seed_from_u64(0x21e_0002);
+    let base = WireGeometry::minimum_45nm();
+    for _ in 0..CASES {
+        let factor = rng.gen_range(1.0f64..8.0);
+        let sparse = base.with_spacing_factor(factor);
+        assert!(
+            sparse.capacitance_per_m() <= base.capacitance_per_m() * 1.0001,
+            "factor {factor}"
+        );
+    }
+}
+
+/// Repeated-wire delay grows monotonically (and ~linearly) with length.
+#[test]
+fn repeated_delay_monotone_in_length() {
+    let mut rng = SmallRng::seed_from_u64(0x21e_0003);
+    let w = RepeatedWire::delay_optimal(WireGeometry::minimum_45nm(), DeviceParams::node_45nm());
+    for _ in 0..CASES {
+        let x = rng.gen_range(1.0f64..20.0);
+        let y = rng.gen_range(1.0f64..20.0);
+        if x == y {
+            continue;
+        }
+        let (len_a, len_b) = if x < y { (x, y) } else { (y, x) };
         let (a, b) = (w.delay(len_a * 1e-3), w.delay(len_b * 1e-3));
-        prop_assert!(a <= b);
+        assert!(a <= b, "delay({len_a}) {a} > delay({len_b}) {b}");
         // Linearity within segment-quantisation slack.
         let per_mm_a = a / len_a;
         let per_mm_b = b / len_b;
-        prop_assert!((per_mm_a / per_mm_b - 1.0).abs() < 0.2);
+        assert!((per_mm_a / per_mm_b - 1.0).abs() < 0.2);
     }
+}
 
-    /// The power-optimal search respects its delay budget and never spends
-    /// more energy than the delay-optimal wire.
-    #[test]
-    fn power_optimal_respects_budget(penalty in 1.0f64..3.0) {
-        let g = WireGeometry::minimum_45nm();
-        let d = DeviceParams::node_45nm();
-        let optimal = RepeatedWire::delay_optimal(g, d);
+/// The power-optimal search respects its delay budget and never spends
+/// more energy than the delay-optimal wire.
+#[test]
+fn power_optimal_respects_budget() {
+    let mut rng = SmallRng::seed_from_u64(0x21e_0004);
+    let g = WireGeometry::minimum_45nm();
+    let d = DeviceParams::node_45nm();
+    let optimal = RepeatedWire::delay_optimal(g, d);
+    for _ in 0..CASES {
+        let penalty = rng.gen_range(1.0f64..3.0);
         let tuned = RepeatedWire::power_optimal_for_penalty(g, d, penalty);
         let len = 10e-3;
-        prop_assert!(tuned.delay(len) <= optimal.delay(len) * penalty * 1.0001);
-        prop_assert!(tuned.dynamic_energy(len) <= optimal.dynamic_energy(len) * 1.0001);
+        assert!(
+            tuned.delay(len) <= optimal.delay(len) * penalty * 1.0001,
+            "penalty {penalty}"
+        );
+        assert!(tuned.dynamic_energy(len) <= optimal.dynamic_energy(len) * 1.0001);
     }
+}
 
-    /// A larger delay budget never costs more energy (the frontier is
-    /// monotone).
-    #[test]
-    fn energy_frontier_is_monotone(p1 in 1.0f64..2.5, extra in 0.05f64..1.0) {
-        let g = WireGeometry::minimum_45nm();
-        let d = DeviceParams::node_45nm();
+/// A larger delay budget never costs more energy (the frontier is
+/// monotone).
+#[test]
+fn energy_frontier_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x21e_0005);
+    let g = WireGeometry::minimum_45nm();
+    let d = DeviceParams::node_45nm();
+    for _ in 0..CASES {
+        let p1 = rng.gen_range(1.0f64..2.5);
+        let extra = rng.gen_range(0.05f64..1.0);
         let tight = RepeatedWire::power_optimal_for_penalty(g, d, p1);
         let loose = RepeatedWire::power_optimal_for_penalty(g, d, p1 + extra);
         let len = 10e-3;
-        prop_assert!(loose.dynamic_energy(len) <= tight.dynamic_energy(len) * 1.0001);
+        assert!(
+            loose.dynamic_energy(len) <= tight.dynamic_energy(len) * 1.0001,
+            "p1 {p1} extra {extra}"
+        );
     }
+}
 
-    /// Lane math: wires = lanes x wires-per-lane, and metal area scales
-    /// linearly with the wire count.
-    #[test]
-    fn plane_lane_math(lanes in 1u32..8) {
+/// Lane math: wires = lanes x wires-per-lane, and metal area scales
+/// linearly with the wire count.
+#[test]
+fn plane_lane_math() {
+    for lanes in 1u32..8 {
         for class in WireClass::ALL {
             let per = WirePlane::wires_per_lane(class);
             let plane = WirePlane::new(class, lanes * per);
-            prop_assert_eq!(plane.lanes(), lanes);
+            assert_eq!(plane.lanes(), lanes);
             let single = WirePlane::new(class, per);
-            prop_assert!(
-                (plane.metal_area() - single.metal_area() * lanes as f64).abs() < 1e-9
-            );
+            assert!((plane.metal_area() - single.metal_area() * lanes as f64).abs() < 1e-9);
         }
     }
+}
 
-    /// Widening a link composition multiplies lanes and area uniformly.
-    #[test]
-    fn widened_composition_scales(factor in 1u32..4) {
+/// Widening a link composition multiplies lanes and area uniformly.
+#[test]
+fn widened_composition_scales() {
+    for factor in 1u32..4 {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
         ]);
         let wide = link.widened(factor);
         for class in [WireClass::B, WireClass::L] {
-            prop_assert_eq!(wide.lanes(class), link.lanes(class) * factor);
+            assert_eq!(wide.lanes(class), link.lanes(class) * factor);
         }
-        prop_assert!((wide.metal_area() - link.metal_area() * factor as f64).abs() < 1e-9);
-        prop_assert!(
-            (wide.leakage_weight() - link.leakage_weight() * factor as f64).abs() < 1e-9
-        );
+        assert!((wide.metal_area() - link.metal_area() * factor as f64).abs() < 1e-9);
+        assert!((wide.leakage_weight() - link.leakage_weight() * factor as f64).abs() < 1e-9);
     }
 }

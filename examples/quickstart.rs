@@ -5,7 +5,7 @@
 //! cargo run --release -p heterowire-bench --example quickstart
 //! ```
 
-use heterowire_core::{InterconnectModel, ProcessorConfig, Processor};
+use heterowire_core::{InterconnectModel, Processor, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{by_name, TraceGenerator};
 use heterowire_wires::WireClass;
@@ -15,7 +15,10 @@ fn main() {
     // 144 B-Wires + 288 PW-Wires + 36 L-Wires.
     let model = InterconnectModel::X;
     let config = ProcessorConfig::for_model(model, Topology::crossbar4());
-    println!("simulating gzip on a 4-cluster processor, {model}: {}", model.description());
+    println!(
+        "simulating gzip on a 4-cluster processor, {model}: {}",
+        model.description()
+    );
 
     let profile = by_name("gzip").expect("gzip is in the suite");
     let trace = TraceGenerator::new(profile, 42);

@@ -15,7 +15,10 @@ fn main() {
     let len = 10e-3; // a 10 mm cross-chip wire
 
     println!("== width/spacing scaling (delay-optimal repeaters, 10 mm) ==");
-    println!("{:>6} {:>12} {:>14} {:>12}", "scale", "delay (ps)", "energy (pJ)", "pitch (nm)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "scale", "delay (ps)", "energy (pJ)", "pitch (nm)"
+    );
     for scale in [1.0, 2.0, 4.0, 8.0] {
         let g = WireGeometry::minimum_45nm().scaled(scale);
         let w = RepeatedWire::delay_optimal(g, devices);
@@ -29,7 +32,10 @@ fn main() {
     }
 
     println!("\n== energy-delay trade-off via repeater sizing (min-pitch wire) ==");
-    println!("{:>14} {:>12} {:>14}", "delay budget", "delay (ps)", "energy (pJ)");
+    println!(
+        "{:>14} {:>12} {:>14}",
+        "delay budget", "delay (ps)", "energy (pJ)"
+    );
     let g = WireGeometry::minimum_45nm();
     let optimal = RepeatedWire::delay_optimal(g, devices);
     for penalty in [1.0, 1.1, 1.2, 1.5, 2.0] {

@@ -19,7 +19,14 @@ const SCALE: RunScale = RunScale {
 fn every_benchmark_runs_on_the_baseline() {
     for p in spec2000() {
         let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
-        let r = run_one(cfg, p.clone(), RunScale { window: 3_000, warmup: 500 });
+        let r = run_one(
+            cfg,
+            p.clone(),
+            RunScale {
+                window: 3_000,
+                warmup: 500,
+            },
+        );
         assert_eq!(r.instructions, 3_000, "{}", p.name);
         assert!(r.ipc() > 0.02, "{} IPC {}", p.name, r.ipc());
         assert!(r.ipc() < 8.0, "{} IPC {}", p.name, r.ipc());
@@ -32,7 +39,14 @@ fn every_model_runs_on_both_topologies() {
     for topology in [Topology::crossbar4(), Topology::hier16()] {
         for model in InterconnectModel::ALL {
             let cfg = ProcessorConfig::for_model(model, topology);
-            let r = run_one(cfg, p.clone(), RunScale { window: 2_000, warmup: 500 });
+            let r = run_one(
+                cfg,
+                p.clone(),
+                RunScale {
+                    window: 2_000,
+                    warmup: 500,
+                },
+            );
             assert!(r.ipc() > 0.0, "{model} on {topology:?}");
             assert!(r.net.total_transfers() > 0, "{model} moved no data");
         }
@@ -121,8 +135,22 @@ fn sixteen_clusters_deliver_more_ilp_on_fp() {
 fn warmup_is_excluded_from_measurements() {
     let p = by_name("gzip").expect("gzip");
     let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
-    let with_warmup = run_one(cfg.clone(), p.clone(), RunScale { window: 5_000, warmup: 5_000 });
-    let without = run_one(cfg, p, RunScale { window: 5_000, warmup: 0 });
+    let with_warmup = run_one(
+        cfg.clone(),
+        p.clone(),
+        RunScale {
+            window: 5_000,
+            warmup: 5_000,
+        },
+    );
+    let without = run_one(
+        cfg,
+        p,
+        RunScale {
+            window: 5_000,
+            warmup: 0,
+        },
+    );
     assert_eq!(with_warmup.instructions, 5_000);
     // Cold caches and predictors make the no-warmup window slower.
     assert!(with_warmup.ipc() >= without.ipc() * 0.95);
@@ -134,7 +162,12 @@ fn seed_of_record_is_stable() {
     // (regression guard for the deterministic pipeline).
     let p = by_name("eon").expect("eon");
     let cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
-    let a = Processor::simulate(cfg.clone(), TraceGenerator::new(p.clone(), SEED), 3_000, 500);
+    let a = Processor::simulate(
+        cfg.clone(),
+        TraceGenerator::new(p.clone(), SEED),
+        3_000,
+        500,
+    );
     let b = Processor::simulate(cfg, TraceGenerator::new(p, SEED), 3_000, 500);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.net.transfers, b.net.transfers);

@@ -71,7 +71,10 @@ fn critical_word_first_requires_l_wires() {
     let without = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
     let a = run_one(with, by_name("mcf").expect("mcf"), SCALE);
     let b = run_one(without, by_name("mcf").expect("mcf"), SCALE);
-    assert_eq!(a.cycles, b.cycles, "CWF without L-Wires must change nothing");
+    assert_eq!(
+        a.cycles, b.cycles,
+        "CWF without L-Wires must change nothing"
+    );
 }
 
 #[test]
@@ -85,6 +88,9 @@ fn frequent_value_never_reduces_l_traffic() {
         1.0,
         "twolf",
     );
-    let l = WireClass::ALL.iter().position(|&c| c == WireClass::L).unwrap();
+    let l = WireClass::ALL
+        .iter()
+        .position(|&c| c == WireClass::L)
+        .unwrap();
     assert!(fvc.net.transfers[l] >= base.net.transfers[l]);
 }

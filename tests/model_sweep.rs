@@ -42,7 +42,11 @@ fn table3_orderings_hold() {
 
     // PW-only (II) saves roughly half the interconnect dynamic energy.
     let m2 = get(InterconnectModel::II);
-    assert!(m2.at_10.rel_ic_dynamic < 65.0, "{}", m2.at_10.rel_ic_dynamic);
+    assert!(
+        m2.at_10.rel_ic_dynamic < 65.0,
+        "{}",
+        m2.at_10.rel_ic_dynamic
+    );
     // ... at an IPC cost vs Model I.
     assert!(m2.at_10.ipc < get(InterconnectModel::I).at_10.ipc);
 
