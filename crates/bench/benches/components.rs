@@ -57,6 +57,7 @@ fn main() {
             let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]);
             let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
             let mut delivered = 0usize;
+            let mut buf = Vec::new();
             for cycle in 1..=1_000u64 {
                 for src in 0..4usize {
                     net.send(
@@ -70,7 +71,8 @@ fn main() {
                     );
                 }
                 net.tick(cycle);
-                delivered += net.take_delivered(cycle).len();
+                net.take_delivered_into(cycle, &mut buf);
+                delivered += buf.len();
             }
             delivered
         }),

@@ -75,7 +75,7 @@ fn narrow(_scale: RunScale) {
         let mut narrow = 0u64;
         let mut total = 0u64;
         for p in spec2000() {
-            for op in TraceGenerator::new(p.clone(), SEED).take(20_000) {
+            for op in TraceGenerator::new(p, SEED).take(20_000) {
                 if let Some(d) = op.dest() {
                     if d.class() == heterowire_isa::RegClass::Int {
                         total += 1;

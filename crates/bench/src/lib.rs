@@ -20,6 +20,8 @@
 pub mod executor;
 pub mod timing;
 
+use std::sync::Arc;
+
 use heterowire_core::{
     mean_report, relative_report, EnergyParams, InterconnectModel, Processor, ProcessorConfig,
     RelativeReport, SimResults,
@@ -84,8 +86,19 @@ impl RunScale {
 
 /// Runs one benchmark profile under one processor configuration.
 pub fn run_one(config: ProcessorConfig, profile: BenchmarkProfile, scale: RunScale) -> SimResults {
+    run_one_shared(Arc::new(config), profile, scale)
+}
+
+/// [`run_one`] over a shared configuration — sweep harnesses running one
+/// config across many benchmarks share a single allocation instead of
+/// cloning the whole `ProcessorConfig` per job.
+pub fn run_one_shared(
+    config: Arc<ProcessorConfig>,
+    profile: BenchmarkProfile,
+    scale: RunScale,
+) -> SimResults {
     let trace = TraceGenerator::new(profile, SEED);
-    Processor::simulate(config, trace, scale.window, scale.warmup)
+    Processor::with_shared_config(config, trace).run(scale.window, scale.warmup)
 }
 
 /// Per-benchmark results of one model over the whole suite.
@@ -116,7 +129,10 @@ pub fn run_suite(config: &ProcessorConfig, scale: RunScale) -> SuiteResults {
 pub fn run_suite_on(config: &ProcessorConfig, scale: RunScale, workers: usize) -> SuiteResults {
     let profiles = spec2000();
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
-    let runs = executor::run_indexed(profiles, workers, |p| run_one(config.clone(), p, scale));
+    let shared = Arc::new(config.clone());
+    let runs = executor::run_indexed(profiles, workers, |p| {
+        run_one_shared(shared.clone(), p, scale)
+    });
     SuiteResults { names, runs }
 }
 
@@ -142,12 +158,17 @@ pub struct ModelRow {
 pub fn sweep_runs(topology: Topology, scale: RunScale, workers: usize) -> Vec<SuiteResults> {
     let profiles = spec2000();
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
-    let jobs: Vec<(InterconnectModel, BenchmarkProfile)> = InterconnectModel::ALL
+    // One shared config per model; jobs carry an index into it plus a
+    // by-value (`Copy`) profile — nothing is cloned per job.
+    let configs: Vec<Arc<ProcessorConfig>> = InterconnectModel::ALL
         .iter()
-        .flat_map(|&model| profiles.iter().map(move |p| (model, p.clone())))
+        .map(|&model| Arc::new(ProcessorConfig::for_model(model, topology)))
         .collect();
-    let results = executor::run_indexed(jobs, workers, |(model, profile)| {
-        run_one(ProcessorConfig::for_model(model, topology), profile, scale)
+    let jobs: Vec<(usize, BenchmarkProfile)> = (0..configs.len())
+        .flat_map(|mi| profiles.iter().map(move |&p| (mi, p)))
+        .collect();
+    let results = executor::run_indexed(jobs, workers, |(mi, profile)| {
+        run_one_shared(configs[mi].clone(), profile, scale)
     });
     results
         .chunks(names.len())
@@ -170,13 +191,7 @@ pub fn sweep_runs_serial(topology: Topology, scale: RunScale) -> Vec<SuiteResult
         .map(|&model| {
             let runs = profiles
                 .iter()
-                .map(|p| {
-                    run_one(
-                        ProcessorConfig::for_model(model, topology),
-                        p.clone(),
-                        scale,
-                    )
-                })
+                .map(|&p| run_one(ProcessorConfig::for_model(model, topology), p, scale))
                 .collect();
             SuiteResults {
                 names: names.clone(),
@@ -325,13 +340,30 @@ pub fn format_suite_csv(suite: &SuiteResults) -> String {
     out
 }
 
-/// Parses an optional `--csv <path>` argument pair from `std::env::args`.
+/// Parses an optional `--csv <path>` argument pair from an argument list.
+/// `--csv` without a following path is an error rather than a silent
+/// `None` (the caller asked for a CSV and would not get one).
+pub fn csv_path_from(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    match args.iter().position(|a| a == "--csv") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Ok(Some(std::path::PathBuf::from(p))),
+            None => Err("--csv requires a path argument".to_string()),
+        },
+    }
+}
+
+/// [`csv_path_from`] over `std::env::args`; exits with status 2 on a
+/// malformed `--csv` (same convention as `sweep_timing`'s flag handling).
 pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
+    match csv_path_from(&args) {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +469,18 @@ mod tests {
         );
         assert!(RunScale::from_env_value(Some("fast")).is_err());
         assert!(RunScale::from_env_value(Some("QUICK")).is_err());
+    }
+
+    #[test]
+    fn csv_path_parsing() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(csv_path_from(&to_args(&["table3"])), Ok(None));
+        assert_eq!(
+            csv_path_from(&to_args(&["table3", "--csv", "out.csv"])),
+            Ok(Some(std::path::PathBuf::from("out.csv")))
+        );
+        // `--csv` as the last argument is an error, not a silent None.
+        assert!(csv_path_from(&to_args(&["table3", "--csv"])).is_err());
     }
 
     #[test]

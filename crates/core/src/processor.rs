@@ -14,6 +14,20 @@
 //! resolution + signal transfer + 12-cycle refill); architected register
 //! state predating the simulation window is available in every cluster;
 //! physical registers bound in-flight destinations only.
+//!
+//! Two scheduling kernels drive the same per-cycle step functions:
+//!
+//! * the **event-driven kernel** ([`Processor::run`]) — a completion wheel
+//!   pops instructions the cycle they finish executing, wakeup lists feed
+//!   per-(cluster, FU) ready queues so issue never scans the ROB, store
+//!   data is sent by subscription, and the loop jumps over cycles in which
+//!   provably nothing can happen;
+//! * the **cycle-driven reference kernel** ([`Processor::run_reference`]) —
+//!   the seed's original full-ROB scans, kept so equivalence tests can
+//!   assert the event-driven kernel is bit-identical.
+
+use std::cmp::Reverse;
+use std::sync::Arc;
 
 use heterowire_frontend::FetchEngine;
 use heterowire_interconnect::{AvailablePlanes, FrequentValueTable};
@@ -73,11 +87,22 @@ struct Inflight {
     store_addr_arrived: bool,
     /// Stores: data arrived at the LSQ.
     store_data_arrived: bool,
+    /// Issue operands not yet known ready (event-kernel wakeup counter;
+    /// reaching 0 pushes the instruction onto its ready queue).
+    pending_srcs: u8,
+    /// Intrusive per-source link in a producer's waiter list
+    /// ([`NO_WAITER`] = end of list / not linked).
+    waiter_next: [u32; 2],
 }
 
 /// Most clusters any supported topology has (16 = four quads); bounds the
 /// inline per-value arrival array.
 const MAX_CLUSTERS: usize = 16;
+/// Functional-unit kinds per cluster (`FuKind::ALL.len()`).
+const FU_KINDS: usize = 4;
+/// End-of-list sentinel for the intrusive waiter lists. Nodes encode
+/// `seq << 1 | source_slot`, so seqs stay below 2^31.
+const NO_WAITER: u32 = u32::MAX;
 /// Arrival-slot sentinel: no copy was ever sent to this cluster.
 const NOT_SENT: u64 = u64::MAX;
 /// Arrival-slot sentinel: a copy is in flight, arrival cycle unknown.
@@ -95,6 +120,11 @@ struct ValueInfo {
     arrivals: [u64; MAX_CLUSTERS],
     /// Remote clusters awaiting a copy once the value completes.
     subscribers: SubscriberList,
+    /// Per-cluster heads of the intrusive waiter lists: dispatched
+    /// consumers in that cluster blocked on this value becoming usable
+    /// there. Woken when `done_at` is set (home cluster) or a copy arrives
+    /// (remote cluster).
+    waiters: [u32; MAX_CLUSTERS],
 }
 
 /// Insertion-ordered set of clusters, inline so the publish path never
@@ -134,6 +164,7 @@ impl ValueInfo {
             pc,
             arrivals: [NOT_SENT; MAX_CLUSTERS],
             subscribers: SubscriberList::default(),
+            waiters: [NO_WAITER; MAX_CLUSTERS],
         }
     }
 }
@@ -172,11 +203,118 @@ impl ClusterState {
 
 /// A send scheduled for a future cycle (e.g. cache data that becomes
 /// available when the RAM access finishes).
+///
+/// Lives in a min-heap ordered by `(at, dseq)`. `at` is clamped to
+/// `push_cycle + 1` at insertion: the reference Vec scan ran before any
+/// same-cycle push, so an entry nominally due at or before its push cycle
+/// fired on the *next* cycle — the clamp makes the heap's firing cycles
+/// identical. `dseq` is a monotone insertion counter so same-cycle entries
+/// fire in push order (the network assigns transfer ids in send order, and
+/// ids break arbitration ties).
 #[derive(Debug, Clone, Copy)]
 struct DeferredSend {
     at: u64,
+    dseq: u64,
     transfer: Transfer,
     action: Action,
+}
+
+impl PartialEq for DeferredSend {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.dseq == other.dseq
+    }
+}
+
+impl Eq for DeferredSend {}
+
+impl PartialOrd for DeferredSend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeferredSend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.dseq).cmp(&(other.at, other.dseq))
+    }
+}
+
+/// Ring size of the completion wheel; a power of two strictly greater
+/// than the longest FU latency (20-cycle integer divide).
+const WHEEL_BUCKETS: usize = 64;
+
+/// Calendar queue of execution-completion events: issuing schedules
+/// `(done_cycle, seq)` into the bucket `done_cycle % WHEEL_BUCKETS`, and
+/// each executed cycle drains exactly its own bucket. Because every
+/// completion lies within `WHEEL_BUCKETS` cycles of its issue and buckets
+/// are drained before they can wrap, a bucket only ever holds entries for
+/// one cycle.
+#[derive(Debug)]
+struct CompletionWheel {
+    buckets: Vec<Vec<u32>>,
+    /// Entries currently scheduled across all buckets.
+    scheduled: usize,
+    /// Exact earliest scheduled completion cycle (`u64::MAX` when empty).
+    earliest: u64,
+}
+
+impl CompletionWheel {
+    fn new() -> Self {
+        CompletionWheel {
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            scheduled: 0,
+            earliest: u64::MAX,
+        }
+    }
+
+    fn schedule(&mut self, now: u64, done: u64, seq: u64) {
+        debug_assert!(
+            done > now && done - now < WHEEL_BUCKETS as u64,
+            "completion {done} outside wheel horizon at cycle {now}"
+        );
+        debug_assert!(seq < u64::from(u32::MAX));
+        self.buckets[done as usize & (WHEEL_BUCKETS - 1)].push(seq as u32);
+        self.scheduled += 1;
+        self.earliest = self.earliest.min(done);
+    }
+
+    /// Drains the instructions completing exactly at `cycle` into `out`
+    /// in ascending seq order (the reference scan finishes instructions in
+    /// ROB = seq order).
+    fn pop_due(&mut self, cycle: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if self.earliest > cycle {
+            return;
+        }
+        let bucket = &mut self.buckets[cycle as usize & (WHEEL_BUCKETS - 1)];
+        self.scheduled -= bucket.len();
+        out.extend(bucket.drain(..).map(u64::from));
+        out.sort_unstable();
+        if self.scheduled == 0 {
+            self.earliest = u64::MAX;
+        } else {
+            // The next event sits within one ring revolution of `cycle`.
+            let mut c = cycle + 1;
+            while self.buckets[c as usize & (WHEEL_BUCKETS - 1)].is_empty() {
+                c += 1;
+            }
+            self.earliest = c;
+        }
+    }
+
+    /// The earliest scheduled completion cycle, if any.
+    fn next_due(&self) -> Option<u64> {
+        (self.scheduled > 0).then_some(self.earliest)
+    }
+}
+
+/// Which scheduling kernel drives the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// Completion wheel + wakeup lists + idle-cycle skipping.
+    Event,
+    /// The seed's cycle-driven full-ROB scans (equivalence reference).
+    Reference,
 }
 
 /// Reusable buffers for the per-instruction dispatch path. Taken out of
@@ -193,7 +331,7 @@ struct DispatchScratch {
 /// [`Processor::run`].
 #[derive(Debug)]
 pub struct Processor {
-    config: ProcessorConfig,
+    config: Arc<ProcessorConfig>,
     fetch: FetchEngine<TraceGenerator>,
     network: Network,
     policy: WirePolicy,
@@ -213,8 +351,25 @@ pub struct Processor {
     /// Delivery action per transfer, indexed by `TransferId` (ids are
     /// assigned densely in send order).
     actions: Vec<Action>,
-    deferred: Vec<DeferredSend>,
+    /// Deferred sends as a deterministic min-heap (see [`DeferredSend`]).
+    deferred: std::collections::BinaryHeap<Reverse<DeferredSend>>,
+    /// Insertion counter for [`DeferredSend::dseq`].
+    deferred_seq: u64,
     active_loads: Vec<u64>,
+
+    // Event-kernel scheduling state. The wakeup structures (ready queues,
+    // store-data list) are maintained by the shared dispatch/delivery/
+    // completion paths in both kernels; only the event kernel consumes
+    // them. The wheel is fed by `issue_event` alone.
+    wheel: CompletionWheel,
+    /// Min-heap of known-ready waiting instructions per (cluster, FU kind),
+    /// indexed `cluster * FU_KINDS + kind`.
+    ready_queues: Vec<std::collections::BinaryHeap<Reverse<u64>>>,
+    /// Stores whose data operand became ready (drained in seq order).
+    store_data_pending: Vec<u32>,
+    /// A store committed this cycle: LSQ disambiguation of waiting loads
+    /// may change at the next cycle's poll, so it must not be skipped.
+    retired_store: bool,
 
     // Reusable per-cycle buffers (steady-state hot path allocates nothing).
     scratch: DispatchScratch,
@@ -245,6 +400,13 @@ pub struct Processor {
 impl Processor {
     /// Builds a processor running `trace` under `config`.
     pub fn new(config: ProcessorConfig, trace: TraceGenerator) -> Self {
+        Self::with_shared_config(Arc::new(config), trace)
+    }
+
+    /// Builds a processor over a shared configuration — sweep harnesses
+    /// running one config across many benchmarks share a single allocation
+    /// instead of cloning the config per run.
+    pub fn with_shared_config(config: Arc<ProcessorConfig>, trace: TraceGenerator) -> Self {
         let planes = AvailablePlanes::new(
             config.link.lanes(WireClass::B) > 0,
             config.link.lanes(WireClass::Pw) > 0,
@@ -288,8 +450,15 @@ impl Processor {
             values: Vec::new(),
             rename: [None; 64],
             actions: Vec::new(),
-            deferred: Vec::new(),
+            deferred: std::collections::BinaryHeap::new(),
+            deferred_seq: 0,
             active_loads: Vec::new(),
+            wheel: CompletionWheel::new(),
+            ready_queues: (0..n * FU_KINDS)
+                .map(|_| std::collections::BinaryHeap::new())
+                .collect(),
+            store_data_pending: Vec::new(),
+            retired_store: false,
             scratch: DispatchScratch::default(),
             fu_started: vec![[false; 4]; n],
             finished_scratch: Vec::new(),
@@ -348,6 +517,66 @@ impl Processor {
             let arrival = v.arrivals[cluster];
             (arrival < IN_FLIGHT).then_some(arrival)
         }
+    }
+
+    /// Links `seq`'s source `slot` into `producer`'s waiter list for
+    /// `cluster`; [`Processor::wake_waiters`] unlinks it when the value
+    /// becomes usable there.
+    fn register_waiter(&mut self, producer: u64, cluster: usize, seq: u64, slot: usize) {
+        debug_assert!(seq < (1 << 31), "waiter seqs must fit 31 bits");
+        let node = ((seq as u32) << 1) | slot as u32;
+        let head = {
+            let v = self.value_mut(producer).expect("producer value present");
+            std::mem::replace(&mut v.waiters[cluster], node)
+        };
+        self.rob_get_mut(seq).expect("waiter in rob").waiter_next[slot] = head;
+    }
+
+    /// Wakes every instruction waiting for `producer`'s value in `cluster`:
+    /// issue operands decrement their pending count (reaching 0 enqueues
+    /// the instruction on its ready queue), store-data operands enqueue the
+    /// store for a data send. Wake order within one event is irrelevant —
+    /// both queues restore seq order before use.
+    fn wake_waiters(&mut self, producer: u64, cluster: usize) {
+        let mut node = match self.value_mut(producer) {
+            Some(v) => std::mem::replace(&mut v.waiters[cluster], NO_WAITER),
+            None => return,
+        };
+        while node != NO_WAITER {
+            let seq = u64::from(node >> 1);
+            let slot = (node & 1) as usize;
+            let (next, store_data, ready, rq) = {
+                let inst = self.rob_get_mut(seq).expect("waiter in rob");
+                let next = std::mem::replace(&mut inst.waiter_next[slot], NO_WAITER);
+                if slot == 1 && inst.op.op() == OpClass::Store {
+                    (next, true, false, 0)
+                } else {
+                    inst.pending_srcs -= 1;
+                    let rq = inst.cluster * FU_KINDS + inst.op.op().unit().index();
+                    (next, false, inst.pending_srcs == 0, rq)
+                }
+            };
+            node = next;
+            if store_data {
+                self.store_data_pending.push(seq as u32);
+            } else if ready {
+                self.ready_queues[rq].push(Reverse(seq));
+            }
+        }
+    }
+
+    /// Schedules a send for cycle `at` (clamped to the next cycle, matching
+    /// the reference scan — see [`DeferredSend`]).
+    fn defer_send(&mut self, at: u64, transfer: Transfer, action: Action) {
+        let at = at.max(self.cycle + 1);
+        let dseq = self.deferred_seq;
+        self.deferred_seq += 1;
+        self.deferred.push(Reverse(DeferredSend {
+            at,
+            dseq,
+            transfer,
+            action,
+        }));
     }
 
     /// Chooses a class and sends a register-value copy of `producer` to
@@ -416,11 +645,7 @@ impl Processor {
         };
         let action = Action::ValueArrive { producer, cluster };
         if extra_delay > 0 {
-            self.deferred.push(DeferredSend {
-                at: self.cycle + extra_delay,
-                transfer,
-                action,
-            });
+            self.defer_send(self.cycle + extra_delay, transfer, action);
         } else {
             let id = self.network.send(transfer, self.cycle);
             self.record_action(id, action);
@@ -447,6 +672,7 @@ impl Processor {
                     if let Some(v) = self.value_mut(producer) {
                         v.arrivals[cluster] = cycle;
                     }
+                    self.wake_waiters(producer, cluster);
                 }
                 Action::PartialAddr { seq } => {
                     if let Some(addr) = self.rob_get(seq).and_then(|i| i.op.addr()) {
@@ -484,6 +710,12 @@ impl Processor {
                                 i.store_addr_arrived = true;
                                 delay = now.saturating_sub(i.dispatched_at);
                                 iss = i.issued_at.saturating_sub(i.dispatched_at);
+                                // Both halves at the LSQ: committable. (The
+                                // address is only ever sent after AGEN, so
+                                // the phase is already MemPending here.)
+                                if i.store_data_arrived && i.phase == Phase::MemPending {
+                                    i.phase = Phase::Done;
+                                }
                             }
                             self.store_addr_delay_sum += delay;
                             self.store_issue_wait_sum += iss;
@@ -505,6 +737,11 @@ impl Processor {
                 Action::StoreData { seq } => {
                     if let Some(i) = self.rob_get_mut(seq) {
                         i.store_data_arrived = true;
+                        // Data may arrive before AGEN finishes; the store
+                        // then completes when its address arrives instead.
+                        if i.store_addr_arrived && i.phase == Phase::MemPending {
+                            i.phase = Phase::Done;
+                        }
                     }
                 }
                 Action::CacheData { seq } => {
@@ -528,6 +765,7 @@ impl Processor {
                         for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }
+                        self.wake_waiters(seq, cluster);
                     }
                 }
                 Action::BranchSignal => {
@@ -539,23 +777,21 @@ impl Processor {
         self.delivered_scratch = delivered;
     }
 
-    /// Flushes deferred sends whose time has come.
+    /// Flushes deferred sends whose time has come, in `(at, dseq)` order.
     fn process_deferred(&mut self) {
-        let mut i = 0;
-        while i < self.deferred.len() {
-            if self.deferred[i].at <= self.cycle {
-                let d = self.deferred.remove(i);
-                let id = self.network.send(d.transfer, self.cycle);
-                self.record_action(id, d.action);
-            } else {
-                i += 1;
+        while let Some(&Reverse(d)) = self.deferred.peek() {
+            if d.at > self.cycle {
+                break;
             }
+            self.deferred.pop();
+            let id = self.network.send(d.transfer, self.cycle);
+            self.record_action(id, d.action);
         }
     }
 
-    /// Marks results produced this cycle, sends copies to subscribers,
-    /// launches memory-op address transfers and branch signals.
-    fn complete_execution(&mut self) {
+    /// Reference kernel: finds results produced this cycle by scanning the
+    /// whole ROB for matured [`Phase::Executing`] entries.
+    fn complete_execution_scan(&mut self) {
         let cycle = self.cycle;
         let mut finished = std::mem::take(&mut self.finished_scratch);
         finished.clear();
@@ -567,6 +803,29 @@ impl Processor {
             }
         }
         for &seq in &finished {
+            self.finish_one(seq);
+        }
+        self.finished_scratch = finished;
+    }
+
+    /// Event kernel: pops exactly the instructions completing this cycle
+    /// from the wheel (already in seq order — the order the scan finds
+    /// them in).
+    fn complete_execution_event(&mut self) {
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        self.wheel.pop_due(self.cycle, &mut finished);
+        for &seq in &finished {
+            self.finish_one(seq);
+        }
+        self.finished_scratch = finished;
+    }
+
+    /// Completes one instruction whose execution finished this cycle:
+    /// publishes the result and sends copies to subscribers, launches
+    /// memory-op address transfers and branch signals.
+    fn finish_one(&mut self, seq: u64) {
+        let cycle = self.cycle;
+        {
             let (op, cluster, mispredict) = {
                 let i = self.rob_get(seq).expect("in rob");
                 (i.op, i.cluster, i.mispredict)
@@ -633,6 +892,7 @@ impl Processor {
                         for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }
+                        self.wake_waiters(seq, cluster);
                         // Train the narrow predictor on every integer
                         // result (the width detector sits next to the ALU).
                         if self.config.opts.narrow_operands
@@ -645,7 +905,6 @@ impl Processor {
                 }
             }
         }
-        self.finished_scratch = finished;
     }
 
     /// Sends the (partial +) full address of a load/store to the LSQ.
@@ -678,9 +937,9 @@ impl Processor {
         self.record_action(id, Action::FullAddr { seq });
     }
 
-    /// Advances loads at the cache through disambiguation and RAM access,
-    /// and launches store-data transfers.
-    fn progress_memory(&mut self) {
+    /// Advances loads at the cache through disambiguation and RAM access
+    /// (shared by both kernels — the active-load list is already sparse).
+    fn progress_memory_loads(&mut self) {
         let cycle = self.cycle;
         let use_partial = self.config.opts.cache_pipeline;
 
@@ -757,16 +1016,16 @@ impl Processor {
                     } else {
                         MessageKind::CacheData
                     };
-                    self.deferred.push(DeferredSend {
-                        at: data_ready,
-                        transfer: Transfer {
+                    self.defer_send(
+                        data_ready,
+                        Transfer {
                             src: Node::Cache,
                             dst: Node::Cluster(cluster),
                             class,
                             kind,
                         },
-                        action: Action::CacheData { seq },
-                    });
+                        Action::CacheData { seq },
+                    );
                     self.active_loads.swap_remove(i);
                 }
                 _ => {
@@ -774,7 +1033,12 @@ impl Processor {
                 }
             }
         }
+    }
 
+    /// Reference kernel: scans the whole ROB for stores whose data operand
+    /// became ready and launches their data transfers.
+    fn progress_memory_stores_scan(&mut self) {
+        let cycle = self.cycle;
         // Store data: send once the data operand is ready in the cluster.
         let mut to_send = std::mem::take(&mut self.store_send_scratch);
         to_send.clear();
@@ -795,41 +1059,57 @@ impl Processor {
             }
         }
         for &(seq, cluster) in &to_send {
-            let hints = TransferHints {
-                ready_at_dispatch: false,
-                store_data: true,
-            };
-            let class = self.policy.choose(MessageKind::StoreData, hints, cycle);
-            let id = self.network.send(
-                Transfer {
-                    src: Node::Cluster(cluster),
-                    dst: Node::Cache,
-                    class,
-                    kind: MessageKind::StoreData,
-                },
-                cycle,
-            );
-            self.record_action(id, Action::StoreData { seq });
-            self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
+            self.send_store_data(seq, cluster);
         }
         self.store_send_scratch = to_send;
-
-        // Stores become committable when both address and data are at the
-        // LSQ.
-        for inst in self.rob.iter_mut() {
-            if inst.op.op() == OpClass::Store
-                && inst.phase == Phase::MemPending
-                && inst.store_addr_arrived
-                && inst.store_data_arrived
-            {
-                inst.phase = Phase::Done;
-            }
-        }
     }
 
-    /// Issues ready instructions to functional units (oldest first, one new
-    /// op per FU kind per cluster per cycle).
-    fn issue(&mut self) {
+    /// Event kernel: drains the stores whose data operand became ready
+    /// (registered at dispatch or woken by a value event), in seq order —
+    /// the order the reference scan finds them in.
+    fn progress_memory_stores_event(&mut self) {
+        if self.store_data_pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.store_data_pending);
+        pending.sort_unstable();
+        for &s in &pending {
+            let seq = u64::from(s);
+            let cluster = match self.rob_get(seq) {
+                Some(inst) if !inst.store_data_sent => inst.cluster,
+                _ => continue, // already sent or squashed
+            };
+            self.send_store_data(seq, cluster);
+        }
+        pending.clear();
+        self.store_data_pending = pending;
+    }
+
+    /// Launches one store's data transfer to the LSQ.
+    fn send_store_data(&mut self, seq: u64, cluster: usize) {
+        let cycle = self.cycle;
+        let hints = TransferHints {
+            ready_at_dispatch: false,
+            store_data: true,
+        };
+        let class = self.policy.choose(MessageKind::StoreData, hints, cycle);
+        let id = self.network.send(
+            Transfer {
+                src: Node::Cluster(cluster),
+                dst: Node::Cache,
+                class,
+                kind: MessageKind::StoreData,
+            },
+            cycle,
+        );
+        self.record_action(id, Action::StoreData { seq });
+        self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
+    }
+
+    /// Reference kernel: issues ready instructions to functional units by
+    /// scanning the whole ROB (oldest first, one new op per FU kind per
+    /// cluster per cycle).
+    fn issue_scan(&mut self) {
         let cycle = self.cycle;
         for f in self.fu_started.iter_mut() {
             *f = [false; 4];
@@ -907,6 +1187,41 @@ impl Processor {
         }
     }
 
+    /// Event kernel: pops the oldest known-ready instruction per (cluster,
+    /// FU kind) ready queue — exactly the instruction the reference scan
+    /// would pick — and schedules its completion on the wheel.
+    fn issue_event(&mut self) {
+        let cycle = self.cycle;
+        for cluster in 0..self.clusters.len() {
+            for kind in 0..FU_KINDS {
+                if self.clusters[cluster].fu_free[kind] > cycle {
+                    continue;
+                }
+                let Some(Reverse(seq)) = self.ready_queues[cluster * FU_KINDS + kind].pop() else {
+                    continue;
+                };
+                let op = self.rob_get(seq).expect("ready instr in rob").op;
+                debug_assert_eq!(op.op().unit().index(), kind);
+                let latency = op.op().latency() as u64;
+                let cs = &mut self.clusters[cluster];
+                cs.fu_free[kind] = if op.op().pipelined() {
+                    cycle + 1
+                } else {
+                    cycle + latency
+                };
+                if op.op().is_fp() {
+                    cs.iq_fp_used = cs.iq_fp_used.saturating_sub(1);
+                } else {
+                    cs.iq_int_used = cs.iq_int_used.saturating_sub(1);
+                }
+                let inst = self.rob_get_mut(seq).expect("ready instr in rob");
+                inst.phase = Phase::Executing(cycle + latency);
+                inst.issued_at = cycle;
+                self.wheel.schedule(cycle, cycle + latency, seq);
+            }
+        }
+    }
+
     /// Commits completed instructions from the ROB head.
     fn commit(&mut self) {
         let cycle = self.cycle;
@@ -936,6 +1251,10 @@ impl Processor {
             if inst.op.op() == OpClass::Store {
                 let addr = inst.op.addr().expect("stores have addresses");
                 self.memory.store(addr, cycle);
+                // Retiring a store can unblock a waiting load's
+                // disambiguation without any network event; the skipper
+                // must poll the LSQ next cycle.
+                self.retired_store = true;
             }
         }
     }
@@ -1087,20 +1406,107 @@ impl Processor {
                 store_data_sent: false,
                 store_addr_arrived: false,
                 store_data_arrived: false,
+                pending_srcs: 0,
+                waiter_next: [NO_WAITER; 2],
             });
+
+            // Event-kernel readiness registration. Value stamps are always
+            // in the past, so `Some` here means usable now; `None` sources
+            // link into the producer's waiter list and wake on the value's
+            // publish/arrival event. Harmless (never drained) under the
+            // reference kernel.
+            let needed = if op.op() == OpClass::Store { 1 } else { 2 };
+            let mut pending = 0u8;
+            for (s, &producer) in src_producer.iter().enumerate().take(needed) {
+                if let Some(p) = producer {
+                    if self.value_ready_in(p, cluster).is_none() {
+                        pending += 1;
+                        self.register_waiter(p, cluster, seq, s);
+                    }
+                }
+            }
+            self.rob_get_mut(seq).expect("just pushed").pending_srcs = pending;
+            if pending == 0 {
+                self.ready_queues[cluster * FU_KINDS + op.op().unit().index()].push(Reverse(seq));
+            }
+            // Store data operand (slot 1) feeds the data-send queue, not
+            // the issue queue.
+            if op.op() == OpClass::Store {
+                match src_producer[1] {
+                    Some(p) if self.value_ready_in(p, cluster).is_none() => {
+                        self.register_waiter(p, cluster, seq, 1);
+                    }
+                    _ => self.store_data_pending.push(seq as u32),
+                }
+            }
         }
         self.scratch = scratch;
     }
 
-    /// Runs the simulation until `instructions` have committed (with the
-    /// first `warmup` committed instructions excluded from the returned
-    /// statistics), and returns the results.
+    /// Runs the simulation with the event-driven kernel until
+    /// `instructions` have committed (with the first `warmup` committed
+    /// instructions excluded from the returned statistics), and returns
+    /// the results.
     ///
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (no commit for 100 000 cycles) —
     /// this indicates a simulator bug, not a workload property.
     pub fn run(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        self.run_kernel(instructions, warmup, Kernel::Event)
+    }
+
+    /// Runs the seed's cycle-driven reference loop — full-ROB scans every
+    /// cycle, no idle-cycle skipping. Kept so the equivalence tests can
+    /// assert the event-driven kernel is bit-identical to it.
+    pub fn run_reference(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        self.run_kernel(instructions, warmup, Kernel::Reference)
+    }
+
+    /// The earliest future cycle at which anything can happen, bounded by
+    /// `cap` (the cycle where the deadlock detector must fire). Every term
+    /// mirrors one way the reference loop's cycle body can act: a
+    /// committable ROB head, dispatchable fetch-queue entries, a fetch /
+    /// network / LSQ event, a deferred send, a wheel completion, a ready
+    /// instruction waiting on its FU, pending store-data sends, or a store
+    /// retirement that may re-disambiguate a waiting load.
+    fn next_event_cycle(&self, cap: u64) -> u64 {
+        let now = self.cycle;
+        let soon = now + 1;
+        if self.retired_store
+            || !self.store_data_pending.is_empty()
+            || self.rob.front().map(|i| i.phase == Phase::Done) == Some(true)
+            || (self.fetch.queue_len() > 0 && self.rob.len() < self.config.rob_size)
+        {
+            return soon;
+        }
+        let mut next = cap;
+        if let Some(c) = self.fetch.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        if let Some(c) = self.network.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        if let Some(Reverse(d)) = self.deferred.peek() {
+            next = next.min(d.at);
+        }
+        if let Some(c) = self.wheel.next_due() {
+            next = next.min(c.max(soon));
+        }
+        for (idx, q) in self.ready_queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let fu_free = self.clusters[idx / FU_KINDS].fu_free[idx % FU_KINDS];
+            next = next.min(fu_free.max(soon));
+        }
+        if let Some(c) = self.lsq.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        next.max(soon)
+    }
+
+    fn run_kernel(&mut self, instructions: u64, warmup: u64, kernel: Kernel) -> SimResults {
         assert!(instructions > 0, "must simulate at least one instruction");
         let target = instructions + warmup;
         self.commit_target = target;
@@ -1113,13 +1519,24 @@ impl Processor {
 
         while self.committed < target {
             self.cycle += 1;
+            self.retired_store = false;
             self.network.tick(self.cycle);
             self.process_deliveries();
             self.process_deferred();
-            self.complete_execution();
-            self.progress_memory();
+            match kernel {
+                Kernel::Event => self.complete_execution_event(),
+                Kernel::Reference => self.complete_execution_scan(),
+            }
+            self.progress_memory_loads();
+            match kernel {
+                Kernel::Event => self.progress_memory_stores_event(),
+                Kernel::Reference => self.progress_memory_stores_scan(),
+            }
             self.commit();
-            self.issue();
+            match kernel {
+                Kernel::Event => self.issue_event(),
+                Kernel::Reference => self.issue_scan(),
+            }
             self.dispatch();
             self.fetch.tick(self.cycle);
 
@@ -1149,6 +1566,18 @@ impl Processor {
             }
             if self.fetch.is_done() && self.rob.is_empty() {
                 break;
+            }
+            if matches!(kernel, Kernel::Event) {
+                // Idle-cycle skipping: jump to the cycle before the next
+                // event (capped so the deadlock panic above still fires at
+                // the reference loop's exact cycle). Skipped cycles are
+                // no-ops in the reference loop except for fetch's stall
+                // counter, which is credited in bulk.
+                let next = self.next_event_cycle(last_commit_cycle + 100_001);
+                if next > self.cycle + 1 {
+                    self.fetch.note_skipped_stall_cycles(next - 1 - self.cycle);
+                    self.cycle = next - 1;
+                }
             }
         }
 

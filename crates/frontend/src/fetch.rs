@@ -175,6 +175,34 @@ impl<I: Iterator<Item = MicroOp>> FetchEngine<I> {
         }
     }
 
+    /// The earliest future cycle at which a `tick` could change fetch
+    /// state, or `None` if fetch is quiescent (stalled on an unresolved
+    /// mispredict, trace exhausted, or queue full). Used by the core's
+    /// idle-cycle skipper.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        match self.resume_at {
+            Some(u64::MAX) => None,
+            Some(at) => Some(at.max(now + 1)),
+            None => {
+                if self.exhausted || self.queue.len() >= self.queue_cap {
+                    None
+                } else {
+                    Some(now + 1)
+                }
+            }
+        }
+    }
+
+    /// Accounts for `n` skipped cycles: a stalled front-end would have
+    /// counted each as a stall cycle had it been ticked (non-stalled
+    /// skipped ticks never touch the stats — the skipper only jumps when
+    /// fetch is quiescent).
+    pub fn note_skipped_stall_cycles(&mut self, n: u64) {
+        if self.resume_at.is_some() {
+            self.stats.stall_cycles += n;
+        }
+    }
+
     /// The core reports that the stalling mispredicted branch has resolved
     /// and redirected fetch; fetching resumes at `cycle`.
     pub fn redirect(&mut self, cycle: u64) {

@@ -33,7 +33,9 @@
 //!     0,
 //! );
 //! net.tick(1);
-//! assert_eq!(net.take_delivered(2).len(), 1); // L-Wires: 1-cycle crossbar
+//! let mut delivered = Vec::new();
+//! net.take_delivered_into(2, &mut delivered);
+//! assert_eq!(delivered.len(), 1); // L-Wires: 1-cycle crossbar
 //! ```
 
 pub mod fvc;

@@ -318,10 +318,30 @@ impl Network {
 
     /// Removes and returns all transfers delivered at or before `cycle`
     /// (allocating convenience form of [`Network::take_delivered_into`]).
-    pub fn take_delivered(&mut self, cycle: u64) -> Vec<(TransferId, Transfer)> {
+    /// Unit-test only, so the production alloc-free invariant cannot
+    /// regress through it; everything else reuses a buffer via
+    /// [`Network::take_delivered_into`].
+    #[cfg(test)]
+    pub(crate) fn take_delivered(&mut self, cycle: u64) -> Vec<(TransferId, Transfer)> {
         let mut out = Vec::new();
         self.take_delivered_into(cycle, &mut out);
         out
+    }
+
+    /// The earliest future cycle at which the network can change state:
+    /// next cycle while anything is pending arbitration (departures and
+    /// queueing stats accrue per tick), otherwise the earliest in-flight
+    /// delivery. `None` when the network is empty — ticks may then be
+    /// skipped without observable effect.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if !self.pending.is_empty() {
+            return Some(now + 1);
+        }
+        self.in_flight
+            .iter()
+            .map(|f| f.deliver_at)
+            .min()
+            .map(|d| d.max(now + 1))
     }
 
     /// Transfers still queued or in flight.

@@ -105,9 +105,11 @@ fn transfers_are_conserved() {
             sent += 1;
         }
         let mut delivered = 0u64;
+        let mut buf = Vec::new();
         for cycle in 1..1_000 {
             net.tick(cycle);
-            delivered += net.take_delivered(cycle).len() as u64;
+            net.take_delivered_into(cycle, &mut buf);
+            delivered += buf.len() as u64;
             if delivered == sent {
                 break;
             }
@@ -153,9 +155,10 @@ fn energy_is_sum_of_weighted_bit_hops() {
                 i as u64,
             );
         }
+        let mut buf = Vec::new();
         for cycle in 1..500 {
             net.tick(cycle);
-            net.take_delivered(cycle);
+            net.take_delivered_into(cycle, &mut buf);
         }
         let s = net.stats();
         let expect: f64 = s.bit_hops[2] as f64 * WireClass::B.params().relative_dynamic

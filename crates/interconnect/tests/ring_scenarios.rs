@@ -1,8 +1,18 @@
 //! Scenario tests for the 16-cluster hierarchical topology: ring
 //! contention, direction choice and cache placement (paper Figure 2(b)).
 
-use heterowire_interconnect::{MessageKind, NetConfig, Network, Node, Topology, Transfer};
+use heterowire_interconnect::{
+    MessageKind, NetConfig, Network, Node, Topology, Transfer, TransferId,
+};
 use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+
+/// Test-local stand-in for the removed allocating `take_delivered`
+/// convenience (production code reuses a buffer via `take_delivered_into`).
+fn take_delivered(net: &mut Network, cycle: u64) -> Vec<(TransferId, Transfer)> {
+    let mut out = Vec::new();
+    net.take_delivered_into(cycle, &mut out);
+    out
+}
 
 fn hier_net() -> Network {
     let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 72)]);
@@ -29,7 +39,7 @@ fn intra_quad_is_fast_cross_quad_is_slow() {
     let mut delivered_at = Vec::new();
     for c in 1..=12 {
         net.tick(c);
-        for _ in net.take_delivered(c) {
+        for _ in take_delivered(&mut net, c) {
             delivered_at.push(c);
         }
     }
@@ -47,7 +57,7 @@ fn opposite_quads_use_either_direction() {
     send(&mut net, 8, 0, 0);
     net.tick(1);
     // 2 + 2*4 = 10 -> delivered at 11.
-    assert_eq!(net.take_delivered(11).len(), 2);
+    assert_eq!(take_delivered(&mut net, 11).len(), 2);
 }
 
 #[test]
@@ -59,7 +69,7 @@ fn ring_segment_contention_serialises() {
     send(&mut net, 1, 5, 0);
     for c in 1..20 {
         net.tick(c);
-        net.take_delivered(c);
+        take_delivered(&mut net, c);
     }
     assert_eq!(net.stats().queue_cycles, 1, "one transfer should queue");
 }
@@ -73,7 +83,7 @@ fn distinct_ring_directions_do_not_contend() {
     send(&mut net, 1, 12, 0); // q0 -> q3
     for c in 1..20 {
         net.tick(c);
-        net.take_delivered(c);
+        take_delivered(&mut net, c);
     }
     assert_eq!(net.stats().queue_cycles, 0);
 }
@@ -92,8 +102,8 @@ fn cache_traffic_from_remote_quads_crosses_the_ring() {
         0,
     );
     net.tick(1);
-    assert!(net.take_delivered(10).is_empty());
-    assert_eq!(net.take_delivered(11).len(), 1);
+    assert!(take_delivered(&mut net, 10).is_empty());
+    assert_eq!(take_delivered(&mut net, 11).len(), 1);
 }
 
 #[test]
@@ -114,7 +124,7 @@ fn l_wires_halve_ring_hop_cost() {
     );
     net.tick(1);
     // L: crossbar 1 + 2 hops x 2 = 5 -> delivered at 6 (B would be 11).
-    assert_eq!(net.take_delivered(6).len(), 1);
+    assert_eq!(take_delivered(&mut net, 6).len(), 1);
 }
 
 #[test]

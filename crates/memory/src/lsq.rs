@@ -70,6 +70,19 @@ struct LsqEntry {
     /// Set once a load's partial match has been classified (avoid double
     /// counting in the stats).
     partial_match_counted: bool,
+    /// Loads: resume point of the incremental full-address scan — every
+    /// older store below this seq has had its full address verified known
+    /// (knownness is monotonic: stamps never unset and older entries never
+    /// appear, so verified prefixes stay verified).
+    full_pos: u64,
+    /// Loads: the youngest older store whose full address matched, among
+    /// the scanned prefix. Still forwarding only while it has not retired
+    /// (retirement is strictly in order from the queue front).
+    full_match: Option<u64>,
+    /// Loads: resume point of the incremental partial-address scan.
+    part_pos: u64,
+    /// Loads: the youngest older store whose partial address matched.
+    part_match: Option<u64>,
 }
 
 /// The centralized load/store queue.
@@ -82,6 +95,9 @@ pub struct LoadStoreQueue {
     entries: VecDeque<LsqEntry>,
     ls_bits: u32,
     stats: LsqStats,
+    /// Largest arrival stamp ever recorded — `next_event_cycle`'s O(1)
+    /// fast path (stamps in the past can no longer change any status).
+    latest_stamp: u64,
 }
 
 /// Byte address → word (8-byte) granule, the conflict-detection granularity.
@@ -102,6 +118,7 @@ impl LoadStoreQueue {
             entries: VecDeque::new(),
             ls_bits,
             stats: LsqStats::default(),
+            latest_stamp: 0,
         }
     }
 
@@ -130,6 +147,10 @@ impl LoadStoreQueue {
             partial: None,
             full: None,
             partial_match_counted: false,
+            full_pos: 0,
+            full_match: None,
+            part_pos: 0,
+            part_match: None,
         });
     }
 
@@ -141,6 +162,7 @@ impl LoadStoreQueue {
     /// Records the arrival of the LS bits of `seq`'s address at `cycle`.
     pub fn arrive_partial(&mut self, seq: u64, addr: u64, cycle: u64) {
         let p = self.partial_of(addr);
+        self.latest_stamp = self.latest_stamp.max(cycle);
         if let Some(i) = self.find(seq) {
             let e = &mut self.entries[i];
             if e.partial.is_none() {
@@ -154,6 +176,7 @@ impl LoadStoreQueue {
     pub fn arrive_full(&mut self, seq: u64, addr: u64, cycle: u64) {
         let p = self.partial_of(addr);
         let w = word_of(addr);
+        self.latest_stamp = self.latest_stamp.max(cycle);
         if let Some(i) = self.find(seq) {
             let e = &mut self.entries[i];
             if e.full.is_none() {
@@ -170,6 +193,14 @@ impl LoadStoreQueue {
     /// With `use_partial` false the LSQ behaves like the baseline: loads
     /// wait for full addresses of all earlier stores.
     ///
+    /// Each poll resumes the older-store scan where the previous one
+    /// stopped (the first store with an unknown address), so the total
+    /// scan work per load is linear in its older entries rather than
+    /// linear per poll. A match found earlier forwards only while the
+    /// matching store is still in the queue — retirement removes entries
+    /// strictly from the front, so "youngest match is at or past the
+    /// front" is exactly "some present older store matches".
+    ///
     /// # Panics
     ///
     /// Panics if `seq` is not a load in the queue.
@@ -179,31 +210,43 @@ impl LoadStoreQueue {
 
         let own_full = self.entries[idx].full.filter(|&(_, t)| t <= cycle);
         let own_partial = self.entries[idx].partial.filter(|&(_, t)| t <= cycle);
+        let front_seq = self.entries.front().expect("load present").seq;
 
         // Full disambiguation first: if every earlier store's full address
         // is known and the load's own full address is known, we can give a
         // definitive answer.
         if let Some((w, _)) = own_full {
+            let mut pos = self.entries[idx].full_pos;
+            let mut match_seq = self.entries[idx].full_match;
             let mut all_known = true;
-            let mut forward = false;
-            // Scan older entries (younger than the load are irrelevant);
-            // the *youngest* matching store wins for forwarding.
-            for e in self.entries.iter().take(idx) {
+            let start = self.entries.partition_point(|e| e.seq < pos);
+            for e in self.entries.range(start..idx) {
                 if !e.is_store {
                     continue;
                 }
                 match e.full.filter(|&(_, t)| t <= cycle) {
                     Some((sw, _)) => {
                         if sw == w {
-                            forward = true;
+                            match_seq = Some(e.seq);
                         }
                     }
                     None => {
                         all_known = false;
+                        pos = e.seq;
+                        break;
                     }
                 }
             }
             if all_known {
+                pos = seq;
+            }
+            {
+                let e = &mut self.entries[idx];
+                e.full_pos = pos;
+                e.full_match = match_seq;
+            }
+            if all_known {
+                let forward = match_seq.is_some_and(|m| m >= front_seq);
                 // Classify a previously flagged partial conflict.
                 let e = &mut self.entries[idx];
                 if e.partial_match_counted && !forward {
@@ -231,25 +274,39 @@ impl LoadStoreQueue {
         let Some((p, _)) = own_partial else {
             return LoadStatus::WaitOwnAddress;
         };
+        let mut pos = self.entries[idx].part_pos;
+        let mut match_seq = self.entries[idx].part_match;
         let mut any_unknown = false;
-        let mut partial_match = false;
-        for e in self.entries.iter().take(idx) {
+        let start = self.entries.partition_point(|e| e.seq < pos);
+        for e in self.entries.range(start..idx) {
             if !e.is_store {
                 continue;
             }
             match e.partial.filter(|&(_, t)| t <= cycle) {
                 Some((sp, _)) => {
                     if sp == p {
-                        partial_match = true;
+                        match_seq = Some(e.seq);
                     }
                 }
-                None => any_unknown = true,
+                None => {
+                    any_unknown = true;
+                    pos = e.seq;
+                    break;
+                }
             }
+        }
+        if !any_unknown {
+            pos = seq;
+        }
+        {
+            let e = &mut self.entries[idx];
+            e.part_pos = pos;
+            e.part_match = match_seq;
         }
         if any_unknown {
             return LoadStatus::WaitStoreAddress;
         }
-        if partial_match {
+        if match_seq.is_some_and(|m| m >= front_seq) {
             let e = &mut self.entries[idx];
             if !e.partial_match_counted {
                 e.partial_match_counted = true;
@@ -258,6 +315,23 @@ impl LoadStoreQueue {
             return LoadStatus::PartialConflict;
         }
         LoadStatus::PartialReady
+    }
+
+    /// The earliest future cycle at which a recorded address stamp becomes
+    /// visible to `load_status`, or `None` when every stamp is already in
+    /// the past. Arrival stamps are recorded at delivery time in practice,
+    /// so this is a robustness guard for the core's idle-cycle skipper
+    /// with an O(1) common case.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if self.latest_stamp <= now {
+            return None;
+        }
+        self.entries
+            .iter()
+            .flat_map(|e| [e.partial, e.full])
+            .flatten()
+            .filter_map(|(_, t)| (t > now).then_some(t))
+            .min()
     }
 
     /// Removes all entries with `seq <= bound` (commit).
@@ -272,9 +346,19 @@ impl LoadStoreQueue {
     }
 
     /// Removes a single entry (squash or early completion).
+    ///
+    /// Mid-queue removal invalidates the monotonicity assumption behind
+    /// the incremental scan caches (a store may vanish from a range a
+    /// load already scanned), so every load's cache is reset.
     pub fn remove(&mut self, seq: u64) {
         if let Some(i) = self.find(seq) {
             self.entries.remove(i);
+            for e in self.entries.iter_mut().filter(|e| !e.is_store) {
+                e.full_pos = 0;
+                e.full_match = None;
+                e.part_pos = 0;
+                e.part_match = None;
+            }
         }
     }
 

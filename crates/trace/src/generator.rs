@@ -398,7 +398,7 @@ mod tests {
     fn mix_converges_to_profile() {
         let p = by_name("gcc").unwrap();
         let n = 200_000;
-        let window: Vec<_> = TraceGenerator::new(p.clone(), 1).take(n).collect();
+        let window: Vec<_> = TraceGenerator::new(p, 1).take(n).collect();
         let frac = |cls: OpClass| window.iter().filter(|i| i.op() == cls).count() as f64 / n as f64;
         assert!((frac(OpClass::Load) - p.load_frac).abs() < 0.01);
         assert!((frac(OpClass::Store) - p.store_frac).abs() < 0.01);
@@ -442,7 +442,7 @@ mod tests {
     #[test]
     fn narrow_fraction_tracks_profile() {
         let p = by_name("gzip").unwrap();
-        let window: Vec<_> = TraceGenerator::new(p.clone(), 5).take(100_000).collect();
+        let window: Vec<_> = TraceGenerator::new(p, 5).take(100_000).collect();
         let int_results: Vec<_> = window
             .iter()
             .filter(|o| {

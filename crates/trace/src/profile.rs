@@ -13,8 +13,9 @@
 
 use std::fmt;
 
-/// Statistical description of one benchmark program.
-#[derive(Debug, Clone, PartialEq)]
+/// Statistical description of one benchmark program. All-POD and `Copy`,
+/// so sweep harnesses pass profiles by value instead of cloning per job.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchmarkProfile {
     /// Program name (SPEC2000 shorthand, e.g. `"gzip"`).
     pub name: &'static str,

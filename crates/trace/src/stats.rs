@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn stats_track_generator() {
         let p = by_name("vpr").unwrap();
-        let stats = TraceStats::from_ops(TraceGenerator::new(p.clone(), 13).take(100_000));
+        let stats = TraceStats::from_ops(TraceGenerator::new(p, 13).take(100_000));
         assert_eq!(stats.total, 100_000);
         assert!((stats.mem_frac() - (p.load_frac + p.store_frac)).abs() < 0.01);
         // Narrowness is a per-site property, so the realized fraction has

@@ -68,9 +68,7 @@ fn determinism() {
     let mut rng = SmallRng::seed_from_u64(0x7ace_0003);
     for _ in 0..CASES {
         let (profile, seed) = arb_case(&mut rng);
-        let a: Vec<_> = TraceGenerator::new(profile.clone(), seed)
-            .take(300)
-            .collect();
+        let a: Vec<_> = TraceGenerator::new(profile, seed).take(300).collect();
         let b: Vec<_> = TraceGenerator::new(profile, seed).take(300).collect();
         assert_eq!(a, b);
     }
@@ -104,7 +102,7 @@ fn mix_tracks_profile() {
         let n = 30_000;
         let mut loads = 0u32;
         let mut branches = 0u32;
-        for op in TraceGenerator::new(profile.clone(), 1).take(n) {
+        for op in TraceGenerator::new(profile, 1).take(n) {
             match op.op() {
                 OpClass::Load => loads += 1,
                 OpClass::Branch => branches += 1,

@@ -55,7 +55,7 @@ fn main() {
         let mut ipcs = Vec::new();
         for model in [InterconnectModel::I, InterconnectModel::VII] {
             let config = ProcessorConfig::for_model(model, Topology::crossbar4());
-            let trace = TraceGenerator::new(profile.clone(), 1234);
+            let trace = TraceGenerator::new(profile, 1234);
             let r = Processor::simulate(config, trace, 30_000, 8_000);
             println!(
                 "  Model {:<4} ({:<25}) IPC {:.3}, L-share {:.0}%",

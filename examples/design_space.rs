@@ -22,7 +22,7 @@ fn main() {
 
     let run = |model: InterconnectModel| {
         let config = ProcessorConfig::for_model(model, Topology::crossbar4());
-        let trace = TraceGenerator::new(profile.clone(), 7);
+        let trace = TraceGenerator::new(profile, 7);
         Processor::simulate(config, trace, 30_000, 8_000)
     };
 

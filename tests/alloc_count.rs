@@ -42,10 +42,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-fn allocs_for(window: u64) -> u64 {
+fn allocs_for(topology: Topology, window: u64) -> u64 {
     // Model X exercises all three wire planes (so every send/steer path
     // runs); gcc has a rich mix of loads, stores and branches.
-    let cfg = ProcessorConfig::for_model(InterconnectModel::X, Topology::crossbar4());
+    let cfg = ProcessorConfig::for_model(InterconnectModel::X, topology);
     let trace = TraceGenerator::new(by_name("gcc").expect("gcc exists"), 42);
     let before = ALLOCS.load(Ordering::Relaxed);
     let r = Processor::simulate(cfg, trace, window, 500);
@@ -56,15 +56,22 @@ fn allocs_for(window: u64) -> u64 {
 
 #[test]
 fn simulator_steady_state_is_allocation_free() {
-    let small = allocs_for(4_000);
-    let large = allocs_for(16_000);
-    let delta = large.saturating_sub(small);
-    // 12 000 extra instructions. Before the de-allocation pass the
-    // simulator allocated several Vecs per instruction (>36 000 here);
-    // now only table doubling and rare cold paths remain.
-    assert!(
-        delta < 2_000,
-        "hot path allocates: {delta} extra allocations for 12k extra \
-         instructions (small window: {small}, large window: {large})"
-    );
+    // Crossbar (4 clusters) and ring (16 clusters, 64 ready queues)
+    // both: the event kernel's wheel, ready queues, waiter lists and
+    // deferred heap must all reach steady state like the rest of the
+    // per-cycle machinery.
+    for topology in [Topology::crossbar4(), Topology::hier16()] {
+        let small = allocs_for(topology, 4_000);
+        let large = allocs_for(topology, 16_000);
+        let delta = large.saturating_sub(small);
+        // 12 000 extra instructions. Before the de-allocation pass the
+        // simulator allocated several Vecs per instruction (>36 000 here);
+        // now only table doubling and rare cold paths remain.
+        assert!(
+            delta < 2_000,
+            "hot path allocates on {topology:?}: {delta} extra allocations \
+             for 12k extra instructions (small window: {small}, large \
+             window: {large})"
+        );
+    }
 }

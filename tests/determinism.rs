@@ -42,7 +42,7 @@ fn different_benchmarks_differ() {
 #[test]
 fn trace_streams_are_reproducible_across_construction() {
     for p in spec2000().into_iter().take(5) {
-        let x: Vec<_> = TraceGenerator::new(p.clone(), 77).take(500).collect();
+        let x: Vec<_> = TraceGenerator::new(p, 77).take(500).collect();
         let y: Vec<_> = TraceGenerator::new(p, 77).take(500).collect();
         assert_eq!(x, y);
     }
@@ -52,7 +52,7 @@ fn trace_streams_are_reproducible_across_construction() {
 fn window_extension_is_prefix_stable() {
     // Taking a longer window must not change the prefix of the stream.
     let p = by_name("apsi").expect("apsi");
-    let short: Vec<_> = TraceGenerator::new(p.clone(), 4).take(1_000).collect();
+    let short: Vec<_> = TraceGenerator::new(p, 4).take(1_000).collect();
     let long: Vec<_> = TraceGenerator::new(p, 4).take(2_000).collect();
     assert_eq!(short[..], long[..1_000]);
 }

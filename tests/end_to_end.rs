@@ -21,7 +21,7 @@ fn every_benchmark_runs_on_the_baseline() {
         let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
         let r = run_one(
             cfg,
-            p.clone(),
+            p,
             RunScale {
                 window: 3_000,
                 warmup: 500,
@@ -41,7 +41,7 @@ fn every_model_runs_on_both_topologies() {
             let cfg = ProcessorConfig::for_model(model, topology);
             let r = run_one(
                 cfg,
-                p.clone(),
+                p,
                 RunScale {
                     window: 2_000,
                     warmup: 500,
@@ -76,7 +76,7 @@ fn energy_model_tracks_wire_choices() {
     let p = by_name("twolf").expect("twolf");
     let base = run_one(
         ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4()),
-        p.clone(),
+        p,
         SCALE,
     );
     let pw = run_one(
@@ -103,7 +103,7 @@ fn deadlock_free_across_seeds() {
     let p = by_name("mcf").expect("mcf");
     for seed in [1, 2, 3] {
         let cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
-        let trace = TraceGenerator::new(p.clone(), seed);
+        let trace = TraceGenerator::new(p, seed);
         let r = Processor::simulate(cfg, trace, 2_000, 0);
         assert_eq!(r.instructions, 2_000, "seed {seed}");
     }
@@ -115,7 +115,7 @@ fn sixteen_clusters_deliver_more_ilp_on_fp() {
     let p = by_name("swim").expect("swim");
     let c4 = run_one(
         ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4()),
-        p.clone(),
+        p,
         SCALE,
     );
     let c16 = run_one(
@@ -137,7 +137,7 @@ fn warmup_is_excluded_from_measurements() {
     let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
     let with_warmup = run_one(
         cfg.clone(),
-        p.clone(),
+        p,
         RunScale {
             window: 5_000,
             warmup: 5_000,
@@ -162,12 +162,7 @@ fn seed_of_record_is_stable() {
     // (regression guard for the deterministic pipeline).
     let p = by_name("eon").expect("eon");
     let cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
-    let a = Processor::simulate(
-        cfg.clone(),
-        TraceGenerator::new(p.clone(), SEED),
-        3_000,
-        500,
-    );
+    let a = Processor::simulate(cfg.clone(), TraceGenerator::new(p, SEED), 3_000, 500);
     let b = Processor::simulate(cfg, TraceGenerator::new(p, SEED), 3_000, 500);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.net.transfers, b.net.transfers);

@@ -1,0 +1,42 @@
+//! The event-driven kernel (completion wheel, wakeup-driven issue,
+//! idle-cycle skipping) must be **bit-identical** to the seed's
+//! cycle-driven reference loop: same cycle counts, same network statistics
+//! down to the last bit-hop and queue cycle, same predictor and LSQ rates.
+//!
+//! Every interconnect model runs on both the 4-cluster crossbar and the
+//! 16-cluster crossbar-of-rings at quick scale; benchmarks rotate across
+//! models so the suite's workload variety (FP-heavy, memory-bound,
+//! branchy) is covered without running the full 230-run sweep twice in a
+//! debug build.
+
+use heterowire_bench::{RunScale, SEED};
+use heterowire_core::{InterconnectModel, Processor, ProcessorConfig};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{spec2000, TraceGenerator};
+
+fn assert_kernels_match(topology: Topology, scale: RunScale) {
+    let profiles = spec2000();
+    for (i, &model) in InterconnectModel::ALL.iter().enumerate() {
+        let profile = profiles[(i * 7) % profiles.len()];
+        let cfg = ProcessorConfig::for_model(model, topology);
+        let event = Processor::new(cfg.clone(), TraceGenerator::new(profile, SEED))
+            .run(scale.window, scale.warmup);
+        let reference = Processor::new(cfg, TraceGenerator::new(profile, SEED))
+            .run_reference(scale.window, scale.warmup);
+        assert_eq!(
+            event, reference,
+            "kernels diverge for model {:?} on {topology:?} ({})",
+            model, profile.name
+        );
+    }
+}
+
+#[test]
+fn event_kernel_matches_reference_on_crossbar4() {
+    assert_kernels_match(Topology::crossbar4(), RunScale::quick());
+}
+
+#[test]
+fn event_kernel_matches_reference_on_hier16_ring() {
+    assert_kernels_match(Topology::hier16(), RunScale::quick());
+}

@@ -64,7 +64,7 @@ fn pw_only_interconnect_degrades_ipc_but_saves_energy() {
     let p = by_name("crafty").expect("crafty");
     let base = run_one(
         ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4()),
-        p.clone(),
+        p,
         SCALE,
     );
     let pw = run_one(
