@@ -5,7 +5,7 @@
 //! optimizations — partial-address cache pipeline, narrow operands and
 //! branch-mispredict signals (paper §5.3).
 
-use heterowire_bench::{csv_path_from_args, format_suite_csv, run_suite, RunScale};
+use heterowire_bench::{artifact_paths_from_args, emit_suite_artifacts, run_suite, RunScale};
 use heterowire_core::{Optimizations, ProcessorConfig};
 use heterowire_wires::{LinkComposition, WireClass, WirePlane};
 
@@ -30,13 +30,10 @@ fn main() {
     let base = run_suite(&base_cfg, scale);
     eprintln!("running +L-Wires (72 B + 18 L) suite ...");
     let lwire = run_suite(&l_cfg, scale);
-    if let Some(path) = csv_path_from_args() {
-        let mut csv = format_suite_csv(&base);
-        csv.push('\n');
-        csv.push_str(&format_suite_csv(&lwire));
-        std::fs::write(&path, csv).expect("write CSV");
-        eprintln!("wrote {}", path.display());
-    }
+    emit_suite_artifacts(
+        &[("baseline", &base), ("lwire", &lwire)],
+        &artifact_paths_from_args(),
+    );
 
     println!("Figure 3: IPC, 4-cluster partitioned architecture");
     println!(

@@ -3,12 +3,14 @@
 //! the values derived from the analytical wire models, plus the resulting
 //! network latencies and the transmission-line headroom discussed in §2.
 
+use heterowire_bench::{artifact_paths_from_args, emit_table2_artifacts};
 use heterowire_wires::classes::table2;
 use heterowire_wires::geometry::WireGeometry;
 use heterowire_wires::repeater::{DeviceParams, RepeatedWire};
 use heterowire_wires::transmission::transmission_line_headroom;
 
 fn main() {
+    emit_table2_artifacts(&artifact_paths_from_args());
     println!("Table 2: wire delay and relative energy parameters per wire class");
     println!("(canonical = paper values; derived = from the RC/repeater models)\n");
     println!(

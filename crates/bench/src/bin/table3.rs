@@ -3,19 +3,11 @@
 //! dynamic and leakage energy, relative processor energy, and ED² at 10%
 //! and 20% interconnect energy fractions, all normalised to Model I.
 
-use heterowire_bench::{
-    csv_path_from_args, format_model_csv, format_model_table, model_sweep, RunScale,
-};
+use heterowire_bench::{format_model_table, model_sweep_main};
 use heterowire_interconnect::Topology;
 
 fn main() {
-    let scale = RunScale::from_env();
-    eprintln!("sweeping Models I-X on 4 clusters x 23 benchmarks ...");
-    let rows = model_sweep(Topology::crossbar4(), scale);
-    if let Some(path) = csv_path_from_args() {
-        std::fs::write(&path, format_model_csv(&rows)).expect("write CSV");
-        eprintln!("wrote {}", path.display());
-    }
+    let rows = model_sweep_main(Topology::crossbar4(), "4 clusters");
     println!("Table 3: heterogeneous interconnect energy and performance, 4 clusters");
     println!("(all values except IPC are % of Model I)\n");
     print!("{}", format_model_table(&rows, true));

@@ -3,17 +3,11 @@
 //! energy at 20% of Model-I chip energy — the configuration in which the
 //! paper reports up to 11% ED² reduction.
 
-use heterowire_bench::{csv_path_from_args, format_model_csv, model_sweep, RunScale};
+use heterowire_bench::model_sweep_main;
 use heterowire_interconnect::Topology;
 
 fn main() {
-    let scale = RunScale::from_env();
-    eprintln!("sweeping Models I-X on 16 clusters x 23 benchmarks ...");
-    let rows = model_sweep(Topology::hier16(), scale);
-    if let Some(path) = csv_path_from_args() {
-        std::fs::write(&path, format_model_csv(&rows)).expect("write CSV");
-        eprintln!("wrote {}", path.display());
-    }
+    let rows = model_sweep_main(Topology::hier16(), "16 clusters");
 
     println!("Table 4: heterogeneous interconnect energy and performance, 16 clusters");
     println!("(interconnect = 20% of Model-I chip energy; values are % of Model I)\n");

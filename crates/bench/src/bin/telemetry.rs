@@ -1,0 +1,149 @@
+//! Records one (model, benchmark) run with the telemetry subsystem and
+//! exports the artifacts:
+//!
+//! * `trace.json` — Chrome/Perfetto trace (pipeline lifecycles as async
+//!   slices, per-link utilization counters, steering-overflow episodes);
+//!   load it at <https://ui.perfetto.dev> or `chrome://tracing`;
+//! * `utilization.csv` — per-window × per-link × per-wire-class busy
+//!   lane-cycles.
+//!
+//! The same run also executes with the probe disabled; the binary exits
+//! non-zero if the recorded run's `SimResults` diverge from the disabled
+//! run (recording must be observation, never perturbation).
+//!
+//! ```text
+//! telemetry [--model VII] [--bench gzip] [--topology crossbar4|hier16]
+//!           [--window 64] [--out-dir results]
+//! ```
+
+use std::path::PathBuf;
+
+use heterowire_bench::{flag_path_from, write_artifact, RunScale, SEED};
+use heterowire_core::{
+    InterconnectModel, Processor, ProcessorConfig, RecordingConfig, RecordingProbe,
+};
+use heterowire_interconnect::Topology;
+use heterowire_telemetry::{chrome_trace, utilization_csv};
+use heterowire_trace::{by_name, TraceGenerator};
+use heterowire_wires::WireClass;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            }
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_name = flag_value(&args, "--model").unwrap_or_else(|| "VII".to_string());
+    let bench_name = flag_value(&args, "--bench").unwrap_or_else(|| "gzip".to_string());
+    let topo_name = flag_value(&args, "--topology").unwrap_or_else(|| "crossbar4".to_string());
+    let window: u64 = flag_value(&args, "--window")
+        .map(|v| v.parse().expect("--window takes a cycle count"))
+        .unwrap_or(64);
+    let out_dir = flag_path_from(&args, "--out-dir")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+        .unwrap_or_else(|| PathBuf::from("results"));
+
+    let model = InterconnectModel::ALL
+        .iter()
+        .copied()
+        .find(|m| m.name().eq_ignore_ascii_case(&model_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {model_name:?}; expected one of I..X");
+            std::process::exit(2);
+        });
+    let topology = match topo_name.as_str() {
+        "crossbar4" => Topology::crossbar4(),
+        "hier16" => Topology::hier16(),
+        other => {
+            eprintln!("unknown topology {other:?}; expected \"crossbar4\" or \"hier16\"");
+            std::process::exit(2);
+        }
+    };
+    let profile = by_name(&bench_name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench_name:?}");
+        std::process::exit(2);
+    });
+
+    // Warmup 0 so the recorded network counters reconcile exactly with the
+    // end-of-run NetStats.
+    let scale = RunScale::from_env();
+    let cfg = ProcessorConfig::for_model(model, topology);
+
+    eprintln!(
+        "recording Model {} / {} on {topo_name}, {} instructions, window {window} ...",
+        model.name(),
+        profile.name,
+        scale.window
+    );
+    let baseline =
+        Processor::new(cfg.clone(), TraceGenerator::new(profile, SEED)).run(scale.window, 0);
+
+    let labels = Processor::new(cfg.clone(), TraceGenerator::new(profile, SEED))
+        .network()
+        .link_labels();
+    let probe_cfg = RecordingConfig::new(window, labels, topology.clusters());
+    let mut recorded = Processor::with_probe(
+        cfg,
+        TraceGenerator::new(profile, SEED),
+        RecordingProbe::new(probe_cfg),
+    );
+    let results = recorded.run(scale.window, 0);
+    let pending = recorded.network().pending_len() as u64;
+    recorded.probe_mut().finish();
+    let probe = recorded.probe();
+
+    if results != baseline {
+        eprintln!(
+            "FAIL: recorded run diverged from the probe-disabled run\n\
+             disabled: {baseline:?}\nrecorded: {results:?}"
+        );
+        std::process::exit(1);
+    }
+
+    // The probe's network counters must reconcile with NetStats.
+    for (i, c) in WireClass::ALL.iter().enumerate() {
+        assert_eq!(
+            probe.injected[i],
+            results.net.transfers[i],
+            "injected {} transfers disagree with NetStats",
+            c.label()
+        );
+    }
+    let injected: u64 = probe.injected.iter().sum();
+    let departed: u64 = probe.departed.iter().sum();
+    assert_eq!(
+        injected - departed,
+        pending,
+        "transfers still queued at end of run"
+    );
+
+    write_artifact(&out_dir.join("trace.json"), &chrome_trace(probe));
+    write_artifact(&out_dir.join("utilization.csv"), &utilization_csv(probe));
+
+    println!(
+        "recorded {} cycles: {} dispatches, {} commits, {} transfers \
+         ({} lane-cycles busy), {} overflow episodes, {} lifecycle entries",
+        results.cycles,
+        probe.counts.dispatches,
+        probe.counts.commits,
+        injected,
+        probe.total_busy(),
+        probe.episodes().len(),
+        probe.lifecycles().len(),
+    );
+    println!(
+        "probe-disabled and recorded runs are bit-identical (ipc {:.4})",
+        results.ipc()
+    );
+}

@@ -27,7 +27,9 @@ use heterowire_core::{
     RelativeReport, SimResults,
 };
 use heterowire_interconnect::Topology;
+use heterowire_telemetry::json::JsonWriter;
 use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
+use heterowire_wires::classes::{table2, Table2Row};
 
 /// Default committed-instruction window per benchmark.
 pub const DEFAULT_WINDOW: u64 = 100_000;
@@ -340,17 +342,124 @@ pub fn format_suite_csv(suite: &SuiteResults) -> String {
     out
 }
 
-/// Parses an optional `--csv <path>` argument pair from an argument list.
-/// `--csv` without a following path is an error rather than a silent
-/// `None` (the caller asked for a CSV and would not get one).
-pub fn csv_path_from(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
-    match args.iter().position(|a| a == "--csv") {
+/// Formats a model sweep as one JSON document (the `--json` companion to
+/// [`format_model_csv`]), hand-rolled through the telemetry writer so the
+/// offline container needs no serde.
+pub fn format_model_json(rows: &[ModelRow]) -> String {
+    fn report(w: &mut JsonWriter, r: &RelativeReport) {
+        w.begin_object();
+        w.key("ipc").f64(r.ipc);
+        w.key("ic_dynamic_pct").f64(r.rel_ic_dynamic);
+        w.key("ic_leakage_pct").f64(r.rel_ic_leakage);
+        w.key("energy_pct").f64(r.rel_processor_energy);
+        w.key("ed2_pct").f64(r.rel_ed2);
+        w.end_object();
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("rows").begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("model").string(r.model.name());
+        w.key("link").string(&r.description);
+        w.key("metal_area").f64(r.metal_area);
+        w.key("at_10");
+        report(&mut w, &r.at_10);
+        w.key("at_20");
+        report(&mut w, &r.at_20);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Formats labelled per-benchmark suites as one JSON document: every run
+/// embeds the full [`SimResults::to_json`] record.
+pub fn format_suite_json(suites: &[(&str, &SuiteResults)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("suites").begin_array();
+    for (label, suite) in suites {
+        w.begin_object();
+        w.key("label").string(label);
+        w.key("mean_ipc").f64(suite.mean_ipc());
+        w.key("runs").begin_array();
+        for (name, r) in suite.names.iter().zip(&suite.runs) {
+            w.begin_object();
+            w.key("benchmark").string(name);
+            w.key("results").raw(&r.to_json());
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Formats the Table-2 wire-parameter rows as CSV.
+pub fn format_table2_csv(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "class,relative_delay,derived_delay,relative_dynamic,\
+         derived_dynamic,relative_leakage,crossbar_latency,ring_hop_latency\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{},{:.3},{},{},{}\n",
+            r.class.label(),
+            r.relative_delay,
+            r.derived_delay,
+            r.relative_dynamic,
+            r.derived_dynamic,
+            r.relative_leakage,
+            r.crossbar_latency,
+            r.ring_hop_latency,
+        ));
+    }
+    out
+}
+
+/// Formats the Table-2 wire-parameter rows as JSON.
+pub fn format_table2_json(rows: &[Table2Row]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("rows").begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("class").string(r.class.label());
+        w.key("relative_delay").f64(r.relative_delay);
+        w.key("derived_delay").f64(r.derived_delay);
+        w.key("relative_dynamic").f64(r.relative_dynamic);
+        w.key("derived_dynamic").f64(r.derived_dynamic);
+        w.key("relative_leakage").f64(r.relative_leakage);
+        w.key("crossbar_latency").u64(r.crossbar_latency as u64);
+        w.key("ring_hop_latency").u64(r.ring_hop_latency as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Parses an optional `--<flag> <path>` argument pair from an argument
+/// list. A flag without a following path is an error rather than a silent
+/// `None` (the caller asked for an artifact and would not get one).
+pub fn flag_path_from(args: &[String], flag: &str) -> Result<Option<std::path::PathBuf>, String> {
+    match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(p) => Ok(Some(std::path::PathBuf::from(p))),
-            None => Err("--csv requires a path argument".to_string()),
+            None => Err(format!("{flag} requires a path argument")),
         },
     }
+}
+
+/// [`flag_path_from`] for the original `--csv` flag (kept for callers that
+/// only emit CSV).
+pub fn csv_path_from(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    flag_path_from(args, "--csv")
 }
 
 /// [`csv_path_from`] over `std::env::args`; exits with status 2 on a
@@ -364,6 +473,97 @@ pub fn csv_path_from_args() -> Option<std::path::PathBuf> {
             std::process::exit(2);
         }
     }
+}
+
+/// The machine-readable outputs a harness binary was asked for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArtifactPaths {
+    /// `--csv <path>` destination, if requested.
+    pub csv: Option<std::path::PathBuf>,
+    /// `--json <path>` destination, if requested.
+    pub json: Option<std::path::PathBuf>,
+}
+
+/// Parses the `--csv` / `--json` artifact flags shared by the harness
+/// binaries.
+pub fn artifact_paths_from(args: &[String]) -> Result<ArtifactPaths, String> {
+    Ok(ArtifactPaths {
+        csv: flag_path_from(args, "--csv")?,
+        json: flag_path_from(args, "--json")?,
+    })
+}
+
+/// [`artifact_paths_from`] over `std::env::args`; exits with status 2 on a
+/// malformed flag.
+pub fn artifact_paths_from_args() -> ArtifactPaths {
+    let args: Vec<String> = std::env::args().collect();
+    match artifact_paths_from(&args) {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes one artifact file, logging the destination (the binaries' shared
+/// write-and-announce convention).
+pub fn write_artifact(path: &std::path::Path, contents: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("create artifact directory");
+    }
+    std::fs::write(path, contents).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Emits the requested `--csv` / `--json` artifacts for a model sweep.
+pub fn emit_model_artifacts(rows: &[ModelRow], paths: &ArtifactPaths) {
+    if let Some(path) = &paths.csv {
+        write_artifact(path, &format_model_csv(rows));
+    }
+    if let Some(path) = &paths.json {
+        write_artifact(path, &format_model_json(rows));
+    }
+}
+
+/// Emits the requested `--csv` / `--json` artifacts for labelled
+/// per-benchmark suites. The CSV keeps the historical shape — one
+/// [`format_suite_csv`] block per suite, blank-line separated.
+pub fn emit_suite_artifacts(suites: &[(&str, &SuiteResults)], paths: &ArtifactPaths) {
+    if let Some(path) = &paths.csv {
+        let csv = suites
+            .iter()
+            .map(|(_, s)| format_suite_csv(s))
+            .collect::<Vec<_>>()
+            .join("\n");
+        write_artifact(path, &csv);
+    }
+    if let Some(path) = &paths.json {
+        write_artifact(path, &format_suite_json(suites));
+    }
+}
+
+/// Emits the requested `--csv` / `--json` artifacts for the Table-2 wire
+/// parameters.
+pub fn emit_table2_artifacts(paths: &ArtifactPaths) {
+    let rows = table2();
+    if let Some(path) = &paths.csv {
+        write_artifact(path, &format_table2_csv(&rows));
+    }
+    if let Some(path) = &paths.json {
+        write_artifact(path, &format_table2_json(&rows));
+    }
+}
+
+/// The whole shared spine of the `table3`/`table4` binaries: read the
+/// scale from the environment, sweep Models I–X on `topology`, and write
+/// any `--csv` / `--json` artifacts requested on the command line.
+pub fn model_sweep_main(topology: Topology, label: &str) -> Vec<ModelRow> {
+    let scale = RunScale::from_env();
+    eprintln!("sweeping Models I-X on {label} x 23 benchmarks ...");
+    let rows = model_sweep(topology, scale);
+    emit_model_artifacts(&rows, &artifact_paths_from_args());
+    rows
 }
 
 #[cfg(test)]
@@ -469,6 +669,84 @@ mod tests {
         );
         assert!(RunScale::from_env_value(Some("fast")).is_err());
         assert!(RunScale::from_env_value(Some("QUICK")).is_err());
+    }
+
+    #[test]
+    fn model_json_round_trips() {
+        let rows = model_sweep(
+            Topology::crossbar4(),
+            RunScale {
+                window: 1_000,
+                warmup: 200,
+            },
+        );
+        let doc = heterowire_telemetry::json::parse(&format_model_json(&rows))
+            .expect("model JSON parses");
+        let out = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(out.len(), 10);
+        for (obj, row) in out.iter().zip(&rows) {
+            // Descriptions contain commas and survive JSON escaping.
+            assert_eq!(obj.get("link").unwrap().as_str(), Some(&*row.description));
+            assert_eq!(
+                obj.get("at_10").unwrap().get("ipc").unwrap().as_num(),
+                Some(row.at_10.ipc)
+            );
+        }
+    }
+
+    #[test]
+    fn suite_json_embeds_full_results() {
+        let cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+        let suite = run_suite(
+            &cfg,
+            RunScale {
+                window: 1_000,
+                warmup: 200,
+            },
+        );
+        let doc = heterowire_telemetry::json::parse(&format_suite_json(&[("base", &suite)]))
+            .expect("suite JSON parses");
+        let suites = doc.get("suites").unwrap().as_arr().unwrap();
+        assert_eq!(suites.len(), 1);
+        let runs = suites[0].get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 23);
+        let first = &runs[0];
+        assert_eq!(
+            first.get("benchmark").unwrap().as_str(),
+            Some(suite.names[0])
+        );
+        assert_eq!(
+            first
+                .get("results")
+                .unwrap()
+                .get("instructions")
+                .unwrap()
+                .as_num(),
+            Some(suite.runs[0].instructions as f64)
+        );
+    }
+
+    #[test]
+    fn table2_json_and_csv_agree() {
+        let rows = table2();
+        let csv = format_table2_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        let doc = heterowire_telemetry::json::parse(&format_table2_json(&rows)).expect("parses");
+        assert_eq!(doc.get("rows").unwrap().as_arr().unwrap().len(), rows.len());
+    }
+
+    #[test]
+    fn artifact_paths_parsing() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(
+            artifact_paths_from(&to_args(&["t"])),
+            Ok(ArtifactPaths::default())
+        );
+        let both =
+            artifact_paths_from(&to_args(&["t", "--csv", "a.csv", "--json", "a.json"])).unwrap();
+        assert_eq!(both.csv, Some(std::path::PathBuf::from("a.csv")));
+        assert_eq!(both.json, Some(std::path::PathBuf::from("a.json")));
+        assert!(artifact_paths_from(&to_args(&["t", "--json"])).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod steer;
 
 pub use config::{Extensions, InterconnectModel, Optimizations, ProcessorConfig};
 pub use energy::{mean_report, relative_report, EnergyParams, RelativeReport};
+pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe};
 pub use narrow::NarrowPredictor;
 pub use processor::Processor;
 pub use results::{mean_ipc, SimResults};

@@ -37,6 +37,7 @@ use heterowire_interconnect::{
 };
 use heterowire_isa::{MicroOp, OpClass, RegClass};
 use heterowire_memory::{LoadStatus, LoadStoreQueue, MemConfig, MemoryHierarchy};
+use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_trace::TraceGenerator;
 use heterowire_wires::WireClass;
 
@@ -329,8 +330,14 @@ struct DispatchScratch {
 
 /// The processor simulator. Create with [`Processor::new`], run with
 /// [`Processor::run`].
+///
+/// Generic over a telemetry [`Probe`]; the default [`NullProbe`] carries
+/// `ENABLED = false`, so every probe call site monomorphizes away and
+/// `Processor` (no type argument) is exactly the uninstrumented simulator.
+/// Use [`Processor::with_probe`] to attach a recording probe.
 #[derive(Debug)]
-pub struct Processor {
+pub struct Processor<P: Probe = NullProbe> {
+    probe: P,
     config: Arc<ProcessorConfig>,
     fetch: FetchEngine<TraceGenerator>,
     network: Network,
@@ -399,6 +406,11 @@ pub struct Processor {
 
 impl Processor {
     /// Builds a processor running `trace` under `config`.
+    ///
+    /// These constructors live on the concrete (probe-less) type because
+    /// default type parameters do not drive inference: `Processor::new`
+    /// must resolve without a probe annotation at every existing call
+    /// site. Probed construction goes through [`Processor::with_probe`].
     pub fn new(config: ProcessorConfig, trace: TraceGenerator) -> Self {
         Self::with_shared_config(Arc::new(config), trace)
     }
@@ -407,6 +419,32 @@ impl Processor {
     /// running one config across many benchmarks share a single allocation
     /// instead of cloning the config per run.
     pub fn with_shared_config(config: Arc<ProcessorConfig>, trace: TraceGenerator) -> Self {
+        Self::with_probe_shared(config, trace, NullProbe)
+    }
+
+    /// Convenience: builds and runs in one call.
+    pub fn simulate(
+        config: ProcessorConfig,
+        trace: TraceGenerator,
+        instructions: u64,
+        warmup: u64,
+    ) -> SimResults {
+        Processor::new(config, trace).run(instructions, warmup)
+    }
+}
+
+impl<P: Probe> Processor<P> {
+    /// Builds an instrumented processor observing events through `probe`.
+    pub fn with_probe(config: ProcessorConfig, trace: TraceGenerator, probe: P) -> Self {
+        Self::with_probe_shared(Arc::new(config), trace, probe)
+    }
+
+    /// [`Processor::with_probe`] over a shared configuration.
+    pub fn with_probe_shared(
+        config: Arc<ProcessorConfig>,
+        trace: TraceGenerator,
+        probe: P,
+    ) -> Self {
         let planes = AvailablePlanes::new(
             config.link.lanes(WireClass::B) > 0,
             config.link.lanes(WireClass::Pw) > 0,
@@ -436,6 +474,7 @@ impl Processor {
             "at most {MAX_CLUSTERS} clusters supported, got {n}"
         );
         Processor {
+            probe,
             fetch: FetchEngine::new(trace),
             network: Network::new(net_config),
             policy,
@@ -630,7 +669,8 @@ impl Processor {
             if hints.ready_at_dispatch && self.policy.planes().pw && self.policy.use_pw_steering {
                 WireClass::Pw
             } else {
-                self.policy.choose(kind, hints, self.cycle)
+                self.policy
+                    .choose_probed(kind, hints, self.cycle, &mut self.probe)
             };
         let kind = if class == WireClass::L {
             kind
@@ -647,7 +687,9 @@ impl Processor {
         if extra_delay > 0 {
             self.defer_send(self.cycle + extra_delay, transfer, action);
         } else {
-            let id = self.network.send(transfer, self.cycle);
+            let id = self
+                .network
+                .send_probed(transfer, self.cycle, &mut self.probe);
             self.record_action(id, action);
         }
         self.value_mut(producer).expect("value exists").arrivals[cluster] = IN_FLIGHT;
@@ -663,7 +705,8 @@ impl Processor {
     /// Processes everything the network delivered this cycle.
     fn process_deliveries(&mut self) {
         let mut delivered = std::mem::take(&mut self.delivered_scratch);
-        self.network.take_delivered_into(self.cycle, &mut delivered);
+        self.network
+            .take_delivered_into_probed(self.cycle, &mut delivered, &mut self.probe);
         for &(id, _t) in &delivered {
             let action = self.actions[id.0 as usize];
             match action {
@@ -771,6 +814,9 @@ impl Processor {
                 Action::BranchSignal => {
                     self.fetch
                         .redirect(self.cycle + self.config.mispredict_refill);
+                    if P::ENABLED {
+                        self.probe.fetch_resume(self.cycle);
+                    }
                 }
             }
         }
@@ -784,7 +830,9 @@ impl Processor {
                 break;
             }
             self.deferred.pop();
-            let id = self.network.send(d.transfer, self.cycle);
+            let id = self
+                .network
+                .send_probed(d.transfer, self.cycle, &mut self.probe);
             self.record_action(id, d.action);
         }
     }
@@ -825,6 +873,9 @@ impl Processor {
     /// memory-op address transfers and branch signals.
     fn finish_one(&mut self, seq: u64) {
         let cycle = self.cycle;
+        if P::ENABLED {
+            self.probe.complete(cycle, seq);
+        }
         {
             let (op, cluster, mispredict) = {
                 let i = self.rob_get(seq).expect("in rob");
@@ -857,10 +908,11 @@ impl Processor {
                         let class = if self.config.opts.branch_signal && self.policy.planes().l {
                             WireClass::L
                         } else {
-                            self.policy.choose(
+                            self.policy.choose_probed(
                                 MessageKind::RegisterValue,
                                 TransferHints::default(),
                                 cycle,
+                                &mut self.probe,
                             )
                         };
                         let kind = if class == WireClass::L {
@@ -868,7 +920,7 @@ impl Processor {
                         } else {
                             MessageKind::RegisterValue
                         };
-                        let id = self.network.send(
+                        let id = self.network.send_probed(
                             Transfer {
                                 src: Node::Cluster(cluster),
                                 dst: Node::Cache,
@@ -876,6 +928,7 @@ impl Processor {
                                 kind,
                             },
                             cycle,
+                            &mut self.probe,
                         );
                         self.record_action(id, Action::BranchSignal);
                     }
@@ -911,7 +964,7 @@ impl Processor {
     fn send_address(&mut self, seq: u64, cluster: usize, _op: OpClass) {
         let cycle = self.cycle;
         if self.config.opts.cache_pipeline && self.policy.planes().l {
-            let id = self.network.send(
+            let id = self.network.send_probed(
                 Transfer {
                     src: Node::Cluster(cluster),
                     dst: Node::Cache,
@@ -919,13 +972,17 @@ impl Processor {
                     kind: MessageKind::PartialAddress,
                 },
                 cycle,
+                &mut self.probe,
             );
             self.record_action(id, Action::PartialAddr { seq });
         }
-        let class = self
-            .policy
-            .choose(MessageKind::FullAddress, TransferHints::default(), cycle);
-        let id = self.network.send(
+        let class = self.policy.choose_probed(
+            MessageKind::FullAddress,
+            TransferHints::default(),
+            cycle,
+            &mut self.probe,
+        );
+        let id = self.network.send_probed(
             Transfer {
                 src: Node::Cluster(cluster),
                 dst: Node::Cache,
@@ -933,6 +990,7 @@ impl Processor {
                 kind: MessageKind::FullAddress,
             },
             cycle,
+            &mut self.probe,
         );
         self.record_action(id, Action::FullAddr { seq });
     }
@@ -960,10 +1018,16 @@ impl Processor {
             let narrow = inst.op.is_narrow_result();
             let pc = inst.op.pc();
             let ram_start = inst.ram_start;
-            match self.lsq.load_status(seq, cycle, use_partial) {
+            match self
+                .lsq
+                .load_status_probed(seq, cycle, use_partial, &mut self.probe)
+            {
                 LoadStatus::PartialReady => {
                     if ram_start.is_none() {
                         self.rob_get_mut(seq).expect("in rob").ram_start = Some(cycle);
+                        if P::ENABLED {
+                            self.probe.lsq_partial_ready(cycle, seq);
+                        }
                     }
                     i += 1;
                 }
@@ -1010,7 +1074,12 @@ impl Processor {
                             kind = MessageKind::NarrowValue;
                         }
                     }
-                    let class = self.policy.choose(kind, TransferHints::default(), cycle);
+                    let class = self.policy.choose_probed(
+                        kind,
+                        TransferHints::default(),
+                        cycle,
+                        &mut self.probe,
+                    );
                     let kind = if class == WireClass::L {
                         kind
                     } else {
@@ -1092,8 +1161,10 @@ impl Processor {
             ready_at_dispatch: false,
             store_data: true,
         };
-        let class = self.policy.choose(MessageKind::StoreData, hints, cycle);
-        let id = self.network.send(
+        let class =
+            self.policy
+                .choose_probed(MessageKind::StoreData, hints, cycle, &mut self.probe);
+        let id = self.network.send_probed(
             Transfer {
                 src: Node::Cluster(cluster),
                 dst: Node::Cache,
@@ -1101,6 +1172,7 @@ impl Processor {
                 kind: MessageKind::StoreData,
             },
             cycle,
+            &mut self.probe,
         );
         self.record_action(id, Action::StoreData { seq });
         self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
@@ -1184,6 +1256,9 @@ impl Processor {
             }
             self.rob[off].phase = Phase::Executing(cycle + latency);
             self.rob[off].issued_at = cycle;
+            if P::ENABLED {
+                self.probe.issue(cycle, self.rob_base + off as u64, cluster);
+            }
         }
     }
 
@@ -1217,6 +1292,9 @@ impl Processor {
                 let inst = self.rob_get_mut(seq).expect("ready instr in rob");
                 inst.phase = Phase::Executing(cycle + latency);
                 inst.issued_at = cycle;
+                if P::ENABLED {
+                    self.probe.issue(cycle, seq, cluster);
+                }
                 self.wheel.schedule(cycle, cycle + latency, seq);
             }
         }
@@ -1237,6 +1315,9 @@ impl Processor {
             self.rob_base += 1;
             budget -= 1;
             self.committed += 1;
+            if P::ENABLED {
+                self.probe.commit(cycle, seq);
+            }
             let cs = &mut self.clusters[inst.cluster];
             if let Some(d) = inst.op.dest() {
                 if d.class() == RegClass::Fp {
@@ -1319,12 +1400,16 @@ impl Processor {
                 ClusterView { free_iq, free_regs }
             }));
 
-            let Some(cluster) = self.steering.choose_into(
+            let chosen = self.steering.choose_into(
                 op.op() == OpClass::Load,
                 &scratch.producers,
                 &scratch.views,
                 &mut scratch.scores,
-            ) else {
+            );
+            if P::ENABLED {
+                self.probe.steer_decision(self.cycle, chosen);
+            }
+            let Some(cluster) = chosen else {
                 break; // structural stall
             };
 
@@ -1409,6 +1494,9 @@ impl Processor {
                 pending_srcs: 0,
                 waiter_next: [NO_WAITER; 2],
             });
+            if P::ENABLED {
+                self.probe.dispatch(self.cycle, seq, cluster, op.op());
+            }
 
             // Event-kernel readiness registration. Value stamps are always
             // in the past, so `Some` here means usable now; `None` sources
@@ -1520,7 +1608,7 @@ impl Processor {
         while self.committed < target {
             self.cycle += 1;
             self.retired_store = false;
-            self.network.tick(self.cycle);
+            self.network.tick_probed(self.cycle, &mut self.probe);
             self.process_deliveries();
             self.process_deferred();
             match kernel {
@@ -1538,7 +1626,14 @@ impl Processor {
                 Kernel::Reference => self.issue_scan(),
             }
             self.dispatch();
-            self.fetch.tick(self.cycle);
+            self.fetch.tick_probed(self.cycle, &mut self.probe);
+            if P::ENABLED {
+                // Once per *executed* cycle — skipped idle cycles are not
+                // sampled, so histograms weight active cycles only.
+                let ready: usize = self.ready_queues.iter().map(|q| q.len()).sum();
+                self.probe
+                    .occupancy(self.cycle, self.rob.len(), self.lsq.len(), ready);
+            }
 
             if !warm_done && self.committed >= warmup {
                 warm_done = true;
@@ -1622,14 +1717,19 @@ impl Processor {
         }
     }
 
-    /// Convenience: builds and runs in one call.
-    pub fn simulate(
-        config: ProcessorConfig,
-        trace: TraceGenerator,
-        instructions: u64,
-        warmup: u64,
-    ) -> SimResults {
-        Processor::new(config, trace).run(instructions, warmup)
+    /// The attached probe (e.g. to read recordings after a run).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe (e.g. to flush final samples).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// The interconnect (telemetry needs link labels and queue depths).
+    pub fn network(&self) -> &Network {
+        &self.network
     }
 
     /// Overrides the steering weights (must be called before `run`).

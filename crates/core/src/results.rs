@@ -3,6 +3,8 @@
 use heterowire_frontend::FetchStats;
 use heterowire_interconnect::NetStats;
 use heterowire_memory::{LsqStats, MemStats};
+use heterowire_telemetry::json::JsonWriter;
+use heterowire_wires::WireClass;
 
 /// Everything measured by one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +60,68 @@ impl SimResults {
             self.net.total_transfers() as f64 / self.instructions as f64
         }
     }
+
+    /// Serializes the full result record as one RFC-8259 JSON object —
+    /// every raw field plus the derived rates the tables print. Non-finite
+    /// floats become `null`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("instructions").u64(self.instructions);
+        w.key("cycles").u64(self.cycles);
+        w.key("ipc").f64(self.ipc());
+        w.key("net").begin_object();
+        w.key("transfers").begin_object();
+        for (i, c) in WireClass::ALL.iter().enumerate() {
+            w.key(c.label()).u64(self.net.transfers[i]);
+        }
+        w.end_object();
+        w.key("bit_hops").begin_object();
+        for (i, c) in WireClass::ALL.iter().enumerate() {
+            w.key(c.label()).u64(self.net.bit_hops[i]);
+        }
+        w.end_object();
+        w.key("total_transfers").u64(self.net.total_transfers());
+        w.key("dynamic_energy").f64(self.net.dynamic_energy);
+        w.key("queue_cycles").u64(self.net.queue_cycles);
+        w.key("delivered").u64(self.net.delivered);
+        w.key("transfers_per_inst").f64(self.transfers_per_inst());
+        w.end_object();
+        w.key("leakage_weight").f64(self.leakage_weight);
+        w.key("ic_leakage_energy").f64(self.ic_leakage_energy());
+        w.key("fetch").begin_object();
+        w.key("fetched").u64(self.fetch.fetched);
+        w.key("branches").u64(self.fetch.branches);
+        w.key("mispredicts").u64(self.fetch.mispredicts);
+        w.key("stall_cycles").u64(self.fetch.stall_cycles);
+        w.key("penalty_cycles").u64(self.fetch.penalty_cycles);
+        w.key("resolved_mispredicts")
+            .u64(self.fetch.resolved_mispredicts);
+        w.key("mispredict_rate").f64(self.fetch.mispredict_rate());
+        w.end_object();
+        w.key("lsq").begin_object();
+        w.key("loads").u64(self.lsq.loads);
+        w.key("stores").u64(self.lsq.stores);
+        w.key("partial_matches").u64(self.lsq.partial_matches);
+        w.key("false_dependences").u64(self.lsq.false_dependences);
+        w.key("forwards").u64(self.lsq.forwards);
+        w.key("false_dependence_rate")
+            .f64(self.lsq.false_dependence_rate());
+        w.end_object();
+        w.key("mem").begin_object();
+        w.key("loads").u64(self.mem.loads);
+        w.key("stores").u64(self.mem.stores);
+        w.key("l1_misses").u64(self.mem.l1_misses);
+        w.key("l2_misses").u64(self.mem.l2_misses);
+        w.key("tlb_misses").u64(self.mem.tlb_misses);
+        w.key("bank_conflicts").u64(self.mem.bank_conflicts);
+        w.end_object();
+        w.key("narrow_coverage").f64(self.narrow_coverage);
+        w.key("narrow_false_rate").f64(self.narrow_false_rate);
+        w.key("metal_area").f64(self.metal_area);
+        w.end_object();
+        w.finish()
+    }
 }
 
 /// Arithmetic mean of IPCs across benchmark runs — the paper's aggregate
@@ -100,6 +164,31 @@ mod tests {
         let runs = [dummy(100, 100), dummy(300, 100)];
         assert!((mean_ipc(&runs) - 2.0).abs() < 1e-12);
         assert_eq!(mean_ipc(&[]), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_telemetry_parser() {
+        let mut r = dummy(100, 50);
+        r.net.transfers = [1, 2, 3, 4];
+        r.net.dynamic_energy = 12.5;
+        r.narrow_coverage = f64::NAN; // non-finite must serialize as null
+        let text = r.to_json();
+        let doc = heterowire_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("instructions").unwrap().as_num(), Some(100.0));
+        assert_eq!(doc.get("ipc").unwrap().as_num(), Some(2.0));
+        let net = doc.get("net").unwrap();
+        assert_eq!(
+            net.get("transfers").unwrap().get("PW").unwrap().as_num(),
+            Some(2.0)
+        );
+        assert_eq!(net.get("total_transfers").unwrap().as_num(), Some(10.0));
+        assert_eq!(net.get("dynamic_energy").unwrap().as_num(), Some(12.5));
+        assert_eq!(
+            doc.get("narrow_coverage").unwrap().as_num(),
+            None,
+            "NaN becomes null"
+        );
+        assert!(doc.get("fetch").unwrap().get("mispredict_rate").is_some());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use heterowire_isa::{MicroOp, OpClass};
+use heterowire_telemetry::{NullProbe, Probe};
 
 use crate::btb::Btb;
 use crate::predictor::{Combined, DirectionPredictor};
@@ -114,6 +115,14 @@ impl<I: Iterator<Item = MicroOp>> FetchEngine<I> {
 
     /// Advances fetch by one cycle, filling the fetch queue.
     pub fn tick(&mut self, cycle: u64) {
+        self.tick_probed(cycle, &mut NullProbe)
+    }
+
+    /// [`FetchEngine::tick`] with telemetry: emits [`Probe::fetch_stall`]
+    /// when a mispredicted branch stalls the front-end. With [`NullProbe`]
+    /// this monomorphizes to exactly `tick`.
+    #[inline(never)]
+    pub fn tick_probed<P: Probe>(&mut self, cycle: u64, probe: &mut P) {
         match self.resume_at {
             Some(at) if cycle < at => {
                 self.stats.stall_cycles += 1;
@@ -156,6 +165,9 @@ impl<I: Iterator<Item = MicroOp>> FetchEngine<I> {
                     // Stall until the core reports resolution.
                     self.resume_at = Some(u64::MAX);
                     self.stall_started = cycle;
+                    if P::ENABLED {
+                        probe.fetch_stall(cycle);
+                    }
                     return;
                 }
                 if info.taken {

@@ -7,6 +7,7 @@
 //! unbounded FIFOs, and the links in/out of the cache have twice the wires
 //! of cluster links.
 
+use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_wires::{LinkComposition, WireClass};
 
 use crate::message::Transfer;
@@ -202,6 +203,18 @@ impl Network {
     /// Panics if the message kind is not allowed on the chosen wire class
     /// or the network has no lanes of that class.
     pub fn send(&mut self, transfer: Transfer, cycle: u64) -> TransferId {
+        self.send_probed(transfer, cycle, &mut NullProbe)
+    }
+
+    /// [`Network::send`] with telemetry: emits [`Probe::enqueue`]. With
+    /// [`NullProbe`] this monomorphizes to exactly `send`.
+    #[inline(never)]
+    pub fn send_probed<P: Probe>(
+        &mut self,
+        transfer: Transfer,
+        cycle: u64,
+        probe: &mut P,
+    ) -> TransferId {
         assert!(
             transfer.kind.allowed_on(transfer.class),
             "{:?} cannot ride {} wires",
@@ -241,6 +254,9 @@ impl Network {
             hops: route.hops,
             enqueued: cycle,
         });
+        if P::ENABLED {
+            probe.enqueue(cycle, id.0, transfer.class);
+        }
         id
     }
 
@@ -252,6 +268,15 @@ impl Network {
     ///
     /// Panics if `cycle` moves backwards.
     pub fn tick(&mut self, cycle: u64) {
+        self.tick_probed(cycle, &mut NullProbe)
+    }
+
+    /// [`Network::tick`] with telemetry: emits [`Probe::depart`] for every
+    /// transfer that wins arbitration and [`Probe::link_busy`] for each
+    /// lane-cycle it consumes. With [`NullProbe`] this monomorphizes to
+    /// exactly `tick`.
+    #[inline(never)]
+    pub fn tick_probed<P: Probe>(&mut self, cycle: u64, probe: &mut P) {
         if let Some(last) = self.last_tick {
             assert!(cycle > last, "network ticked backwards ({last} -> {cycle})");
         }
@@ -283,6 +308,12 @@ impl Network {
                     unit /= 3.0; // Chang et al.: 3x energy reduction
                 }
                 self.stats.dynamic_energy += bits as f64 * unit;
+                if P::ENABLED {
+                    probe.depart(cycle, p.id.0, p.transfer.class, cycle - p.enqueued - 1);
+                    for &l in p.links() {
+                        probe.link_busy(cycle, l as usize, p.transfer.class);
+                    }
+                }
                 self.in_flight.push(InFlight {
                     id: p.id,
                     transfer: p.transfer,
@@ -300,12 +331,30 @@ impl Network {
     /// (cleared first, then sorted by id) without allocating in steady
     /// state.
     pub fn take_delivered_into(&mut self, cycle: u64, out: &mut Vec<(TransferId, Transfer)>) {
+        self.take_delivered_into_probed(cycle, out, &mut NullProbe)
+    }
+
+    /// [`Network::take_delivered_into`] with telemetry: emits
+    /// [`Probe::deliver`] per delivered transfer. With [`NullProbe`] this
+    /// monomorphizes to exactly `take_delivered_into`.
+    #[inline(never)]
+    pub fn take_delivered_into_probed<P: Probe>(
+        &mut self,
+        cycle: u64,
+        out: &mut Vec<(TransferId, Transfer)>,
+        probe: &mut P,
+    ) {
         out.clear();
         let mut kept = 0;
         for i in 0..self.in_flight.len() {
             let f = self.in_flight[i];
             if f.deliver_at <= cycle {
                 self.stats.delivered += 1;
+                if P::ENABLED {
+                    // `deliver_at`, not `cycle`: the kernel may have
+                    // skipped idle cycles past the actual delivery time.
+                    probe.deliver(f.deliver_at, f.id.0, f.transfer.class);
+                }
                 out.push((f.id, f.transfer));
             } else {
                 self.in_flight[kept] = f;
@@ -347,6 +396,18 @@ impl Network {
     /// Transfers still queued or in flight.
     pub fn inflight_len(&self) -> usize {
         self.pending.len() + self.in_flight.len()
+    }
+
+    /// Transfers buffered awaiting lane arbitration (not yet departed).
+    /// Telemetry reconciliation: `injected - departed == pending_len`.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Labels of all links in stable slot order (the `link` index emitted
+    /// by [`Probe::link_busy`] indexes this list).
+    pub fn link_labels(&self) -> Vec<String> {
+        self.link_ids.iter().map(|id| id.label()).collect()
     }
 
     /// Statistics so far.

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_wires::WireClass;
 
 use crate::message::MessageKind;
@@ -150,6 +151,21 @@ impl WirePolicy {
     /// Chooses the wire class for a message, recording the choice in the
     /// balancer window.
     pub fn choose(&mut self, kind: MessageKind, hints: TransferHints, cycle: u64) -> WireClass {
+        self.choose_probed(kind, hints, cycle, &mut NullProbe)
+    }
+
+    /// [`WirePolicy::choose`] with telemetry: emits
+    /// [`Probe::steer_overflow`] when the load-imbalance criterion diverts
+    /// the transfer. With [`NullProbe`] this monomorphizes to exactly
+    /// `choose`.
+    #[inline(never)]
+    pub fn choose_probed<P: Probe>(
+        &mut self,
+        kind: MessageKind,
+        hints: TransferHints,
+        cycle: u64,
+        probe: &mut P,
+    ) -> WireClass {
         // 1. L-Wire-eligible messages.
         if self.use_l_wires && self.planes.l && kind.fits_l_wire() {
             return WireClass::L;
@@ -173,6 +189,9 @@ impl WirePolicy {
             // 3. Overflow steering under imbalance.
             if let Some(target) = self.balancer.overflow_target(cycle) {
                 class = target;
+                if P::ENABLED {
+                    probe.steer_overflow(cycle, target);
+                }
             }
         }
 

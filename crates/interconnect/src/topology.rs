@@ -32,6 +32,20 @@ pub enum LinkId {
     },
 }
 
+impl LinkId {
+    /// Short human-readable label, used for telemetry track names and
+    /// utilization CSV rows.
+    pub fn label(self) -> String {
+        match self {
+            LinkId::ClusterOut(c) => format!("c{c}.out"),
+            LinkId::ClusterIn(c) => format!("c{c}.in"),
+            LinkId::CacheOut => "cache.out".to_string(),
+            LinkId::CacheIn => "cache.in".to_string(),
+            LinkId::Ring { from, to } => format!("ring.{from}-{to}"),
+        }
+    }
+}
+
 /// The shape of the interconnect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {

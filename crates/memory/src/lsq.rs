@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use heterowire_telemetry::{NullProbe, Probe};
+
 /// Disambiguation state of a load at a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadStatus {
@@ -205,6 +207,22 @@ impl LoadStoreQueue {
     ///
     /// Panics if `seq` is not a load in the queue.
     pub fn load_status(&mut self, seq: u64, cycle: u64, use_partial: bool) -> LoadStatus {
+        self.load_status_probed(seq, cycle, use_partial, &mut NullProbe)
+    }
+
+    /// [`LoadStoreQueue::load_status`] with telemetry: emits
+    /// [`Probe::lsq_full_ready`] when a load fully disambiguates and
+    /// [`Probe::lsq_partial_conflict`] when its partial address first
+    /// matches an earlier store. With [`NullProbe`] this monomorphizes to
+    /// exactly `load_status`.
+    #[inline(never)]
+    pub fn load_status_probed<P: Probe>(
+        &mut self,
+        seq: u64,
+        cycle: u64,
+        use_partial: bool,
+        probe: &mut P,
+    ) -> LoadStatus {
         let idx = self.find(seq).expect("load must be in the LSQ");
         assert!(!self.entries[idx].is_store, "entry {seq} is a store");
 
@@ -257,6 +275,9 @@ impl LoadStoreQueue {
                 }
                 if forward {
                     self.stats.forwards += 1;
+                }
+                if P::ENABLED {
+                    probe.lsq_full_ready(cycle, seq, forward);
                 }
                 return LoadStatus::FullReady { forward };
             }
@@ -311,6 +332,9 @@ impl LoadStoreQueue {
             if !e.partial_match_counted {
                 e.partial_match_counted = true;
                 self.stats.partial_matches += 1;
+                if P::ENABLED {
+                    probe.lsq_partial_conflict(cycle, seq);
+                }
             }
             return LoadStatus::PartialConflict;
         }

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Zero-overhead observability for the heterowire simulator.
+//!
+//! The paper's argument is about *dynamics* — which transfers ride which
+//! wire plane, when the load balancer overflows traffic, how the partial
+//! address network hides cache latency — but the simulator's native
+//! output is end-of-run aggregates. This crate adds a probe layer that
+//! exposes those dynamics without costing the hot path anything when it
+//! is off:
+//!
+//! - [`Probe`] — static-dispatch hooks at every pipeline / network /
+//!   front-end / LSQ event site. Instrumented components are generic
+//!   over `P: Probe` and guard each hook with `if P::ENABLED`.
+//! - [`NullProbe`] — `ENABLED = false`; the guard is a compile-time
+//!   constant, so the disabled path monomorphizes to exactly the
+//!   uninstrumented code: zero calls, zero allocations, bit-identical
+//!   `SimResults` (proved by the workspace's `alloc_count` and
+//!   `kernel_equivalence` tests).
+//! - [`RecordingProbe`] — preallocated ring-buffer recording that
+//!   derives per-link × per-wire-class utilization time series,
+//!   steering-overflow episodes, occupancy histograms, and
+//!   per-instruction lifecycles.
+//! - Exporters: [`chrome_trace`] (Chrome/Perfetto Trace Event JSON) and
+//!   [`utilization_csv`]; both hand-rolled — this build is offline and
+//!   takes no new dependencies.
+
+pub mod json;
+pub mod perfetto;
+pub mod probe;
+pub mod recording;
+
+pub use perfetto::chrome_trace;
+pub use probe::{NullProbe, Probe};
+pub use recording::{
+    class_slot, utilization_csv, EventCounts, Lifecycle, OverflowEpisode, RecordingConfig,
+    RecordingProbe, SampleRow, NUM_CLASSES, OCC_BUCKETS, UNSET,
+};

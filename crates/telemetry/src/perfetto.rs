@@ -1,0 +1,287 @@
+//! Chrome-trace / Perfetto exporter for a finished [`RecordingProbe`].
+//!
+//! The output is the JSON Trace Event Format that both `chrome://tracing`
+//! and [ui.perfetto.dev](https://ui.perfetto.dev) load directly:
+//!
+//! - **pid 1 "pipeline"** — one thread track per cluster; each committed
+//!   instruction becomes an async slice (`ph: "b"` at dispatch, `"e"` at
+//!   commit, paired by `cat` + `id`) with instant marks (`ph: "n"`) at
+//!   issue and complete.
+//! - **pid 2 "interconnect"** — one counter track per link (`ph: "C"`),
+//!   one series per wire class, sampled once per utilization window.
+//! - **pid 3 "episodes"** — steering-overflow episodes as duration
+//!   slices (`ph: "X"`).
+//!
+//! Cycles map 1:1 to trace microseconds (`ts` is in µs by spec), so one
+//! trace "µs" reads as one simulated cycle.
+
+use heterowire_wires::WireClass;
+
+use crate::json::JsonWriter;
+use crate::recording::{RecordingProbe, NUM_CLASSES, UNSET};
+
+fn meta_event(w: &mut JsonWriter, name: &str, pid: u64, tid: Option<u64>, value: &str) {
+    w.begin_object()
+        .key("name")
+        .string(name)
+        .key("ph")
+        .string("M")
+        .key("pid")
+        .u64(pid);
+    if let Some(tid) = tid {
+        w.key("tid").u64(tid);
+    }
+    w.key("args").begin_object().key("name").string(value);
+    w.end_object().end_object();
+}
+
+fn async_event(w: &mut JsonWriter, ph: &str, name: &str, id: u64, ts: u64, tid: u64) {
+    w.begin_object()
+        .key("cat")
+        .string("instr")
+        .key("name")
+        .string(name)
+        .key("ph")
+        .string(ph)
+        .key("id")
+        .u64(id)
+        .key("ts")
+        .u64(ts)
+        .key("pid")
+        .u64(1)
+        .key("tid")
+        .u64(tid)
+        .end_object();
+}
+
+/// Serializes the probe's recordings as a Chrome-trace JSON document.
+pub fn chrome_trace(probe: &RecordingProbe) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().key("traceEvents").begin_array();
+
+    // Track metadata: names for the process and thread rows.
+    meta_event(&mut w, "process_name", 1, None, "pipeline");
+    for c in 0..probe.config().clusters {
+        meta_event(
+            &mut w,
+            "thread_name",
+            1,
+            Some(c as u64),
+            &format!("cluster {c}"),
+        );
+    }
+    meta_event(&mut w, "process_name", 2, None, "interconnect");
+    for (i, label) in probe.config().link_labels.iter().enumerate() {
+        meta_event(&mut w, "thread_name", 2, Some(i as u64), label);
+    }
+    meta_event(&mut w, "process_name", 3, None, "episodes");
+
+    // Instruction lifecycles as async slices. Only instructions that
+    // committed have a balanced b/e pair; in-flight leftovers are skipped.
+    for l in probe.lifecycles() {
+        if l.commit == UNSET {
+            continue;
+        }
+        let name = format!("i{} {:?}", l.seq, l.op);
+        let tid = l.cluster as u64;
+        async_event(&mut w, "b", &name, l.seq, l.dispatch, tid);
+        if l.issue != UNSET {
+            async_event(&mut w, "n", "issue", l.seq, l.issue, tid);
+        }
+        if l.complete != UNSET {
+            async_event(&mut w, "n", "complete", l.seq, l.complete, tid);
+        }
+        async_event(&mut w, "e", &name, l.seq, l.commit, tid);
+    }
+
+    // Per-link utilization counters: the flush order guarantees the four
+    // class rows of an active link are adjacent, so emit one counter
+    // event per (window, link) carrying all four series.
+    let samples = probe.samples();
+    let mut i = 0;
+    while i < samples.len() {
+        let head = samples[i];
+        let label = &probe.config().link_labels[head.link as usize];
+        w.begin_object()
+            .key("name")
+            .string(&format!("util {label}"))
+            .key("ph")
+            .string("C")
+            .key("ts")
+            .u64(head.window_start)
+            .key("pid")
+            .u64(2)
+            .key("tid")
+            .u64(head.link as u64)
+            .key("args")
+            .begin_object();
+        let mut j = i;
+        while j < samples.len()
+            && samples[j].window_start == head.window_start
+            && samples[j].link == head.link
+        {
+            let class = WireClass::ALL[samples[j].class as usize].label();
+            w.key(class).u64(samples[j].busy as u64);
+            j += 1;
+        }
+        w.end_object().end_object();
+        debug_assert!(j - i <= NUM_CLASSES);
+        i = j;
+    }
+
+    // Steering-overflow episodes as complete (duration) slices. "X" needs
+    // dur >= 1 to be visible; an episode covering cycles start..=end
+    // spans end - start + 1 cycles.
+    for (n, e) in probe.episodes().iter().enumerate() {
+        let target = WireClass::ALL[e.target as usize].label();
+        w.begin_object()
+            .key("name")
+            .string(&format!("overflow→{target}"))
+            .key("ph")
+            .string("X")
+            .key("ts")
+            .u64(e.start)
+            .key("dur")
+            .u64(e.end - e.start + 1)
+            .key("pid")
+            .u64(3)
+            .key("tid")
+            .u64(0)
+            .key("args")
+            .begin_object()
+            .key("events")
+            .u64(e.events)
+            .key("episode")
+            .u64(n as u64)
+            .end_object()
+            .end_object();
+    }
+
+    w.end_array();
+
+    // Summary block for consumers that want aggregates without parsing
+    // the event stream.
+    w.key("otherData").begin_object();
+    w.key("cycles").u64(probe.last_cycle);
+    w.key("window").u64(probe.config().window);
+    for (name, counts) in [
+        ("injected", &probe.injected),
+        ("departed", &probe.departed),
+        ("delivered", &probe.delivered),
+    ] {
+        w.key(name).begin_object();
+        for (slot, class) in WireClass::ALL.iter().enumerate() {
+            w.key(class.label()).u64(counts[slot]);
+        }
+        w.end_object();
+    }
+    w.key("queue_wait_sum").u64(probe.queue_wait_sum);
+    w.key("dropped_samples").u64(probe.dropped_samples);
+    w.key("dropped_episodes").u64(probe.dropped_episodes);
+    w.key("evicted_lifecycles").u64(probe.evicted_lifecycles);
+    w.end_object();
+
+    w.key("displayTimeUnit").string("ms");
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::probe::Probe;
+    use crate::recording::RecordingConfig;
+    use heterowire_isa::OpClass;
+
+    fn sample_probe() -> RecordingProbe {
+        let labels = vec!["c0.out".to_string(), "c0.in".to_string()];
+        let mut cfg = RecordingConfig::new(50, labels, 2);
+        cfg.lifecycle_capacity = 8;
+        let mut p = RecordingProbe::new(cfg);
+        p.dispatch(1, 0, 0, OpClass::IntAlu);
+        p.issue(3, 0, 0);
+        p.enqueue(4, 9, WireClass::B);
+        p.depart(5, 9, WireClass::B, 0);
+        p.link_busy(5, 0, WireClass::B);
+        p.deliver(9, 9, WireClass::B);
+        p.complete(9, 0);
+        p.commit(12, 0);
+        p.dispatch(2, 1, 1, OpClass::Load); // never commits
+        p.steer_overflow(20, WireClass::Pw);
+        p.steer_overflow(21, WireClass::Pw);
+        p.finish();
+        p
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_balanced_async_pairs() {
+        let text = chrome_trace(&sample_probe());
+        let doc = parse(&text).expect("trace must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let mut open = 0i64;
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(e.get("pid").unwrap().as_num().is_some());
+            match ph {
+                "b" => open += 1,
+                "e" => open -= 1,
+                "n" | "C" | "M" | "X" => {}
+                other => panic!("unexpected phase {other:?}"),
+            }
+            if ph != "M" {
+                assert!(e.get("ts").unwrap().as_num().is_some());
+            }
+        }
+        assert_eq!(open, 0, "every async begin has a matching end");
+    }
+
+    #[test]
+    fn uncommitted_instructions_are_skipped() {
+        let text = chrome_trace(&sample_probe());
+        let doc = parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let begins: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .collect();
+        assert_eq!(begins.len(), 1, "only the committed instruction exports");
+        assert_eq!(begins[0].get("id").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn counter_events_carry_all_classes() {
+        let text = chrome_trace(&sample_probe());
+        let doc = parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .expect("one counter event for the active link");
+        let args = counter.get("args").unwrap();
+        for class in WireClass::ALL {
+            assert!(
+                args.get(class.label()).is_some(),
+                "{} series",
+                class.label()
+            );
+        }
+        assert_eq!(args.get("B").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn summary_totals_match_probe() {
+        let p = sample_probe();
+        let doc = parse(&chrome_trace(&p)).unwrap();
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other.get("injected").unwrap().get("B").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(other.get("queue_wait_sum").unwrap().as_num(), Some(0.0));
+        let episodes = p.episodes();
+        assert_eq!(episodes.len(), 1);
+        assert_eq!(episodes[0].events, 2);
+    }
+}

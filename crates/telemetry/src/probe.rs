@@ -1,0 +1,132 @@
+//! The [`Probe`] trait: static-dispatch observation hooks for every event
+//! site in the pipeline, and the [`NullProbe`] that compiles them away.
+//!
+//! Instrumented components (`Processor`, `Network`, `FetchEngine`,
+//! `LoadStoreQueue`, `WirePolicy`) are generic over `P: Probe` and guard
+//! every hook with `if P::ENABLED { ... }`. With [`NullProbe`]
+//! (`ENABLED = false`) the guard is a compile-time constant, so the
+//! disabled path monomorphizes to exactly the uninstrumented code: no
+//! calls, no argument computation, no allocations, bit-identical results
+//! (proved by `tests/alloc_count.rs` and `tests/kernel_equivalence.rs`).
+//!
+//! Hooks are observation-only by construction — they return nothing and
+//! receive no mutable simulator state — so *any* probe, not just the null
+//! one, leaves simulated behaviour untouched.
+
+use heterowire_isa::OpClass;
+use heterowire_wires::WireClass;
+
+/// Observation hooks for pipeline, network, front-end and LSQ events.
+///
+/// Every method has an empty default body, so a probe implements only the
+/// events it cares about. Cycle numbers are the simulator's own cycle
+/// counter; `seq` is the dense per-run instruction sequence number.
+pub trait Probe: std::fmt::Debug {
+    /// `false` only for probes that record nothing ([`NullProbe`]): call
+    /// sites guard on this constant so the disabled path costs nothing.
+    const ENABLED: bool = true;
+
+    /// An instruction entered the ROB and an issue queue.
+    fn dispatch(&mut self, _cycle: u64, _seq: u64, _cluster: usize, _op: OpClass) {}
+
+    /// The steering heuristic chose a cluster (`None` = structural stall,
+    /// dispatch blocked this cycle).
+    fn steer_decision(&mut self, _cycle: u64, _chosen: Option<usize>) {}
+
+    /// An instruction began executing on a functional unit.
+    fn issue(&mut self, _cycle: u64, _seq: u64, _cluster: usize) {}
+
+    /// An instruction finished executing (result produced / AGEN done).
+    fn complete(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// An instruction retired from the ROB head.
+    fn commit(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// A transfer was enqueued into the network (message send).
+    fn enqueue(&mut self, _cycle: u64, _id: u64, _class: WireClass) {}
+
+    /// A transfer won lane arbitration and departed (transit start).
+    /// `queued` is the number of cycles it waited buffered for a lane.
+    fn depart(&mut self, _cycle: u64, _id: u64, _class: WireClass, _queued: u64) {}
+
+    /// A departing transfer occupied one lane of `link` this cycle (one
+    /// call per link of the route; `link` indexes the topology's stable
+    /// link order).
+    fn link_busy(&mut self, _cycle: u64, _link: usize, _class: WireClass) {}
+
+    /// A transfer reached its destination.
+    fn deliver(&mut self, _cycle: u64, _id: u64, _class: WireClass) {}
+
+    /// The load balancer diverted a transfer to the less congested plane
+    /// (the paper's overflow-steering criterion fired).
+    fn steer_overflow(&mut self, _cycle: u64, _target: WireClass) {}
+
+    /// A load's partial-address comparison matched an earlier store: the
+    /// load must wait for full disambiguation (possibly falsely).
+    fn lsq_partial_conflict(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// A load's partial comparison passed and its cache RAM access began
+    /// ahead of the full address (the accelerated cache pipeline).
+    fn lsq_partial_ready(&mut self, _cycle: u64, _seq: u64) {}
+
+    /// A load was fully disambiguated; `forward` means an in-flight store
+    /// supplies the data.
+    fn lsq_full_ready(&mut self, _cycle: u64, _seq: u64, _forward: bool) {}
+
+    /// The front-end stalled on a mispredicted branch.
+    fn fetch_stall(&mut self, _cycle: u64) {}
+
+    /// The mispredict resolved and fetch was redirected.
+    fn fetch_resume(&mut self, _cycle: u64) {}
+
+    /// Per executed (non-skipped) cycle: occupancy of the ROB, the LSQ and
+    /// the issue-ready queues.
+    fn occupancy(&mut self, _cycle: u64, _rob: usize, _lsq: usize, _ready: usize) {}
+}
+
+/// The default probe: records nothing, costs nothing. `ENABLED = false`
+/// lets every instrumented call site vanish at monomorphization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A probe that only counts events — checks the defaults compose.
+    #[derive(Debug, Default)]
+    struct CountProbe {
+        dispatches: u64,
+        delivers: u64,
+    }
+
+    impl Probe for CountProbe {
+        fn dispatch(&mut self, _cycle: u64, _seq: u64, _cluster: usize, _op: OpClass) {
+            self.dispatches += 1;
+        }
+
+        fn deliver(&mut self, _cycle: u64, _id: u64, _class: WireClass) {
+            self.delivers += 1;
+        }
+    }
+
+    #[test]
+    fn null_probe_is_disabled() {
+        const { assert!(!NullProbe::ENABLED) };
+        const { assert!(CountProbe::ENABLED) };
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        let mut p = CountProbe::default();
+        p.dispatch(1, 0, 2, OpClass::IntAlu);
+        p.issue(2, 0, 2); // default body: ignored
+        p.deliver(3, 7, WireClass::B);
+        assert_eq!(p.dispatches, 1);
+        assert_eq!(p.delivers, 1);
+    }
+}

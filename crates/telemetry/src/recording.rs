@@ -1,0 +1,655 @@
+//! [`RecordingProbe`]: captures probe events into preallocated buffers and
+//! derives the derived series the paper's analysis needs — per-link ×
+//! per-wire-class utilization over a configurable sampling window,
+//! steering-overflow episodes, occupancy histograms, and per-instruction
+//! pipeline lifecycles.
+//!
+//! All storage is bounded and allocated up front in [`RecordingProbe::new`];
+//! recording never allocates per event. When a buffer fills, the newest
+//! data is counted as dropped (samples, episodes) or the oldest entry is
+//! overwritten (lifecycle ring — keeps the most recent instructions).
+
+use heterowire_isa::OpClass;
+use heterowire_wires::WireClass;
+
+use crate::probe::Probe;
+
+/// Number of wire classes (indexes follow [`WireClass::ALL`] order).
+pub const NUM_CLASSES: usize = WireClass::ALL.len();
+
+/// Dense index of a wire class, matching [`WireClass::ALL`] order.
+pub fn class_slot(class: WireClass) -> usize {
+    match class {
+        WireClass::W => 0,
+        WireClass::Pw => 1,
+        WireClass::B => 2,
+        WireClass::L => 3,
+    }
+}
+
+/// Sizing and labelling for a [`RecordingProbe`].
+#[derive(Debug, Clone)]
+pub struct RecordingConfig {
+    /// Sampling window length in cycles for the utilization time series.
+    pub window: u64,
+    /// One label per interconnect link, in the topology's stable link
+    /// order (`link` arguments to [`Probe::link_busy`] index this list).
+    pub link_labels: Vec<String>,
+    /// Number of clusters (tracks in the exported trace).
+    pub clusters: usize,
+    /// Capacity of the per-instruction lifecycle ring (most recent kept).
+    pub lifecycle_capacity: usize,
+    /// Maximum stored utilization sample rows.
+    pub max_samples: usize,
+    /// Maximum stored steering-overflow episodes.
+    pub max_episodes: usize,
+}
+
+impl RecordingConfig {
+    /// A reasonable default sizing for the given topology shape.
+    pub fn new(window: u64, link_labels: Vec<String>, clusters: usize) -> Self {
+        let links = link_labels.len();
+        Self {
+            window,
+            link_labels,
+            clusters,
+            lifecycle_capacity: 4096,
+            // Enough rows for every (link, class) pair to stay hot across
+            // many windows before dropping kicks in.
+            max_samples: (links * NUM_CLASSES).max(1) * 4096,
+            max_episodes: 4096,
+        }
+    }
+}
+
+/// One utilization sample: lane-cycles consumed on `link` by `class`
+/// during the window starting at `window_start`.
+///
+/// Flattened to 16 bytes so the sample buffer stays cache-dense; windows
+/// with zero activity on a (link, class) pair produce no row (consumers
+/// treat missing rows as zero), but any link active in a window emits all
+/// four class rows so exported counter tracks reset correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRow {
+    /// First cycle of the sampling window this row summarizes.
+    pub window_start: u64,
+    /// Link index into [`RecordingConfig::link_labels`].
+    pub link: u16,
+    /// Wire-class slot (see [`class_slot`]).
+    pub class: u8,
+    /// Busy lane-cycles accumulated in the window.
+    pub busy: u32,
+}
+
+/// A contiguous run of cycles during which the load balancer diverted
+/// traffic to its overflow target (consecutive-cycle events are merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowEpisode {
+    /// First cycle of the episode.
+    pub start: u64,
+    /// Last cycle of the episode (inclusive).
+    pub end: u64,
+    /// Diversions within the episode.
+    pub events: u64,
+    /// Class slot the balancer diverted *to*.
+    pub target: u8,
+}
+
+/// Timestamps of one instruction's trip through the pipeline.
+/// `u64::MAX` marks a stage not (yet) reached.
+#[derive(Debug, Clone, Copy)]
+pub struct Lifecycle {
+    /// Dense per-run instruction sequence number.
+    pub seq: u64,
+    /// Cluster the instruction was steered to.
+    pub cluster: u32,
+    /// Operation class.
+    pub op: OpClass,
+    /// Cycle of dispatch into the ROB.
+    pub dispatch: u64,
+    /// Cycle execution began.
+    pub issue: u64,
+    /// Cycle execution finished.
+    pub complete: u64,
+    /// Cycle of retirement.
+    pub commit: u64,
+}
+
+/// A stage not (yet) reached in a [`Lifecycle`].
+pub const UNSET: u64 = u64::MAX;
+
+/// Number of log2 occupancy buckets: bucket 0 holds zero, bucket `i`
+/// (1..=16) holds values in `[2^(i-1), 2^i)`, saturating at the top.
+pub const OCC_BUCKETS: usize = 17;
+
+/// Histogram over log2 buckets (see [`OCC_BUCKETS`]).
+pub type OccupancyHistogram = [u64; OCC_BUCKETS];
+
+/// Bucket index for an occupancy value.
+pub fn occ_bucket(value: usize) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((usize::BITS - value.leading_zeros()) as usize).min(OCC_BUCKETS - 1)
+    }
+}
+
+/// Event counters that need no series structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventCounts {
+    /// Instructions dispatched.
+    pub dispatches: u64,
+    /// Steering decisions that stalled dispatch (no cluster chosen).
+    pub steer_stalls: u64,
+    /// Instructions issued.
+    pub issues: u64,
+    /// Instructions completed.
+    pub completes: u64,
+    /// Instructions committed.
+    pub commits: u64,
+    /// Loads whose partial-address comparison hit an earlier store.
+    pub lsq_partial_conflicts: u64,
+    /// Loads whose cache access started early off the partial address.
+    pub lsq_partial_ready: u64,
+    /// Loads fully disambiguated.
+    pub lsq_full_ready: u64,
+    /// Fully disambiguated loads served by store forwarding.
+    pub lsq_forwards: u64,
+    /// Front-end stall entries (branch mispredicts).
+    pub fetch_stalls: u64,
+    /// Front-end redirects after misprediction resolved.
+    pub fetch_resumes: u64,
+}
+
+/// The recording probe. See the module docs for the derived series.
+#[derive(Debug)]
+pub struct RecordingProbe {
+    config: RecordingConfig,
+    /// Start cycle of the window currently accumulating.
+    window_start: u64,
+    /// True once any event has landed in the current window, so idle
+    /// windows (including whole spans skipped by the event-driven kernel)
+    /// never flush rows.
+    window_active: bool,
+    /// Busy lane-cycles in the current window, `link * NUM_CLASSES + class`.
+    current: Vec<u32>,
+    /// Flushed utilization rows.
+    samples: Vec<SampleRow>,
+    /// Rows discarded because `samples` was full.
+    pub dropped_samples: u64,
+    /// Cumulative busy lane-cycles per (link, class), never dropped.
+    link_totals: Vec<u64>,
+    /// Transfers enqueued, per class.
+    pub injected: [u64; NUM_CLASSES],
+    /// Transfers that won arbitration and departed, per class.
+    pub departed: [u64; NUM_CLASSES],
+    /// Transfers delivered, per class.
+    pub delivered: [u64; NUM_CLASSES],
+    /// Total cycles departing transfers spent queued for a lane.
+    pub queue_wait_sum: u64,
+    episodes: Vec<OverflowEpisode>,
+    /// Overflow events discarded because `episodes` was full.
+    pub dropped_episodes: u64,
+    lifecycles: Vec<Lifecycle>,
+    /// Lifecycle entries overwritten by newer instructions.
+    pub evicted_lifecycles: u64,
+    /// ROB occupancy histogram (per executed cycle).
+    pub rob_occupancy: OccupancyHistogram,
+    /// LSQ occupancy histogram (per executed cycle).
+    pub lsq_occupancy: OccupancyHistogram,
+    /// Ready-heap occupancy histogram (per executed cycle).
+    pub ready_occupancy: OccupancyHistogram,
+    /// Plain event counters.
+    pub counts: EventCounts,
+    /// Highest cycle observed by any event.
+    pub last_cycle: u64,
+}
+
+impl RecordingProbe {
+    /// Allocates all recording storage up front.
+    pub fn new(config: RecordingConfig) -> Self {
+        assert!(config.window >= 1, "sampling window must be at least 1");
+        let slots = config.link_labels.len() * NUM_CLASSES;
+        Self {
+            current: vec![0; slots],
+            samples: Vec::with_capacity(config.max_samples),
+            dropped_samples: 0,
+            link_totals: vec![0; slots],
+            injected: [0; NUM_CLASSES],
+            departed: [0; NUM_CLASSES],
+            delivered: [0; NUM_CLASSES],
+            queue_wait_sum: 0,
+            episodes: Vec::with_capacity(config.max_episodes),
+            dropped_episodes: 0,
+            lifecycles: Vec::with_capacity(config.lifecycle_capacity),
+            evicted_lifecycles: 0,
+            rob_occupancy: [0; OCC_BUCKETS],
+            lsq_occupancy: [0; OCC_BUCKETS],
+            ready_occupancy: [0; OCC_BUCKETS],
+            counts: EventCounts::default(),
+            last_cycle: 0,
+            window_start: 0,
+            window_active: false,
+            config,
+        }
+    }
+
+    /// The configuration this probe was built with.
+    pub fn config(&self) -> &RecordingConfig {
+        &self.config
+    }
+
+    /// Flushed utilization rows, in flush order (windows ascending; within
+    /// a window, links ascending, classes in [`WireClass::ALL`] order).
+    pub fn samples(&self) -> &[SampleRow] {
+        &self.samples
+    }
+
+    /// Cumulative busy lane-cycles for `(link, class_slot)`.
+    pub fn link_total(&self, link: usize, class: usize) -> u64 {
+        self.link_totals[link * NUM_CLASSES + class]
+    }
+
+    /// Merged steering-overflow episodes.
+    pub fn episodes(&self) -> &[OverflowEpisode] {
+        &self.episodes
+    }
+
+    /// Recorded lifecycles (ring order, not sequence order).
+    pub fn lifecycles(&self) -> &[Lifecycle] {
+        &self.lifecycles
+    }
+
+    /// Advances the sampling window to the one containing `cycle`,
+    /// flushing the currently accumulating window if it had any activity.
+    ///
+    /// Only the *active* window ever flushes: a jump across many idle
+    /// windows (the event-driven kernel skips them wholesale) emits no
+    /// rows for the skipped span — consumers treat absent windows as zero,
+    /// so idle-skipping cannot create phantom samples. Cycle `k * window`
+    /// belongs to window `k` (window starts are inclusive).
+    fn roll(&mut self, cycle: u64) {
+        self.last_cycle = self.last_cycle.max(cycle);
+        if cycle < self.window_start + self.config.window {
+            return;
+        }
+        self.flush_window();
+        self.window_start = cycle / self.config.window * self.config.window;
+    }
+
+    fn flush_window(&mut self) {
+        if !self.window_active {
+            return;
+        }
+        self.window_active = false;
+        let links = self.config.link_labels.len();
+        for link in 0..links {
+            let base = link * NUM_CLASSES;
+            let active = self.current[base..base + NUM_CLASSES]
+                .iter()
+                .any(|&b| b > 0);
+            if !active {
+                continue;
+            }
+            // Emit all four classes (zeros included) for an active link so
+            // counter tracks in the exported trace reset between windows.
+            for class in 0..NUM_CLASSES {
+                let busy = std::mem::take(&mut self.current[base + class]);
+                if self.samples.len() < self.config.max_samples {
+                    self.samples.push(SampleRow {
+                        window_start: self.window_start,
+                        link: link as u16,
+                        class: class as u8,
+                        busy,
+                    });
+                } else {
+                    self.dropped_samples += 1;
+                }
+            }
+        }
+    }
+
+    /// Flushes the final partial window. Call once after the run.
+    pub fn finish(&mut self) {
+        self.flush_window();
+    }
+
+    fn lifecycle_slot(&mut self, seq: u64) -> Option<&mut Lifecycle> {
+        let cap = self.config.lifecycle_capacity;
+        if cap == 0 {
+            return None;
+        }
+        let slot = (seq % cap as u64) as usize;
+        self.lifecycles.get_mut(slot).filter(|l| l.seq == seq)
+    }
+
+    /// Total lane-cycles across all links and classes (cumulative).
+    pub fn total_busy(&self) -> u64 {
+        self.link_totals.iter().sum()
+    }
+}
+
+impl Probe for RecordingProbe {
+    fn dispatch(&mut self, cycle: u64, seq: u64, cluster: usize, op: OpClass) {
+        self.roll(cycle);
+        self.counts.dispatches += 1;
+        let cap = self.config.lifecycle_capacity;
+        if cap == 0 {
+            return;
+        }
+        let slot = (seq % cap as u64) as usize;
+        let entry = Lifecycle {
+            seq,
+            cluster: cluster as u32,
+            op,
+            dispatch: cycle,
+            issue: UNSET,
+            complete: UNSET,
+            commit: UNSET,
+        };
+        if slot < self.lifecycles.len() {
+            self.evicted_lifecycles += 1;
+            self.lifecycles[slot] = entry;
+        } else {
+            // Slots fill in order because seq is dense from zero.
+            debug_assert_eq!(slot, self.lifecycles.len());
+            self.lifecycles.push(entry);
+        }
+    }
+
+    fn steer_decision(&mut self, cycle: u64, chosen: Option<usize>) {
+        self.roll(cycle);
+        if chosen.is_none() {
+            self.counts.steer_stalls += 1;
+        }
+    }
+
+    fn issue(&mut self, cycle: u64, seq: u64, _cluster: usize) {
+        self.roll(cycle);
+        self.counts.issues += 1;
+        if let Some(l) = self.lifecycle_slot(seq) {
+            l.issue = cycle;
+        }
+    }
+
+    fn complete(&mut self, cycle: u64, seq: u64) {
+        self.roll(cycle);
+        self.counts.completes += 1;
+        if let Some(l) = self.lifecycle_slot(seq) {
+            l.complete = cycle;
+        }
+    }
+
+    fn commit(&mut self, cycle: u64, seq: u64) {
+        self.roll(cycle);
+        self.counts.commits += 1;
+        if let Some(l) = self.lifecycle_slot(seq) {
+            l.commit = cycle;
+        }
+    }
+
+    fn enqueue(&mut self, cycle: u64, _id: u64, class: WireClass) {
+        self.roll(cycle);
+        self.injected[class_slot(class)] += 1;
+    }
+
+    fn depart(&mut self, cycle: u64, _id: u64, class: WireClass, queued: u64) {
+        self.roll(cycle);
+        self.departed[class_slot(class)] += 1;
+        self.queue_wait_sum += queued;
+    }
+
+    fn link_busy(&mut self, cycle: u64, link: usize, class: WireClass) {
+        self.roll(cycle);
+        let idx = link * NUM_CLASSES + class_slot(class);
+        self.current[idx] += 1;
+        self.link_totals[idx] += 1;
+        self.window_active = true;
+    }
+
+    fn deliver(&mut self, cycle: u64, _id: u64, class: WireClass) {
+        self.roll(cycle);
+        self.delivered[class_slot(class)] += 1;
+    }
+
+    fn steer_overflow(&mut self, cycle: u64, target: WireClass) {
+        self.roll(cycle);
+        let target = class_slot(target) as u8;
+        if let Some(last) = self.episodes.last_mut() {
+            if last.target == target && cycle <= last.end + 1 {
+                last.end = last.end.max(cycle);
+                last.events += 1;
+                return;
+            }
+        }
+        if self.episodes.len() < self.config.max_episodes {
+            self.episodes.push(OverflowEpisode {
+                start: cycle,
+                end: cycle,
+                events: 1,
+                target,
+            });
+        } else {
+            self.dropped_episodes += 1;
+        }
+    }
+
+    fn lsq_partial_conflict(&mut self, cycle: u64, _seq: u64) {
+        self.roll(cycle);
+        self.counts.lsq_partial_conflicts += 1;
+    }
+
+    fn lsq_partial_ready(&mut self, cycle: u64, _seq: u64) {
+        self.roll(cycle);
+        self.counts.lsq_partial_ready += 1;
+    }
+
+    fn lsq_full_ready(&mut self, cycle: u64, _seq: u64, forward: bool) {
+        self.roll(cycle);
+        self.counts.lsq_full_ready += 1;
+        if forward {
+            self.counts.lsq_forwards += 1;
+        }
+    }
+
+    fn fetch_stall(&mut self, cycle: u64) {
+        self.roll(cycle);
+        self.counts.fetch_stalls += 1;
+    }
+
+    fn fetch_resume(&mut self, cycle: u64) {
+        self.roll(cycle);
+        self.counts.fetch_resumes += 1;
+    }
+
+    fn occupancy(&mut self, cycle: u64, rob: usize, lsq: usize, ready: usize) {
+        self.roll(cycle);
+        self.rob_occupancy[occ_bucket(rob)] += 1;
+        self.lsq_occupancy[occ_bucket(lsq)] += 1;
+        self.ready_occupancy[occ_bucket(ready)] += 1;
+    }
+}
+
+/// Renders the utilization time series as CSV with RFC-4180 quoting,
+/// matching the repo's other CSV artifacts. Absent (window, link, class)
+/// rows mean zero busy lane-cycles.
+pub fn utilization_csv(probe: &RecordingProbe) -> String {
+    let mut out = String::from("window_start,window_len,link,link_label,class,busy\n");
+    let window = probe.config().window;
+    for row in probe.samples() {
+        let label = &probe.config().link_labels[row.link as usize];
+        let class = WireClass::ALL[row.class as usize].label();
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            row.window_start,
+            window,
+            row.link,
+            csv_quote(label),
+            class,
+            row.busy
+        ));
+    }
+    out
+}
+
+/// RFC-4180 quoting for a CSV field (quote when it contains `,`, `"` or
+/// newlines; double embedded quotes).
+fn csv_quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_with_window(window: u64) -> RecordingProbe {
+        let labels = vec!["c0.out".to_string(), "c0.in".to_string()];
+        RecordingProbe::new(RecordingConfig::new(window, labels, 4))
+    }
+
+    #[test]
+    fn window_longer_than_run_yields_single_flush() {
+        let mut p = probe_with_window(1_000_000);
+        p.link_busy(3, 0, WireClass::B);
+        p.link_busy(907, 1, WireClass::L);
+        p.finish();
+        let starts: Vec<u64> = p.samples().iter().map(|r| r.window_start).collect();
+        assert!(starts.iter().all(|&s| s == 0), "one window covers the run");
+        // Two active links × all four classes each.
+        assert_eq!(p.samples().len(), 2 * NUM_CLASSES);
+        assert_eq!(p.total_busy(), 2);
+    }
+
+    #[test]
+    fn boundary_cycle_starts_the_next_window() {
+        let mut p = probe_with_window(100);
+        p.link_busy(99, 0, WireClass::B); // last cycle of window 0
+        p.link_busy(100, 0, WireClass::B); // first cycle of window 1
+        p.finish();
+        let by_window: Vec<(u64, u32)> = p
+            .samples()
+            .iter()
+            .filter(|r| r.busy > 0)
+            .map(|r| (r.window_start, r.busy))
+            .collect();
+        assert_eq!(by_window, vec![(0, 1), (100, 1)]);
+    }
+
+    #[test]
+    fn cycle_jumps_emit_no_phantom_samples() {
+        let mut p = probe_with_window(10);
+        p.link_busy(5, 0, WireClass::W);
+        // The event-driven kernel skips straight past hundreds of idle
+        // windows; only the two active ones may produce rows.
+        p.link_busy(7_777, 0, WireClass::W);
+        p.finish();
+        let starts: Vec<u64> = p
+            .samples()
+            .iter()
+            .filter(|r| r.busy > 0)
+            .map(|r| r.window_start)
+            .collect();
+        assert_eq!(starts, vec![0, 7_770]);
+    }
+
+    #[test]
+    fn idle_windows_between_non_link_events_emit_nothing() {
+        let mut p = probe_with_window(10);
+        p.commit(5, 0);
+        p.commit(9_995, 1); // rolls across ~1000 windows with no link activity
+        p.finish();
+        assert!(p.samples().is_empty());
+        assert_eq!(p.counts.commits, 2);
+    }
+
+    #[test]
+    fn overflow_episodes_merge_consecutive_cycles() {
+        let mut p = probe_with_window(64);
+        p.steer_overflow(10, WireClass::Pw);
+        p.steer_overflow(10, WireClass::Pw);
+        p.steer_overflow(11, WireClass::Pw);
+        p.steer_overflow(50, WireClass::Pw); // gap: new episode
+        p.steer_overflow(51, WireClass::B); // target change: new episode
+        assert_eq!(p.episodes().len(), 3);
+        assert_eq!(
+            p.episodes()[0],
+            OverflowEpisode {
+                start: 10,
+                end: 11,
+                events: 3,
+                target: class_slot(WireClass::Pw) as u8,
+            }
+        );
+    }
+
+    #[test]
+    fn lifecycle_ring_keeps_most_recent() {
+        let labels = vec!["l".to_string()];
+        let mut cfg = RecordingConfig::new(16, labels, 4);
+        cfg.lifecycle_capacity = 4;
+        let mut p = RecordingProbe::new(cfg);
+        for seq in 0..6u64 {
+            p.dispatch(seq, seq, 0, OpClass::IntAlu);
+            p.commit(seq + 100, seq);
+        }
+        assert_eq!(p.evicted_lifecycles, 2);
+        let mut seqs: Vec<u64> = p.lifecycles().iter().map(|l| l.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "seq 4/5 overwrite seq 0/1");
+    }
+
+    #[test]
+    fn stale_lifecycle_updates_are_ignored() {
+        let labels = vec!["l".to_string()];
+        let mut cfg = RecordingConfig::new(16, labels, 4);
+        cfg.lifecycle_capacity = 2;
+        let mut p = RecordingProbe::new(cfg);
+        p.dispatch(1, 0, 0, OpClass::IntAlu);
+        p.dispatch(2, 2, 0, OpClass::IntAlu); // evicts seq 0 (same slot)
+        p.commit(9, 0); // stale: slot now belongs to seq 2
+        let l = p.lifecycles().iter().find(|l| l.seq == 2).unwrap();
+        assert_eq!(l.commit, UNSET);
+    }
+
+    #[test]
+    fn occupancy_buckets_are_log2() {
+        assert_eq!(occ_bucket(0), 0);
+        assert_eq!(occ_bucket(1), 1);
+        assert_eq!(occ_bucket(2), 2);
+        assert_eq!(occ_bucket(3), 2);
+        assert_eq!(occ_bucket(4), 3);
+        assert_eq!(occ_bucket(usize::MAX), OCC_BUCKETS - 1);
+    }
+
+    #[test]
+    fn csv_rows_reconcile_with_link_totals() {
+        let mut p = probe_with_window(8);
+        for cycle in [0, 1, 7, 8, 9, 63, 64] {
+            p.link_busy(cycle, 0, WireClass::B);
+            if cycle % 2 == 0 {
+                p.link_busy(cycle, 1, WireClass::L);
+            }
+        }
+        p.finish();
+        let csv = utilization_csv(&p);
+        let mut sums = [[0u64; NUM_CLASSES]; 2];
+        for line in csv.lines().skip(1) {
+            let f: Vec<&str> = line.split(',').collect();
+            let link: usize = f[2].parse().unwrap();
+            let class = WireClass::ALL
+                .iter()
+                .position(|c| c.label() == f[4])
+                .unwrap();
+            sums[link][class] += f[5].parse::<u64>().unwrap();
+        }
+        for (link, row) in sums.iter().enumerate() {
+            for (class, &sum) in row.iter().enumerate() {
+                assert_eq!(sum, p.link_total(link, class));
+            }
+        }
+    }
+}

@@ -15,7 +15,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use heterowire_core::{InterconnectModel, Processor, ProcessorConfig};
+use heterowire_core::{InterconnectModel, NullProbe, Processor, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{by_name, TraceGenerator};
 
@@ -44,11 +44,14 @@ static COUNTER: CountingAlloc = CountingAlloc;
 
 fn allocs_for(topology: Topology, window: u64) -> u64 {
     // Model X exercises all three wire planes (so every send/steer path
-    // runs); gcc has a rich mix of loads, stores and branches.
+    // runs); gcc has a rich mix of loads, stores and branches. Built
+    // through the generic probed entry point with the probe disabled:
+    // `NullProbe` must monomorphize every hook away, so this path is held
+    // to the same allocation budget as the seed's plain constructor.
     let cfg = ProcessorConfig::for_model(InterconnectModel::X, topology);
     let trace = TraceGenerator::new(by_name("gcc").expect("gcc exists"), 42);
     let before = ALLOCS.load(Ordering::Relaxed);
-    let r = Processor::simulate(cfg, trace, window, 500);
+    let r = Processor::with_probe(cfg, trace, NullProbe).run(window, 500);
     let after = ALLOCS.load(Ordering::Relaxed);
     assert!(r.cycles > 0);
     after - before

@@ -10,7 +10,9 @@
 //! debug build.
 
 use heterowire_bench::{RunScale, SEED};
-use heterowire_core::{InterconnectModel, Processor, ProcessorConfig};
+use heterowire_core::{
+    InterconnectModel, Processor, ProcessorConfig, RecordingConfig, RecordingProbe,
+};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{spec2000, TraceGenerator};
 
@@ -39,4 +41,39 @@ fn event_kernel_matches_reference_on_crossbar4() {
 #[test]
 fn event_kernel_matches_reference_on_hier16_ring() {
     assert_kernels_match(Topology::hier16(), RunScale::quick());
+}
+
+/// Recording must be pure observation: a run with a live [`RecordingProbe`]
+/// produces `SimResults` bit-identical to the probe-disabled run.
+#[test]
+fn recording_probe_does_not_perturb_results() {
+    let scale = RunScale::quick();
+    let profiles = spec2000();
+    for (i, topology) in [Topology::crossbar4(), Topology::hier16()]
+        .into_iter()
+        .enumerate()
+    {
+        // Model X exercises all three wire planes, so every probe site
+        // (L-Wire steering, PW criteria, overflow balancing) fires.
+        let profile = profiles[(i * 11) % profiles.len()];
+        let cfg = ProcessorConfig::for_model(InterconnectModel::X, topology);
+        let disabled = Processor::new(cfg.clone(), TraceGenerator::new(profile, SEED))
+            .run(scale.window, scale.warmup);
+        let labels = Processor::new(cfg.clone(), TraceGenerator::new(profile, SEED))
+            .network()
+            .link_labels();
+        let probe = RecordingProbe::new(RecordingConfig::new(64, labels, topology.clusters()));
+        let mut recorded = Processor::with_probe(cfg, TraceGenerator::new(profile, SEED), probe);
+        let results = recorded.run(scale.window, scale.warmup);
+        assert_eq!(
+            results, disabled,
+            "RecordingProbe perturbed the simulation on {topology:?} ({})",
+            profile.name
+        );
+        recorded.probe_mut().finish();
+        assert!(
+            recorded.probe().counts.commits > 0,
+            "the probe actually recorded something"
+        );
+    }
 }
