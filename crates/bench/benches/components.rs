@@ -54,7 +54,7 @@ fn main() {
             }
         }),
         bench("network/crossbar_4k_transfers", 20, || {
-            let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]);
+            let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]).unwrap();
             let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
             let mut delivered = 0usize;
             let mut buf = Vec::new();

@@ -9,35 +9,59 @@
 //!   L-Wires).
 //!
 //! Run `cargo run -p heterowire-bench --bin ablation -- <which>`; with no
-//! argument, all four sweeps run.
+//! study name, all five run. `--model <token>` (a preset or
+//! `custom:<spec>`) swaps the default Model VII study machine; `--csv` /
+//! `--json` write every printed scalar as machine-readable
+//! [`MetricRow`] artifacts.
 
-use heterowire_bench::{run_one, run_suite, RunScale, SEED};
-use heterowire_core::{Extensions, InterconnectModel, Optimizations, ProcessorConfig};
+use heterowire_bench::{
+    artifact_paths_from_args, emit_metric_artifacts, model_override_or, run_one, run_suite,
+    MetricRow, RunScale, SEED,
+};
+use heterowire_core::{Extensions, InterconnectModel, ModelSpec, Optimizations, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{by_name, spec2000, TraceGenerator};
 
-fn ls_bits(scale: RunScale) {
+fn ls_bits(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
     println!("\n== LS-bit sweep: false partial-address dependences ==");
     println!("{:>8} {:>12} {:>10}", "LS bits", "false deps", "AM IPC");
     for bits in [4, 6, 8, 12, 16] {
-        let mut cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+        let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
         cfg.ls_bits = bits;
         let suite = run_suite(&cfg, scale);
         let (fd, loads) = suite.runs.iter().fold((0, 0), |(fd, ld), r| {
             (fd + r.lsq.false_dependences, ld + r.lsq.loads)
         });
-        println!(
-            "{:>8} {:>11.2}% {:>10.3}",
-            bits,
-            fd as f64 / loads as f64 * 100.0,
-            suite.mean_ipc()
-        );
+        let fd_pct = fd as f64 / loads as f64 * 100.0;
+        println!("{:>8} {:>11.2}% {:>10.3}", bits, fd_pct, suite.mean_ipc());
+        let label = bits.to_string();
+        out.push(MetricRow::new("ls-bits", &label, "false_dep_pct", fd_pct));
+        out.push(MetricRow::new(
+            "ls-bits",
+            &label,
+            "am_ipc",
+            suite.mean_ipc(),
+        ));
     }
     println!("(paper: <9% of loads at 8 LS bits)");
 }
 
-fn balance(scale: RunScale) {
-    println!("\n== Load-balancer sweep (Model V: 144 B + 288 PW) ==");
+fn balance(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+    // The balancer needs both full-width planes; fall back to Model V
+    // (144 B + 288 PW) when the study model lacks one.
+    let link = study.link();
+    let model = if link.lanes(heterowire_wires::WireClass::B) > 0
+        && link.lanes(heterowire_wires::WireClass::Pw) > 0
+    {
+        study.clone()
+    } else {
+        InterconnectModel::V.spec()
+    };
+    println!(
+        "\n== Load-balancer sweep ({}: {}) ==",
+        model.label(),
+        model.description()
+    );
     println!("(the balancer diverts overflow traffic to the less congested plane)");
     println!(
         "{:>10} {:>10} {:>10} {:>10}",
@@ -52,23 +76,26 @@ fn balance(scale: RunScale) {
         (false, true, "balance only"),
         (true, true, "paper (both)"),
     ] {
-        let mut cfg = ProcessorConfig::for_model(InterconnectModel::V, Topology::crossbar4());
+        let mut cfg = ProcessorConfig::for_model_spec(&model, Topology::crossbar4());
         cfg.opts.pw_steering = pw;
         cfg.opts.load_balance = lb;
         let suite = run_suite(&cfg, scale);
         let (pw_t, total) = suite.runs.iter().fold((0u64, 0u64), |(p, t), r| {
             (p + r.net.transfers[1], t + r.net.total_transfers())
         });
+        let pw_share = pw_t as f64 / total as f64 * 100.0;
         println!(
             "{:>21} {:>10.3} {:>9.1}%",
             label,
             suite.mean_ipc(),
-            pw_t as f64 / total as f64 * 100.0
+            pw_share
         );
+        out.push(MetricRow::new("balance", label, "am_ipc", suite.mean_ipc()));
+        out.push(MetricRow::new("balance", label, "pw_share_pct", pw_share));
     }
 }
 
-fn narrow(_scale: RunScale) {
+fn narrow(_scale: RunScale, out: &mut Vec<MetricRow>) {
     println!("\n== Narrow-operand availability (trace property) ==");
     println!("{:>10} {:>16}", "threshold", "narrow results");
     for bits in [8u32, 10, 12, 16] {
@@ -86,19 +113,25 @@ fn narrow(_scale: RunScale) {
                 }
             }
         }
-        println!(
-            "{:>7} bit {:>15.1}%",
-            bits,
-            narrow as f64 / total as f64 * 100.0
-        );
+        let pct = narrow as f64 / total as f64 * 100.0;
+        println!("{:>7} bit {:>15.1}%", bits, pct);
+        out.push(MetricRow::new(
+            "narrow",
+            &bits.to_string(),
+            "narrow_result_pct",
+            pct,
+        ));
     }
     println!("(paper uses 10 bits: 8-bit tag + 10-bit payload on 18 L-Wires)");
 }
 
 type OptVariant = (&'static str, fn(&mut Optimizations));
 
-fn opts(scale: RunScale) {
-    println!("\n== Individual L-Wire optimization contributions (Model VII) ==");
+fn opts(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+    println!(
+        "\n== Individual L-Wire optimization contributions ({}) ==",
+        study.label()
+    );
     let bench_set = ["gzip", "gcc", "twolf", "swim", "mcf", "applu"];
     let variants: [OptVariant; 5] = [
         ("none (baseline wires)", |o| {
@@ -124,18 +157,23 @@ fn opts(scale: RunScale) {
     for (label, tweak) in variants {
         let mut sum = 0.0;
         for b in bench_set {
-            let mut cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+            let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
             tweak(&mut cfg.opts);
             let r = run_one(cfg, by_name(b).expect("known benchmark"), scale);
             sum += r.ipc();
         }
-        println!("{:<24} {:>10.3}", label, sum / bench_set.len() as f64);
+        let am = sum / bench_set.len() as f64;
+        println!("{:<24} {:>10.3}", label, am);
+        out.push(MetricRow::new("opts", label, "am_ipc", am));
     }
     println!("(paper: the three optimizations contributed equally)");
 }
 
-fn extensions(scale: RunScale) {
-    println!("\n== Paper-discussed extensions (Model VII, 2x wire-constrained latency) ==");
+fn extensions(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+    println!(
+        "\n== Paper-discussed extensions ({}, 2x wire-constrained latency) ==",
+        study.label()
+    );
     let bench_set = ["gzip", "gcc", "mcf", "swim", "applu", "twolf"];
     let variants: [(&str, Extensions); 5] = [
         ("paper (no extensions)", Extensions::default()),
@@ -175,7 +213,7 @@ fn extensions(scale: RunScale) {
         let mut ipc = 0.0;
         let mut energy = 0.0;
         for b in bench_set {
-            let mut cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+            let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
             cfg.latency_scale = 2.0;
             cfg.extensions = *ext;
             let r = run_one(cfg, by_name(b).expect("known benchmark"), scale);
@@ -185,30 +223,48 @@ fn extensions(scale: RunScale) {
         if i == 0 {
             base_energy = energy;
         }
-        println!(
-            "{:<28} {:>8.3} {:>11.1}%",
-            label,
-            ipc / bench_set.len() as f64,
-            energy / base_energy * 100.0
-        );
+        let am = ipc / bench_set.len() as f64;
+        let rel = energy / base_energy * 100.0;
+        println!("{:<28} {:>8.3} {:>11.1}%", label, am, rel);
+        out.push(MetricRow::new("ext", label, "am_ipc", am));
+        out.push(MetricRow::new("ext", label, "ic_dynamic_pct", rel));
     }
+}
+
+/// The first positional (non-flag) argument: flag/value pairs are skipped.
+fn which_study(args: &[String]) -> String {
+    let flags = ["--model", "--csv", "--json"];
+    let mut i = 1;
+    while i < args.len() {
+        if flags.contains(&args[i].as_str()) {
+            i += 2;
+        } else {
+            return args[i].clone();
+        }
+    }
+    String::new()
 }
 
 fn main() {
     let scale = RunScale::from_env();
-    let which = std::env::args().nth(1).unwrap_or_default();
+    let study = model_override_or("VII");
+    let paths = artifact_paths_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which = which_study(&args);
+    let mut metrics = Vec::new();
     match which.as_str() {
-        "ls-bits" => ls_bits(scale),
-        "balance" => balance(scale),
-        "narrow" => narrow(scale),
-        "opts" => opts(scale),
-        "ext" => extensions(scale),
+        "ls-bits" => ls_bits(scale, &study, &mut metrics),
+        "balance" => balance(scale, &study, &mut metrics),
+        "narrow" => narrow(scale, &mut metrics),
+        "opts" => opts(scale, &study, &mut metrics),
+        "ext" => extensions(scale, &study, &mut metrics),
         _ => {
-            ls_bits(scale);
-            balance(scale);
-            narrow(scale);
-            opts(scale);
-            extensions(scale);
+            ls_bits(scale, &study, &mut metrics);
+            balance(scale, &study, &mut metrics);
+            narrow(scale, &mut metrics);
+            opts(scale, &study, &mut metrics);
+            extensions(scale, &study, &mut metrics);
         }
     }
+    emit_metric_artifacts(&metrics, &paths);
 }

@@ -4,31 +4,32 @@
 //! layer (18 L-Wires per cluster link) running all three L-Wire
 //! optimizations — partial-address cache pipeline, narrow operands and
 //! branch-mispredict signals (paper §5.3).
+//!
+//! `--model <token>` swaps the enhanced machine for any other model (a
+//! preset or `custom:<spec>`); the baseline stays the figure's 72 B-Wire
+//! single layer.
 
-use heterowire_bench::{artifact_paths_from_args, emit_suite_artifacts, run_suite, RunScale};
+use heterowire_bench::{
+    artifact_paths_from_args, emit_suite_artifacts, model_override_or, run_suite, RunScale,
+};
 use heterowire_core::{Optimizations, ProcessorConfig};
-use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+use heterowire_interconnect::Topology;
 
 fn main() {
     let scale = RunScale::from_env();
     // Figure 3 uses a single metal layer: 72 B-Wires per cluster link (the
     // cache link has twice that), versus the same plus an L-Wire layer of
     // 18 wires per cluster link (paper §5.3).
-    let mut base_cfg = ProcessorConfig::baseline4();
-    base_cfg.link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 72)]);
+    let base_spec = heterowire_core::ModelSpec::parse("custom:b72").expect("valid spec");
+    let enhanced = model_override_or("custom:b72+l18");
+
+    let mut base_cfg = ProcessorConfig::for_model_spec(&base_spec, Topology::crossbar4());
     base_cfg.opts = Optimizations::none();
-    let mut l_cfg = ProcessorConfig::baseline4();
-    l_cfg.link = LinkComposition::new(vec![
-        WirePlane::new(WireClass::B, 72),
-        WirePlane::new(WireClass::L, 18),
-    ]);
-    l_cfg.opts = Optimizations::for_link(&l_cfg.link);
-    let base_cfg = base_cfg;
-    let l_cfg = l_cfg;
+    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
 
     eprintln!("running baseline (72 B-Wires) suite ...");
     let base = run_suite(&base_cfg, scale);
-    eprintln!("running +L-Wires (72 B + 18 L) suite ...");
+    eprintln!("running enhanced ({}) suite ...", enhanced.description());
     let lwire = run_suite(&l_cfg, scale);
     emit_suite_artifacts(
         &[("baseline", &base), ("lwire", &lwire)],
@@ -38,7 +39,7 @@ fn main() {
     println!("Figure 3: IPC, 4-cluster partitioned architecture");
     println!(
         "{:<10} {:>10} {:>14} {:>8}",
-        "benchmark", "baseline", "+18 L-Wires", "delta"
+        "benchmark", "baseline", "enhanced", "delta"
     );
     for i in 0..base.names.len() {
         let b = base.runs[i].ipc();

@@ -11,14 +11,26 @@
 //! 6. the 8K-counter narrow predictor identifies ~95% of narrow results
 //!    with ~2% of predicted-narrow values actually wide;
 //! 7. ~14% of register traffic is narrow (integers in 0..=1023).
+//!
+//! `--model <token>` (a preset or `custom:<spec>`) swaps the enhanced
+//! machine (default Model VII) in claims 2/4/5/6; `--csv` / `--json`
+//! write every claim as machine-readable metric rows.
 
-use heterowire_bench::{run_suite, RunScale};
+use heterowire_bench::{
+    artifact_paths_from_args, emit_metric_artifacts, model_override_or, run_suite, MetricRow,
+    RunScale,
+};
 use heterowire_core::{InterconnectModel, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::spec2000;
 
 fn main() {
     let scale = RunScale::from_env();
+    let enhanced = model_override_or("VII");
+    let mut metrics = Vec::new();
+    let claim = |metrics: &mut Vec<MetricRow>, label: &str, metric: &str, value: f64| {
+        metrics.push(MetricRow::new("sensitivity", label, metric, value));
+    };
 
     // --- 1: latency doubling on the baseline. ---
     let base_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
@@ -28,64 +40,81 @@ fn main() {
     let base = run_suite(&base_cfg, scale);
     eprintln!("2x-latency suite ...");
     let slow = run_suite(&slow_cfg, scale);
+    let d1 = (slow.mean_ipc() / base.mean_ipc() - 1.0) * 100.0;
     println!(
-        "1. doubling inter-cluster latency: IPC {:.3} -> {:.3} ({:+.1}%; paper: -12%)",
+        "1. doubling inter-cluster latency: IPC {:.3} -> {:.3} ({d1:+.1}%; paper: -12%)",
         base.mean_ipc(),
         slow.mean_ipc(),
-        (slow.mean_ipc() / base.mean_ipc() - 1.0) * 100.0
     );
+    claim(&mut metrics, "2x-latency", "ipc_delta_pct", d1);
 
-    // --- 2: L-wires under doubled latency. ---
-    let mut slow_l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
+    // --- 2: the enhanced model under doubled latency. ---
+    let mut slow_l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
     slow_l_cfg.latency_scale = 2.0;
-    eprintln!("2x-latency + L-Wires suite ...");
+    eprintln!("2x-latency + {} suite ...", enhanced.label());
     let slow_l = run_suite(&slow_l_cfg, scale);
+    let d2 = (slow_l.mean_ipc() / slow.mean_ipc() - 1.0) * 100.0;
     println!(
-        "2. +L-Wires at 2x latency: IPC {:.3} -> {:.3} ({:+.1}%; paper: +7.1%)",
+        "2. +{} at 2x latency: IPC {:.3} -> {:.3} ({d2:+.1}%; paper: +7.1%)",
+        enhanced.label(),
         slow.mean_ipc(),
         slow_l.mean_ipc(),
-        (slow_l.mean_ipc() / slow.mean_ipc() - 1.0) * 100.0
     );
+    claim(&mut metrics, "enhanced-at-2x", "ipc_delta_pct", d2);
 
     // --- 3: 4 -> 16 clusters. ---
     let c16_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::hier16());
     eprintln!("16-cluster baseline suite ...");
     let c16 = run_suite(&c16_cfg, scale);
+    let d3 = (c16.mean_ipc() / base.mean_ipc() - 1.0) * 100.0;
     println!(
-        "3. 4 -> 16 clusters: IPC {:.3} -> {:.3} ({:+.1}%; paper: +17%)",
+        "3. 4 -> 16 clusters: IPC {:.3} -> {:.3} ({d3:+.1}%; paper: +17%)",
         base.mean_ipc(),
         c16.mean_ipc(),
-        (c16.mean_ipc() / base.mean_ipc() - 1.0) * 100.0
     );
+    claim(&mut metrics, "16-clusters", "ipc_delta_pct", d3);
 
-    // --- 4: L-wires on 16 clusters. ---
-    let c16_l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::hier16());
-    eprintln!("16-cluster + L-Wires suite ...");
+    // --- 4: the enhanced model on 16 clusters. ---
+    let c16_l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::hier16());
+    eprintln!("16-cluster + {} suite ...", enhanced.label());
     let c16_l = run_suite(&c16_l_cfg, scale);
+    let d4 = (c16_l.mean_ipc() / c16.mean_ipc() - 1.0) * 100.0;
     println!(
-        "4. +L-Wires on 16 clusters: IPC {:.3} -> {:.3} ({:+.1}%; paper: +7.4%)",
+        "4. +{} on 16 clusters: IPC {:.3} -> {:.3} ({d4:+.1}%; paper: +7.4%)",
+        enhanced.label(),
         c16.mean_ipc(),
         c16_l.mean_ipc(),
-        (c16_l.mean_ipc() / c16.mean_ipc() - 1.0) * 100.0
     );
+    claim(&mut metrics, "enhanced-on-16", "ipc_delta_pct", d4);
 
-    // --- 5 & 6: LSQ false dependences, narrow predictor (from the VII run).
-    let l_cfg = ProcessorConfig::for_model(InterconnectModel::VII, Topology::crossbar4());
-    eprintln!("4-cluster + L-Wires suite ...");
+    // --- 5 & 6: LSQ false dependences, narrow predictor (4-cluster run).
+    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
+    eprintln!("4-cluster + {} suite ...", enhanced.label());
     let lwire = run_suite(&l_cfg, scale);
     let (fd, loads) = lwire.runs.iter().fold((0, 0), |(fd, ld), r| {
         (fd + r.lsq.false_dependences, ld + r.lsq.loads)
     });
-    println!(
-        "5. false partial-address dependences @8 LS bits: {:.1}% of loads (paper: <9%)",
-        fd as f64 / loads as f64 * 100.0
-    );
+    let fd_pct = fd as f64 / loads as f64 * 100.0;
+    println!("5. false partial-address dependences @8 LS bits: {fd_pct:.1}% of loads (paper: <9%)");
+    claim(&mut metrics, "lsq", "false_dep_pct", fd_pct);
     let cov = lwire.runs.iter().map(|r| r.narrow_coverage).sum::<f64>() / lwire.runs.len() as f64;
     let fnr = lwire.runs.iter().map(|r| r.narrow_false_rate).sum::<f64>() / lwire.runs.len() as f64;
     println!(
         "6. narrow predictor: {:.1}% coverage, {:.1}% false-narrow (paper: 95% / 2%)",
         cov * 100.0,
         fnr * 100.0
+    );
+    claim(
+        &mut metrics,
+        "narrow-predictor",
+        "coverage_pct",
+        cov * 100.0,
+    );
+    claim(
+        &mut metrics,
+        "narrow-predictor",
+        "false_narrow_pct",
+        fnr * 100.0,
     );
 
     // --- 7: narrow share of register traffic (trace property). ---
@@ -98,8 +127,9 @@ fn main() {
         narrow += stats.narrow_results;
         int_results += stats.int_results;
     }
-    println!(
-        "7. narrow share of integer register traffic: {:.1}% (paper: 14%)",
-        narrow as f64 / int_results as f64 * 100.0
-    );
+    let narrow_pct = narrow as f64 / int_results as f64 * 100.0;
+    println!("7. narrow share of integer register traffic: {narrow_pct:.1}% (paper: 14%)");
+    claim(&mut metrics, "trace", "narrow_share_pct", narrow_pct);
+
+    emit_metric_artifacts(&metrics, &artifact_paths_from_args());
 }

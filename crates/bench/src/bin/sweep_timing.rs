@@ -6,16 +6,19 @@
 //! EXPERIMENTS.md's executor section.
 
 use heterowire_bench::timing::time_once;
-use heterowire_bench::{executor, sweep_runs, sweep_runs_serial, RunScale};
+use heterowire_bench::{executor, sweep_runs_serial_set, sweep_runs_set, ModelSet, RunScale};
+use heterowire_core::ModelSpec;
 use heterowire_interconnect::Topology;
 
-const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH]\n\
+const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH] [--model TOKEN]...\n\
     times the quick-scale model sweep (serial vs. executor) and appends a\n\
-    CSV row to --out (default results/sweep_timing.csv)";
+    CSV row to --out (default results/sweep_timing.csv); repeated --model\n\
+    flags (presets or custom:<spec>) replace the default Models I-X";
 
 fn main() {
     let mut label = "run".to_string();
     let mut out = "results/sweep_timing.csv".to_string();
+    let mut specs: Vec<ModelSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
@@ -27,6 +30,13 @@ fn main() {
         match arg.as_str() {
             "--label" => label = value(&mut args),
             "--out" => out = value(&mut args),
+            "--model" => {
+                let token = value(&mut args);
+                specs.push(ModelSpec::parse(&token).unwrap_or_else(|e| {
+                    eprintln!("--model {token:?}: {e}\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -37,15 +47,23 @@ fn main() {
             }
         }
     }
+    let models = if specs.is_empty() {
+        ModelSet::paper()
+    } else {
+        ModelSet::new(specs).expect("non-empty")
+    };
 
     let scale = RunScale::quick();
     let workers = executor::default_workers();
     let topology = Topology::crossbar4();
 
-    eprintln!("quick-scale model sweep, serial reference ...");
-    let (serial, t_serial) = time_once(|| sweep_runs_serial(topology, scale));
+    eprintln!(
+        "quick-scale model sweep ({} models), serial reference ...",
+        models.len()
+    );
+    let (serial, t_serial) = time_once(|| sweep_runs_serial_set(&models, topology, scale));
     eprintln!("quick-scale model sweep, executor ({workers} workers) ...");
-    let (parallel, t_parallel) = time_once(|| sweep_runs(topology, scale, workers));
+    let (parallel, t_parallel) = time_once(|| sweep_runs_set(&models, topology, scale, workers));
 
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(s.runs, p.runs, "executor must be bit-identical to serial");

@@ -3,21 +3,38 @@
 //! the values derived from the analytical wire models, plus the resulting
 //! network latencies and the transmission-line headroom discussed in §2.
 
-use heterowire_bench::{artifact_paths_from_args, emit_table2_artifacts};
+use heterowire_bench::{artifact_paths_from_args, emit_table2_artifacts, ModelSet};
 use heterowire_wires::classes::table2;
 use heterowire_wires::geometry::WireGeometry;
 use heterowire_wires::repeater::{DeviceParams, RepeatedWire};
 use heterowire_wires::transmission::transmission_line_headroom;
 
 fn main() {
-    emit_table2_artifacts(&artifact_paths_from_args());
+    // `--model <token>` (preset or `custom:<spec>`) restricts the table to
+    // the wire classes that model's link actually uses; repeated flags
+    // union their classes. No flag prints every class.
+    let models = ModelSet::from_args(&std::env::args().collect::<Vec<_>>()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let rows: Vec<_> = table2()
+        .into_iter()
+        .filter(|row| match &models {
+            None => true,
+            Some(set) => set
+                .specs()
+                .iter()
+                .any(|spec| spec.link().lanes(row.class) > 0),
+        })
+        .collect();
+    emit_table2_artifacts(&rows, &artifact_paths_from_args());
     println!("Table 2: wire delay and relative energy parameters per wire class");
     println!("(canonical = paper values; derived = from the RC/repeater models)\n");
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>10} {:>9}",
         "Wire", "rel delay", "derived", "rel dyn", "derived", "rel lkg", "crossbar", "ring hop"
     );
-    for row in table2() {
+    for row in rows {
         println!(
             "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>7} cyc {:>5} cyc",
             row.class.to_string(),

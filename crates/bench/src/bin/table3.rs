@@ -17,8 +17,8 @@ fn main() {
         .min_by(|a, b| a.at_10.rel_ed2.total_cmp(&b.at_10.rel_ed2))
         .expect("ten rows");
     println!(
-        "\nbest ED2(10%): Model {} at {:.1}% (paper: Model IX at 92.0%)",
-        best.model.name(),
+        "\nbest ED2(10%): {} at {:.1}% (paper: Model IX at 92.0%)",
+        best.model.label(),
         best.at_10.rel_ed2
     );
     let best20 = rows
@@ -26,8 +26,8 @@ fn main() {
         .min_by(|a, b| a.at_20.rel_ed2.total_cmp(&b.at_20.rel_ed2))
         .expect("ten rows");
     println!(
-        "best ED2(20%): Model {} at {:.1}% (paper: Model III at 92.1%)",
-        best20.model.name(),
+        "best ED2(20%): {} at {:.1}% (paper: Model III at 92.1%)",
+        best20.model.label(),
         best20.at_20.rel_ed2
     );
 }

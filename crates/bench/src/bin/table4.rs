@@ -18,7 +18,7 @@ fn main() {
     for r in &rows {
         println!(
             "{:<10} {:<40} {:>6.3} {:>8.1} {:>9.1}",
-            format!("Model {}", r.model.name()),
+            r.model.label(),
             r.description,
             r.at_20.ipc,
             r.at_20.rel_processor_energy,
@@ -30,8 +30,8 @@ fn main() {
         .min_by(|a, b| a.at_20.rel_ed2.total_cmp(&b.at_20.rel_ed2))
         .expect("ten rows");
     println!(
-        "\nbest ED2: Model {} at {:.1}% (paper: Models VII/IX at 88.7% — an 11.3% reduction)",
-        best.model.name(),
+        "\nbest ED2: {} at {:.1}% (paper: Models VII/IX at 88.7% — an 11.3% reduction)",
+        best.model.label(),
         best.at_20.rel_ed2
     );
 }

@@ -19,9 +19,7 @@
 use std::path::PathBuf;
 
 use heterowire_bench::{flag_path_from, write_artifact, RunScale, SEED};
-use heterowire_core::{
-    InterconnectModel, Processor, ProcessorConfig, RecordingConfig, RecordingProbe,
-};
+use heterowire_core::{ModelSpec, Processor, ProcessorConfig, RecordingConfig, RecordingProbe};
 use heterowire_interconnect::Topology;
 use heterowire_telemetry::{chrome_trace, utilization_csv};
 use heterowire_trace::{by_name, TraceGenerator};
@@ -54,14 +52,10 @@ fn main() {
         })
         .unwrap_or_else(|| PathBuf::from("results"));
 
-    let model = InterconnectModel::ALL
-        .iter()
-        .copied()
-        .find(|m| m.name().eq_ignore_ascii_case(&model_name))
-        .unwrap_or_else(|| {
-            eprintln!("unknown model {model_name:?}; expected one of I..X");
-            std::process::exit(2);
-        });
+    let model = ModelSpec::parse(&model_name).unwrap_or_else(|e| {
+        eprintln!("--model {model_name:?}: {e}");
+        std::process::exit(2);
+    });
     let topology = match topo_name.as_str() {
         "crossbar4" => Topology::crossbar4(),
         "hier16" => Topology::hier16(),
@@ -78,11 +72,11 @@ fn main() {
     // Warmup 0 so the recorded network counters reconcile exactly with the
     // end-of-run NetStats.
     let scale = RunScale::from_env();
-    let cfg = ProcessorConfig::for_model(model, topology);
+    let cfg = ProcessorConfig::for_model_spec(&model, topology);
 
     eprintln!(
-        "recording Model {} / {} on {topo_name}, {} instructions, window {window} ...",
-        model.name(),
+        "recording {} / {} on {topo_name}, {} instructions, window {window} ...",
+        model.label(),
         profile.name,
         scale.window
     );

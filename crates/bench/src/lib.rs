@@ -23,13 +23,13 @@ pub mod timing;
 use std::sync::Arc;
 
 use heterowire_core::{
-    mean_report, relative_report, EnergyParams, InterconnectModel, Processor, ProcessorConfig,
+    mean_report, relative_report, EnergyParams, ModelSpec, Processor, ProcessorConfig,
     RelativeReport, SimResults,
 };
 use heterowire_interconnect::Topology;
 use heterowire_telemetry::json::JsonWriter;
 use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
-use heterowire_wires::classes::{table2, Table2Row};
+use heterowire_wires::classes::Table2Row;
 
 /// Default committed-instruction window per benchmark.
 pub const DEFAULT_WINDOW: u64 = 100_000;
@@ -83,6 +83,107 @@ impl RunScale {
     pub fn from_env() -> Self {
         let value = std::env::var("HETEROWIRE_SCALE").ok();
         Self::from_env_value(value.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// The ordered set of interconnect models a sweep covers. The first entry
+/// is the normalisation baseline every row is reported against; the
+/// default set is the paper's Models I–X (baseline Model I).
+///
+/// Every harness binary accepts repeated `--model <token>` flags, where a
+/// token is a Roman-numeral preset (`VII`) or a data-driven composition
+/// (`custom:b144+pw288+l36`); see [`ModelSpec::parse`].
+#[derive(Debug, Clone)]
+pub struct ModelSet {
+    specs: Vec<ModelSpec>,
+}
+
+impl ModelSet {
+    /// The paper's Models I–X in table order (Model I is the baseline).
+    pub fn paper() -> Self {
+        ModelSet {
+            specs: ModelSpec::paper_presets(),
+        }
+    }
+
+    /// Builds a set from explicit specs; the first is the baseline.
+    pub fn new(specs: Vec<ModelSpec>) -> Result<Self, String> {
+        if specs.is_empty() {
+            return Err("a model set needs at least one model".to_string());
+        }
+        Ok(ModelSet { specs })
+    }
+
+    /// The specs, in sweep order.
+    pub fn specs(&self) -> &[ModelSpec] {
+        &self.specs
+    }
+
+    /// Number of models in the set (never zero).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Always false — kept for clippy's `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Collects every `--model <token>` pair from an argument list.
+    /// Returns `None` when no `--model` flag is present (caller picks its
+    /// default); a flag without a value or an unparseable token is an
+    /// error.
+    pub fn from_args(args: &[String]) -> Result<Option<Self>, String> {
+        let mut specs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--model" {
+                let token = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--model requires a value".to_string())?;
+                specs.push(ModelSpec::parse(token).map_err(|e| format!("--model {token:?}: {e}"))?);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        if specs.is_empty() {
+            return Ok(None);
+        }
+        Self::new(specs).map(Some)
+    }
+
+    /// [`ModelSet::from_args`] over `std::env::args`, defaulting to the
+    /// paper set; exits with status 2 on a malformed `--model`.
+    pub fn from_args_or_paper() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match Self::from_args(&args) {
+            Ok(set) => set.unwrap_or_else(Self::paper),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Parses a single `--model` override from `std::env::args` for binaries
+/// that study one model rather than sweeping a set; `default` (a preset
+/// name or `custom:<spec>` token) applies when no flag is given. Exits
+/// with status 2 on a malformed token or on more than one `--model`.
+pub fn model_override_or(default: &str) -> ModelSpec {
+    let args: Vec<String> = std::env::args().collect();
+    match ModelSet::from_args(&args) {
+        Ok(None) => ModelSpec::parse(default).expect("default model token is valid"),
+        Ok(Some(set)) if set.len() == 1 => set.specs()[0].clone(),
+        Ok(Some(_)) => {
+            eprintln!("this binary takes at most one --model");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -141,8 +242,8 @@ pub fn run_suite_on(config: &ProcessorConfig, scale: RunScale, workers: usize) -
 /// One row of the regenerated Table 3/4.
 #[derive(Debug, Clone)]
 pub struct ModelRow {
-    /// Which interconnect model.
-    pub model: InterconnectModel,
+    /// Which interconnect model (a preset or a custom spec).
+    pub model: ModelSpec,
     /// Link description string.
     pub description: String,
     /// Relative metal area.
@@ -153,18 +254,24 @@ pub struct ModelRow {
     pub at_20: RelativeReport,
 }
 
-/// Runs every (model × benchmark) pair of a Table-3/4 sweep as one
-/// flattened job list on the shared executor, returning one
-/// [`SuiteResults`] per model in [`InterconnectModel::ALL`] order. Model I
-/// runs exactly once; its runs double as the baseline for every row.
-pub fn sweep_runs(topology: Topology, scale: RunScale, workers: usize) -> Vec<SuiteResults> {
+/// Runs every (model × benchmark) pair of a model sweep as one flattened
+/// job list on the shared executor, returning one [`SuiteResults`] per
+/// model in set order. The first model runs exactly once; its runs double
+/// as the baseline for every row.
+pub fn sweep_runs_set(
+    models: &ModelSet,
+    topology: Topology,
+    scale: RunScale,
+    workers: usize,
+) -> Vec<SuiteResults> {
     let profiles = spec2000();
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
     // One shared config per model; jobs carry an index into it plus a
     // by-value (`Copy`) profile — nothing is cloned per job.
-    let configs: Vec<Arc<ProcessorConfig>> = InterconnectModel::ALL
+    let configs: Vec<Arc<ProcessorConfig>> = models
+        .specs()
         .iter()
-        .map(|&model| Arc::new(ProcessorConfig::for_model(model, topology)))
+        .map(|spec| Arc::new(ProcessorConfig::for_model_spec(spec, topology)))
         .collect();
     let jobs: Vec<(usize, BenchmarkProfile)> = (0..configs.len())
         .flat_map(|mi| profiles.iter().map(move |&p| (mi, p)))
@@ -181,19 +288,29 @@ pub fn sweep_runs(topology: Topology, scale: RunScale, workers: usize) -> Vec<Su
         .collect()
 }
 
-/// Serial reference for [`sweep_runs`]: the seed's original shape — a
+/// [`sweep_runs_set`] over the paper's Models I–X.
+pub fn sweep_runs(topology: Topology, scale: RunScale, workers: usize) -> Vec<SuiteResults> {
+    sweep_runs_set(&ModelSet::paper(), topology, scale, workers)
+}
+
+/// Serial reference for [`sweep_runs_set`]: the seed's original shape — a
 /// plain nested loop over models and benchmarks on the calling thread.
 /// Kept so the determinism test can assert the parallel path is
 /// bit-identical.
-pub fn sweep_runs_serial(topology: Topology, scale: RunScale) -> Vec<SuiteResults> {
+pub fn sweep_runs_serial_set(
+    models: &ModelSet,
+    topology: Topology,
+    scale: RunScale,
+) -> Vec<SuiteResults> {
     let profiles = spec2000();
     let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
-    InterconnectModel::ALL
+    models
+        .specs()
         .iter()
-        .map(|&model| {
+        .map(|spec| {
             let runs = profiles
                 .iter()
-                .map(|&p| run_one(ProcessorConfig::for_model(model, topology), p, scale))
+                .map(|&p| run_one(ProcessorConfig::for_model_spec(spec, topology), p, scale))
                 .collect();
             SuiteResults {
                 names: names.clone(),
@@ -203,15 +320,22 @@ pub fn sweep_runs_serial(topology: Topology, scale: RunScale) -> Vec<SuiteResult
         .collect()
 }
 
-/// Builds Table-3/4 rows from per-model suite results; `suites[0]` (Model
-/// I) is the baseline every row is normalised against.
-pub fn rows_from_runs(suites: &[SuiteResults]) -> Vec<ModelRow> {
-    assert_eq!(suites.len(), InterconnectModel::ALL.len());
+/// [`sweep_runs_serial_set`] over the paper's Models I–X.
+pub fn sweep_runs_serial(topology: Topology, scale: RunScale) -> Vec<SuiteResults> {
+    sweep_runs_serial_set(&ModelSet::paper(), topology, scale)
+}
+
+/// Builds Table-3/4-style rows from per-model suite results; `suites[0]`
+/// (the set's first model) is the baseline every row is normalised
+/// against.
+pub fn rows_from_runs_set(models: &ModelSet, suites: &[SuiteResults]) -> Vec<ModelRow> {
+    assert_eq!(suites.len(), models.len());
     let baseline = &suites[0];
-    InterconnectModel::ALL
+    models
+        .specs()
         .iter()
         .zip(suites)
-        .map(|(&model, suite)| {
+        .map(|(model, suite)| {
             let reports_10: Vec<_> = suite
                 .runs
                 .iter()
@@ -225,7 +349,7 @@ pub fn rows_from_runs(suites: &[SuiteResults]) -> Vec<ModelRow> {
                 .map(|(m, b)| relative_report(m, b, EnergyParams::twenty_percent()))
                 .collect();
             ModelRow {
-                model,
+                model: model.clone(),
                 description: model.description(),
                 metal_area: model.relative_metal_area(),
                 at_10: mean_report(&reports_10),
@@ -235,12 +359,26 @@ pub fn rows_from_runs(suites: &[SuiteResults]) -> Vec<ModelRow> {
         .collect()
 }
 
+/// [`rows_from_runs_set`] over the paper's Models I–X (the suites must be
+/// a full I–X sweep in table order).
+pub fn rows_from_runs(suites: &[SuiteResults]) -> Vec<ModelRow> {
+    rows_from_runs_set(&ModelSet::paper(), suites)
+}
+
 /// Regenerates a Table-3/4-style model sweep on the given topology.
-/// Returns one row per model, each relative to Model I. All 230
-/// (model × benchmark) runs execute on one executor pool sized to the
-/// host's hardware threads.
+/// Returns one row per model in the set, each relative to the set's first
+/// model. All (model × benchmark) runs execute on one executor pool sized
+/// to the host's hardware threads.
+pub fn model_sweep_set(models: &ModelSet, topology: Topology, scale: RunScale) -> Vec<ModelRow> {
+    rows_from_runs_set(
+        models,
+        &sweep_runs_set(models, topology, scale, executor::default_workers()),
+    )
+}
+
+/// [`model_sweep_set`] over the paper's Models I–X.
 pub fn model_sweep(topology: Topology, scale: RunScale) -> Vec<ModelRow> {
-    rows_from_runs(&sweep_runs(topology, scale, executor::default_workers()))
+    model_sweep_set(&ModelSet::paper(), topology, scale)
 }
 
 /// Formats a model sweep as an aligned text table (Table-3 layout).
@@ -261,7 +399,7 @@ pub fn format_model_table(rows: &[ModelRow], include_10: bool) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<10} {:<40} {:>5.1} {:>6.3} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>9.1}\n",
-            format!("Model {}", r.model.name()),
+            r.model.label(),
             r.description,
             r.metal_area,
             r.at_10.ipc,
@@ -360,7 +498,7 @@ pub fn format_model_json(rows: &[ModelRow]) -> String {
     w.key("rows").begin_array();
     for r in rows {
         w.begin_object();
-        w.key("model").string(r.model.name());
+        w.key("model").string(&r.model.name());
         w.key("link").string(&r.description);
         w.key("metal_area").f64(r.metal_area);
         w.key("at_10");
@@ -543,25 +681,103 @@ pub fn emit_suite_artifacts(suites: &[(&str, &SuiteResults)], paths: &ArtifactPa
     }
 }
 
-/// Emits the requested `--csv` / `--json` artifacts for the Table-2 wire
-/// parameters.
-pub fn emit_table2_artifacts(paths: &ArtifactPaths) {
-    let rows = table2();
+/// Emits the requested `--csv` / `--json` artifacts for (a subset of) the
+/// Table-2 wire-parameter rows.
+pub fn emit_table2_artifacts(rows: &[Table2Row], paths: &ArtifactPaths) {
     if let Some(path) = &paths.csv {
-        write_artifact(path, &format_table2_csv(&rows));
+        write_artifact(path, &format_table2_csv(rows));
     }
     if let Some(path) = &paths.json {
-        write_artifact(path, &format_table2_json(&rows));
+        write_artifact(path, &format_table2_json(rows));
+    }
+}
+
+/// One labelled scalar from an ablation or sensitivity study: the
+/// machine-readable shape behind those binaries' `--csv` / `--json`
+/// output. `section` names the study (e.g. `ls-bits`), `label` the swept
+/// point (e.g. `8`), `metric` the measured quantity (e.g. `am_ipc`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Which study produced the value.
+    pub section: String,
+    /// Which swept point within the study.
+    pub label: String,
+    /// Which quantity was measured.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl MetricRow {
+    /// Builds one row (stringifying the borrowed name parts).
+    pub fn new(section: &str, label: &str, metric: &str, value: f64) -> Self {
+        MetricRow {
+            section: section.to_string(),
+            label: label.to_string(),
+            metric: metric.to_string(),
+            value,
+        }
+    }
+}
+
+/// Formats study metrics as CSV (one row per scalar).
+pub fn format_metric_csv(rows: &[MetricRow]) -> String {
+    let mut out = String::from("section,label,metric,value\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            csv_field(&r.section),
+            csv_field(&r.label),
+            csv_field(&r.metric),
+            r.value,
+        ));
+    }
+    out
+}
+
+/// Formats study metrics as one JSON document.
+pub fn format_metric_json(rows: &[MetricRow]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("metrics").begin_array();
+    for r in rows {
+        w.begin_object();
+        w.key("section").string(&r.section);
+        w.key("label").string(&r.label);
+        w.key("metric").string(&r.metric);
+        w.key("value").f64(r.value);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Emits the requested `--csv` / `--json` artifacts for study metrics
+/// (the shared back end of the `ablation` and `sensitivity` binaries).
+pub fn emit_metric_artifacts(rows: &[MetricRow], paths: &ArtifactPaths) {
+    if let Some(path) = &paths.csv {
+        write_artifact(path, &format_metric_csv(rows));
+    }
+    if let Some(path) = &paths.json {
+        write_artifact(path, &format_metric_json(rows));
     }
 }
 
 /// The whole shared spine of the `table3`/`table4` binaries: read the
-/// scale from the environment, sweep Models I–X on `topology`, and write
-/// any `--csv` / `--json` artifacts requested on the command line.
+/// scale from the environment, collect any repeated `--model` overrides
+/// (default: the paper's Models I–X; the first model given is the
+/// normalisation baseline), sweep them on `topology`, and write any
+/// `--csv` / `--json` artifacts requested on the command line.
 pub fn model_sweep_main(topology: Topology, label: &str) -> Vec<ModelRow> {
     let scale = RunScale::from_env();
-    eprintln!("sweeping Models I-X on {label} x 23 benchmarks ...");
-    let rows = model_sweep(topology, scale);
+    let models = ModelSet::from_args_or_paper();
+    let names: Vec<String> = models.specs().iter().map(|s| s.name()).collect();
+    eprintln!(
+        "sweeping {} on {label} x 23 benchmarks ...",
+        names.join(", ")
+    );
+    let rows = model_sweep_set(&models, topology, scale);
     emit_model_artifacts(&rows, &artifact_paths_from_args());
     rows
 }
@@ -569,6 +785,8 @@ pub fn model_sweep_main(topology: Topology, label: &str) -> Vec<ModelRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heterowire_core::InterconnectModel;
+    use heterowire_wires::classes::table2;
 
     /// Splits one CSV line into fields, honouring RFC-4180 quoting.
     fn parse_csv_line(line: &str) -> Vec<String> {
@@ -759,6 +977,69 @@ mod tests {
         );
         // `--csv` as the last argument is an error, not a silent None.
         assert!(csv_path_from(&to_args(&["table3", "--csv"])).is_err());
+    }
+
+    #[test]
+    fn model_set_from_args() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(ModelSet::from_args(&to_args(&["table3"]))
+            .unwrap()
+            .is_none());
+        let set = ModelSet::from_args(&to_args(&[
+            "table3",
+            "--model",
+            "X",
+            "--model",
+            "custom:b144+pw288+l36",
+        ]))
+        .unwrap()
+        .expect("two models");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.specs()[0].name(), "X");
+        assert_eq!(set.specs()[1].name(), "custom:b144+pw288+l36");
+        // Both tokens name the same link.
+        assert_eq!(set.specs()[0].link(), set.specs()[1].link());
+        // Malformed flags are errors, not silent defaults.
+        assert!(ModelSet::from_args(&to_args(&["t", "--model"])).is_err());
+        assert!(ModelSet::from_args(&to_args(&["t", "--model", "XI"])).is_err());
+        assert!(ModelSet::from_args(&to_args(&["t", "--model", "custom:l36"])).is_err());
+    }
+
+    #[test]
+    fn custom_spec_sweep_matches_preset() {
+        // `custom:b144` is the same machine as Model I; a two-model sweep
+        // of the pair must produce identical runs.
+        let set = ModelSet::new(vec![
+            ModelSpec::parse("I").unwrap(),
+            ModelSpec::parse("custom:b144").unwrap(),
+        ])
+        .unwrap();
+        let scale = RunScale {
+            window: 800,
+            warmup: 200,
+        };
+        let suites = sweep_runs_set(&set, Topology::crossbar4(), scale, 4);
+        assert_eq!(suites.len(), 2);
+        assert_eq!(suites[0].runs, suites[1].runs, "bit-identical results");
+        let rows = rows_from_runs_set(&set, &suites);
+        assert_eq!(rows[0].at_10.ipc, rows[1].at_10.ipc);
+        assert_eq!(rows[1].model.name(), "custom:b144");
+    }
+
+    #[test]
+    fn metric_rows_round_trip_csv_and_json() {
+        let rows = vec![
+            MetricRow::new("ls-bits", "8", "false_dep_pct", 7.25),
+            MetricRow::new("balance", "paper (both)", "am_ipc", 2.5),
+        ];
+        let csv = format_metric_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("ls-bits,8,false_dep_pct,7.25"));
+        let doc = heterowire_telemetry::json::parse(&format_metric_json(&rows)).expect("parses");
+        let arr = doc.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("label").unwrap().as_str(), Some("paper (both)"));
+        assert_eq!(arr[0].get("value").unwrap().as_num(), Some(7.25));
     }
 
     #[test]

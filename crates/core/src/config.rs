@@ -1,8 +1,12 @@
 //! Processor configuration: Table-1 machine parameters, the optimization
-//! toggles, and the ten interconnect models of Tables 3 and 4.
+//! toggles, and the interconnect model space — the ten named presets of
+//! Tables 3 and 4 ([`InterconnectModel`]) plus arbitrary data-driven
+//! compositions ([`ModelSpec`], parsed from `custom:<spec>` strings).
+
+use std::fmt;
 
 use heterowire_interconnect::Topology;
-use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+use heterowire_wires::{LinkComposition, LinkSpec, SpecError, WireClass};
 
 /// Which of the paper's microarchitectural optimizations are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +125,14 @@ impl ProcessorConfig {
     /// Builds the configuration for one of the Table-3/4 interconnect
     /// models on the given topology, with all supported optimizations on.
     pub fn for_model(model: InterconnectModel, topology: Topology) -> Self {
-        let link = model.link();
+        Self::for_model_spec(&model.spec(), topology)
+    }
+
+    /// Builds the configuration for any [`ModelSpec`] — a named preset or
+    /// a `custom:<spec>` composition — with all optimizations the link's
+    /// planes support enabled.
+    pub fn for_model_spec(spec: &ModelSpec, topology: Topology) -> Self {
+        let link = spec.link().clone();
         ProcessorConfig {
             topology,
             opts: Optimizations::for_link(&link),
@@ -173,24 +184,37 @@ impl InterconnectModel {
         InterconnectModel::X,
     ];
 
+    /// Data-driven spec string for this model's link composition (Table
+    /// 3's "Description of each link" column in [`LinkSpec`] grammar).
+    /// The presets are defined by these strings: [`Self::link`] is
+    /// literally `spec_str().parse()`.
+    pub fn spec_str(self) -> &'static str {
+        match self {
+            InterconnectModel::I => "b144",
+            InterconnectModel::II => "pw288",
+            InterconnectModel::III => "pw144+l36",
+            InterconnectModel::IV => "b288",
+            InterconnectModel::V => "b144+pw288",
+            InterconnectModel::VI => "pw288+l36",
+            InterconnectModel::VII => "b144+l36",
+            InterconnectModel::VIII => "b432",
+            InterconnectModel::IX => "b288+l36",
+            InterconnectModel::X => "b144+pw288+l36",
+        }
+    }
+
+    /// The [`ModelSpec`] form of this preset.
+    pub fn spec(self) -> ModelSpec {
+        ModelSpec::preset(self)
+    }
+
     /// The cluster-link wire composition of this model (Table 3's
     /// "Description of each link" column).
     pub fn link(self) -> LinkComposition {
-        let b = |n| WirePlane::new(WireClass::B, n);
-        let pw = |n| WirePlane::new(WireClass::Pw, n);
-        let l = |n| WirePlane::new(WireClass::L, n);
-        match self {
-            InterconnectModel::I => LinkComposition::new(vec![b(144)]),
-            InterconnectModel::II => LinkComposition::new(vec![pw(288)]),
-            InterconnectModel::III => LinkComposition::new(vec![pw(144), l(36)]),
-            InterconnectModel::IV => LinkComposition::new(vec![b(288)]),
-            InterconnectModel::V => LinkComposition::new(vec![b(144), pw(288)]),
-            InterconnectModel::VI => LinkComposition::new(vec![pw(288), l(36)]),
-            InterconnectModel::VII => LinkComposition::new(vec![b(144), l(36)]),
-            InterconnectModel::VIII => LinkComposition::new(vec![b(432)]),
-            InterconnectModel::IX => LinkComposition::new(vec![b(288), l(36)]),
-            InterconnectModel::X => LinkComposition::new(vec![b(144), pw(288), l(36)]),
-        }
+        self.spec_str()
+            .parse::<LinkSpec>()
+            .expect("preset spec strings are valid")
+            .into_composition()
     }
 
     /// Metal area of one cluster link relative to Model I (the table's
@@ -224,6 +248,167 @@ impl InterconnectModel {
 impl std::fmt::Display for InterconnectModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Model {}", self.name())
+    }
+}
+
+/// Why a `--model` argument failed to resolve to a [`ModelSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSpecError {
+    /// Not a Roman-numeral preset name and not a `custom:<spec>` string.
+    UnknownModel(String),
+    /// The `custom:` payload failed to parse as a [`LinkSpec`].
+    Spec(SpecError),
+    /// The composition has no full-width (B or PW) plane, so full 72-bit
+    /// transfers — register values, store data, full addresses — have no
+    /// wires to ride on.
+    NoFullWidthPlane(String),
+}
+
+impl fmt::Display for ModelSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelSpecError::UnknownModel(s) => write!(
+                f,
+                "unknown model {s:?}; expected a preset I..X or custom:<spec> \
+                 (e.g. custom:b144+pw288+l36)"
+            ),
+            ModelSpecError::Spec(e) => write!(f, "invalid link spec: {e}"),
+            ModelSpecError::NoFullWidthPlane(s) => write!(
+                f,
+                "spec {s:?} has no full-width (b or pw) plane; full-size \
+                 transfers would have no wires to use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelSpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelSpecError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An interconnect model identified by name: one of the paper's ten
+/// presets, or an arbitrary `custom:<spec>` link composition. This is the
+/// open, data-driven form of the model space — every bench binary accepts
+/// it via `--model`, and [`Self::name`] round-trips through
+/// [`Self::parse`] so CSV/JSON rows can be re-swept verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    preset: Option<InterconnectModel>,
+    spec: LinkSpec,
+    link: LinkComposition,
+}
+
+impl ModelSpec {
+    /// The spec form of a Table-3/4 preset.
+    pub fn preset(model: InterconnectModel) -> Self {
+        let spec = model
+            .spec_str()
+            .parse::<LinkSpec>()
+            .expect("preset spec strings are valid");
+        let link = spec.composition().clone();
+        ModelSpec {
+            preset: Some(model),
+            spec,
+            link,
+        }
+    }
+
+    /// All ten presets in table order.
+    pub fn paper_presets() -> Vec<ModelSpec> {
+        InterconnectModel::ALL.iter().map(|&m| m.spec()).collect()
+    }
+
+    /// Wraps a custom [`LinkSpec`], validating that the composition can
+    /// carry full-width traffic (at least one B or PW plane).
+    pub fn custom(spec: LinkSpec) -> Result<Self, ModelSpecError> {
+        let link = spec.composition().clone();
+        if link.lanes(WireClass::B) == 0
+            && link.lanes(WireClass::Pw) == 0
+            && link.lanes(WireClass::W) == 0
+        {
+            return Err(ModelSpecError::NoFullWidthPlane(spec.to_string()));
+        }
+        Ok(ModelSpec {
+            preset: None,
+            spec,
+            link,
+        })
+    }
+
+    /// Parses a `--model` argument: a Roman-numeral preset (`VII`,
+    /// case-insensitive) or `custom:<spec>`.
+    pub fn parse(s: &str) -> Result<Self, ModelSpecError> {
+        let s = s.trim();
+        if let Some(spec) = s.strip_prefix("custom:") {
+            let spec: LinkSpec = spec.parse().map_err(ModelSpecError::Spec)?;
+            return Self::custom(spec);
+        }
+        InterconnectModel::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(s))
+            .map(Self::preset)
+            .ok_or_else(|| ModelSpecError::UnknownModel(s.to_string()))
+    }
+
+    /// The preset this spec names, if it is one.
+    pub fn as_preset(&self) -> Option<InterconnectModel> {
+        self.preset
+    }
+
+    /// The underlying parseable spec.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// The cluster-link wire composition.
+    pub fn link(&self) -> &LinkComposition {
+        &self.link
+    }
+
+    /// The exact `--model` token for this spec (`"X"` or
+    /// `"custom:b144+pw288+l36"`); [`Self::parse`] accepts it back.
+    pub fn name(&self) -> String {
+        match self.preset {
+            Some(m) => m.name().to_string(),
+            None => format!("custom:{}", self.spec),
+        }
+    }
+
+    /// Display label for tables (`"Model X"` or the custom token).
+    pub fn label(&self) -> String {
+        match self.preset {
+            Some(m) => m.to_string(),
+            None => format!("custom:{}", self.spec),
+        }
+    }
+
+    /// Human-readable link description (as in the tables).
+    pub fn description(&self) -> String {
+        self.link.to_string()
+    }
+
+    /// Metal area of one cluster link relative to Model I.
+    pub fn relative_metal_area(&self) -> f64 {
+        self.link.metal_area() / InterconnectModel::I.link().metal_area()
+    }
+}
+
+impl std::str::FromStr for ModelSpec {
+    type Err = ModelSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+impl fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -281,5 +466,62 @@ mod tests {
         let c = ProcessorConfig::for_model(InterconnectModel::IX, Topology::hier16());
         assert_eq!(c.clusters(), 16);
         assert!(c.opts.narrow_operands);
+    }
+
+    #[test]
+    fn preset_names_round_trip_through_parse() {
+        for m in InterconnectModel::ALL {
+            let spec = m.spec();
+            assert_eq!(spec.as_preset(), Some(m));
+            let reparsed = ModelSpec::parse(&spec.name()).unwrap();
+            assert_eq!(reparsed, spec);
+            // Case-insensitive preset lookup.
+            assert_eq!(ModelSpec::parse(&spec.name().to_lowercase()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn custom_spec_matches_preset_link() {
+        let custom = ModelSpec::parse("custom:b144+pw288+l36").unwrap();
+        assert_eq!(custom.as_preset(), None);
+        assert_eq!(custom.link(), &InterconnectModel::X.link());
+        assert_eq!(custom.name(), "custom:b144+pw288+l36");
+        assert_eq!(
+            ModelSpec::parse(&custom.name()).unwrap(),
+            custom,
+            "custom names round-trip through parse"
+        );
+        assert!((custom.relative_metal_area() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_spec_errors_are_actionable() {
+        match ModelSpec::parse("custom:l36") {
+            Err(ModelSpecError::NoFullWidthPlane(s)) => assert_eq!(s, "l36"),
+            other => panic!("expected NoFullWidthPlane, got {other:?}"),
+        }
+        assert!(matches!(
+            ModelSpec::parse("custom:b100"),
+            Err(ModelSpecError::Spec(_))
+        ));
+        assert!(matches!(
+            ModelSpec::parse("XI"),
+            Err(ModelSpecError::UnknownModel(_))
+        ));
+        // Errors format into something a CLI user can act on.
+        assert!(ModelSpec::parse("custom:q72")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown wire class"));
+    }
+
+    #[test]
+    fn for_model_spec_enables_supported_opts() {
+        let c = ProcessorConfig::for_model_spec(
+            &ModelSpec::parse("custom:pw144+l36").unwrap(),
+            Topology::crossbar4(),
+        );
+        assert!(c.opts.cache_pipeline && c.opts.narrow_operands);
+        assert!(!c.opts.pw_steering, "single full-width plane: no steering");
     }
 }

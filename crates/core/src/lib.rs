@@ -42,10 +42,12 @@ pub mod report;
 pub mod results;
 pub mod steer;
 
-pub use config::{Extensions, InterconnectModel, Optimizations, ProcessorConfig};
+pub use config::{
+    Extensions, InterconnectModel, ModelSpec, ModelSpecError, Optimizations, ProcessorConfig,
+};
 pub use energy::{mean_report, relative_report, EnergyParams, RelativeReport};
 pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe};
 pub use narrow::NarrowPredictor;
-pub use processor::Processor;
+pub use processor::{PaperPolicy, Processor, SprayPolicy, TransferPolicy};
 pub use results::{mean_ipc, SimResults};
 pub use steer::{ClusterView, ProducerInfo, Steering, SteeringWeights};

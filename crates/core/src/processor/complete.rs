@@ -1,0 +1,515 @@
+//! Execution completion, network deliveries and every outbound send.
+//!
+//! All per-message wire-class decisions are delegated to the attached
+//! [`TransferPolicy`]; this module owns the *when* and *where* (what gets
+//! sent, to whom, with which delivery [`Action`]) while the policy owns
+//! the *how* (class, message form, replay delay). Decision calls happen in
+//! the exact order messages are sent so stateful policies observe the
+//! same sequence under either kernel.
+
+use std::cmp::Reverse;
+
+use heterowire_interconnect::{MessageKind, Node, Transfer, TransferId};
+use heterowire_isa::{OpClass, RegClass};
+use heterowire_memory::LoadStatus;
+use heterowire_telemetry::Probe;
+use heterowire_wires::WireClass;
+
+use super::policy::{CacheReturn, TransferPolicy, ValueCopy};
+use super::wheel::DeferredSend;
+use super::{Action, Phase, Processor, ValueInfo, IN_FLIGHT};
+
+impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+    /// Schedules a send for cycle `at` (clamped to the next cycle, matching
+    /// the reference scan — see [`DeferredSend`]).
+    pub(super) fn defer_send(&mut self, at: u64, transfer: Transfer, action: Action) {
+        let at = at.max(self.cycle + 1);
+        let dseq = self.deferred_seq;
+        self.deferred_seq += 1;
+        self.deferred.push(Reverse(DeferredSend {
+            at,
+            dseq,
+            transfer,
+            action,
+        }));
+    }
+
+    /// Sends a register-value copy of `producer` to `cluster`; the policy
+    /// picks the class and message form. `ready_at_dispatch` marks the
+    /// paper's first PW criterion.
+    pub(super) fn send_value_copy(
+        &mut self,
+        producer: u64,
+        cluster: usize,
+        ready_at_dispatch: bool,
+    ) {
+        let (src_cluster, narrow, value, pc) = {
+            let v = self.value(producer).expect("value exists");
+            (v.cluster, v.narrow, v.value, v.pc)
+        };
+        let decision = self.policy.value_copy(
+            ValueCopy {
+                narrow,
+                value,
+                pc,
+                ready_at_dispatch,
+            },
+            self.cycle,
+            &mut self.probe,
+        );
+        let transfer = Transfer {
+            src: Node::Cluster(src_cluster),
+            dst: Node::Cluster(cluster),
+            class: decision.class,
+            kind: decision.kind,
+        };
+        let action = Action::ValueArrive { producer, cluster };
+        if decision.delay > 0 {
+            self.defer_send(self.cycle + decision.delay, transfer, action);
+        } else {
+            let id = self
+                .network
+                .send_probed(transfer, self.cycle, &mut self.probe);
+            self.record_action(id, action);
+        }
+        self.value_mut(producer).expect("value exists").arrivals[cluster] = IN_FLIGHT;
+    }
+
+    /// Records the delivery action of a freshly sent transfer. Transfer
+    /// ids are dense in send order, so actions live in a plain vector.
+    pub(super) fn record_action(&mut self, id: TransferId, action: Action) {
+        debug_assert_eq!(id.0 as usize, self.actions.len());
+        self.actions.push(action);
+    }
+
+    /// Processes everything the network delivered this cycle.
+    pub(super) fn process_deliveries(&mut self) {
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        self.network
+            .take_delivered_into_probed(self.cycle, &mut delivered, &mut self.probe);
+        for &(id, _t) in &delivered {
+            let action = self.actions[id.0 as usize];
+            match action {
+                Action::ValueArrive { producer, cluster } => {
+                    let cycle = self.cycle;
+                    if let Some(v) = self.value_mut(producer) {
+                        v.arrivals[cluster] = cycle;
+                    }
+                    self.wake_waiters(producer, cluster);
+                }
+                Action::PartialAddr { seq } => {
+                    if let Some(addr) = self.rob_get(seq).and_then(|i| i.op.addr()) {
+                        self.lsq.arrive_partial(seq, addr, self.cycle);
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            if !i.op.op().is_mem() {
+                                continue;
+                            }
+                            if i.op.op() == OpClass::Load && !i.at_cache {
+                                i.at_cache = true;
+                            } else {
+                                continue;
+                            }
+                        }
+                        if !self.active_loads.contains(&seq) {
+                            self.active_loads.push(seq);
+                        }
+                    }
+                }
+                Action::FullAddr { seq } => {
+                    let (addr, is_store) = match self.rob_get(seq) {
+                        Some(i) => (i.op.addr(), i.op.op() == OpClass::Store),
+                        None => (None, false),
+                    };
+                    if let Some(addr) = addr {
+                        let now = self.cycle;
+                        self.lsq.arrive_full(seq, addr, now);
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            i.addr_at_lsq = now;
+                        }
+                        if is_store {
+                            let mut delay = 0;
+                            let mut iss = 0;
+                            if let Some(i) = self.rob_get_mut(seq) {
+                                i.store_addr_arrived = true;
+                                delay = now.saturating_sub(i.dispatched_at);
+                                iss = i.issued_at.saturating_sub(i.dispatched_at);
+                                // Both halves at the LSQ: committable. (The
+                                // address is only ever sent after AGEN, so
+                                // the phase is already MemPending here.)
+                                if i.store_data_arrived && i.phase == Phase::MemPending {
+                                    i.phase = Phase::Done;
+                                }
+                            }
+                            self.store_addr_delay_sum += delay;
+                            self.store_issue_wait_sum += iss;
+                            self.store_addr_count += 1;
+                        } else {
+                            let newly = match self.rob_get_mut(seq) {
+                                Some(i) if !i.at_cache => {
+                                    i.at_cache = true;
+                                    true
+                                }
+                                _ => false,
+                            };
+                            if newly && !self.active_loads.contains(&seq) {
+                                self.active_loads.push(seq);
+                            }
+                        }
+                    }
+                }
+                Action::StoreData { seq } => {
+                    if let Some(i) = self.rob_get_mut(seq) {
+                        i.store_data_arrived = true;
+                        // Data may arrive before AGEN finishes; the store
+                        // then completes when its address arrives instead.
+                        if i.store_addr_arrived && i.phase == Phase::MemPending {
+                            i.phase = Phase::Done;
+                        }
+                    }
+                }
+                Action::CacheData { seq } => {
+                    let cycle = self.cycle;
+                    let (cluster, narrow, pc, has) = match self.rob_get(seq) {
+                        Some(i) => (i.cluster, i.op.is_narrow_result(), i.op.pc(), true),
+                        None => (0, false, 0, false),
+                    };
+                    if let Some(i) = self.rob_get(seq) {
+                        self.load_lat_sum += cycle.saturating_sub(i.issued_at);
+                        self.load_count += 1;
+                    }
+                    if has {
+                        if let Some(i) = self.rob_get_mut(seq) {
+                            i.phase = Phase::Done;
+                        }
+                        let slot = &mut self.values[seq as usize];
+                        let v = slot.get_or_insert_with(|| ValueInfo::new(cluster, narrow, 0, pc));
+                        v.done_at = Some(cycle);
+                        let subs = std::mem::take(&mut v.subscribers);
+                        for c in subs.iter() {
+                            self.send_value_copy(seq, c, false);
+                        }
+                        self.wake_waiters(seq, cluster);
+                    }
+                }
+                Action::BranchSignal => {
+                    self.fetch
+                        .redirect(self.cycle + self.config.mispredict_refill);
+                    if P::ENABLED {
+                        self.probe.fetch_resume(self.cycle);
+                    }
+                }
+            }
+        }
+        self.delivered_scratch = delivered;
+    }
+
+    /// Flushes deferred sends whose time has come, in `(at, dseq)` order.
+    pub(super) fn process_deferred(&mut self) {
+        while let Some(&Reverse(d)) = self.deferred.peek() {
+            if d.at > self.cycle {
+                break;
+            }
+            self.deferred.pop();
+            let id = self
+                .network
+                .send_probed(d.transfer, self.cycle, &mut self.probe);
+            self.record_action(id, d.action);
+        }
+    }
+
+    /// Reference kernel: finds results produced this cycle by scanning the
+    /// whole ROB for matured [`Phase::Executing`] entries.
+    pub(super) fn complete_execution_scan(&mut self) {
+        let cycle = self.cycle;
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
+        for (i, inst) in self.rob.iter().enumerate() {
+            if let Phase::Executing(done) = inst.phase {
+                if done <= cycle {
+                    finished.push(self.rob_base + i as u64);
+                }
+            }
+        }
+        for &seq in &finished {
+            self.finish_one(seq);
+        }
+        self.finished_scratch = finished;
+    }
+
+    /// Event kernel: pops exactly the instructions completing this cycle
+    /// from the wheel (already in seq order — the order the scan finds
+    /// them in).
+    pub(super) fn complete_execution_event(&mut self) {
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        self.wheel.pop_due(self.cycle, &mut finished);
+        for &seq in &finished {
+            self.finish_one(seq);
+        }
+        self.finished_scratch = finished;
+    }
+
+    /// Completes one instruction whose execution finished this cycle:
+    /// publishes the result and sends copies to subscribers, launches
+    /// memory-op address transfers and branch signals.
+    pub(super) fn finish_one(&mut self, seq: u64) {
+        let cycle = self.cycle;
+        if P::ENABLED {
+            self.probe.complete(cycle, seq);
+        }
+        {
+            let (op, cluster, mispredict) = {
+                let i = self.rob_get(seq).expect("in rob");
+                (i.op, i.cluster, i.mispredict)
+            };
+            match op.op() {
+                OpClass::Load => {
+                    // AGEN finished: ship the address to the LSQ.
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::MemPending;
+                    self.send_address(seq, cluster);
+                }
+                OpClass::Store => {
+                    let inst = self.rob_get_mut(seq).expect("in rob");
+                    inst.phase = Phase::MemPending;
+                    inst.agen_done = true;
+                    self.send_address(seq, cluster);
+                }
+                OpClass::Branch => {
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
+                    if mispredict {
+                        let (d, i) = {
+                            let inst = self.rob_get(seq).expect("in rob");
+                            (inst.dispatched_at, inst.issued_at)
+                        };
+                        let start = self.fetch.stall_started();
+                        self.misp_dispatch_wait += d.saturating_sub(start);
+                        self.misp_issue_wait += i.saturating_sub(d);
+                        self.misp_exec_wait += cycle.saturating_sub(i);
+                        self.misp_count += 1;
+                        let decision = self.policy.branch_signal(cycle, &mut self.probe);
+                        let id = self.network.send_probed(
+                            Transfer {
+                                src: Node::Cluster(cluster),
+                                dst: Node::Cache,
+                                class: decision.class,
+                                kind: decision.kind,
+                            },
+                            cycle,
+                            &mut self.probe,
+                        );
+                        self.record_action(id, Action::BranchSignal);
+                    }
+                }
+                _ => {
+                    // ALU result: publish and notify subscribers.
+                    self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
+                    if let Some(d) = op.dest() {
+                        let subs = {
+                            let v = self.value_mut(seq).expect("value registered");
+                            v.done_at = Some(cycle);
+                            std::mem::take(&mut v.subscribers)
+                        };
+                        for c in subs.iter() {
+                            self.send_value_copy(seq, c, false);
+                        }
+                        self.wake_waiters(seq, cluster);
+                        // Integer results train the policy's width
+                        // predictor (the detector sits next to the ALU).
+                        if d.class() == RegClass::Int {
+                            self.policy.observe_result(op.pc(), op.is_narrow_result());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends the (partial +) full address of a load/store to the LSQ.
+    pub(super) fn send_address(&mut self, seq: u64, cluster: usize) {
+        let cycle = self.cycle;
+        if self.policy.dispatches_partial_address() {
+            let id = self.network.send_probed(
+                Transfer {
+                    src: Node::Cluster(cluster),
+                    dst: Node::Cache,
+                    class: WireClass::L,
+                    kind: MessageKind::PartialAddress,
+                },
+                cycle,
+                &mut self.probe,
+            );
+            self.record_action(id, Action::PartialAddr { seq });
+        }
+        let class = self.policy.full_address(cycle, &mut self.probe);
+        let id = self.network.send_probed(
+            Transfer {
+                src: Node::Cluster(cluster),
+                dst: Node::Cache,
+                class,
+                kind: MessageKind::FullAddress,
+            },
+            cycle,
+            &mut self.probe,
+        );
+        self.record_action(id, Action::FullAddr { seq });
+    }
+
+    /// Advances loads at the cache through disambiguation and RAM access
+    /// (shared by both kernels — the active-load list is already sparse).
+    pub(super) fn progress_memory_loads(&mut self) {
+        let cycle = self.cycle;
+        let use_partial = self.config.opts.cache_pipeline;
+
+        // Loads at the LSQ/cache.
+        let mut i = 0;
+        while i < self.active_loads.len() {
+            let seq = self.active_loads[i];
+            let Some(inst) = self.rob_get(seq) else {
+                self.active_loads.swap_remove(i);
+                continue;
+            };
+            if inst.phase != Phase::MemPending {
+                i += 1;
+                continue;
+            }
+            let addr = inst.op.addr().expect("loads have addresses");
+            let cluster = inst.cluster;
+            let narrow = inst.op.is_narrow_result();
+            let pc = inst.op.pc();
+            let ram_start = inst.ram_start;
+            match self
+                .lsq
+                .load_status_probed(seq, cycle, use_partial, &mut self.probe)
+            {
+                LoadStatus::PartialReady => {
+                    if ram_start.is_none() {
+                        self.rob_get_mut(seq).expect("in rob").ram_start = Some(cycle);
+                        if P::ENABLED {
+                            self.probe.lsq_partial_ready(cycle, seq);
+                        }
+                    }
+                    i += 1;
+                }
+                LoadStatus::FullReady { forward } => {
+                    {
+                        let (at_lsq, issued) = {
+                            let i = self.rob_get(seq).expect("in rob");
+                            (i.addr_at_lsq, i.issued_at)
+                        };
+                        self.lsq_wait_sum += cycle.saturating_sub(at_lsq);
+                        self.agen_to_lsq_sum += at_lsq.saturating_sub(issued);
+                        self.lsq_wait_count += 1;
+                    }
+                    let data_ready = if forward {
+                        cycle + 1
+                    } else {
+                        let accelerated =
+                            use_partial && ram_start.map(|r| r < cycle).unwrap_or(false);
+                        let rs = if accelerated {
+                            ram_start.unwrap()
+                        } else {
+                            cycle
+                        };
+                        self.memory.load(addr, rs, cycle, accelerated)
+                    };
+                    // Return the data to the cluster over the network.
+                    let int_dest = self
+                        .rob_get(seq)
+                        .and_then(|i| i.op.dest())
+                        .map(|d| d.class() == RegClass::Int)
+                        .unwrap_or(false);
+                    let decision = self.policy.cache_data(
+                        CacheReturn {
+                            narrow,
+                            pc,
+                            int_dest,
+                        },
+                        cycle,
+                        &mut self.probe,
+                    );
+                    self.defer_send(
+                        data_ready,
+                        Transfer {
+                            src: Node::Cache,
+                            dst: Node::Cluster(cluster),
+                            class: decision.class,
+                            kind: decision.kind,
+                        },
+                        Action::CacheData { seq },
+                    );
+                    self.active_loads.swap_remove(i);
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Reference kernel: scans the whole ROB for stores whose data operand
+    /// became ready and launches their data transfers.
+    pub(super) fn progress_memory_stores_scan(&mut self) {
+        let cycle = self.cycle;
+        // Store data: send once the data operand is ready in the cluster.
+        let mut to_send = std::mem::take(&mut self.store_send_scratch);
+        to_send.clear();
+        for (off, inst) in self.rob.iter().enumerate() {
+            if inst.op.op() != OpClass::Store || inst.store_data_sent {
+                continue;
+            }
+            // Data operand is the second source when present.
+            let ready = match inst.src_producer[1] {
+                None => true,
+                Some(p) => self
+                    .value_ready_in(p, inst.cluster)
+                    .map(|c| c <= cycle)
+                    .unwrap_or(false),
+            };
+            if ready {
+                to_send.push((self.rob_base + off as u64, inst.cluster));
+            }
+        }
+        for &(seq, cluster) in &to_send {
+            self.send_store_data(seq, cluster);
+        }
+        self.store_send_scratch = to_send;
+    }
+
+    /// Event kernel: drains the stores whose data operand became ready
+    /// (registered at dispatch or woken by a value event), in seq order —
+    /// the order the reference scan finds them in.
+    pub(super) fn progress_memory_stores_event(&mut self) {
+        if self.store_data_pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.store_data_pending);
+        pending.sort_unstable();
+        for &s in &pending {
+            let seq = u64::from(s);
+            let cluster = match self.rob_get(seq) {
+                Some(inst) if !inst.store_data_sent => inst.cluster,
+                _ => continue, // already sent or squashed
+            };
+            self.send_store_data(seq, cluster);
+        }
+        pending.clear();
+        self.store_data_pending = pending;
+    }
+
+    /// Launches one store's data transfer to the LSQ.
+    pub(super) fn send_store_data(&mut self, seq: u64, cluster: usize) {
+        let cycle = self.cycle;
+        let class = self.policy.store_data(cycle, &mut self.probe);
+        let id = self.network.send_probed(
+            Transfer {
+                src: Node::Cluster(cluster),
+                dst: Node::Cache,
+                class,
+                kind: MessageKind::StoreData,
+            },
+            cycle,
+            &mut self.probe,
+        );
+        self.record_action(id, Action::StoreData { seq });
+        self.rob_get_mut(seq).expect("in rob").store_data_sent = true;
+    }
+}

@@ -1,0 +1,205 @@
+//! Dispatch: fetch queue → steering → ROB/issue-queue insertion, with
+//! cross-cluster operand copies/subscriptions and event-kernel readiness
+//! registration.
+
+use std::cmp::Reverse;
+
+use heterowire_isa::{OpClass, RegClass};
+use heterowire_telemetry::Probe;
+
+use super::policy::TransferPolicy;
+use super::{Inflight, Phase, Processor, ValueInfo, FU_KINDS, NOT_SENT, NO_WAITER};
+use crate::steer::{ClusterView, ProducerInfo};
+
+impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+    /// Dispatches from the fetch queue into the ROB and issue queues.
+    pub(super) fn dispatch(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut budget = self.config.dispatch_width;
+        while budget > 0 {
+            if self.rob.len() >= self.config.rob_size {
+                break;
+            }
+            let Some(fetched) = self.fetch.peek().copied() else {
+                break;
+            };
+            let op = fetched.op;
+
+            // Gather producer info for steering.
+            scratch.producers.clear();
+            let mut src_producer = [None; 2];
+            let mut youngest_pending: Option<u64> = None;
+            for (s, slot) in op.src_slots().into_iter().enumerate() {
+                let Some(reg) = slot else { continue };
+                let p = self.rename[reg.flat_index()];
+                src_producer[s] = p;
+                if let Some(p) = p {
+                    if let Some(v) = self.value(p) {
+                        if v.done_at.is_none() && youngest_pending.map(|y| p > y).unwrap_or(true) {
+                            youngest_pending = Some(p);
+                        }
+                        scratch.producers.push(ProducerInfo {
+                            cluster: v.cluster,
+                            critical: false,
+                        });
+                    }
+                }
+            }
+            // Mark the youngest still-pending producer as critical.
+            if let Some(y) = youngest_pending {
+                let yc = self.value(y).expect("pending producer").cluster;
+                if let Some(pi) = scratch.producers.iter_mut().find(|pi| pi.cluster == yc) {
+                    pi.critical = true;
+                }
+            }
+
+            // Resource views.
+            let is_fp_q = op.op().is_fp();
+            scratch.views.clear();
+            scratch.views.extend(self.clusters.iter().map(|c| {
+                let free_iq = if is_fp_q {
+                    self.config.iq_per_cluster - c.iq_fp_used
+                } else {
+                    self.config.iq_per_cluster - c.iq_int_used
+                };
+                let free_regs = match op.dest() {
+                    None => usize::MAX,
+                    Some(d) if d.class() == RegClass::Fp => {
+                        self.config.regs_per_cluster - c.regs_fp_used
+                    }
+                    Some(_) => self.config.regs_per_cluster - c.regs_int_used,
+                };
+                ClusterView { free_iq, free_regs }
+            }));
+
+            let chosen = self.steering.choose_into(
+                op.op() == OpClass::Load,
+                &scratch.producers,
+                &scratch.views,
+                &mut scratch.scores,
+            );
+            if P::ENABLED {
+                self.probe.steer_decision(self.cycle, chosen);
+            }
+            let Some(cluster) = chosen else {
+                break; // structural stall
+            };
+
+            // Consume the fetch-queue entry.
+            let fetched = self.fetch.pop().expect("peeked");
+            budget -= 1;
+            self.dispatched += 1;
+
+            // Allocate resources.
+            {
+                let cs = &mut self.clusters[cluster];
+                if is_fp_q {
+                    cs.iq_fp_used += 1;
+                } else {
+                    cs.iq_int_used += 1;
+                }
+                if let Some(d) = op.dest() {
+                    if d.class() == RegClass::Fp {
+                        cs.regs_fp_used += 1;
+                    } else {
+                        cs.regs_int_used += 1;
+                    }
+                }
+            }
+            let seq = op.seq();
+            debug_assert_eq!(seq, self.rob_base + self.rob.len() as u64);
+            debug_assert_eq!(seq as usize, self.values.len(), "seqs are dense");
+
+            // Register the destination value (a slot exists for every
+            // dispatched op, `None` when there is no destination) and
+            // rename.
+            self.values.push(
+                op.dest()
+                    .map(|_| ValueInfo::new(cluster, op.is_narrow_result(), op.result(), op.pc())),
+            );
+            if let Some(d) = op.dest() {
+                self.rename[d.flat_index()] = Some(seq);
+            }
+
+            // Cross-cluster operand copies / subscriptions.
+            for &p in src_producer.iter().flatten() {
+                let (v_cluster, v_done, already) = {
+                    let v = self.value(p).expect("present");
+                    (
+                        v.cluster,
+                        v.done_at.is_some(),
+                        v.arrivals[cluster] != NOT_SENT,
+                    )
+                };
+                if v_cluster == cluster || already {
+                    continue;
+                }
+                if v_done {
+                    self.send_value_copy(p, cluster, true);
+                } else {
+                    let v = self.value_mut(p).expect("present");
+                    v.subscribers.push_unique(cluster);
+                }
+            }
+
+            // LSQ entry for memory ops.
+            if op.op().is_mem() {
+                self.lsq.insert(seq, op.op() == OpClass::Store);
+            }
+
+            self.rob.push_back(Inflight {
+                op,
+                cluster,
+                phase: Phase::Waiting,
+                src_producer,
+                src_ready: [u64::MAX; 2],
+                mispredict: fetched.mispredicted,
+                dispatched_at: self.cycle,
+                issued_at: 0,
+                ram_start: None,
+                at_cache: false,
+                addr_at_lsq: 0,
+                agen_done: false,
+                store_data_sent: false,
+                store_addr_arrived: false,
+                store_data_arrived: false,
+                pending_srcs: 0,
+                waiter_next: [NO_WAITER; 2],
+            });
+            if P::ENABLED {
+                self.probe.dispatch(self.cycle, seq, cluster, op.op());
+            }
+
+            // Event-kernel readiness registration. Value stamps are always
+            // in the past, so `Some` here means usable now; `None` sources
+            // link into the producer's waiter list and wake on the value's
+            // publish/arrival event. Harmless (never drained) under the
+            // reference kernel.
+            let needed = if op.op() == OpClass::Store { 1 } else { 2 };
+            let mut pending = 0u8;
+            for (s, &producer) in src_producer.iter().enumerate().take(needed) {
+                if let Some(p) = producer {
+                    if self.value_ready_in(p, cluster).is_none() {
+                        pending += 1;
+                        self.register_waiter(p, cluster, seq, s);
+                    }
+                }
+            }
+            self.rob_get_mut(seq).expect("just pushed").pending_srcs = pending;
+            if pending == 0 {
+                self.ready_queues[cluster * FU_KINDS + op.op().unit().index()].push(Reverse(seq));
+            }
+            // Store data operand (slot 1) feeds the data-send queue, not
+            // the issue queue.
+            if op.op() == OpClass::Store {
+                match src_producer[1] {
+                    Some(p) if self.value_ready_in(p, cluster).is_none() => {
+                        self.register_waiter(p, cluster, seq, 1);
+                    }
+                    _ => self.store_data_pending.push(seq as u32),
+                }
+            }
+        }
+        self.scratch = scratch;
+    }
+}

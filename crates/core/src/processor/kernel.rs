@@ -1,0 +1,330 @@
+//! The run loops: issue, the per-cycle step sequence, idle-cycle skipping
+//! and results assembly.
+
+use std::cmp::Reverse;
+
+use heterowire_interconnect::NetStats;
+use heterowire_telemetry::Probe;
+
+use super::policy::{NarrowStats, TransferPolicy};
+use super::{Phase, Processor, FU_KINDS};
+use crate::results::SimResults;
+
+/// Which scheduling kernel drives the run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// Completion wheel + wakeup lists + idle-cycle skipping.
+    Event,
+    /// The seed's cycle-driven full-ROB scans (equivalence reference).
+    Reference,
+}
+
+impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+    /// Reference kernel: issues ready instructions to functional units by
+    /// scanning the whole ROB (oldest first, one new op per FU kind per
+    /// cluster per cycle).
+    fn issue_scan(&mut self) {
+        let cycle = self.cycle;
+        for f in self.fu_started.iter_mut() {
+            *f = [false; 4];
+        }
+
+        // Resolve cached source readiness lazily.
+        let len = self.rob.len();
+        for off in 0..len {
+            let (cluster, phase, op) = {
+                let i = &self.rob[off];
+                (i.cluster, i.phase, i.op)
+            };
+            if phase != Phase::Waiting {
+                continue;
+            }
+            let kind = op.op().unit();
+            if self.fu_started[cluster][kind.index()] {
+                continue;
+            }
+            if self.clusters[cluster].fu_free[kind.index()] > cycle {
+                continue;
+            }
+            // Operand readiness: stores only need their address operand
+            // (source 0) to begin AGEN.
+            let needed = if op.op() == heterowire_isa::OpClass::Store {
+                1
+            } else {
+                2
+            };
+            let mut ready = true;
+            for s in 0..needed {
+                let cached = self.rob[off].src_ready[s];
+                if cached != u64::MAX {
+                    if cached > cycle {
+                        ready = false;
+                        break;
+                    }
+                    continue;
+                }
+                match self.rob[off].src_producer[s] {
+                    None => {
+                        self.rob[off].src_ready[s] = 0;
+                    }
+                    Some(p) => match self.value_ready_in(p, cluster) {
+                        Some(c) => {
+                            self.rob[off].src_ready[s] = c;
+                            if c > cycle {
+                                ready = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ready {
+                continue;
+            }
+
+            // Issue.
+            self.fu_started[cluster][kind.index()] = true;
+            let latency = op.op().latency() as u64;
+            let cs = &mut self.clusters[cluster];
+            cs.fu_free[kind.index()] = if op.op().pipelined() {
+                cycle + 1
+            } else {
+                cycle + latency
+            };
+            if op.op().is_fp() {
+                cs.iq_fp_used = cs.iq_fp_used.saturating_sub(1);
+            } else {
+                cs.iq_int_used = cs.iq_int_used.saturating_sub(1);
+            }
+            self.rob[off].phase = Phase::Executing(cycle + latency);
+            self.rob[off].issued_at = cycle;
+            if P::ENABLED {
+                self.probe.issue(cycle, self.rob_base + off as u64, cluster);
+            }
+        }
+    }
+
+    /// Event kernel: pops the oldest known-ready instruction per (cluster,
+    /// FU kind) ready queue — exactly the instruction the reference scan
+    /// would pick — and schedules its completion on the wheel.
+    fn issue_event(&mut self) {
+        let cycle = self.cycle;
+        for cluster in 0..self.clusters.len() {
+            for kind in 0..FU_KINDS {
+                if self.clusters[cluster].fu_free[kind] > cycle {
+                    continue;
+                }
+                let Some(Reverse(seq)) = self.ready_queues[cluster * FU_KINDS + kind].pop() else {
+                    continue;
+                };
+                let op = self.rob_get(seq).expect("ready instr in rob").op;
+                debug_assert_eq!(op.op().unit().index(), kind);
+                let latency = op.op().latency() as u64;
+                let cs = &mut self.clusters[cluster];
+                cs.fu_free[kind] = if op.op().pipelined() {
+                    cycle + 1
+                } else {
+                    cycle + latency
+                };
+                if op.op().is_fp() {
+                    cs.iq_fp_used = cs.iq_fp_used.saturating_sub(1);
+                } else {
+                    cs.iq_int_used = cs.iq_int_used.saturating_sub(1);
+                }
+                let inst = self.rob_get_mut(seq).expect("ready instr in rob");
+                inst.phase = Phase::Executing(cycle + latency);
+                inst.issued_at = cycle;
+                if P::ENABLED {
+                    self.probe.issue(cycle, seq, cluster);
+                }
+                self.wheel.schedule(cycle, cycle + latency, seq);
+            }
+        }
+    }
+
+    /// Runs the simulation with the event-driven kernel until
+    /// `instructions` have committed (with the first `warmup` committed
+    /// instructions excluded from the returned statistics), and returns
+    /// the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for 100 000 cycles) —
+    /// this indicates a simulator bug, not a workload property.
+    pub fn run(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        self.run_kernel(instructions, warmup, Kernel::Event)
+    }
+
+    /// Runs the seed's cycle-driven reference loop — full-ROB scans every
+    /// cycle, no idle-cycle skipping. Kept so the equivalence tests can
+    /// assert the event-driven kernel is bit-identical to it.
+    pub fn run_reference(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        self.run_kernel(instructions, warmup, Kernel::Reference)
+    }
+
+    /// The earliest future cycle at which anything can happen, bounded by
+    /// `cap` (the cycle where the deadlock detector must fire). Every term
+    /// mirrors one way the reference loop's cycle body can act: a
+    /// committable ROB head, dispatchable fetch-queue entries, a fetch /
+    /// network / LSQ event, a deferred send, a wheel completion, a ready
+    /// instruction waiting on its FU, pending store-data sends, or a store
+    /// retirement that may re-disambiguate a waiting load.
+    fn next_event_cycle(&self, cap: u64) -> u64 {
+        let now = self.cycle;
+        let soon = now + 1;
+        if self.retired_store
+            || !self.store_data_pending.is_empty()
+            || self.rob.front().map(|i| i.phase == Phase::Done) == Some(true)
+            || (self.fetch.queue_len() > 0 && self.rob.len() < self.config.rob_size)
+        {
+            return soon;
+        }
+        let mut next = cap;
+        if let Some(c) = self.fetch.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        if let Some(c) = self.network.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        if let Some(Reverse(d)) = self.deferred.peek() {
+            next = next.min(d.at);
+        }
+        if let Some(c) = self.wheel.next_due() {
+            next = next.min(c.max(soon));
+        }
+        for (idx, q) in self.ready_queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let fu_free = self.clusters[idx / FU_KINDS].fu_free[idx % FU_KINDS];
+            next = next.min(fu_free.max(soon));
+        }
+        if let Some(c) = self.lsq.next_event_cycle(now) {
+            next = next.min(c);
+        }
+        next.max(soon)
+    }
+
+    fn run_kernel(&mut self, instructions: u64, warmup: u64, kernel: Kernel) -> SimResults {
+        assert!(instructions > 0, "must simulate at least one instruction");
+        let target = instructions + warmup;
+        self.commit_target = target;
+        let mut warm_cycle = 0u64;
+        let mut warm_net = NetStats::default();
+        let mut warm_narrow = NarrowStats::default();
+        let mut warm_done = warmup == 0;
+        let mut last_commit_cycle = 0u64;
+        let mut last_committed = 0u64;
+
+        while self.committed < target {
+            self.cycle += 1;
+            self.retired_store = false;
+            self.network.tick_probed(self.cycle, &mut self.probe);
+            self.process_deliveries();
+            self.process_deferred();
+            match kernel {
+                Kernel::Event => self.complete_execution_event(),
+                Kernel::Reference => self.complete_execution_scan(),
+            }
+            self.progress_memory_loads();
+            match kernel {
+                Kernel::Event => self.progress_memory_stores_event(),
+                Kernel::Reference => self.progress_memory_stores_scan(),
+            }
+            self.commit();
+            match kernel {
+                Kernel::Event => self.issue_event(),
+                Kernel::Reference => self.issue_scan(),
+            }
+            self.dispatch();
+            self.fetch.tick_probed(self.cycle, &mut self.probe);
+            if P::ENABLED {
+                // Once per *executed* cycle — skipped idle cycles are not
+                // sampled, so histograms weight active cycles only.
+                let ready: usize = self.ready_queues.iter().map(|q| q.len()).sum();
+                self.probe
+                    .occupancy(self.cycle, self.rob.len(), self.lsq.len(), ready);
+            }
+
+            if !warm_done && self.committed >= warmup {
+                warm_done = true;
+                warm_cycle = self.cycle;
+                warm_net = self.network.stats();
+                warm_narrow = self.policy.narrow_stats();
+            }
+            if self.committed > last_committed {
+                last_committed = self.committed;
+                last_commit_cycle = self.cycle;
+            } else if self.cycle - last_commit_cycle > 100_000 {
+                panic!(
+                    "pipeline deadlock at cycle {}: committed {}, rob {}, \
+                     head {:?}",
+                    self.cycle,
+                    self.committed,
+                    self.rob.len(),
+                    self.rob.front().map(|i| (i.op, i.phase)),
+                );
+            }
+            if self.fetch.is_done() && self.rob.is_empty() {
+                break;
+            }
+            if matches!(kernel, Kernel::Event) {
+                // Idle-cycle skipping: jump to the cycle before the next
+                // event (capped so the deadlock panic above still fires at
+                // the reference loop's exact cycle). Skipped cycles are
+                // no-ops in the reference loop except for fetch's stall
+                // counter, which is credited in bulk.
+                let next = self.next_event_cycle(last_commit_cycle + 100_001);
+                if next > self.cycle + 1 {
+                    self.fetch.note_skipped_stall_cycles(next - 1 - self.cycle);
+                    self.cycle = next - 1;
+                }
+            }
+        }
+
+        let cycles = self.cycle - warm_cycle;
+        let insts = self.committed - warmup.min(self.committed);
+        let net = self.network.stats();
+        let mut measured = net;
+        for i in 0..4 {
+            measured.transfers[i] -= warm_net.transfers[i];
+            measured.bit_hops[i] -= warm_net.bit_hops[i];
+        }
+        measured.dynamic_energy -= warm_net.dynamic_energy;
+        measured.queue_cycles -= warm_net.queue_cycles;
+        measured.delivered -= warm_net.delivered;
+
+        // Warmup-excluded narrow-predictor rates.
+        let narrow = self.policy.narrow_stats();
+        let hits = narrow.hits - warm_narrow.hits;
+        let missed = narrow.missed - warm_narrow.missed;
+        let false_narrow = narrow.false_narrow - warm_narrow.false_narrow;
+        let narrow_coverage = if hits + missed == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + missed) as f64
+        };
+        let narrow_false_rate = if hits + false_narrow == 0 {
+            0.0
+        } else {
+            false_narrow as f64 / (hits + false_narrow) as f64
+        };
+
+        SimResults {
+            instructions: insts,
+            cycles,
+            net: measured,
+            leakage_weight: self.network.leakage_weight(),
+            fetch: self.fetch.stats(),
+            lsq: self.lsq.stats(),
+            mem: self.memory.stats(),
+            narrow_coverage,
+            narrow_false_rate,
+            metal_area: self.network.metal_area(),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The clustered dynamically-scheduled out-of-order processor.
+//!
+//! A cycle-driven, trace-driven timing model with the paper's structure:
+//! an 8-wide front end feeding a 480-entry ROB; dynamic steering of
+//! instructions to clusters (15-entry int/fp issue queues, 32 int/fp
+//! registers, one FU of each kind per cluster); a centralized LSQ + L1
+//! D-cache reached over the heterogeneous interconnect; copy transfers for
+//! cross-cluster register dependences with tag-ahead wakeup; and the three
+//! wire-management optimizations (partial-address cache pipeline, narrow
+//! operands + branch signals on L-Wires, non-critical traffic on PW-Wires).
+//!
+//! Deliberate trace-driven simplifications (documented in DESIGN.md):
+//! wrong-path instructions are not fetched (mispredicts stall fetch until
+//! resolution + signal transfer + 12-cycle refill); architected register
+//! state predating the simulation window is available in every cluster;
+//! physical registers bound in-flight destinations only.
+//!
+//! The processor is layered (DESIGN.md §8):
+//!
+//! * the **policy layer** ([`policy`]) — every per-message wire-class
+//!   decision (narrow-operand prediction with false-narrow replay, PW
+//!   steering, L-Wire partial-address dispatch) lives behind the
+//!   [`TransferPolicy`] trait; [`PaperPolicy`] is the paper's policy and
+//!   the default, alternatives plug in via [`Processor::with_policy`];
+//! * the **structure layer** — the pipeline machinery is split into
+//!   focused submodules: [`mod@self`] (state), `rob` (ROB/value/waiter
+//!   bookkeeping and commit), `wheel` (completion wheel + deferred sends),
+//!   `dispatch`, `complete` (execution completion and all network sends),
+//!   `kernel` (the run loops).
+//!
+//! Two scheduling kernels drive the same per-cycle step functions:
+//!
+//! * the **event-driven kernel** ([`Processor::run`]) — a completion wheel
+//!   pops instructions the cycle they finish executing, wakeup lists feed
+//!   per-(cluster, FU) ready queues so issue never scans the ROB, store
+//!   data is sent by subscription, and the loop jumps over cycles in which
+//!   provably nothing can happen;
+//! * the **cycle-driven reference kernel** ([`Processor::run_reference`]) —
+//!   the seed's original full-ROB scans, kept so equivalence tests can
+//!   assert the event-driven kernel is bit-identical.
+
+mod complete;
+mod dispatch;
+mod kernel;
+pub mod policy;
+mod rob;
+#[cfg(test)]
+mod tests;
+mod wheel;
+
+pub use policy::{PaperPolicy, SprayPolicy, TransferPolicy};
+
+use std::cmp::Reverse;
+use std::sync::Arc;
+
+use heterowire_frontend::FetchEngine;
+use heterowire_interconnect::{NetConfig, Topology, Transfer};
+use heterowire_interconnect::{Network, TransferId};
+use heterowire_isa::MicroOp;
+use heterowire_memory::{LoadStoreQueue, MemConfig, MemoryHierarchy};
+use heterowire_telemetry::{NullProbe, Probe};
+use heterowire_trace::TraceGenerator;
+use heterowire_wires::WireClass;
+
+use crate::config::ProcessorConfig;
+use crate::results::SimResults;
+use crate::steer::{ClusterView, ProducerInfo, Steering, SteeringWeights};
+
+use wheel::{CompletionWheel, DeferredSend};
+
+/// Execution phase of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// In an issue queue waiting for operands and a functional unit.
+    Waiting,
+    /// Executing; finishes at the contained cycle.
+    Executing(u64),
+    /// Load/store interacting with the LSQ, cache and network.
+    MemPending,
+    /// Result produced (or store fully delivered); ready to commit.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    op: MicroOp,
+    cluster: usize,
+    phase: Phase,
+    /// Producer seq per source (`None` = architected state, always ready).
+    src_producer: [Option<u64>; 2],
+    /// Cached cycle each source becomes ready in this cluster
+    /// (`u64::MAX` = not yet known).
+    src_ready: [u64; 2],
+    mispredict: bool,
+    /// Cycle this instruction dispatched (statistics).
+    dispatched_at: u64,
+    /// Cycle this instruction issued (statistics).
+    issued_at: u64,
+    /// Loads: cycle the cache RAM index arrived (partial bits).
+    ram_start: Option<u64>,
+    /// Loads: registered in the at-cache active list.
+    at_cache: bool,
+    /// Loads/stores: cycle the full address reached the LSQ (statistics).
+    addr_at_lsq: u64,
+    /// Stores: address has been sent after AGEN.
+    agen_done: bool,
+    /// Stores: data transfer has been sent.
+    store_data_sent: bool,
+    /// Stores: address arrived at the LSQ.
+    store_addr_arrived: bool,
+    /// Stores: data arrived at the LSQ.
+    store_data_arrived: bool,
+    /// Issue operands not yet known ready (event-kernel wakeup counter;
+    /// reaching 0 pushes the instruction onto its ready queue).
+    pending_srcs: u8,
+    /// Intrusive per-source link in a producer's waiter list
+    /// ([`NO_WAITER`] = end of list / not linked).
+    waiter_next: [u32; 2],
+}
+
+/// Most clusters any supported topology has (16 = four quads); bounds the
+/// inline per-value arrival array.
+const MAX_CLUSTERS: usize = 16;
+/// Functional-unit kinds per cluster (`FuKind::ALL.len()`).
+const FU_KINDS: usize = 4;
+/// End-of-list sentinel for the intrusive waiter lists. Nodes encode
+/// `seq << 1 | source_slot`, so seqs stay below 2^31.
+const NO_WAITER: u32 = u32::MAX;
+/// Arrival-slot sentinel: no copy was ever sent to this cluster.
+const NOT_SENT: u64 = u64::MAX;
+/// Arrival-slot sentinel: a copy is in flight, arrival cycle unknown.
+const IN_FLIGHT: u64 = u64::MAX - 1;
+
+#[derive(Debug, Clone)]
+struct ValueInfo {
+    cluster: usize,
+    done_at: Option<u64>,
+    narrow: bool,
+    value: u64,
+    pc: u64,
+    /// Cycle a copy arrives per remote cluster ([`NOT_SENT`]/[`IN_FLIGHT`]
+    /// sentinels; inline so the rename/dispatch path never hashes).
+    arrivals: [u64; MAX_CLUSTERS],
+    /// Remote clusters awaiting a copy once the value completes.
+    subscribers: SubscriberList,
+    /// Per-cluster heads of the intrusive waiter lists: dispatched
+    /// consumers in that cluster blocked on this value becoming usable
+    /// there. Woken when `done_at` is set (home cluster) or a copy arrives
+    /// (remote cluster).
+    waiters: [u32; MAX_CLUSTERS],
+}
+
+/// Insertion-ordered set of clusters, inline so the publish path never
+/// allocates. Copies must be sent in subscription order — the network
+/// assigns transfer ids (and breaks arbitration ties) in send order, so
+/// iterating in any other order changes simulated timing.
+#[derive(Debug, Clone, Copy, Default)]
+struct SubscriberList {
+    clusters: [u8; MAX_CLUSTERS],
+    len: u8,
+}
+
+impl SubscriberList {
+    fn push_unique(&mut self, cluster: usize) {
+        let n = self.len as usize;
+        if self.clusters[..n].contains(&(cluster as u8)) {
+            return;
+        }
+        self.clusters[n] = cluster as u8;
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.clusters[..self.len as usize]
+            .iter()
+            .map(|&c| c as usize)
+    }
+}
+
+impl ValueInfo {
+    fn new(cluster: usize, narrow: bool, value: u64, pc: u64) -> Self {
+        ValueInfo {
+            cluster,
+            done_at: None,
+            narrow,
+            value,
+            pc,
+            arrivals: [NOT_SENT; MAX_CLUSTERS],
+            subscribers: SubscriberList::default(),
+            waiters: [NO_WAITER; MAX_CLUSTERS],
+        }
+    }
+}
+
+/// What to do when a network transfer is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    ValueArrive { producer: u64, cluster: usize },
+    PartialAddr { seq: u64 },
+    FullAddr { seq: u64 },
+    StoreData { seq: u64 },
+    CacheData { seq: u64 },
+    BranchSignal,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClusterState {
+    iq_int_used: usize,
+    iq_fp_used: usize,
+    regs_int_used: usize,
+    regs_fp_used: usize,
+    fu_free: [u64; 4],
+}
+
+impl ClusterState {
+    fn new() -> Self {
+        ClusterState {
+            iq_int_used: 0,
+            iq_fp_used: 0,
+            regs_int_used: 0,
+            regs_fp_used: 0,
+            fu_free: [0; 4],
+        }
+    }
+}
+
+/// Reusable buffers for the per-instruction dispatch path. Taken out of
+/// the processor with `mem::take` for the duration of `dispatch()` (so the
+/// borrow checker sees them as locals) and put back afterwards.
+#[derive(Debug, Default)]
+struct DispatchScratch {
+    producers: Vec<ProducerInfo>,
+    views: Vec<ClusterView>,
+    scores: Vec<i64>,
+}
+
+/// The processor simulator. Create with [`Processor::new`], run with
+/// [`Processor::run`].
+///
+/// Generic over a telemetry [`Probe`] and a [`TransferPolicy`]; the
+/// default [`NullProbe`] carries `ENABLED = false`, so every probe call
+/// site monomorphizes away and `Processor` (no type arguments) is exactly
+/// the uninstrumented simulator running the paper's wire-management
+/// policy. Use [`Processor::with_probe`] to attach a recording probe and
+/// [`Processor::with_policy`] to swap in an alternative transfer policy.
+#[derive(Debug)]
+pub struct Processor<P: Probe = NullProbe, T: TransferPolicy = PaperPolicy> {
+    probe: P,
+    policy: T,
+    config: Arc<ProcessorConfig>,
+    fetch: FetchEngine<TraceGenerator>,
+    network: Network,
+    lsq: LoadStoreQueue,
+    memory: MemoryHierarchy,
+    steering: Steering,
+
+    rob: std::collections::VecDeque<Inflight>,
+    rob_base: u64, // seq of rob[0]
+    clusters: Vec<ClusterState>,
+    /// Destination-value bookkeeping, indexed directly by seq (seqs are
+    /// dense from 0; `None` for ops without a destination).
+    values: Vec<Option<ValueInfo>>,
+    rename: [Option<u64>; 64],
+    /// Delivery action per transfer, indexed by `TransferId` (ids are
+    /// assigned densely in send order).
+    actions: Vec<Action>,
+    /// Deferred sends as a deterministic min-heap (see [`DeferredSend`]).
+    deferred: std::collections::BinaryHeap<Reverse<DeferredSend>>,
+    /// Insertion counter for [`DeferredSend::dseq`].
+    deferred_seq: u64,
+    active_loads: Vec<u64>,
+
+    // Event-kernel scheduling state. The wakeup structures (ready queues,
+    // store-data list) are maintained by the shared dispatch/delivery/
+    // completion paths in both kernels; only the event kernel consumes
+    // them. The wheel is fed by `issue_event` alone.
+    wheel: CompletionWheel,
+    /// Min-heap of known-ready waiting instructions per (cluster, FU kind),
+    /// indexed `cluster * FU_KINDS + kind`.
+    ready_queues: Vec<std::collections::BinaryHeap<Reverse<u64>>>,
+    /// Stores whose data operand became ready (drained in seq order).
+    store_data_pending: Vec<u32>,
+    /// A store committed this cycle: LSQ disambiguation of waiting loads
+    /// may change at the next cycle's poll, so it must not be skipped.
+    retired_store: bool,
+
+    // Reusable per-cycle buffers (steady-state hot path allocates nothing).
+    scratch: DispatchScratch,
+    fu_started: Vec<[bool; 4]>,
+    finished_scratch: Vec<u64>,
+    store_send_scratch: Vec<(u64, usize)>,
+    delivered_scratch: Vec<(TransferId, Transfer)>,
+
+    cycle: u64,
+    committed: u64,
+    dispatched: u64,
+    /// Commit stops exactly at this count (set by `run`).
+    commit_target: u64,
+    misp_dispatch_wait: u64,
+    misp_issue_wait: u64,
+    misp_exec_wait: u64,
+    misp_count: u64,
+    load_lat_sum: u64,
+    load_count: u64,
+    lsq_wait_sum: u64,
+    lsq_wait_count: u64,
+    agen_to_lsq_sum: u64,
+    store_addr_delay_sum: u64,
+    store_addr_count: u64,
+    store_issue_wait_sum: u64,
+}
+
+impl Processor {
+    /// Builds a processor running `trace` under `config`.
+    ///
+    /// These constructors live on the concrete (probe-less, paper-policy)
+    /// type because default type parameters do not drive inference:
+    /// `Processor::new` must resolve without annotations at every existing
+    /// call site. Probed construction goes through
+    /// [`Processor::with_probe`], alternative policies through
+    /// [`Processor::with_policy`].
+    pub fn new(config: ProcessorConfig, trace: TraceGenerator) -> Self {
+        Self::with_shared_config(Arc::new(config), trace)
+    }
+
+    /// Builds a processor over a shared configuration — sweep harnesses
+    /// running one config across many benchmarks share a single allocation
+    /// instead of cloning the config per run.
+    pub fn with_shared_config(config: Arc<ProcessorConfig>, trace: TraceGenerator) -> Self {
+        Self::with_probe_shared(config, trace, NullProbe)
+    }
+
+    /// Convenience: builds and runs in one call.
+    pub fn simulate(
+        config: ProcessorConfig,
+        trace: TraceGenerator,
+        instructions: u64,
+        warmup: u64,
+    ) -> SimResults {
+        Processor::new(config, trace).run(instructions, warmup)
+    }
+}
+
+impl<P: Probe> Processor<P, PaperPolicy> {
+    /// Builds an instrumented processor observing events through `probe`.
+    pub fn with_probe(config: ProcessorConfig, trace: TraceGenerator, probe: P) -> Self {
+        Self::with_probe_shared(Arc::new(config), trace, probe)
+    }
+
+    /// [`Processor::with_probe`] over a shared configuration.
+    pub fn with_probe_shared(
+        config: Arc<ProcessorConfig>,
+        trace: TraceGenerator,
+        probe: P,
+    ) -> Self {
+        let policy = PaperPolicy::new(&config);
+        Self::with_policy_shared(config, trace, probe, policy)
+    }
+}
+
+impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+    /// Builds a processor driving its transfers through an arbitrary
+    /// [`TransferPolicy`] — the A/B entry point for policy studies.
+    pub fn with_policy(
+        config: ProcessorConfig,
+        trace: TraceGenerator,
+        probe: P,
+        policy: T,
+    ) -> Self {
+        Self::with_policy_shared(Arc::new(config), trace, probe, policy)
+    }
+
+    /// [`Processor::with_policy`] over a shared configuration.
+    pub fn with_policy_shared(
+        config: Arc<ProcessorConfig>,
+        trace: TraceGenerator,
+        probe: P,
+        policy: T,
+    ) -> Self {
+        let mut net_config = NetConfig::new(config.topology, config.link.clone());
+        net_config.latency_scale = config.latency_scale;
+        net_config.transmission_line_l = config.extensions.transmission_lines;
+
+        let mem_config = MemConfig {
+            critical_word_first: config.extensions.l2_critical_word
+                && config.link.lanes(WireClass::L) > 0,
+            ..MemConfig::default()
+        };
+
+        let n = config.clusters();
+        assert!(
+            n <= MAX_CLUSTERS,
+            "at most {MAX_CLUSTERS} clusters supported, got {n}"
+        );
+        Processor {
+            probe,
+            policy,
+            fetch: FetchEngine::new(trace),
+            network: Network::new(net_config),
+            lsq: LoadStoreQueue::new(config.ls_bits),
+            memory: MemoryHierarchy::new(mem_config),
+            steering: Steering::new(config.topology, SteeringWeights::default()),
+            rob: std::collections::VecDeque::with_capacity(config.rob_size),
+            rob_base: 0,
+            clusters: vec![ClusterState::new(); n],
+            values: Vec::new(),
+            rename: [None; 64],
+            actions: Vec::new(),
+            deferred: std::collections::BinaryHeap::new(),
+            deferred_seq: 0,
+            active_loads: Vec::new(),
+            wheel: CompletionWheel::new(),
+            ready_queues: (0..n * FU_KINDS)
+                .map(|_| std::collections::BinaryHeap::new())
+                .collect(),
+            store_data_pending: Vec::new(),
+            retired_store: false,
+            scratch: DispatchScratch::default(),
+            fu_started: vec![[false; 4]; n],
+            finished_scratch: Vec::new(),
+            store_send_scratch: Vec::new(),
+            delivered_scratch: Vec::new(),
+            cycle: 0,
+            committed: 0,
+            dispatched: 0,
+            commit_target: u64::MAX,
+            misp_dispatch_wait: 0,
+            misp_issue_wait: 0,
+            misp_exec_wait: 0,
+            misp_count: 0,
+            load_lat_sum: 0,
+            load_count: 0,
+            lsq_wait_sum: 0,
+            lsq_wait_count: 0,
+            agen_to_lsq_sum: 0,
+            store_addr_delay_sum: 0,
+            store_addr_count: 0,
+            store_issue_wait_sum: 0,
+            config,
+        }
+    }
+
+    /// The attached probe (e.g. to read recordings after a run).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the attached probe (e.g. to flush final samples).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// The interconnect (telemetry needs link labels and queue depths).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Overrides the steering weights (must be called before `run`).
+    pub fn set_steering_weights(&mut self, weights: SteeringWeights) {
+        self.steering = Steering::new(self.config.topology, weights);
+    }
+
+    /// Mean load latency from address generation to data arrival at the
+    /// consuming cluster.
+    pub fn mean_load_latency(&self) -> f64 {
+        self.load_lat_sum as f64 / self.load_count.max(1) as f64
+    }
+
+    /// Mean `(AGEN issue -> address at LSQ, address at LSQ -> disambiguated)`
+    /// cycles for loads.
+    pub fn load_lsq_breakdown(&self) -> (f64, f64) {
+        let n = self.lsq_wait_count.max(1) as f64;
+        (
+            self.agen_to_lsq_sum as f64 / n,
+            self.lsq_wait_sum as f64 / n,
+        )
+    }
+
+    /// Mean cycles from a store's dispatch to its address reaching the LSQ.
+    pub fn mean_store_addr_delay(&self) -> f64 {
+        self.store_addr_delay_sum as f64 / self.store_addr_count.max(1) as f64
+    }
+
+    /// Mean cycles from a store's dispatch to its AGEN issuing.
+    pub fn mean_store_issue_wait(&self) -> f64 {
+        self.store_issue_wait_sum as f64 / self.store_addr_count.max(1) as f64
+    }
+
+    /// Mean mispredict-resolution breakdown:
+    /// `(stall->dispatch, dispatch->issue, issue->resolve)` cycles.
+    pub fn mispredict_breakdown(&self) -> (f64, f64, f64) {
+        let n = self.misp_count.max(1) as f64;
+        (
+            self.misp_dispatch_wait as f64 / n,
+            self.misp_issue_wait as f64 / n,
+            self.misp_exec_wait as f64 / n,
+        )
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// The topology in effect.
+    pub fn topology(&self) -> Topology {
+        self.config.topology
+    }
+}

@@ -1,0 +1,504 @@
+//! The transfer-policy layer: per-message wire-class decisions.
+//!
+//! Every outbound transfer of the pipeline — register-value copies, cache
+//! data returns, load/store addresses, store data, branch mispredict
+//! signals — asks a [`TransferPolicy`] which wire class to ride and in
+//! what message form. The kernel knows *when* and *where* to send;
+//! the policy alone decides *how*. This is what makes the paper's three
+//! wire-management techniques swappable: [`PaperPolicy`] implements the
+//! narrow-operand prediction (with false-narrow replay), PW steering of
+//! non-critical traffic and the L-Wire fast paths exactly as evaluated in
+//! the paper, while alternatives such as [`SprayPolicy`] can be A/B-swept
+//! through [`super::Processor::with_policy`] without touching the kernel.
+//!
+//! Probe-carrying methods are generic over the [`Probe`] so that the
+//! uninstrumented simulator monomorphizes the telemetry away, exactly as
+//! the kernel itself does.
+
+use heterowire_interconnect::{
+    AvailablePlanes, FrequentValueTable, MessageKind, TransferHints, WirePolicy,
+};
+use heterowire_telemetry::Probe;
+use heterowire_wires::{LinkComposition, WireClass};
+
+use crate::config::{Extensions, Optimizations, ProcessorConfig};
+use crate::narrow::NarrowPredictor;
+
+/// How one outbound transfer should be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendDecision {
+    /// Wire class to ride.
+    pub class: WireClass,
+    /// Message form (e.g. a compacted [`MessageKind::NarrowValue`] instead
+    /// of a full [`MessageKind::RegisterValue`]).
+    pub kind: MessageKind,
+    /// Extra cycles before the send is scheduled (false-narrow replay).
+    pub delay: u64,
+}
+
+/// A register-value copy about to be sent to a consuming cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueCopy {
+    /// The produced value fits the narrow (L-Wire) payload.
+    pub narrow: bool,
+    /// The produced value (frequent-value compaction inspects it).
+    pub value: u64,
+    /// Producer PC (indexes width predictors).
+    pub pc: u64,
+    /// The operand was already ready when the consumer dispatched (the
+    /// paper's first PW non-criticality criterion).
+    pub ready_at_dispatch: bool,
+}
+
+/// A cache data return about to be sent back to a cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheReturn {
+    /// The loaded value fits the narrow payload.
+    pub narrow: bool,
+    /// Load PC (indexes width predictors).
+    pub pc: u64,
+    /// The load writes an integer register (FP loads are never narrow).
+    pub int_dest: bool,
+}
+
+/// Narrow-predictor counters a policy may expose for reporting.
+/// Policies without a width predictor return the default (all zeros).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NarrowStats {
+    /// Narrow results correctly predicted narrow.
+    pub hits: u64,
+    /// Narrow results predicted wide (missed compaction opportunity).
+    pub missed: u64,
+    /// Wide results predicted narrow (costing a replay).
+    pub false_narrow: u64,
+    /// Wide results correctly predicted wide.
+    pub true_wide: u64,
+}
+
+/// Per-message wire-management decisions, extracted from the pipeline.
+///
+/// Contract: implementations must only return wire classes that exist in
+/// the link composition they were built for, and must only return an
+/// L-compatible [`MessageKind`] (narrow value, partial address, branch
+/// signal) together with [`WireClass::L`]. Decision methods are invoked in
+/// the exact order the kernel sends messages, so stateful policies (load
+/// balancers, predictors) observe the same sequence either kernel
+/// produces.
+pub trait TransferPolicy {
+    /// Decides class/kind/delay for a register-value copy.
+    fn value_copy<P: Probe>(&mut self, req: ValueCopy, cycle: u64, probe: &mut P) -> SendDecision;
+
+    /// Decides class/kind for a cache data return. `delay` must be 0 (the
+    /// kernel schedules the send for when the RAM access finishes).
+    fn cache_data<P: Probe>(&mut self, req: CacheReturn, cycle: u64, probe: &mut P)
+        -> SendDecision;
+
+    /// Whether loads/stores dispatch an early partial address on L-Wires
+    /// (the accelerated cache pipeline).
+    fn dispatches_partial_address(&self) -> bool;
+
+    /// Wire class for the full address of a load/store.
+    fn full_address<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> WireClass;
+
+    /// Wire class for a store's data half.
+    fn store_data<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> WireClass;
+
+    /// Class/kind for a branch mispredict signal back to the front end.
+    fn branch_signal<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> SendDecision;
+
+    /// Observes a completed integer ALU result (trains width predictors).
+    fn observe_result(&mut self, pc: u64, narrow: bool);
+
+    /// Width-predictor counters for reporting (zeros if none).
+    fn narrow_stats(&self) -> NarrowStats {
+        NarrowStats::default()
+    }
+}
+
+/// The paper's wire-management policy (§4): narrow-operand transfers with
+/// an 8K-entry width predictor and false-narrow replay, frequent-value
+/// compaction (extension), PW steering of ready-at-dispatch operands and
+/// store data, B/PW load balancing, partial addresses and branch signals
+/// on L-Wires. Owns the width predictor, the frequent-value table and the
+/// [`WirePolicy`] steering state the decisions share.
+#[derive(Debug)]
+pub struct PaperPolicy {
+    opts: Optimizations,
+    extensions: Extensions,
+    wires: WirePolicy,
+    narrow: NarrowPredictor,
+    fvc: FrequentValueTable,
+}
+
+impl PaperPolicy {
+    /// Builds the policy for a configuration: steering criteria are
+    /// enabled only where the link's planes and the optimization toggles
+    /// both allow them.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        let planes = AvailablePlanes::new(
+            config.link.lanes(WireClass::B) > 0,
+            config.link.lanes(WireClass::Pw) > 0,
+            config.link.lanes(WireClass::L) > 0,
+        );
+        let mut wires = WirePolicy::new(planes);
+        wires.use_l_wires = planes.l
+            && (config.opts.cache_pipeline
+                || config.opts.narrow_operands
+                || config.opts.branch_signal);
+        wires.use_pw_steering = config.opts.pw_steering && planes.pw && planes.b;
+        wires.use_balancing = config.opts.load_balance && planes.pw && planes.b;
+        PaperPolicy {
+            opts: config.opts,
+            extensions: config.extensions,
+            wires,
+            narrow: NarrowPredictor::paper(),
+            fvc: FrequentValueTable::yang(),
+        }
+    }
+}
+
+impl TransferPolicy for PaperPolicy {
+    fn value_copy<P: Probe>(&mut self, req: ValueCopy, cycle: u64, probe: &mut P) -> SendDecision {
+        let hints = TransferHints {
+            ready_at_dispatch: req.ready_at_dispatch,
+            store_data: false,
+        };
+        // Narrow transfers need advance width knowledge: the predictor (or
+        // the actual width for already-completed values).
+        let mut kind = MessageKind::RegisterValue;
+        let mut delay = 0;
+        if self.opts.narrow_operands && self.wires.planes().l {
+            if req.ready_at_dispatch || !self.opts.narrow_predictor {
+                // Width already known (value completed) or oracle mode.
+                if req.narrow {
+                    kind = MessageKind::NarrowValue;
+                }
+            } else {
+                // Prediction only: training happens once per result at
+                // completion, not once per transfer.
+                let predicted = self.narrow.predict(req.pc);
+                if predicted && req.narrow {
+                    kind = MessageKind::NarrowValue;
+                } else if predicted && !req.narrow {
+                    // False-narrow: tags went out on L-Wires; the wide value
+                    // must be rescheduled on a full-width lane next cycle.
+                    delay = 1;
+                }
+            }
+        }
+        // Frequent-value extension: a wide value matching the FV table is
+        // sent as its table index on an L-Wire lane.
+        if kind == MessageKind::RegisterValue
+            && self.extensions.frequent_value
+            && self.wires.planes().l
+        {
+            let frequent = self.fvc.observe(req.value);
+            if frequent && self.fvc.encode(req.value).is_some() {
+                kind = MessageKind::NarrowValue;
+            }
+        }
+        // Prefer PW for non-critical traffic even when narrow (energy).
+        let class =
+            if hints.ready_at_dispatch && self.wires.planes().pw && self.wires.use_pw_steering {
+                WireClass::Pw
+            } else {
+                self.wires.choose_probed(kind, hints, cycle, probe)
+            };
+        let kind = if class == WireClass::L {
+            kind
+        } else {
+            MessageKind::RegisterValue
+        };
+        SendDecision { class, kind, delay }
+    }
+
+    fn cache_data<P: Probe>(
+        &mut self,
+        req: CacheReturn,
+        cycle: u64,
+        probe: &mut P,
+    ) -> SendDecision {
+        // The narrow predictor is only consulted for integer loads (FP
+        // loads are distinct opcodes and never narrow).
+        let mut kind = MessageKind::CacheData;
+        if self.opts.narrow_operands && self.wires.planes().l && req.int_dest {
+            let predicted = if self.opts.narrow_predictor {
+                let p = self.narrow.predict(req.pc);
+                self.narrow.update(req.pc, req.narrow);
+                p
+            } else {
+                req.narrow
+            };
+            if predicted && req.narrow {
+                kind = MessageKind::NarrowValue;
+            }
+        }
+        let class = self
+            .wires
+            .choose_probed(kind, TransferHints::default(), cycle, probe);
+        let kind = if class == WireClass::L {
+            kind
+        } else {
+            MessageKind::CacheData
+        };
+        SendDecision {
+            class,
+            kind,
+            delay: 0,
+        }
+    }
+
+    fn dispatches_partial_address(&self) -> bool {
+        self.opts.cache_pipeline && self.wires.planes().l
+    }
+
+    fn full_address<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> WireClass {
+        self.wires.choose_probed(
+            MessageKind::FullAddress,
+            TransferHints::default(),
+            cycle,
+            probe,
+        )
+    }
+
+    fn store_data<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> WireClass {
+        let hints = TransferHints {
+            ready_at_dispatch: false,
+            store_data: true,
+        };
+        self.wires
+            .choose_probed(MessageKind::StoreData, hints, cycle, probe)
+    }
+
+    fn branch_signal<P: Probe>(&mut self, cycle: u64, probe: &mut P) -> SendDecision {
+        let class = if self.opts.branch_signal && self.wires.planes().l {
+            WireClass::L
+        } else {
+            self.wires.choose_probed(
+                MessageKind::RegisterValue,
+                TransferHints::default(),
+                cycle,
+                probe,
+            )
+        };
+        let kind = if class == WireClass::L {
+            MessageKind::BranchMispredict
+        } else {
+            MessageKind::RegisterValue
+        };
+        SendDecision {
+            class,
+            kind,
+            delay: 0,
+        }
+    }
+
+    fn observe_result(&mut self, pc: u64, narrow: bool) {
+        // Train the narrow predictor on every integer result (the width
+        // detector sits next to the ALU).
+        if self.opts.narrow_operands && self.opts.narrow_predictor {
+            self.narrow.update(pc, narrow);
+        }
+    }
+
+    fn narrow_stats(&self) -> NarrowStats {
+        NarrowStats {
+            hits: self.narrow.hits,
+            missed: self.narrow.missed,
+            false_narrow: self.narrow.false_narrow,
+            true_wide: self.narrow.true_wide,
+        }
+    }
+}
+
+/// A deliberately naive baseline policy for A/B studies: every message is
+/// sent full-width, round-robined across the link's full-width planes.
+/// No L-Wire fast paths, no criticality steering, no width prediction —
+/// what the paper's techniques are measured against when the question is
+/// "does managing wires beat spraying them?".
+#[derive(Debug, Clone)]
+pub struct SprayPolicy {
+    has_b: bool,
+    has_pw: bool,
+    next_pw: bool,
+}
+
+impl SprayPolicy {
+    /// Builds the policy for a link composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link has no full-width (B or PW) plane.
+    pub fn new(link: &LinkComposition) -> Self {
+        let has_b = link.lanes(WireClass::B) > 0;
+        let has_pw = link.lanes(WireClass::Pw) > 0;
+        assert!(
+            has_b || has_pw,
+            "a link needs at least one full-width plane"
+        );
+        SprayPolicy {
+            has_b,
+            has_pw,
+            next_pw: false,
+        }
+    }
+
+    fn pick(&mut self) -> WireClass {
+        match (self.has_b, self.has_pw) {
+            (true, false) => WireClass::B,
+            (false, true) => WireClass::Pw,
+            _ => {
+                self.next_pw = !self.next_pw;
+                if self.next_pw {
+                    WireClass::Pw
+                } else {
+                    WireClass::B
+                }
+            }
+        }
+    }
+}
+
+impl TransferPolicy for SprayPolicy {
+    fn value_copy<P: Probe>(
+        &mut self,
+        _req: ValueCopy,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        SendDecision {
+            class: self.pick(),
+            kind: MessageKind::RegisterValue,
+            delay: 0,
+        }
+    }
+
+    fn cache_data<P: Probe>(
+        &mut self,
+        _req: CacheReturn,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        SendDecision {
+            class: self.pick(),
+            kind: MessageKind::CacheData,
+            delay: 0,
+        }
+    }
+
+    fn dispatches_partial_address(&self) -> bool {
+        false
+    }
+
+    fn full_address<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        self.pick()
+    }
+
+    fn store_data<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        self.pick()
+    }
+
+    fn branch_signal<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> SendDecision {
+        SendDecision {
+            class: self.pick(),
+            kind: MessageKind::RegisterValue,
+            delay: 0,
+        }
+    }
+
+    fn observe_result(&mut self, _pc: u64, _narrow: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterconnectModel;
+    use heterowire_interconnect::Topology;
+    use heterowire_telemetry::NullProbe;
+
+    fn paper_for(model: InterconnectModel) -> PaperPolicy {
+        PaperPolicy::new(&ProcessorConfig::for_model(model, Topology::crossbar4()))
+    }
+
+    #[test]
+    fn paper_policy_sends_known_narrow_values_on_l_wires() {
+        let mut p = paper_for(InterconnectModel::VII);
+        let d = p.value_copy(
+            ValueCopy {
+                narrow: true,
+                value: 3,
+                pc: 0x40,
+                ready_at_dispatch: true,
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::NarrowValue);
+        assert_eq!(d.delay, 0);
+    }
+
+    #[test]
+    fn paper_policy_without_l_plane_sends_full_width() {
+        let mut p = paper_for(InterconnectModel::I);
+        let d = p.value_copy(
+            ValueCopy {
+                narrow: true,
+                value: 3,
+                pc: 0x40,
+                ready_at_dispatch: false,
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::B);
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+        assert!(!p.dispatches_partial_address());
+    }
+
+    #[test]
+    fn paper_policy_false_narrow_costs_a_replay_cycle() {
+        let mut p = paper_for(InterconnectModel::VII);
+        // Train the predictor to say "narrow" for this PC...
+        for _ in 0..8 {
+            p.observe_result(0x80, true);
+        }
+        // ...then ship a wide value from it: predicted narrow, is wide.
+        let d = p.value_copy(
+            ValueCopy {
+                narrow: false,
+                value: u64::MAX,
+                pc: 0x80,
+                ready_at_dispatch: false,
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+        assert_eq!(d.delay, 1, "false-narrow must replay next cycle");
+    }
+
+    #[test]
+    fn paper_policy_steers_store_data_to_pw() {
+        let mut p = paper_for(InterconnectModel::X);
+        assert_eq!(p.store_data(0, &mut NullProbe), WireClass::Pw);
+        assert!(p.dispatches_partial_address());
+        let b = p.branch_signal(0, &mut NullProbe);
+        assert_eq!(b.class, WireClass::L);
+        assert_eq!(b.kind, MessageKind::BranchMispredict);
+    }
+
+    #[test]
+    fn spray_policy_round_robins_full_width_planes() {
+        let mut s = SprayPolicy::new(&InterconnectModel::V.link());
+        let a = s.full_address(0, &mut NullProbe);
+        let b = s.full_address(0, &mut NullProbe);
+        assert_ne!(a, b, "B+PW link must alternate");
+        assert!(!s.dispatches_partial_address());
+        assert_eq!(s.narrow_stats(), NarrowStats::default());
+        // Single-plane links always use that plane.
+        let mut only_b = SprayPolicy::new(&InterconnectModel::I.link());
+        assert_eq!(only_b.full_address(0, &mut NullProbe), WireClass::B);
+        assert_eq!(only_b.store_data(0, &mut NullProbe), WireClass::B);
+    }
+}

@@ -21,7 +21,8 @@
 //! let link = LinkComposition::new(vec![
 //!     WirePlane::new(WireClass::B, 144),
 //!     WirePlane::new(WireClass::L, 36),
-//! ]);
+//! ])
+//! .unwrap();
 //! let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
 //! net.send(
 //!     Transfer {

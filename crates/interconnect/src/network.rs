@@ -458,6 +458,7 @@ mod tests {
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
         ])
+        .unwrap()
     }
 
     fn net() -> Network {

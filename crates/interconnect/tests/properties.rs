@@ -76,7 +76,8 @@ fn transfers_are_conserved() {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 72),
             WirePlane::new(WireClass::L, 18),
-        ]);
+        ])
+        .unwrap();
         let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
         let mut sent = 0u64;
         for i in 0..n {
@@ -131,7 +132,8 @@ fn energy_is_sum_of_weighted_bit_hops() {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
-        ]);
+        ])
+        .unwrap();
         let mut net = Network::new(NetConfig::new(Topology::crossbar4(), link));
         for i in 0..n_b {
             net.send(

@@ -15,7 +15,7 @@ fn take_delivered(net: &mut Network, cycle: u64) -> Vec<(TransferId, Transfer)> 
 }
 
 fn hier_net() -> Network {
-    let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 72)]);
+    let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 72)]).unwrap();
     Network::new(NetConfig::new(Topology::hier16(), link))
 }
 
@@ -111,7 +111,8 @@ fn l_wires_halve_ring_hop_cost() {
     let link = LinkComposition::new(vec![
         WirePlane::new(WireClass::B, 72),
         WirePlane::new(WireClass::L, 18),
-    ]);
+    ])
+    .unwrap();
     let mut net = Network::new(NetConfig::new(Topology::hier16(), link));
     net.send(
         Transfer {

@@ -35,8 +35,13 @@
 //! let link = LinkComposition::new(vec![
 //!     WirePlane::new(WireClass::B, 144),
 //!     WirePlane::new(WireClass::L, 36),
-//! ]);
+//! ])
+//! .unwrap();
 //! assert_eq!(link.metal_area(), 576.0);
+//!
+//! // ... or the same link parsed from its data-driven spec form:
+//! use heterowire_wires::spec::LinkSpec;
+//! assert_eq!(*"b144+l36".parse::<LinkSpec>().unwrap().composition(), link);
 //!
 //! // Re-derive Table 2 from the physics:
 //! for row in table2() {
@@ -48,7 +53,9 @@ pub mod classes;
 pub mod geometry;
 pub mod plane;
 pub mod repeater;
+pub mod spec;
 pub mod transmission;
 
 pub use classes::{table2, WireClass, WireParams};
-pub use plane::{LinkComposition, WirePlane};
+pub use plane::{DuplicateClassError, LinkComposition, WirePlane};
+pub use spec::{LinkSpec, SpecError};

@@ -106,6 +106,19 @@ impl fmt::Display for WirePlane {
     }
 }
 
+/// Error returned by [`LinkComposition::new`] when two planes share a wire
+/// class — a link offers at most one plane per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateClassError(pub WireClass);
+
+impl fmt::Display for DuplicateClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate {} plane in link composition", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateClassError {}
+
 /// The wire composition of one unidirectional link: zero or one plane per
 /// class. Construct with [`LinkComposition::new`] from a list of planes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -114,22 +127,20 @@ pub struct LinkComposition {
 }
 
 impl LinkComposition {
-    /// Creates a composition from the given planes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if two planes share a wire class.
-    pub fn new(planes: Vec<WirePlane>) -> Self {
+    /// Creates a composition from the given planes, rejecting compositions
+    /// in which two planes share a wire class. Hard-coded compositions
+    /// (the paper's model presets, test fixtures) unwrap at the call site;
+    /// data-driven callers (the [`crate::spec::LinkSpec`] parser) surface
+    /// the error to the user.
+    pub fn new(planes: Vec<WirePlane>) -> Result<Self, DuplicateClassError> {
         for (i, a) in planes.iter().enumerate() {
             for b in &planes[i + 1..] {
-                assert!(
-                    a.class() != b.class(),
-                    "duplicate {} plane in link composition",
-                    a.class()
-                );
+                if a.class() == b.class() {
+                    return Err(DuplicateClassError(a.class()));
+                }
             }
         }
-        LinkComposition { planes }
+        Ok(LinkComposition { planes })
     }
 
     /// The planes in this composition.
@@ -223,12 +234,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
-    fn duplicate_class_panics() {
-        let _ = LinkComposition::new(vec![
+    fn duplicate_class_is_rejected() {
+        let err = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 72),
             WirePlane::new(WireClass::B, 144),
-        ]);
+        ])
+        .unwrap_err();
+        assert_eq!(err, DuplicateClassError(WireClass::B));
+        assert!(err.to_string().contains("duplicate B-Wires plane"));
     }
 
     #[test]
@@ -236,7 +249,8 @@ mod tests {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
-        ]);
+        ])
+        .unwrap();
         let cache = link.widened(2);
         assert_eq!(cache.lanes(WireClass::B), 4);
         assert_eq!(cache.lanes(WireClass::L), 4);
@@ -245,7 +259,7 @@ mod tests {
 
     #[test]
     fn missing_class_has_zero_lanes() {
-        let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]);
+        let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 144)]).unwrap();
         assert_eq!(link.lanes(WireClass::L), 0);
         assert_eq!(link.lanes(WireClass::Pw), 0);
         assert!(link.plane(WireClass::L).is_none());
@@ -256,7 +270,8 @@ mod tests {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(link.to_string(), "144 B-Wires, 36 L-Wires");
         assert_eq!(LinkComposition::default().to_string(), "(no wires)");
     }

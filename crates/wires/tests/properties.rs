@@ -123,7 +123,8 @@ fn widened_composition_scales() {
         let link = LinkComposition::new(vec![
             WirePlane::new(WireClass::B, 144),
             WirePlane::new(WireClass::L, 36),
-        ]);
+        ])
+        .unwrap();
         let wide = link.widened(factor);
         for class in [WireClass::B, WireClass::L] {
             assert_eq!(wide.lanes(class), link.lanes(class) * factor);

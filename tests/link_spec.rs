@@ -1,0 +1,73 @@
+//! The spec layer's contract with the presets: every Model I–X enum
+//! variant is exactly a named `LinkSpec`, round-trippable through the
+//! parser, and a config built from the spec string simulates
+//! bit-identically to one built from the enum.
+
+use heterowire_bench::SEED;
+use heterowire_core::{InterconnectModel, ModelSpec, Processor, ProcessorConfig};
+use heterowire_interconnect::Topology;
+use heterowire_trace::{by_name, TraceGenerator};
+use heterowire_wires::spec::LinkSpec;
+
+#[test]
+fn every_preset_round_trips_through_its_spec_string() {
+    for model in InterconnectModel::ALL {
+        // The preset's spec string parses, and formatting is the inverse.
+        let spec: LinkSpec = model
+            .spec_str()
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: {e}", model.spec_str()));
+        assert_eq!(spec.to_string(), model.spec_str(), "{model}");
+        assert_eq!(spec.composition(), &model.link(), "{model}");
+
+        // ModelSpec::parse on the Roman name yields the preset ...
+        let preset = ModelSpec::parse(model.name()).unwrap();
+        assert_eq!(preset.as_preset(), Some(model));
+        assert_eq!(preset.spec().to_string(), model.spec_str());
+
+        // ... and on `custom:<spec>` yields the same physical link.
+        let custom = ModelSpec::parse(&format!("custom:{}", model.spec_str())).unwrap();
+        assert_eq!(custom.as_preset(), None, "{model}");
+        assert_eq!(custom.link(), preset.link(), "{model}");
+
+        // `name()` is itself parseable for both forms.
+        assert_eq!(ModelSpec::parse(&preset.name()).unwrap(), preset);
+        assert_eq!(ModelSpec::parse(&custom.name()).unwrap(), custom);
+    }
+}
+
+#[test]
+fn custom_names_and_labels_echo_the_spec() {
+    let custom = ModelSpec::parse("custom:b144+pw288+l36").unwrap();
+    assert_eq!(custom.name(), "custom:b144+pw288+l36");
+    assert_eq!(custom.label(), "custom:b144+pw288+l36");
+    let preset = ModelSpec::parse("x").unwrap();
+    assert_eq!(preset.name(), "X");
+    assert_eq!(preset.label(), "Model X");
+    // Both describe the same wires.
+    assert_eq!(custom.description(), preset.description());
+}
+
+/// A config assembled from the data-driven spec string must drive the
+/// simulator to the exact same `SimResults` as the enum preset it mirrors
+/// — on both topologies. This is what lets Tables 3/4 rows be reproduced
+/// from the command line with `--model custom:<spec>`.
+#[test]
+fn spec_built_configs_simulate_bit_identically_to_enum_built() {
+    let window = 3_000;
+    let warmup = 500;
+    for topology in [Topology::crossbar4(), Topology::hier16()] {
+        for model in InterconnectModel::ALL {
+            let custom = ModelSpec::parse(&format!("custom:{}", model.spec_str())).unwrap();
+            let from_spec = ProcessorConfig::for_model_spec(&custom, topology);
+            let from_enum = ProcessorConfig::for_model(model, topology);
+            assert_eq!(from_spec.link, from_enum.link, "{model} links diverge");
+            assert_eq!(from_spec.opts, from_enum.opts, "{model} opts diverge");
+
+            let bench = by_name("gcc").unwrap();
+            let a = Processor::new(from_spec, TraceGenerator::new(bench, SEED)).run(window, warmup);
+            let b = Processor::new(from_enum, TraceGenerator::new(bench, SEED)).run(window, warmup);
+            assert_eq!(a, b, "{model} on {} cluster(s)", topology.clusters());
+        }
+    }
+}

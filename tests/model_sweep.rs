@@ -20,7 +20,12 @@ fn sweep_covers_all_ten_models_in_order() {
     let rows = quick_rows();
     assert_eq!(rows.len(), 10);
     for (row, model) in rows.iter().zip(InterconnectModel::ALL) {
-        assert_eq!(row.model, model);
+        assert_eq!(row.model.as_preset(), Some(model));
+        // Every preset row's token re-parses to the same spec.
+        assert_eq!(
+            heterowire_core::ModelSpec::parse(&row.model.name()).unwrap(),
+            row.model
+        );
     }
 }
 
@@ -38,7 +43,11 @@ fn model_i_is_the_normalisation_point() {
 #[test]
 fn table3_orderings_hold() {
     let rows = quick_rows();
-    let get = |m: InterconnectModel| rows.iter().find(|r| r.model == m).expect("present");
+    let get = |m: InterconnectModel| {
+        rows.iter()
+            .find(|r| r.model.as_preset() == Some(m))
+            .expect("present")
+    };
 
     // PW-only (II) saves roughly half the interconnect dynamic energy.
     let m2 = get(InterconnectModel::II);
@@ -88,10 +97,14 @@ fn a_heterogeneous_model_wins_ed2() {
         .iter()
         .min_by(|a, b| a.at_20.rel_ed2.total_cmp(&b.at_20.rel_ed2))
         .expect("rows");
+    let best_preset = best
+        .model
+        .as_preset()
+        .expect("paper sweep rows are presets");
     assert!(
-        !homogeneous.contains(&best.model),
+        !homogeneous.contains(&best_preset),
         "best ED2(20%) model was homogeneous: {}",
-        best.model
+        best.model.label()
     );
     assert!(best.at_20.rel_ed2 < 100.0, "{}", best.at_20.rel_ed2);
 }
