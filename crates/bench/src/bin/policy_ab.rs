@@ -1,0 +1,82 @@
+//! Multi-policy A/B harness: races named steering policies over the same
+//! (model × benchmark) grid and reports a per-policy comparison — IPC,
+//! traffic mix per wire class, interconnect dynamic energy, and ED²
+//! relative to the first policy in the race.
+//!
+//! ```text
+//! cargo run --release -p heterowire-bench --bin policy_ab -- \
+//!     --model X --policy paper,spray,criticality,pwfirst,oracle \
+//!     --csv policy_ab.csv --json policy_ab.json
+//! ```
+//!
+//! Defaults: Model X (the paper's full heterogeneous link), all five
+//! policies, the 4-cluster crossbar. Repeated `--model` flags sweep more
+//! models (the first policy listed is the ED² baseline within each model);
+//! `HETEROWIRE_SCALE=quick` downscales the runs. A policy whose defining
+//! wire class is entirely absent from a requested model (e.g. `pwfirst` on
+//! `custom:b144`) is refused up front with exit status 2.
+
+use heterowire_bench::{
+    artifact_paths_from_args, emit_metric_artifacts, executor, format_policy_table,
+    policies_from_args, policy_metric_rows, policy_sweep_runs, ModelSet, PolicyKind, RunScale,
+};
+use heterowire_core::ModelSpec;
+use heterowire_interconnect::Topology;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let models = match ModelSet::from_args(&args) {
+        Ok(set) => set.unwrap_or_else(|| {
+            ModelSet::new(vec![ModelSpec::parse("X").expect("preset X parses")])
+                .expect("non-empty set")
+        }),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let policies = match policies_from_args(&args) {
+        Ok(list) => list.unwrap_or_else(|| PolicyKind::ALL.to_vec()),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    for spec in models.specs() {
+        for &pk in &policies {
+            if let Err(e) = pk.check_supported(spec) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+    eprintln!(
+        "racing {} on {} x 23 benchmarks ...",
+        names.join(", "),
+        models
+            .specs()
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let suites = policy_sweep_runs(
+        &models,
+        &policies,
+        Topology::crossbar4(),
+        scale,
+        executor::default_workers(),
+    );
+
+    println!("Steering-policy A/B comparison, 4 clusters");
+    println!("(ED2 is % of the first listed policy, at 10%/20% interconnect fractions)\n");
+    let mut rows = Vec::new();
+    for (spec, model_suites) in models.specs().iter().zip(&suites) {
+        println!("{}", format_policy_table(spec, &policies, model_suites));
+        rows.extend(policy_metric_rows(spec, &policies, model_suites));
+    }
+    emit_metric_artifacts(&rows, &artifact_paths_from_args());
+}

@@ -23,13 +23,15 @@ pub mod timing;
 use std::sync::Arc;
 
 use heterowire_core::{
-    mean_report, relative_report, EnergyParams, ModelSpec, Processor, ProcessorConfig,
-    RelativeReport, SimResults,
+    mean_report, relative_report, CriticalityPolicy, EnergyParams, ModelSpec, NullProbe,
+    OraclePolicy, Processor, ProcessorConfig, PwFirstPolicy, RelativeReport, SimResults,
+    SprayPolicy,
 };
 use heterowire_interconnect::Topology;
 use heterowire_telemetry::json::JsonWriter;
 use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
 use heterowire_wires::classes::Table2Row;
+use heterowire_wires::WireClass;
 
 /// Default committed-instruction window per benchmark.
 pub const DEFAULT_WINDOW: u64 = 100_000;
@@ -202,6 +204,319 @@ pub fn run_one_shared(
 ) -> SimResults {
     let trace = TraceGenerator::new(profile, SEED);
     Processor::with_shared_config(config, trace).run(scale.window, scale.warmup)
+}
+
+/// A named steering policy the multi-policy A/B harness (`policy_ab`) can
+/// race. Each kind maps to one [`TransferPolicy`] implementation;
+/// [`run_one_policy`] does the monomorphized dispatch.
+///
+/// [`TransferPolicy`]: heterowire_core::TransferPolicy
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's wire management
+    /// ([`PaperPolicy`](heterowire_core::PaperPolicy)) — the default the
+    /// whole repo runs, and the harness's usual baseline.
+    Paper,
+    /// Round-robin full-width spraying ([`SprayPolicy`]).
+    Spray,
+    /// Criticality-first L-Wire steering with wide-value splitting
+    /// ([`CriticalityPolicy`]).
+    Criticality,
+    /// Bandwidth-aware PW-default inversion ([`PwFirstPolicy`]).
+    PwFirst,
+    /// Width + consumer-distance oracle upper bound ([`OraclePolicy`]).
+    Oracle,
+}
+
+impl PolicyKind {
+    /// Every racer, in the order the harness runs them by default.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Paper,
+        PolicyKind::Spray,
+        PolicyKind::Criticality,
+        PolicyKind::PwFirst,
+        PolicyKind::Oracle,
+    ];
+
+    /// The command-line token naming this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Paper => "paper",
+            PolicyKind::Spray => "spray",
+            PolicyKind::Criticality => "criticality",
+            PolicyKind::PwFirst => "pwfirst",
+            PolicyKind::Oracle => "oracle",
+        }
+    }
+
+    /// Parses one `--policy` token.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name() == token)
+            .ok_or_else(|| {
+                let known: Vec<_> = Self::ALL.iter().map(|p| p.name()).collect();
+                format!(
+                    "unknown policy {token:?}; expected one of {}",
+                    known.join(", ")
+                )
+            })
+    }
+
+    /// The wire class without which this policy is meaningless (not merely
+    /// degraded): criticality steering is *about* L-Wires, the PW-first
+    /// inversion is *about* PW-Wires. `None` means the policy runs on any
+    /// link (clamping to available planes where needed).
+    pub fn required_class(self) -> Option<WireClass> {
+        match self {
+            PolicyKind::Criticality => Some(WireClass::L),
+            PolicyKind::PwFirst => Some(WireClass::Pw),
+            PolicyKind::Paper | PolicyKind::Spray | PolicyKind::Oracle => None,
+        }
+    }
+
+    /// Refuses models that lack this policy's [`required_class`] entirely
+    /// (the lane-starved `custom:` spec guard: the policies themselves
+    /// degrade gracefully, but racing e.g. `pwfirst` on a B-only link
+    /// measures nothing).
+    ///
+    /// [`required_class`]: PolicyKind::required_class
+    pub fn check_supported(self, spec: &ModelSpec) -> Result<(), String> {
+        if let Some(class) = self.required_class() {
+            if spec.link().lanes(class) == 0 {
+                return Err(format!(
+                    "policy {:?} needs a {class} plane, which model {} lacks entirely",
+                    self.name(),
+                    spec.label(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects the comma-separated values of every `--policy` flag from an
+/// argument list (`--policy paper,spray --policy oracle` ==
+/// `--policy paper,spray,oracle`). Returns `None` when no flag is present
+/// (caller picks its default); a flag without a value, an unknown name or
+/// a duplicate is an error.
+pub fn policies_from_args(args: &[String]) -> Result<Option<Vec<PolicyKind>>, String> {
+    let mut policies: Vec<PolicyKind> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--policy" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--policy requires a value".to_string())?;
+            for token in value.split(',') {
+                let p = PolicyKind::parse(token)?;
+                if policies.contains(&p) {
+                    return Err(format!("policy {token:?} given more than once"));
+                }
+                policies.push(p);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(if policies.is_empty() {
+        None
+    } else {
+        Some(policies)
+    })
+}
+
+/// Runs one benchmark profile under one configuration with the named
+/// steering policy. `PolicyKind::Paper` takes the exact default-processor
+/// construction path, so its results are bit-identical to
+/// [`run_one_shared`].
+pub fn run_one_policy(
+    config: Arc<ProcessorConfig>,
+    profile: BenchmarkProfile,
+    scale: RunScale,
+    policy: PolicyKind,
+) -> SimResults {
+    let trace = TraceGenerator::new(profile, SEED);
+    match policy {
+        PolicyKind::Paper => {
+            Processor::with_shared_config(config, trace).run(scale.window, scale.warmup)
+        }
+        PolicyKind::Spray => {
+            let p = SprayPolicy::new(&config.link);
+            Processor::with_policy_shared(config, trace, NullProbe, p)
+                .run(scale.window, scale.warmup)
+        }
+        PolicyKind::Criticality => {
+            let p = CriticalityPolicy::new(&config);
+            Processor::with_policy_shared(config, trace, NullProbe, p)
+                .run(scale.window, scale.warmup)
+        }
+        PolicyKind::PwFirst => {
+            let p = PwFirstPolicy::new(&config);
+            Processor::with_policy_shared(config, trace, NullProbe, p)
+                .run(scale.window, scale.warmup)
+        }
+        PolicyKind::Oracle => {
+            let p = OraclePolicy::new(&config);
+            Processor::with_policy_shared(config, trace, NullProbe, p)
+                .run(scale.window, scale.warmup)
+        }
+    }
+}
+
+/// Runs every (model × policy × benchmark) triple of a policy race as one
+/// flattened job list on the shared executor. Returns suites indexed
+/// `[model][policy]` in the given orders.
+pub fn policy_sweep_runs(
+    models: &ModelSet,
+    policies: &[PolicyKind],
+    topology: Topology,
+    scale: RunScale,
+    workers: usize,
+) -> Vec<Vec<SuiteResults>> {
+    assert!(
+        !policies.is_empty(),
+        "a policy race needs at least one policy"
+    );
+    let profiles = spec2000();
+    let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
+    let configs: Vec<Arc<ProcessorConfig>> = models
+        .specs()
+        .iter()
+        .map(|spec| Arc::new(ProcessorConfig::for_model_spec(spec, topology)))
+        .collect();
+    let mut jobs: Vec<(usize, PolicyKind, BenchmarkProfile)> =
+        Vec::with_capacity(configs.len() * policies.len() * profiles.len());
+    for mi in 0..configs.len() {
+        for &pk in policies {
+            for &p in &profiles {
+                jobs.push((mi, pk, p));
+            }
+        }
+    }
+    let results = executor::run_indexed(jobs, workers, |(mi, pk, profile)| {
+        run_one_policy(configs[mi].clone(), profile, scale, pk)
+    });
+    results
+        .chunks(names.len())
+        .map(|runs| SuiteResults {
+            names: names.clone(),
+            runs: runs.to_vec(),
+        })
+        .collect::<Vec<_>>()
+        .chunks(policies.len())
+        .map(|s| s.to_vec())
+        .collect()
+}
+
+/// Fraction (in percent) of a suite's transfers carried on `class`.
+pub fn suite_class_share(suite: &SuiteResults, class: WireClass) -> f64 {
+    let idx = WireClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class in ALL");
+    let total: u64 = suite.runs.iter().map(|r| r.net.total_transfers()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let on_class: u64 = suite.runs.iter().map(|r| r.net.transfers[idx]).sum();
+    100.0 * on_class as f64 / total as f64
+}
+
+/// Builds the per-policy [`MetricRow`] comparison for one model of a
+/// policy race: IPC, traffic mix per wire class, interconnect energy and
+/// ED² (relative to the race's *first* policy, mirroring the model-sweep
+/// convention that the first entry is the baseline). `section` is the
+/// model name, `label` the policy name.
+pub fn policy_metric_rows(
+    model: &ModelSpec,
+    policies: &[PolicyKind],
+    suites: &[SuiteResults],
+) -> Vec<MetricRow> {
+    assert_eq!(suites.len(), policies.len());
+    let section = model.name();
+    let baseline = &suites[0];
+    let mut rows = Vec::new();
+    for (&pk, suite) in policies.iter().zip(suites) {
+        let reports = |params: EnergyParams| -> RelativeReport {
+            let rs: Vec<_> = suite
+                .runs
+                .iter()
+                .zip(&baseline.runs)
+                .map(|(m, b)| relative_report(m, b, params))
+                .collect();
+            mean_report(&rs)
+        };
+        let at_10 = reports(EnergyParams::ten_percent());
+        let at_20 = reports(EnergyParams::twenty_percent());
+        let ic_dyn: f64 = suite.runs.iter().map(|r| r.net.dynamic_energy).sum();
+        let label = pk.name();
+        rows.push(MetricRow::new(&section, label, "am_ipc", suite.mean_ipc()));
+        for (metric, class) in [
+            ("traffic_b_pct", WireClass::B),
+            ("traffic_pw_pct", WireClass::Pw),
+            ("traffic_l_pct", WireClass::L),
+        ] {
+            rows.push(MetricRow::new(
+                &section,
+                label,
+                metric,
+                suite_class_share(suite, class),
+            ));
+        }
+        rows.push(MetricRow::new(&section, label, "ic_dyn_energy", ic_dyn));
+        rows.push(MetricRow::new(&section, label, "ed2_10_pct", at_10.rel_ed2));
+        rows.push(MetricRow::new(&section, label, "ed2_20_pct", at_20.rel_ed2));
+    }
+    rows
+}
+
+/// Formats one model's policy race as an aligned text table.
+pub fn format_policy_table(
+    model: &ModelSpec,
+    policies: &[PolicyKind],
+    suites: &[SuiteResults],
+) -> String {
+    assert_eq!(suites.len(), policies.len());
+    let baseline = &suites[0];
+    let mut out = format!(
+        "model {} ({}), ED2 relative to policy {:?}\n{:<12} {:>6} {:>6} {:>6} {:>6} {:>10} {:>9} {:>9}\n",
+        model.label(),
+        model.description(),
+        policies[0].name(),
+        "Policy",
+        "IPC",
+        "B%",
+        "PW%",
+        "L%",
+        "IC-dyn",
+        "ED2(10%)",
+        "ED2(20%)"
+    );
+    for (&pk, suite) in policies.iter().zip(suites) {
+        let rel = |params: EnergyParams| {
+            let rs: Vec<_> = suite
+                .runs
+                .iter()
+                .zip(&baseline.runs)
+                .map(|(m, b)| relative_report(m, b, params))
+                .collect();
+            mean_report(&rs).rel_ed2
+        };
+        out.push_str(&format!(
+            "{:<12} {:>6.3} {:>6.1} {:>6.1} {:>6.1} {:>10.0} {:>9.1} {:>9.1}\n",
+            pk.name(),
+            suite.mean_ipc(),
+            suite_class_share(suite, WireClass::B),
+            suite_class_share(suite, WireClass::Pw),
+            suite_class_share(suite, WireClass::L),
+            suite.runs.iter().map(|r| r.net.dynamic_energy).sum::<f64>(),
+            rel(EnergyParams::ten_percent()),
+            rel(EnergyParams::twenty_percent()),
+        ));
+    }
+    out
 }
 
 /// Per-benchmark results of one model over the whole suite.
@@ -1040,6 +1355,91 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[1].get("label").unwrap().as_str(), Some("paper (both)"));
         assert_eq!(arr[0].get("value").unwrap().as_num(), Some(7.25));
+    }
+
+    #[test]
+    fn policies_from_args_parsing() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(policies_from_args(&to_args(&["policy_ab"]))
+            .unwrap()
+            .is_none());
+        let got = policies_from_args(&to_args(&["t", "--policy", "paper,oracle"]))
+            .unwrap()
+            .expect("two policies");
+        assert_eq!(got, vec![PolicyKind::Paper, PolicyKind::Oracle]);
+        // Repeated flags accumulate.
+        let got = policies_from_args(&to_args(&["t", "--policy", "spray", "--policy", "pwfirst"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, vec![PolicyKind::Spray, PolicyKind::PwFirst]);
+        // Malformed forms are errors, not silent defaults.
+        assert!(policies_from_args(&to_args(&["t", "--policy"])).is_err());
+        assert!(policies_from_args(&to_args(&["t", "--policy", "greedy"])).is_err());
+        assert!(policies_from_args(&to_args(&["t", "--policy", "paper,paper"])).is_err());
+    }
+
+    #[test]
+    fn policy_support_check_names_the_missing_plane() {
+        let b_only = ModelSpec::parse("custom:b144").unwrap();
+        let x = ModelSpec::parse("X").unwrap();
+        for pk in PolicyKind::ALL {
+            assert!(pk.check_supported(&x).is_ok(), "{} on X", pk.name());
+        }
+        assert!(PolicyKind::Paper.check_supported(&b_only).is_ok());
+        assert!(PolicyKind::Oracle.check_supported(&b_only).is_ok());
+        let err = PolicyKind::Criticality
+            .check_supported(&b_only)
+            .unwrap_err();
+        assert!(
+            err.contains("criticality") && err.contains("L-Wires"),
+            "{err}"
+        );
+        let err = PolicyKind::PwFirst.check_supported(&b_only).unwrap_err();
+        assert!(err.contains("pwfirst") && err.contains("PW-Wires"), "{err}");
+    }
+
+    #[test]
+    fn policy_race_rows_cover_the_grid() {
+        let models = ModelSet::new(vec![ModelSpec::parse("X").unwrap()]).unwrap();
+        let policies = [PolicyKind::Paper, PolicyKind::Oracle];
+        let scale = RunScale {
+            window: 800,
+            warmup: 200,
+        };
+        let suites = policy_sweep_runs(&models, &policies, Topology::crossbar4(), scale, 4);
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0].len(), 2);
+        assert_eq!(suites[0][0].runs.len(), 23);
+        // The paper lane is the exact default path.
+        let direct = run_suite_on(
+            &ProcessorConfig::for_model_spec(&models.specs()[0], Topology::crossbar4()),
+            scale,
+            4,
+        );
+        assert_eq!(suites[0][0].runs, direct.runs, "bit-identical paper row");
+        let rows = policy_metric_rows(&models.specs()[0], &policies, &suites[0]);
+        assert_eq!(rows.len(), 2 * 7, "7 metrics per policy");
+        assert!(rows
+            .iter()
+            .all(|r| r.section == "X" && (r.label == "paper" || r.label == "oracle")));
+        // Traffic shares per policy sum to ~100% (W is never used by the
+        // default processor; every transfer lands on B/PW/L).
+        for label in ["paper", "oracle"] {
+            let share: f64 = rows
+                .iter()
+                .filter(|r| r.label == label && r.metric.starts_with("traffic_"))
+                .map(|r| r.value)
+                .sum();
+            assert!((share - 100.0).abs() < 1e-6, "{label}: {share}");
+        }
+        // The baseline policy's ED2 is 100% of itself by construction.
+        let base_ed2 = rows
+            .iter()
+            .find(|r| r.label == "paper" && r.metric == "ed2_10_pct")
+            .unwrap();
+        assert!((base_ed2.value - 100.0).abs() < 1e-9);
+        let table = format_policy_table(&models.specs()[0], &policies, &suites[0]);
+        assert!(table.contains("paper") && table.contains("oracle"));
     }
 
     #[test]

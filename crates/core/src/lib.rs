@@ -48,6 +48,9 @@ pub use config::{
 pub use energy::{mean_report, relative_report, EnergyParams, RelativeReport};
 pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe};
 pub use narrow::NarrowPredictor;
-pub use processor::{PaperPolicy, Processor, SprayPolicy, TransferPolicy};
+pub use processor::{
+    CriticalityPolicy, OraclePolicy, PaperPolicy, Processor, PwFirstPolicy, SprayPolicy,
+    TransferPolicy,
+};
 pub use results::{mean_ipc, SimResults};
 pub use steer::{ClusterView, ProducerInfo, Steering, SteeringWeights};

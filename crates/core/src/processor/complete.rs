@@ -43,9 +43,17 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         cluster: usize,
         ready_at_dispatch: bool,
     ) {
-        let (src_cluster, narrow, value, pc) = {
+        let (src_cluster, narrow, value, pc, critical) = {
             let v = self.value(producer).expect("value exists");
-            (v.cluster, v.narrow, v.value, v.pc)
+            // Completion-time copies carry the criticality mark recorded
+            // when the consumer subscribed; dispatch-time copies had slack
+            // by definition.
+            let critical = !ready_at_dispatch && v.critical_subs >> cluster & 1 == 1;
+            (v.cluster, v.narrow, v.value, v.pc, critical)
+        };
+        let dest_iq_used = {
+            let c = &self.clusters[cluster];
+            c.iq_int_used + c.iq_fp_used
         };
         let decision = self.policy.value_copy(
             ValueCopy {
@@ -53,6 +61,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                 value,
                 pc,
                 ready_at_dispatch,
+                critical,
+                src_cluster,
+                dst_cluster: cluster,
+                dest_iq_used,
             },
             self.cycle,
             &mut self.probe,

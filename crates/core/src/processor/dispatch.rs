@@ -137,8 +137,15 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                 if v_done {
                     self.send_value_copy(p, cluster, true);
                 } else {
+                    // Remember whether this subscription is the consumer's
+                    // last-arriving operand: the same criticality signal
+                    // steering uses feeds the completion-time copy.
+                    let critical = youngest_pending == Some(p);
                     let v = self.value_mut(p).expect("present");
                     v.subscribers.push_unique(cluster);
+                    if critical {
+                        v.critical_subs |= 1 << cluster;
+                    }
                 }
             }
 

@@ -42,12 +42,14 @@
 mod complete;
 mod dispatch;
 mod kernel;
+pub mod policies;
 pub mod policy;
 mod rob;
 #[cfg(test)]
 mod tests;
 mod wheel;
 
+pub use policies::{CriticalityPolicy, OraclePolicy, PwFirstPolicy};
 pub use policy::{PaperPolicy, SprayPolicy, TransferPolicy};
 
 use std::cmp::Reverse;
@@ -143,6 +145,10 @@ struct ValueInfo {
     arrivals: [u64; MAX_CLUSTERS],
     /// Remote clusters awaiting a copy once the value completes.
     subscribers: SubscriberList,
+    /// Bitmask of subscribed clusters whose consumer marked this producer
+    /// as its last-arriving (youngest still-pending) operand at dispatch —
+    /// the criticality signal completion-time copies hand to the policy.
+    critical_subs: u16,
     /// Per-cluster heads of the intrusive waiter lists: dispatched
     /// consumers in that cluster blocked on this value becoming usable
     /// there. Woken when `done_at` is set (home cluster) or a copy arrives
@@ -187,6 +193,7 @@ impl ValueInfo {
             pc,
             arrivals: [NOT_SENT; MAX_CLUSTERS],
             subscribers: SubscriberList::default(),
+            critical_subs: 0,
             waiters: [NO_WAITER; MAX_CLUSTERS],
         }
     }

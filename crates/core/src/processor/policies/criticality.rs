@@ -1,0 +1,261 @@
+//! Criticality-first steering: L-Wires for whatever a consumer is
+//! actually waiting on, even when wide.
+
+use heterowire_interconnect::{AvailablePlanes, MessageKind, Node, Topology};
+use heterowire_telemetry::Probe;
+use heterowire_wires::WireClass;
+
+use super::super::policy::{CacheReturn, NarrowStats, SendDecision, TransferPolicy, ValueCopy};
+use super::{full_width, planes_for};
+use crate::config::ProcessorConfig;
+use crate::narrow::NarrowPredictor;
+
+/// Drives L-Wire use off the criticality predictor instead of the paper's
+/// width-first rule. Decision table for register-value copies:
+///
+/// | copy                                  | decision |
+/// |---------------------------------------|----------|
+/// | value was ready at consumer dispatch  | PW full-width (slack existed) |
+/// | waiting consumer, predicted narrow    | L, compacted `NarrowValue` (false-narrow pays the usual 1-cycle replay) |
+/// | waiting + marked last-arriving, wide  | L, chunked `SplitValue` — when the serialized L route still beats the full-width route |
+/// | any other waiting consumer            | B full-width |
+///
+/// Partial addresses and branch signals keep their L fast paths; store
+/// data rides PW, full addresses ride B. Every full-width pick is clamped
+/// to a plane the link actually has.
+///
+/// The split-vs-full comparison uses the unscaled per-class route
+/// latencies: on a flat crossbar a split transfer (1 + 3 chunk cycles)
+/// loses to B (2) and is never chosen, while a cross-ring hop on the
+/// 16-cluster topology (L 5 + 3 vs B 10) is exactly where the paper's
+/// §4.2 value splitting pays off.
+#[derive(Debug)]
+pub struct CriticalityPolicy {
+    planes: AvailablePlanes,
+    topology: Topology,
+    narrow: NarrowPredictor,
+}
+
+impl CriticalityPolicy {
+    /// Builds the policy for a configuration's link and topology.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        CriticalityPolicy {
+            planes: planes_for(&config.link),
+            topology: config.topology,
+            narrow: NarrowPredictor::paper(),
+        }
+    }
+
+    /// True when splitting a wide value across L-Wire chunks from
+    /// `src` to `dst` beats the available full-width plane.
+    fn split_wins(&self, src: usize, dst: usize, full: WireClass) -> bool {
+        let (src, dst) = (Node::Cluster(src), Node::Cluster(dst));
+        let split = self.topology.route_inline(src, dst, WireClass::L).latency
+            + MessageKind::SplitValue.serialization_cycles(WireClass::L);
+        split < self.topology.route_inline(src, dst, full).latency
+    }
+}
+
+impl TransferPolicy for CriticalityPolicy {
+    fn value_copy<P: Probe>(
+        &mut self,
+        req: ValueCopy,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        if req.ready_at_dispatch {
+            // The consumer dispatched after the value completed: the
+            // dispatch-to-issue gap hides a slow wire.
+            return SendDecision {
+                class: full_width(self.planes, WireClass::Pw),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            };
+        }
+        let mut delay = 0;
+        if self.planes.l {
+            let predicted = self.narrow.predict(req.pc);
+            if predicted && req.narrow {
+                return SendDecision {
+                    class: WireClass::L,
+                    kind: MessageKind::NarrowValue,
+                    delay: 0,
+                };
+            }
+            if predicted && !req.narrow {
+                // False-narrow: tags went ahead on L-Wires; reschedule the
+                // wide value next cycle, same as the paper policy.
+                delay = 1;
+            }
+            let full = full_width(self.planes, WireClass::B);
+            if req.critical && self.split_wins(req.src_cluster, req.dst_cluster, full) {
+                return SendDecision {
+                    class: WireClass::L,
+                    kind: MessageKind::SplitValue,
+                    delay,
+                };
+            }
+        }
+        SendDecision {
+            class: full_width(self.planes, WireClass::B),
+            kind: MessageKind::RegisterValue,
+            delay,
+        }
+    }
+
+    fn cache_data<P: Probe>(
+        &mut self,
+        req: CacheReturn,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        // Load returns wake waiting consumers: narrow ones take the L fast
+        // path (predicted, trained at return like the paper), wide ones B.
+        if self.planes.l && req.int_dest {
+            let predicted = self.narrow.predict(req.pc);
+            self.narrow.update(req.pc, req.narrow);
+            if predicted && req.narrow {
+                return SendDecision {
+                    class: WireClass::L,
+                    kind: MessageKind::NarrowValue,
+                    delay: 0,
+                };
+            }
+        }
+        SendDecision {
+            class: full_width(self.planes, WireClass::B),
+            kind: MessageKind::CacheData,
+            delay: 0,
+        }
+    }
+
+    fn dispatches_partial_address(&self) -> bool {
+        self.planes.l
+    }
+
+    fn full_address<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        full_width(self.planes, WireClass::B)
+    }
+
+    fn store_data<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        full_width(self.planes, WireClass::Pw)
+    }
+
+    fn branch_signal<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> SendDecision {
+        if self.planes.l {
+            SendDecision {
+                class: WireClass::L,
+                kind: MessageKind::BranchMispredict,
+                delay: 0,
+            }
+        } else {
+            SendDecision {
+                class: full_width(self.planes, WireClass::B),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            }
+        }
+    }
+
+    fn observe_result(&mut self, pc: u64, narrow: bool) {
+        self.narrow.update(pc, narrow);
+    }
+
+    fn narrow_stats(&self) -> NarrowStats {
+        NarrowStats {
+            hits: self.narrow.hits,
+            missed: self.narrow.missed,
+            false_narrow: self.narrow.false_narrow,
+            true_wide: self.narrow.true_wide,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InterconnectModel, ModelSpec};
+    use heterowire_telemetry::NullProbe;
+
+    fn copy(narrow: bool, ready: bool, critical: bool, src: usize, dst: usize) -> ValueCopy {
+        ValueCopy {
+            narrow,
+            value: if narrow { 3 } else { u64::MAX },
+            pc: 0x40,
+            ready_at_dispatch: ready,
+            critical,
+            src_cluster: src,
+            dst_cluster: dst,
+            dest_iq_used: 0,
+        }
+    }
+
+    fn policy(topology: Topology) -> CriticalityPolicy {
+        CriticalityPolicy::new(&ProcessorConfig::for_model(InterconnectModel::X, topology))
+    }
+
+    #[test]
+    fn slackful_copies_ride_pw() {
+        let mut p = policy(Topology::crossbar4());
+        let d = p.value_copy(copy(false, true, false, 0, 1), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::Pw);
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+    }
+
+    #[test]
+    fn critical_wide_copies_split_on_long_routes_only() {
+        // Crossbar: split (1+3) loses to B (2) — stay on B.
+        let mut p = policy(Topology::crossbar4());
+        let d = p.value_copy(copy(false, false, true, 0, 1), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        // Cross-ring on hier16: split (1+2*2+3=8) beats B (2+2*4=10).
+        let mut p = policy(Topology::hier16());
+        let d = p.value_copy(copy(false, false, true, 0, 8), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::SplitValue);
+        // Same quad: split (1+3) loses to B (2) again.
+        let d = p.value_copy(copy(false, false, true, 4, 7), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+    }
+
+    #[test]
+    fn predicted_narrow_waiting_copies_take_l() {
+        let mut p = policy(Topology::crossbar4());
+        for _ in 0..3 {
+            p.observe_result(0x40, true);
+        }
+        let d = p.value_copy(copy(true, false, false, 0, 1), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::NarrowValue);
+        // False-narrow pays the 1-cycle replay even on the split path.
+        let d = p.value_copy(copy(false, false, true, 0, 1), 0, &mut NullProbe);
+        assert_eq!(d.delay, 1);
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+    }
+
+    #[test]
+    fn degrades_gracefully_without_l_or_pw_planes() {
+        // B-only custom link: every decision must clamp to B.
+        let spec = ModelSpec::parse("custom:b144").unwrap();
+        let cfg = ProcessorConfig::for_model_spec(&spec, Topology::hier16());
+        let mut p = CriticalityPolicy::new(&cfg);
+        assert!(!p.dispatches_partial_address());
+        let d = p.value_copy(copy(false, false, true, 0, 8), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        let d = p.value_copy(copy(true, true, false, 0, 8), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        assert_eq!(p.store_data(0, &mut NullProbe), WireClass::B);
+        assert_eq!(p.branch_signal(0, &mut NullProbe).class, WireClass::B);
+        let d = p.cache_data(
+            CacheReturn {
+                narrow: true,
+                pc: 0x40,
+                int_dest: true,
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::B);
+    }
+}

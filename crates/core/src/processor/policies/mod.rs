@@ -1,0 +1,77 @@
+//! Contender transfer policies for A/B studies against [`PaperPolicy`].
+//!
+//! Three real alternatives to the paper's steering live here, all behind
+//! the same [`TransferPolicy`] trait the kernel drives:
+//!
+//! * [`CriticalityPolicy`] — criticality-first: copies to a waiting
+//!   consumer whose subscription was marked last-arriving get L-Wires even
+//!   when wide, via chunked value splitting
+//!   ([`MessageKind::SplitValue`](heterowire_interconnect::MessageKind));
+//! * [`PwFirstPolicy`] — bandwidth-aware inversion: everything defaults to
+//!   the power-optimized PW plane and is promoted to B/L only when slack
+//!   analysis says the extra latency would be exposed;
+//! * [`OraclePolicy`] — an upper bound that cheats with the actual value
+//!   width and the consumer distance at send time.
+//!
+//! All three degrade gracefully on lane-starved `custom:` link specs: a
+//! decision is always clamped to a plane the link actually has (the
+//! crate-private `full_width` helper), so e.g. PW-first on a `custom:b144` link
+//! quietly becomes an all-B policy. Harnesses that consider a policy
+//! *meaningless* without its signature plane should refuse up front
+//! (`heterowire-bench` exits 2) rather than rely on the clamping.
+//!
+//! [`PaperPolicy`]: super::policy::PaperPolicy
+//! [`TransferPolicy`]: super::policy::TransferPolicy
+
+mod criticality;
+mod oracle;
+mod pwfirst;
+
+pub use criticality::CriticalityPolicy;
+pub use oracle::OraclePolicy;
+pub use pwfirst::PwFirstPolicy;
+
+use heterowire_interconnect::AvailablePlanes;
+use heterowire_wires::{LinkComposition, WireClass};
+
+/// The planes a link composition offers.
+///
+/// # Panics
+///
+/// Panics if the link has no full-width (B or PW) plane — such links are
+/// rejected at [`ModelSpec`](crate::config::ModelSpec) parse time.
+pub(crate) fn planes_for(link: &LinkComposition) -> AvailablePlanes {
+    AvailablePlanes::new(
+        link.lanes(WireClass::B) > 0,
+        link.lanes(WireClass::Pw) > 0,
+        link.lanes(WireClass::L) > 0,
+    )
+}
+
+/// Clamps a preferred full-width class to a plane the link has: a policy
+/// wanting PW on a B-only link (or vice versa) falls back to the other
+/// plane instead of queueing on a nonexistent one.
+pub(crate) fn full_width(planes: AvailablePlanes, preferred: WireClass) -> WireClass {
+    match preferred {
+        WireClass::Pw if planes.pw => WireClass::Pw,
+        WireClass::B if planes.b => WireClass::B,
+        _ if planes.b => WireClass::B,
+        _ => WireClass::Pw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_clamps_to_available_planes() {
+        let both = AvailablePlanes::new(true, true, false);
+        assert_eq!(full_width(both, WireClass::Pw), WireClass::Pw);
+        assert_eq!(full_width(both, WireClass::B), WireClass::B);
+        let b_only = AvailablePlanes::new(true, false, false);
+        assert_eq!(full_width(b_only, WireClass::Pw), WireClass::B);
+        let pw_only = AvailablePlanes::new(false, true, true);
+        assert_eq!(full_width(pw_only, WireClass::B), WireClass::Pw);
+    }
+}

@@ -1,0 +1,255 @@
+//! Oracle steering: the unreachable upper bound that knows the actual
+//! value width and the consumer distance at send time.
+
+use heterowire_interconnect::{AvailablePlanes, MessageKind, Node, Topology};
+use heterowire_telemetry::Probe;
+use heterowire_wires::WireClass;
+
+use super::super::policy::{CacheReturn, NarrowStats, SendDecision, TransferPolicy, ValueCopy};
+use super::{full_width, planes_for};
+use crate::config::ProcessorConfig;
+
+/// Cheats twice: it sees the produced value's *actual* width (no
+/// predictor, so no missed-narrow transfers and no false-narrow replays),
+/// and it knows the consumer's distance, so a wide copy to a waiting
+/// consumer takes whichever of {full-width plane, chunked L split} has the
+/// lower actual route latency. Copies whose latency is hidden
+/// (`ready_at_dispatch`) ride PW for energy. This is the Table-3-style
+/// upper bound the realizable policies are measured against.
+#[derive(Debug)]
+pub struct OraclePolicy {
+    planes: AvailablePlanes,
+    topology: Topology,
+    /// Narrow values sent compacted on L (reported as predictor hits).
+    hits: u64,
+    /// Narrow values the link had no L plane for.
+    missed: u64,
+    /// Wide values (all correctly "predicted" wide).
+    true_wide: u64,
+}
+
+impl OraclePolicy {
+    /// Builds the policy for a configuration's link and topology.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        OraclePolicy {
+            planes: planes_for(&config.link),
+            topology: config.topology,
+            hits: 0,
+            missed: 0,
+            true_wide: 0,
+        }
+    }
+
+    fn count_width(&mut self, narrow: bool, sent_on_l: bool) {
+        if narrow {
+            if sent_on_l {
+                self.hits += 1;
+            } else {
+                self.missed += 1;
+            }
+        } else {
+            self.true_wide += 1;
+        }
+    }
+
+    /// Fastest way to move a full-width value from `src` to `dst`: the
+    /// available full-width plane, or a chunked L split when its serialized
+    /// route latency is strictly lower.
+    fn fastest_wide(&self, src: usize, dst: usize) -> (WireClass, MessageKind) {
+        let full = full_width(self.planes, WireClass::B);
+        if self.planes.l {
+            let (src, dst) = (Node::Cluster(src), Node::Cluster(dst));
+            let split = self.topology.route_inline(src, dst, WireClass::L).latency
+                + MessageKind::SplitValue.serialization_cycles(WireClass::L);
+            if split < self.topology.route_inline(src, dst, full).latency {
+                return (WireClass::L, MessageKind::SplitValue);
+            }
+        }
+        (full, MessageKind::RegisterValue)
+    }
+}
+
+impl TransferPolicy for OraclePolicy {
+    fn value_copy<P: Probe>(
+        &mut self,
+        req: ValueCopy,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        if req.narrow && self.planes.l {
+            self.count_width(true, true);
+            return SendDecision {
+                class: WireClass::L,
+                kind: MessageKind::NarrowValue,
+                delay: 0,
+            };
+        }
+        self.count_width(req.narrow, false);
+        if req.ready_at_dispatch {
+            return SendDecision {
+                class: full_width(self.planes, WireClass::Pw),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            };
+        }
+        let (class, kind) = self.fastest_wide(req.src_cluster, req.dst_cluster);
+        SendDecision {
+            class,
+            kind,
+            delay: 0,
+        }
+    }
+
+    fn cache_data<P: Probe>(
+        &mut self,
+        req: CacheReturn,
+        _cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        if req.narrow && self.planes.l {
+            self.count_width(true, true);
+            return SendDecision {
+                class: WireClass::L,
+                kind: MessageKind::NarrowValue,
+                delay: 0,
+            };
+        }
+        self.count_width(req.narrow, false);
+        SendDecision {
+            class: full_width(self.planes, WireClass::B),
+            kind: MessageKind::CacheData,
+            delay: 0,
+        }
+    }
+
+    fn dispatches_partial_address(&self) -> bool {
+        self.planes.l
+    }
+
+    fn full_address<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        full_width(self.planes, WireClass::B)
+    }
+
+    fn store_data<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> WireClass {
+        full_width(self.planes, WireClass::Pw)
+    }
+
+    fn branch_signal<P: Probe>(&mut self, _cycle: u64, _probe: &mut P) -> SendDecision {
+        if self.planes.l {
+            SendDecision {
+                class: WireClass::L,
+                kind: MessageKind::BranchMispredict,
+                delay: 0,
+            }
+        } else {
+            SendDecision {
+                class: full_width(self.planes, WireClass::B),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            }
+        }
+    }
+
+    fn observe_result(&mut self, _pc: u64, _narrow: bool) {}
+
+    fn narrow_stats(&self) -> NarrowStats {
+        NarrowStats {
+            hits: self.hits,
+            missed: self.missed,
+            false_narrow: 0,
+            true_wide: self.true_wide,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InterconnectModel, ModelSpec};
+    use heterowire_telemetry::NullProbe;
+
+    fn policy(topology: Topology) -> OraclePolicy {
+        OraclePolicy::new(&ProcessorConfig::for_model(InterconnectModel::X, topology))
+    }
+
+    fn copy(narrow: bool, ready: bool) -> ValueCopy {
+        ValueCopy {
+            narrow,
+            value: if narrow { 3 } else { u64::MAX },
+            pc: 0x40,
+            ready_at_dispatch: ready,
+            critical: false,
+            src_cluster: 0,
+            dst_cluster: 1,
+            dest_iq_used: 0,
+        }
+    }
+
+    #[test]
+    fn actual_narrow_values_always_take_l() {
+        let mut p = policy(Topology::crossbar4());
+        // No training required: the oracle sees the width.
+        let d = p.value_copy(copy(true, false), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::NarrowValue);
+        assert_eq!(d.delay, 0, "an oracle never replays");
+        assert_eq!(p.narrow_stats().hits, 1);
+        assert_eq!(p.narrow_stats().false_narrow, 0);
+    }
+
+    #[test]
+    fn hidden_wide_copies_ride_pw_exposed_ones_the_fastest_route() {
+        let mut p = policy(Topology::crossbar4());
+        assert_eq!(
+            p.value_copy(copy(false, true), 0, &mut NullProbe).class,
+            WireClass::Pw
+        );
+        // Crossbar: B (2) beats split L (4).
+        let d = p.value_copy(copy(false, false), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        // Cross-ring: split L (8) beats B (10).
+        let mut p = policy(Topology::hier16());
+        let d = p.value_copy(
+            ValueCopy {
+                dst_cluster: 8,
+                ..copy(false, false)
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::SplitValue);
+    }
+
+    #[test]
+    fn narrow_cache_returns_take_l_without_training() {
+        let mut p = policy(Topology::crossbar4());
+        let d = p.cache_data(
+            CacheReturn {
+                narrow: true,
+                pc: 0x99,
+                int_dest: true,
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::NarrowValue);
+    }
+
+    #[test]
+    fn degrades_gracefully_without_optional_planes() {
+        let spec = ModelSpec::parse("custom:pw288").unwrap();
+        let cfg = ProcessorConfig::for_model_spec(&spec, Topology::crossbar4());
+        let mut p = OraclePolicy::new(&cfg);
+        // PW-only link: everything clamps to PW, narrow counted as missed.
+        assert_eq!(
+            p.value_copy(copy(true, false), 0, &mut NullProbe).class,
+            WireClass::Pw
+        );
+        assert_eq!(p.narrow_stats().missed, 1);
+        assert_eq!(p.full_address(0, &mut NullProbe), WireClass::Pw);
+        assert_eq!(p.branch_signal(0, &mut NullProbe).class, WireClass::Pw);
+        assert!(!p.dispatches_partial_address());
+    }
+}

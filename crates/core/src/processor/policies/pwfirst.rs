@@ -1,0 +1,282 @@
+//! PW-first steering: the bandwidth-aware inversion of the paper's rule —
+//! slow wires by default, fast wires only where slack analysis says the
+//! latency would be exposed.
+
+use heterowire_interconnect::{AvailablePlanes, LoadBalancer, MessageKind};
+use heterowire_telemetry::Probe;
+use heterowire_wires::WireClass;
+
+use super::super::policy::{CacheReturn, NarrowStats, SendDecision, TransferPolicy, ValueCopy};
+use super::{full_width, planes_for};
+use crate::config::ProcessorConfig;
+use crate::narrow::NarrowPredictor;
+
+/// Defaults every non-wakeup transfer to PW-Wires and promotes to B/L only
+/// when the latency is *not* hidden. Decision table:
+///
+/// | transfer                               | decision |
+/// |----------------------------------------|----------|
+/// | value copy, latency hidden (see below) | PW, overflow-diverted to B when the balancer says the PW plane is saturated |
+/// | value copy, exposed, predicted narrow  | L `NarrowValue` (false-narrow pays the 1-cycle replay) |
+/// | value copy, exposed, wide              | B |
+/// | cache data return (wakes a consumer)   | narrow int loads on L, rest on B |
+/// | full address / store data              | PW with overflow diversion |
+/// | partial address / branch signal        | L fast paths |
+///
+/// The slack analysis considers a copy's latency hidden when the consumer
+/// had already seen the value at dispatch (`ready_at_dispatch` — nobody is
+/// waiting yet), or when the destination cluster's issue queues sit at or
+/// above a watermark (the consumer will queue behind a backlog that
+/// overlaps the slower wire anyway). The watermark is one full queue's
+/// worth of the combined int+fp occupancy.
+///
+/// "Bandwidth-aware" is the [`LoadBalancer`] running in reverse: instead
+/// of spilling B overflow onto PW like the paper, it watches the PW-heavy
+/// injection mix and diverts to B once the imbalance exceeds the paper's
+/// threshold, so the inversion does not serialize on the PW lanes it
+/// favours. Every full-width pick is clamped to a plane the link has.
+#[derive(Debug)]
+pub struct PwFirstPolicy {
+    planes: AvailablePlanes,
+    narrow: NarrowPredictor,
+    balancer: LoadBalancer,
+    /// Combined int+fp issue-queue occupancy at which a consumer cluster
+    /// counts as backlogged (latency hidden by queueing).
+    iq_watermark: usize,
+}
+
+impl PwFirstPolicy {
+    /// Builds the policy for a configuration's link, with the watermark
+    /// derived from the configured issue-queue size.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        PwFirstPolicy {
+            planes: planes_for(&config.link),
+            narrow: NarrowPredictor::paper(),
+            balancer: LoadBalancer::paper(),
+            iq_watermark: config.iq_per_cluster,
+        }
+    }
+
+    /// A PW-preferred full-width pick with bandwidth overflow: diverts to
+    /// B when the recent injection mix is PW-heavy past the threshold.
+    fn pw_with_overflow(&mut self, cycle: u64) -> WireClass {
+        let mut class = full_width(self.planes, WireClass::Pw);
+        if class == WireClass::Pw
+            && self.planes.b
+            && self.balancer.overflow_target(cycle) == Some(WireClass::B)
+        {
+            class = WireClass::B;
+        }
+        self.balancer.record(cycle, class == WireClass::Pw);
+        class
+    }
+
+    /// A B-preferred full-width pick (promoted traffic), recorded so the
+    /// balancer sees the whole injection mix.
+    fn promoted(&mut self, cycle: u64) -> WireClass {
+        let class = full_width(self.planes, WireClass::B);
+        self.balancer.record(cycle, class == WireClass::Pw);
+        class
+    }
+}
+
+impl TransferPolicy for PwFirstPolicy {
+    fn value_copy<P: Probe>(&mut self, req: ValueCopy, cycle: u64, _probe: &mut P) -> SendDecision {
+        let hidden = req.ready_at_dispatch || req.dest_iq_used >= self.iq_watermark;
+        if hidden {
+            return SendDecision {
+                class: self.pw_with_overflow(cycle),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            };
+        }
+        // Exposed latency: promote. Narrow predicted values take L, the
+        // rest the baseline plane.
+        let mut delay = 0;
+        if self.planes.l {
+            let predicted = self.narrow.predict(req.pc);
+            if predicted && req.narrow {
+                return SendDecision {
+                    class: WireClass::L,
+                    kind: MessageKind::NarrowValue,
+                    delay: 0,
+                };
+            }
+            if predicted && !req.narrow {
+                delay = 1;
+            }
+        }
+        SendDecision {
+            class: self.promoted(cycle),
+            kind: MessageKind::RegisterValue,
+            delay,
+        }
+    }
+
+    fn cache_data<P: Probe>(
+        &mut self,
+        req: CacheReturn,
+        cycle: u64,
+        _probe: &mut P,
+    ) -> SendDecision {
+        // Load returns are wakeup traffic: promoted, never PW-defaulted.
+        if self.planes.l && req.int_dest {
+            let predicted = self.narrow.predict(req.pc);
+            self.narrow.update(req.pc, req.narrow);
+            if predicted && req.narrow {
+                return SendDecision {
+                    class: WireClass::L,
+                    kind: MessageKind::NarrowValue,
+                    delay: 0,
+                };
+            }
+        }
+        SendDecision {
+            class: self.promoted(cycle),
+            kind: MessageKind::CacheData,
+            delay: 0,
+        }
+    }
+
+    fn dispatches_partial_address(&self) -> bool {
+        self.planes.l
+    }
+
+    fn full_address<P: Probe>(&mut self, cycle: u64, _probe: &mut P) -> WireClass {
+        self.pw_with_overflow(cycle)
+    }
+
+    fn store_data<P: Probe>(&mut self, cycle: u64, _probe: &mut P) -> WireClass {
+        self.pw_with_overflow(cycle)
+    }
+
+    fn branch_signal<P: Probe>(&mut self, cycle: u64, _probe: &mut P) -> SendDecision {
+        if self.planes.l {
+            SendDecision {
+                class: WireClass::L,
+                kind: MessageKind::BranchMispredict,
+                delay: 0,
+            }
+        } else {
+            SendDecision {
+                class: self.promoted(cycle),
+                kind: MessageKind::RegisterValue,
+                delay: 0,
+            }
+        }
+    }
+
+    fn observe_result(&mut self, pc: u64, narrow: bool) {
+        self.narrow.update(pc, narrow);
+    }
+
+    fn narrow_stats(&self) -> NarrowStats {
+        NarrowStats {
+            hits: self.narrow.hits,
+            missed: self.narrow.missed,
+            false_narrow: self.narrow.false_narrow,
+            true_wide: self.narrow.true_wide,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InterconnectModel, ModelSpec};
+    use heterowire_interconnect::Topology;
+    use heterowire_telemetry::NullProbe;
+
+    fn policy() -> PwFirstPolicy {
+        PwFirstPolicy::new(&ProcessorConfig::for_model(
+            InterconnectModel::X,
+            Topology::crossbar4(),
+        ))
+    }
+
+    fn copy(ready: bool, iq_used: usize) -> ValueCopy {
+        ValueCopy {
+            narrow: false,
+            value: u64::MAX,
+            pc: 0x40,
+            ready_at_dispatch: ready,
+            critical: false,
+            src_cluster: 0,
+            dst_cluster: 1,
+            dest_iq_used: iq_used,
+        }
+    }
+
+    #[test]
+    fn hidden_latency_defaults_to_pw() {
+        let mut p = policy();
+        // Ready at dispatch: hidden regardless of occupancy.
+        assert_eq!(
+            p.value_copy(copy(true, 0), 0, &mut NullProbe).class,
+            WireClass::Pw
+        );
+        // Backlogged destination queue: hidden.
+        assert_eq!(
+            p.value_copy(copy(false, 15), 0, &mut NullProbe).class,
+            WireClass::Pw
+        );
+        // Non-wakeup traffic too.
+        assert_eq!(p.full_address(0, &mut NullProbe), WireClass::Pw);
+        assert_eq!(p.store_data(0, &mut NullProbe), WireClass::Pw);
+    }
+
+    #[test]
+    fn exposed_latency_promotes_to_b() {
+        let mut p = policy();
+        let d = p.value_copy(copy(false, 0), 0, &mut NullProbe);
+        assert_eq!(d.class, WireClass::B);
+        assert_eq!(d.kind, MessageKind::RegisterValue);
+    }
+
+    #[test]
+    fn pw_saturation_diverts_overflow_to_b() {
+        let mut p = policy();
+        // 11 PW injections in one window: imbalance 11 - 0 > 10.
+        for _ in 0..11 {
+            assert_eq!(p.store_data(10, &mut NullProbe), WireClass::Pw);
+        }
+        assert_eq!(p.store_data(10, &mut NullProbe), WireClass::B);
+    }
+
+    #[test]
+    fn exposed_narrow_values_take_l() {
+        let mut p = policy();
+        for _ in 0..3 {
+            p.observe_result(0x40, true);
+        }
+        let d = p.value_copy(
+            ValueCopy {
+                narrow: true,
+                value: 3,
+                ..copy(false, 0)
+            },
+            0,
+            &mut NullProbe,
+        );
+        assert_eq!(d.class, WireClass::L);
+        assert_eq!(d.kind, MessageKind::NarrowValue);
+        // False-narrow still replays.
+        let d = p.value_copy(copy(false, 0), 0, &mut NullProbe);
+        assert_eq!(d.delay, 1);
+    }
+
+    #[test]
+    fn degrades_gracefully_on_b_only_links() {
+        let spec = ModelSpec::parse("custom:b144").unwrap();
+        let cfg = ProcessorConfig::for_model_spec(&spec, Topology::crossbar4());
+        let mut p = PwFirstPolicy::new(&cfg);
+        // The PW default clamps to B instead of queueing on a missing plane.
+        assert_eq!(p.store_data(0, &mut NullProbe), WireClass::B);
+        assert_eq!(
+            p.value_copy(copy(true, 0), 0, &mut NullProbe).class,
+            WireClass::B
+        );
+        assert_eq!(p.branch_signal(0, &mut NullProbe).class, WireClass::B);
+        assert!(!p.dispatches_partial_address());
+    }
+}

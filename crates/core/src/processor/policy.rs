@@ -48,6 +48,17 @@ pub struct ValueCopy {
     /// The operand was already ready when the consumer dispatched (the
     /// paper's first PW non-criticality criterion).
     pub ready_at_dispatch: bool,
+    /// The criticality predictor marked this producer as a waiting
+    /// consumer's last-arriving (youngest still-pending) operand when it
+    /// subscribed. Always false for dispatch-time copies.
+    pub critical: bool,
+    /// Producer cluster (consumer-distance for route-aware policies).
+    pub src_cluster: usize,
+    /// Consuming cluster the copy is headed to.
+    pub dst_cluster: usize,
+    /// Occupied issue-queue slots (int + fp) in the consuming cluster at
+    /// send time — the slack watermark bandwidth-aware policies consult.
+    pub dest_iq_used: usize,
 }
 
 /// A cache data return about to be sent back to a cluster.
@@ -420,19 +431,23 @@ mod tests {
         PaperPolicy::new(&ProcessorConfig::for_model(model, Topology::crossbar4()))
     }
 
+    fn copy(narrow: bool, value: u64, pc: u64, ready_at_dispatch: bool) -> ValueCopy {
+        ValueCopy {
+            narrow,
+            value,
+            pc,
+            ready_at_dispatch,
+            critical: !ready_at_dispatch,
+            src_cluster: 0,
+            dst_cluster: 1,
+            dest_iq_used: 0,
+        }
+    }
+
     #[test]
     fn paper_policy_sends_known_narrow_values_on_l_wires() {
         let mut p = paper_for(InterconnectModel::VII);
-        let d = p.value_copy(
-            ValueCopy {
-                narrow: true,
-                value: 3,
-                pc: 0x40,
-                ready_at_dispatch: true,
-            },
-            0,
-            &mut NullProbe,
-        );
+        let d = p.value_copy(copy(true, 3, 0x40, true), 0, &mut NullProbe);
         assert_eq!(d.class, WireClass::L);
         assert_eq!(d.kind, MessageKind::NarrowValue);
         assert_eq!(d.delay, 0);
@@ -441,16 +456,7 @@ mod tests {
     #[test]
     fn paper_policy_without_l_plane_sends_full_width() {
         let mut p = paper_for(InterconnectModel::I);
-        let d = p.value_copy(
-            ValueCopy {
-                narrow: true,
-                value: 3,
-                pc: 0x40,
-                ready_at_dispatch: false,
-            },
-            0,
-            &mut NullProbe,
-        );
+        let d = p.value_copy(copy(true, 3, 0x40, false), 0, &mut NullProbe);
         assert_eq!(d.class, WireClass::B);
         assert_eq!(d.kind, MessageKind::RegisterValue);
         assert!(!p.dispatches_partial_address());
@@ -464,16 +470,7 @@ mod tests {
             p.observe_result(0x80, true);
         }
         // ...then ship a wide value from it: predicted narrow, is wide.
-        let d = p.value_copy(
-            ValueCopy {
-                narrow: false,
-                value: u64::MAX,
-                pc: 0x80,
-                ready_at_dispatch: false,
-            },
-            0,
-            &mut NullProbe,
-        );
+        let d = p.value_copy(copy(false, u64::MAX, 0x80, false), 0, &mut NullProbe);
         assert_eq!(d.kind, MessageKind::RegisterValue);
         assert_eq!(d.delay, 1, "false-narrow must replay next cycle");
     }

@@ -23,6 +23,11 @@ pub enum MessageKind {
     CacheData,
     /// A branch mispredict redirect to the front-end (a branch ID — tiny).
     BranchMispredict,
+    /// A full-width register value split into 18-bit chunks and serialized
+    /// over an L-Wire lane (the paper's §4.2 value splitting for critical
+    /// wide operands: on long routes the chunked L transfer still beats a
+    /// single B transfer).
+    SplitValue,
 }
 
 impl MessageKind {
@@ -30,7 +35,7 @@ impl MessageKind {
     pub fn bits(self) -> u32 {
         match self {
             MessageKind::RegisterValue | MessageKind::CacheData | MessageKind::StoreData => 72,
-            MessageKind::FullAddress => 72,
+            MessageKind::FullAddress | MessageKind::SplitValue => 72,
             MessageKind::NarrowValue | MessageKind::PartialAddress => 18,
             MessageKind::BranchMispredict => 18,
         }
@@ -45,11 +50,30 @@ impl MessageKind {
     ///
     /// Full-width messages need a full 72-wire lane (B or PW); narrow
     /// messages may additionally use an 18-wire L lane. (A narrow message
-    /// on a B/PW lane simply wastes the unused wires.)
+    /// on a B/PW lane simply wastes the unused wires.) A [`SplitValue`]
+    /// rides an L lane despite its 72-bit payload by serializing into
+    /// chunks — the network charges [`MessageKind::serialization_cycles`]
+    /// extra delivery latency for it.
+    ///
+    /// [`SplitValue`]: MessageKind::SplitValue
     pub fn allowed_on(self, class: WireClass) -> bool {
         match class {
-            WireClass::L => self.fits_l_wire(),
+            WireClass::L => self.fits_l_wire() || self == MessageKind::SplitValue,
             WireClass::B | WireClass::Pw | WireClass::W => true,
+        }
+    }
+
+    /// Extra delivery cycles a message pays for chunked serialization on
+    /// `class` wires: a [`MessageKind::SplitValue`] on an 18-wire L lane
+    /// streams `ceil(72/18) = 4` chunks, so delivery trails the first chunk
+    /// by 3 cycles. (The lane itself is modelled as occupied only at
+    /// injection — the same one-lane-per-transfer simplification the rest
+    /// of the arbitration uses.) Everything else pays nothing.
+    pub fn serialization_cycles(self, class: WireClass) -> u64 {
+        if self == MessageKind::SplitValue && class == WireClass::L {
+            (self.bits().div_ceil(18) - 1) as u64
+        } else {
+            0
         }
     }
 }
@@ -86,6 +110,33 @@ mod tests {
         assert!(MessageKind::RegisterValue.allowed_on(WireClass::B));
         assert!(MessageKind::RegisterValue.allowed_on(WireClass::Pw));
         assert!(MessageKind::NarrowValue.allowed_on(WireClass::L));
+    }
+
+    #[test]
+    fn split_values_serialize_over_l_wires() {
+        // 72 bits over an 18-wire lane: allowed, but 3 trailing chunks.
+        assert!(!MessageKind::SplitValue.fits_l_wire());
+        assert!(MessageKind::SplitValue.allowed_on(WireClass::L));
+        assert_eq!(MessageKind::SplitValue.bits(), 72);
+        assert_eq!(
+            MessageKind::SplitValue.serialization_cycles(WireClass::L),
+            3
+        );
+        // On a full-width lane it is just a register value: no extra cost.
+        assert!(MessageKind::SplitValue.allowed_on(WireClass::B));
+        assert_eq!(
+            MessageKind::SplitValue.serialization_cycles(WireClass::B),
+            0
+        );
+        // Messages that fit one lane never serialize.
+        assert_eq!(
+            MessageKind::NarrowValue.serialization_cycles(WireClass::L),
+            0
+        );
+        assert_eq!(
+            MessageKind::RegisterValue.serialization_cycles(WireClass::B),
+            0
+        );
     }
 
     #[test]

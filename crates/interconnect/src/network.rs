@@ -237,7 +237,11 @@ impl Network {
         } else {
             self.config.latency_scale
         };
-        let latency = ((route.latency as f64) * scale).round() as u64;
+        // Chunked messages (a SplitValue on an L lane) trail their first
+        // chunk by the serialization cycles; the flit count is a property
+        // of the message/lane pair, so scaling does not apply to it.
+        let latency = ((route.latency as f64) * scale).round() as u64
+            + transfer.kind.serialization_cycles(transfer.class);
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.stats.transfers[class_index(transfer.class)] += 1;
@@ -570,6 +574,26 @@ mod tests {
     fn missing_plane_panics() {
         let mut n = net();
         n.send(reg_transfer(0, 1, WireClass::Pw), 0);
+    }
+
+    #[test]
+    fn split_value_pays_serialization_on_l_wires() {
+        let mut n = net();
+        n.send(
+            Transfer {
+                src: Node::Cluster(0),
+                dst: Node::Cluster(1),
+                class: WireClass::L,
+                kind: MessageKind::SplitValue,
+            },
+            0,
+        );
+        n.tick(1);
+        // L crossbar latency 1 + 3 trailing chunks: delivered at 1 + 4.
+        assert!(n.take_delivered(4).is_empty());
+        assert_eq!(n.take_delivered(5).len(), 1);
+        // Energy charges all 72 bits at the L dynamic weight.
+        assert!((n.stats().dynamic_energy - 72.0 * 0.84).abs() < 1e-9);
     }
 
     #[test]

@@ -51,12 +51,32 @@ pub struct TransferHints {
 
 /// Sliding-window traffic monitor for the B/PW load-imbalance criterion
 /// (paper: N = 5 cycles, threshold = 10 transfers).
+///
+/// # Contract
+///
+/// The `cycle` arguments passed to [`LoadBalancer::record`],
+/// [`LoadBalancer::overflow_target`] and [`LoadBalancer::counts`] must be
+/// monotonically non-decreasing across the three methods combined. The
+/// balancer sits on the per-send hot path and keeps running per-plane
+/// tallies that are only adjusted as old entries expire off the front of
+/// the window; an out-of-order cycle would both desynchronize the tallies
+/// and break the expiry scan's front-is-oldest invariant. Both kernels
+/// satisfy this naturally (sends happen in cycle order, and the
+/// event-driven kernel's idle-cycle skipping only ever jumps forward);
+/// debug builds assert it.
 #[derive(Debug, Clone)]
 pub struct LoadBalancer {
     window: u64,
     threshold: i64,
     /// (cycle, was_pw) injections within the window.
     recent: VecDeque<(u64, bool)>,
+    /// Running tally of B injections in `recent`.
+    b: u64,
+    /// Running tally of PW injections in `recent`.
+    pw: u64,
+    /// Highest cycle seen (monotonicity check, debug builds only).
+    #[cfg(debug_assertions)]
+    last_cycle: u64,
 }
 
 impl LoadBalancer {
@@ -72,6 +92,10 @@ impl LoadBalancer {
             window,
             threshold,
             recent: VecDeque::new(),
+            b: 0,
+            pw: 0,
+            #[cfg(debug_assertions)]
+            last_cycle: 0,
         }
     }
 
@@ -80,10 +104,27 @@ impl LoadBalancer {
         Self::new(5, 10)
     }
 
-    fn expire(&mut self, cycle: u64) {
-        while let Some(&(c, _)) = self.recent.front() {
+    /// Checks monotonicity and drops entries that slid out of the window,
+    /// keeping the running per-plane tallies in sync.
+    fn advance(&mut self, cycle: u64) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                cycle >= self.last_cycle,
+                "LoadBalancer cycles must be monotonically non-decreasing \
+                 (got {cycle} after {})",
+                self.last_cycle
+            );
+            self.last_cycle = cycle;
+        }
+        while let Some(&(c, was_pw)) = self.recent.front() {
             if c + self.window <= cycle {
                 self.recent.pop_front();
+                if was_pw {
+                    self.pw -= 1;
+                } else {
+                    self.b -= 1;
+                }
             } else {
                 break;
             }
@@ -91,17 +132,27 @@ impl LoadBalancer {
     }
 
     /// Records an injection into the B (`false`) or PW (`true`) plane.
+    ///
+    /// `cycle` must be >= every cycle previously passed to this balancer
+    /// (see the type-level contract).
     pub fn record(&mut self, cycle: u64, pw: bool) {
-        self.expire(cycle);
+        self.advance(cycle);
         self.recent.push_back((cycle, pw));
+        if pw {
+            self.pw += 1;
+        } else {
+            self.b += 1;
+        }
     }
 
     /// If the imbalance exceeds the threshold, returns the less congested
     /// plane to steer toward.
+    ///
+    /// `cycle` must be >= every cycle previously passed to this balancer
+    /// (see the type-level contract).
     pub fn overflow_target(&mut self, cycle: u64) -> Option<WireClass> {
-        self.expire(cycle);
-        let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as i64;
-        let b = self.recent.len() as i64 - pw;
+        self.advance(cycle);
+        let (b, pw) = (self.b as i64, self.pw as i64);
         if (b - pw).abs() > self.threshold {
             Some(if b > pw { WireClass::Pw } else { WireClass::B })
         } else {
@@ -111,9 +162,8 @@ impl LoadBalancer {
 
     /// Current `(b, pw)` counts in the window.
     pub fn counts(&mut self, cycle: u64) -> (u64, u64) {
-        self.expire(cycle);
-        let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as u64;
-        (self.recent.len() as u64 - pw, pw)
+        self.advance(cycle);
+        (self.b, self.pw)
     }
 }
 
@@ -309,6 +359,114 @@ mod tests {
             lb.record(0, true);
         }
         assert_eq!(lb.overflow_target(0), Some(WireClass::B));
+    }
+
+    /// The seed's original balancer: re-expires and linearly rescans the
+    /// whole window deque on every query. Kept as the reference the
+    /// counter-maintaining implementation is pinned against.
+    struct ScanBalancer {
+        window: u64,
+        threshold: i64,
+        recent: VecDeque<(u64, bool)>,
+    }
+
+    impl ScanBalancer {
+        fn new(window: u64, threshold: i64) -> Self {
+            ScanBalancer {
+                window,
+                threshold,
+                recent: VecDeque::new(),
+            }
+        }
+
+        fn expire(&mut self, cycle: u64) {
+            while let Some(&(c, _)) = self.recent.front() {
+                if c + self.window <= cycle {
+                    self.recent.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn record(&mut self, cycle: u64, pw: bool) {
+            self.expire(cycle);
+            self.recent.push_back((cycle, pw));
+        }
+
+        fn overflow_target(&mut self, cycle: u64) -> Option<WireClass> {
+            self.expire(cycle);
+            let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as i64;
+            let b = self.recent.len() as i64 - pw;
+            if (b - pw).abs() > self.threshold {
+                Some(if b > pw { WireClass::Pw } else { WireClass::B })
+            } else {
+                None
+            }
+        }
+
+        fn counts(&mut self, cycle: u64) -> (u64, u64) {
+            self.expire(cycle);
+            let pw = self.recent.iter().filter(|&&(_, is_pw)| is_pw).count() as u64;
+            (self.recent.len() as u64 - pw, pw)
+        }
+    }
+
+    #[test]
+    fn running_counters_pin_the_scan_implementation() {
+        // A deterministic pseudo-random traffic sequence with bursts, idle
+        // gaps (the event kernel skips cycles) and both planes: every query
+        // of the counter-based balancer must match the scan reference.
+        for (window, threshold) in [(5, 10), (1, 0), (8, 3), (64, 20)] {
+            let mut fast = LoadBalancer::new(window, threshold);
+            let mut slow = ScanBalancer::new(window, threshold);
+            let mut cycle = 0u64;
+            let mut state = 0x5EED_2005u64;
+            for step in 0..20_000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = state >> 33;
+                // Mostly stay on the same cycle (bursts), sometimes jump
+                // far ahead (idle-cycle skipping empties the window).
+                cycle += match r % 10 {
+                    0..=5 => 0,
+                    6..=7 => 1,
+                    8 => 2,
+                    _ => window + (r % 97),
+                };
+                match (r >> 8) % 3 {
+                    0 => {
+                        let pw = (r >> 16) & 1 == 1;
+                        fast.record(cycle, pw);
+                        slow.record(cycle, pw);
+                    }
+                    1 => {
+                        assert_eq!(
+                            fast.overflow_target(cycle),
+                            slow.overflow_target(cycle),
+                            "overflow_target diverged at step {step} cycle {cycle}"
+                        );
+                    }
+                    _ => {
+                        assert_eq!(
+                            fast.counts(cycle),
+                            slow.counts(cycle),
+                            "counts diverged at step {step} cycle {cycle}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "monotonically non-decreasing")]
+    fn out_of_order_record_is_rejected_in_debug_builds() {
+        let mut lb = LoadBalancer::paper();
+        lb.record(10, false);
+        lb.record(9, true);
     }
 
     #[test]
