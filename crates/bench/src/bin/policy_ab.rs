@@ -6,19 +6,21 @@
 //! ```text
 //! cargo run --release -p heterowire-bench --bin policy_ab -- \
 //!     --model X --policy paper,spray,criticality,pwfirst,oracle \
-//!     --csv policy_ab.csv --json policy_ab.json
+//!     --topology hier16 --csv policy_ab.csv --json policy_ab.json
 //! ```
 //!
 //! Defaults: Model X (the paper's full heterogeneous link), all five
-//! policies, the 4-cluster crossbar. Repeated `--model` flags sweep more
-//! models (the first policy listed is the ED² baseline within each model);
-//! `HETEROWIRE_SCALE=quick` downscales the runs. A policy whose defining
-//! wire class is entirely absent from a requested model (e.g. `pwfirst` on
-//! `custom:b144`) is refused up front with exit status 2.
+//! policies, the 4-cluster crossbar (`--topology hier16` races on the
+//! 16-cluster hierarchical ring instead). Repeated `--model` flags sweep
+//! more models (the first policy listed is the ED² baseline within each
+//! model); `HETEROWIRE_SCALE=quick` downscales the runs. A policy whose
+//! defining wire class is entirely absent from a requested model (e.g.
+//! `pwfirst` on `custom:b144`) is refused up front with exit status 2.
 
 use heterowire_bench::{
     artifact_paths_from_args, emit_metric_artifacts, executor, format_policy_table,
-    policies_from_args, policy_metric_rows, policy_sweep_runs, ModelSet, PolicyKind, RunScale,
+    policies_from_args, policy_metric_rows, policy_sweep_runs, topology_from_args, ModelSet,
+    PolicyKind, RunScale,
 };
 use heterowire_core::ModelSpec;
 use heterowire_interconnect::Topology;
@@ -26,6 +28,13 @@ use heterowire_interconnect::Topology;
 fn main() {
     let scale = RunScale::from_env();
     let args: Vec<String> = std::env::args().collect();
+    let topology = match topology_from_args(&args) {
+        Ok(t) => t.unwrap_or_else(Topology::crossbar4),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let models = match ModelSet::from_args(&args) {
         Ok(set) => set.unwrap_or_else(|| {
             ModelSet::new(vec![ModelSpec::parse("X").expect("preset X parses")])
@@ -66,12 +75,15 @@ fn main() {
     let suites = policy_sweep_runs(
         &models,
         &policies,
-        Topology::crossbar4(),
+        topology,
         scale,
         executor::default_workers(),
     );
 
-    println!("Steering-policy A/B comparison, 4 clusters");
+    println!(
+        "Steering-policy A/B comparison, {} clusters",
+        topology.clusters()
+    );
     println!("(ED2 is % of the first listed policy, at 10%/20% interconnect fractions)\n");
     let mut rows = Vec::new();
     for (spec, model_suites) in models.specs().iter().zip(&suites) {

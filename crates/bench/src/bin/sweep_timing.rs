@@ -5,19 +5,22 @@
 //! to redirect it). This is the reproducible before/after number behind
 //! EXPERIMENTS.md's executor section.
 
-use heterowire_bench::timing::time_once;
+use heterowire_bench::timing::{git_revision, time_once, BenchReport, Measurement};
 use heterowire_bench::{executor, sweep_runs_serial_set, sweep_runs_set, ModelSet, RunScale};
 use heterowire_core::ModelSpec;
 use heterowire_interconnect::Topology;
 
-const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH] [--model TOKEN]...\n\
+const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH] [--json-out JSON_PATH]\n\
+    [--model TOKEN]...\n\
     times the quick-scale model sweep (serial vs. executor) and appends a\n\
-    CSV row to --out (default results/sweep_timing.csv); repeated --model\n\
-    flags (presets or custom:<spec>) replace the default Models I-X";
+    CSV row to --out (default results/sweep_timing.csv) plus a schema-checked\n\
+    bench.json report to --json-out (default results/bench.json); repeated\n\
+    --model flags (presets or custom:<spec>) replace the default Models I-X";
 
 fn main() {
     let mut label = "run".to_string();
     let mut out = "results/sweep_timing.csv".to_string();
+    let mut json_out = "results/bench.json".to_string();
     let mut specs: Vec<ModelSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -30,6 +33,7 @@ fn main() {
         match arg.as_str() {
             "--label" => label = value(&mut args),
             "--out" => out = value(&mut args),
+            "--json-out" => json_out = value(&mut args),
             "--model" => {
                 let token = value(&mut args);
                 specs.push(ModelSpec::parse(&token).unwrap_or_else(|e| {
@@ -97,4 +101,29 @@ fn main() {
     ));
     std::fs::write(path, body).expect("write timing csv");
     println!("appended to {out}");
+
+    // Machine-readable perf-trajectory artifact, schema-validated on write
+    // and after re-reading from disk (the CI gate fails on schema errors
+    // only; the timing values themselves are warn-only on shared runners).
+    let report = BenchReport {
+        suite: "sweep_timing".to_string(),
+        label,
+        host_threads: workers as u64,
+        git_rev: git_revision(),
+        measurements: vec![
+            Measurement {
+                name: "serial".to_string(),
+                seconds: t_serial.as_secs_f64(),
+            },
+            Measurement {
+                name: "executor".to_string(),
+                seconds: t_parallel.as_secs_f64(),
+            },
+        ],
+    };
+    if let Err(e) = report.write(std::path::Path::new(&json_out)) {
+        eprintln!("bench.json schema violation: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {json_out}");
 }

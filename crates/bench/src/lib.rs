@@ -327,6 +327,37 @@ pub fn policies_from_args(args: &[String]) -> Result<Option<Vec<PolicyKind>>, St
     })
 }
 
+/// Parses an optional `--topology crossbar4|hier16` flag. `Ok(None)` when
+/// the flag is absent; `Err` on an unknown token or a repeated flag.
+pub fn topology_from_args(args: &[String]) -> Result<Option<Topology>, String> {
+    let mut topology = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--topology" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--topology requires a value".to_string())?;
+            let t = match value.as_str() {
+                "crossbar4" => Topology::crossbar4(),
+                "hier16" => Topology::hier16(),
+                other => {
+                    return Err(format!(
+                        "unknown topology {other:?} (expected crossbar4 or hier16)"
+                    ))
+                }
+            };
+            if topology.is_some() {
+                return Err("--topology given more than once".to_string());
+            }
+            topology = Some(t);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(topology)
+}
+
 /// Runs one benchmark profile under one configuration with the named
 /// steering policy. `PolicyKind::Paper` takes the exact default-processor
 /// construction path, so its results are bit-identical to
@@ -1355,6 +1386,34 @@ mod tests {
         assert_eq!(arr.len(), 2);
         assert_eq!(arr[1].get("label").unwrap().as_str(), Some("paper (both)"));
         assert_eq!(arr[0].get("value").unwrap().as_num(), Some(7.25));
+    }
+
+    #[test]
+    fn topology_from_args_parsing() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(topology_from_args(&to_args(&["policy_ab"]))
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            topology_from_args(&to_args(&["t", "--topology", "hier16"])).unwrap(),
+            Some(Topology::hier16())
+        );
+        assert_eq!(
+            topology_from_args(&to_args(&["t", "--topology", "crossbar4"])).unwrap(),
+            Some(Topology::crossbar4())
+        );
+        assert!(topology_from_args(&to_args(&["t", "--topology", "mesh"]))
+            .unwrap_err()
+            .contains("unknown topology"));
+        assert!(topology_from_args(&to_args(&["t", "--topology"])).is_err());
+        assert!(topology_from_args(&to_args(&[
+            "t",
+            "--topology",
+            "hier16",
+            "--topology",
+            "hier16"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -110,8 +110,14 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                     self.wake_waiters(producer, cluster);
                 }
                 Action::PartialAddr { seq } => {
-                    if let Some(addr) = self.rob_get(seq).and_then(|i| i.op.addr()) {
-                        self.lsq.arrive_partial(seq, addr, self.cycle);
+                    let info = self
+                        .rob_get(seq)
+                        .and_then(|i| i.op.addr().map(|a| (a, i.lsq_ref)));
+                    if let Some((addr, lref)) = info {
+                        match lref {
+                            Some(r) => self.lsq.arrive_partial_ref(r, addr, self.cycle),
+                            None => self.lsq.arrive_partial(seq, addr, self.cycle),
+                        }
                         if let Some(i) = self.rob_get_mut(seq) {
                             if !i.op.op().is_mem() {
                                 continue;
@@ -128,13 +134,16 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                     }
                 }
                 Action::FullAddr { seq } => {
-                    let (addr, is_store) = match self.rob_get(seq) {
-                        Some(i) => (i.op.addr(), i.op.op() == OpClass::Store),
-                        None => (None, false),
+                    let (addr, is_store, lref) = match self.rob_get(seq) {
+                        Some(i) => (i.op.addr(), i.op.op() == OpClass::Store, i.lsq_ref),
+                        None => (None, false, None),
                     };
                     if let Some(addr) = addr {
                         let now = self.cycle;
-                        self.lsq.arrive_full(seq, addr, now);
+                        match lref {
+                            Some(r) => self.lsq.arrive_full_ref(r, addr, now),
+                            None => self.lsq.arrive_full(seq, addr, now),
+                        }
                         if let Some(i) = self.rob_get_mut(seq) {
                             i.addr_at_lsq = now;
                         }
@@ -388,9 +397,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             let narrow = inst.op.is_narrow_result();
             let pc = inst.op.pc();
             let ram_start = inst.ram_start;
+            let lref = inst.lsq_ref.expect("memory op has an LSQ handle");
             match self
                 .lsq
-                .load_status_probed(seq, cycle, use_partial, &mut self.probe)
+                .load_status_ref_probed(lref, cycle, use_partial, &mut self.probe)
             {
                 LoadStatus::PartialReady => {
                     if ram_start.is_none() {

@@ -150,9 +150,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             }
 
             // LSQ entry for memory ops.
-            if op.op().is_mem() {
-                self.lsq.insert(seq, op.op() == OpClass::Store);
-            }
+            let lsq_ref = op
+                .op()
+                .is_mem()
+                .then(|| self.lsq.insert(seq, op.op() == OpClass::Store));
 
             self.rob.push_back(Inflight {
                 op,
@@ -166,6 +167,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                 ram_start: None,
                 at_cache: false,
                 addr_at_lsq: 0,
+                lsq_ref,
                 agen_done: false,
                 store_data_sent: false,
                 store_addr_arrived: false,

@@ -172,7 +172,9 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
     /// committable ROB head, dispatchable fetch-queue entries, a fetch /
     /// network / LSQ event, a deferred send, a wheel completion, a ready
     /// instruction waiting on its FU, pending store-data sends, or a store
-    /// retirement that may re-disambiguate a waiting load.
+    /// retirement that may re-disambiguate a waiting load. The network term
+    /// is exact and O(1): pending arbitration means next cycle, otherwise
+    /// the indexed engine reads the earliest delivery off its wheel.
     fn next_event_cycle(&self, cap: u64) -> u64 {
         let now = self.cycle;
         let soon = now + 1;
@@ -223,7 +225,12 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         while self.committed < target {
             self.cycle += 1;
             self.retired_store = false;
-            self.network.tick_probed(self.cycle, &mut self.probe);
+            // An empty-pending tick is a no-op (no departures, no stats, no
+            // probe events), so skip the call entirely; the network's
+            // monotonic-cycle contract allows gaps.
+            if self.network.pending_len() > 0 {
+                self.network.tick_probed(self.cycle, &mut self.probe);
+            }
             self.process_deliveries();
             self.process_deferred();
             match kernel {

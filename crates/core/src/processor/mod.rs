@@ -59,7 +59,7 @@ use heterowire_frontend::FetchEngine;
 use heterowire_interconnect::{NetConfig, Topology, Transfer};
 use heterowire_interconnect::{Network, TransferId};
 use heterowire_isa::MicroOp;
-use heterowire_memory::{LoadStoreQueue, MemConfig, MemoryHierarchy};
+use heterowire_memory::{LoadStoreQueue, LsqRef, MemConfig, MemoryHierarchy};
 use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_trace::TraceGenerator;
 use heterowire_wires::WireClass;
@@ -104,6 +104,8 @@ struct Inflight {
     at_cache: bool,
     /// Loads/stores: cycle the full address reached the LSQ (statistics).
     addr_at_lsq: u64,
+    /// Loads/stores: O(1) handle to this op's LSQ entry.
+    lsq_ref: Option<LsqRef>,
     /// Stores: address has been sent after AGEN.
     agen_done: bool,
     /// Stores: data transfer has been sent.

@@ -4,8 +4,9 @@
 //! The heterogeneous inter-cluster interconnect of the `heterowire`
 //! processor: network topologies ([`topology`] — the 4-cluster crossbar and
 //! the 16-cluster hierarchical crossbar-of-rings of Figure 2), typed
-//! messages with wire-class eligibility ([`message`]), the cycle-driven
-//! arbitration/buffering/energy engine ([`network`]) and the dynamic
+//! messages with wire-class eligibility ([`message`]), the indexed
+//! arbitration/buffering/energy engine ([`network`]) with its retained
+//! scan-based equivalence reference ([`mod@reference`]) and the dynamic
 //! wire-selection policy ([`policy`]) implementing the paper's three
 //! steering criteria plus the L-Wire fast paths.
 //!
@@ -43,10 +44,12 @@ pub mod fvc;
 pub mod message;
 pub mod network;
 pub mod policy;
+pub mod reference;
 pub mod topology;
 
 pub use fvc::FrequentValueTable;
 pub use message::{MessageKind, Transfer};
 pub use network::{NetConfig, NetStats, Network, TransferId};
 pub use policy::{AvailablePlanes, LoadBalancer, TransferHints, WirePolicy};
+pub use reference::ReferenceNetwork;
 pub use topology::{LinkId, Node, Route, Topology};

@@ -1,17 +1,38 @@
-//! The cycle-driven network engine: lane arbitration, buffering, pipelined
-//! delivery and energy accounting.
+//! The O(events) network engine: indexed lane arbitration, a calendar-queue
+//! delivery wheel, and energy accounting.
 //!
 //! Per the paper's model: every link offers the full degree of heterogeneity
 //! (its composition in wire planes), transfers are fully pipelined (a lane
 //! accepts a new transfer every cycle), contention buffers losers in
 //! unbounded FIFOs, and the links in/out of the cache have twice the wires
 //! of cluster links.
+//!
+//! The engine is pinned bit-identical to the retained scan-based
+//! [`ReferenceNetwork`](crate::reference::ReferenceNetwork) (same stats,
+//! same delivery sets, same probe event sequences — enforced by randomized
+//! differential tests). The structural invariants that make the indexed
+//! path exact are documented in DESIGN.md §10:
+//!
+//! * Pending transfers are partitioned into per-(source link, wire class)
+//!   FIFO queues. A transfer's first route link is always its source's
+//!   injection link, and transfer ids are assigned in send order, so each
+//!   queue is id-sorted and the queues partition the pending set.
+//! * Each tick merges the queue heads through a min-heap on id, which
+//!   reproduces the reference scan's global oldest-first order exactly.
+//!   When a grant saturates a queue's own (link, class) lanes the whole
+//!   queue is closed for the tick — every later entry shares that first
+//!   link and class, so the reference scan would deny them all.
+//! * Departed transfers go into a power-of-two calendar wheel keyed by
+//!   delivery cycle, so draining deliveries touches only due buckets and
+//!   `next_event_cycle` reads the exact earliest delivery in O(1).
+
+use std::collections::VecDeque;
 
 use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_wires::{LinkComposition, WireClass};
 
-use crate::message::Transfer;
-use crate::topology::{LinkId, Topology, MAX_ROUTE_LINKS};
+use crate::message::{MessageKind, Transfer};
+use crate::topology::{LinkId, Node, Topology, MAX_ROUTE_LINKS};
 
 /// Identifier of an in-flight or delivered transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,54 +98,166 @@ impl NetStats {
     }
 }
 
-fn class_index(class: WireClass) -> usize {
+pub(crate) fn class_index(class: WireClass) -> usize {
     WireClass::ALL
         .iter()
         .position(|&c| c == class)
         .expect("class is one of the four")
 }
 
-/// Index of a link in [`Topology::all_links`] order, computed
-/// arithmetically so the send hot path needs no hash lookup. Checked
-/// against the enumeration in [`Network::new`].
-fn link_slot(topology: Topology, id: LinkId) -> usize {
-    let n = topology.clusters();
-    match id {
-        LinkId::ClusterOut(c) => 2 * c,
-        LinkId::ClusterIn(c) => 2 * c + 1,
-        LinkId::CacheOut => 2 * n,
-        LinkId::CacheIn => 2 * n + 1,
-        LinkId::Ring { from, to } => {
-            let quads = n / 4;
-            let clockwise = to == (from + 1) % quads;
-            2 * n + 2 + 2 * from + usize::from(!clockwise)
-        }
-    }
-}
-
+/// A route resolved once at construction: link slots, energy hops and the
+/// latency-scaled base delivery latency (before per-message serialization
+/// cycles), cached per (source node, destination node, wire class) so the
+/// send hot path is a table lookup instead of a ring walk.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
-    id: TransferId,
-    transfer: Transfer,
-    /// Link slots of the route, stored inline (no per-transfer heap).
+struct CachedRoute {
     links: [u16; MAX_ROUTE_LINKS],
     nlinks: u8,
+    hops: u32,
+    base_latency: u64,
+}
+
+const EMPTY_ROUTE: CachedRoute = CachedRoute {
+    links: [0; MAX_ROUTE_LINKS],
+    nlinks: 0,
+    hops: 0,
+    base_latency: 0,
+};
+
+/// Slab entry holding only the fields the per-tick arbitration loop reads
+/// (SoA split: the departure-only fields live in [`DepSlot`]; the id rides
+/// in the queue entry next to the slot index, so denials never touch the
+/// slab at all).
+#[derive(Debug, Clone, Copy)]
+struct ArbSlot {
+    enqueued: u64,
+    links: [u16; MAX_ROUTE_LINKS],
+    nlinks: u8,
+    ci: u8,
+}
+
+/// Slab entry holding the fields only read when a transfer departs.
+#[derive(Debug, Clone, Copy)]
+struct DepSlot {
+    transfer: Transfer,
     latency: u64,
     hops: u32,
-    enqueued: u64,
 }
 
-impl Pending {
-    fn links(&self) -> &[u16] {
-        &self.links[..self.nlinks as usize]
-    }
-}
-
+/// One merge-frontier entry: the oldest not-yet-visited candidate of one
+/// active queue during a tick (see `Network::heads`).
 #[derive(Debug, Clone, Copy)]
-struct InFlight {
-    id: TransferId,
-    transfer: Transfer,
+struct Head {
+    /// Candidate transfer id (`u64::MAX` = queue exhausted/closed).
+    id: u64,
+    /// Candidate's slab slot.
+    slot: u32,
+    /// Owning queue index.
+    q: u32,
+    /// Scan position within the queue (denied entries sit before it).
+    cur: u32,
+}
+
+/// One departed transfer waiting on the delivery wheel. `dseq` is a
+/// monotone grant counter: sorting a drained batch by it restores the
+/// reference engine's departure order for probe emission.
+#[derive(Debug, Clone, Copy)]
+struct WheelEntry {
     deliver_at: u64,
+    dseq: u64,
+    id: u64,
+    transfer: Transfer,
+}
+
+/// Calendar queue of in-transit transfers keyed by delivery cycle (same
+/// shape as the processor's completion wheel). The bucket count is a
+/// power of two strictly greater than the longest possible delivery
+/// latency for the network's configuration, so under monotone use a
+/// bucket only ever holds entries for one cycle; every drain still checks
+/// per-entry due-ness, and `earliest` never overestimates, so deliveries
+/// are never missed even for manual non-monotone call patterns.
+#[derive(Debug, Clone)]
+struct DeliveryWheel {
+    buckets: Vec<Vec<WheelEntry>>,
+    mask: u64,
+    scheduled: usize,
+    /// Earliest scheduled delivery cycle — exact under monotone use,
+    /// never an overestimate otherwise (`u64::MAX` when empty).
+    earliest: u64,
+}
+
+impl DeliveryWheel {
+    fn new(horizon: u64) -> Self {
+        let n = horizon.next_power_of_two().max(8);
+        DeliveryWheel {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: n - 1,
+            scheduled: 0,
+            earliest: u64::MAX,
+        }
+    }
+
+    fn schedule(&mut self, now: u64, entry: WheelEntry) {
+        debug_assert!(
+            entry.deliver_at > now && entry.deliver_at - now <= self.mask,
+            "delivery {} outside wheel horizon at cycle {now}",
+            entry.deliver_at
+        );
+        self.buckets[(entry.deliver_at & self.mask) as usize].push(entry);
+        self.scheduled += 1;
+        self.earliest = self.earliest.min(entry.deliver_at);
+    }
+
+    /// Moves every entry due at or before `cycle` into `out` (in bucket
+    /// order, not departure order) and advances `earliest` to the first
+    /// surviving delivery.
+    fn drain_due(&mut self, cycle: u64, out: &mut Vec<WheelEntry>) {
+        if self.earliest > cycle {
+            return;
+        }
+        let nb = self.buckets.len() as u64;
+        let lo = self.earliest;
+        let span = cycle - lo + 1;
+        let before = out.len();
+        // Due entries lie in cycles [earliest, cycle]; visit exactly those
+        // buckets (all of them if the span wraps the whole ring).
+        for i in 0..span.min(nb) {
+            let b = &mut self.buckets[((lo + i) & self.mask) as usize];
+            let mut kept = 0;
+            for j in 0..b.len() {
+                let e = b[j];
+                if e.deliver_at <= cycle {
+                    out.push(e);
+                } else {
+                    b[kept] = e;
+                    kept += 1;
+                }
+            }
+            b.truncate(kept);
+        }
+        self.scheduled -= out.len() - before;
+        // Everything due is gone, so the survivors' earliest is past
+        // `cycle`: walk the ring forward to the first non-empty bucket.
+        // Under the kernel's monotone use a bucket holds a single cycle's
+        // entries within any one lap, making this exact; a survivor from a
+        // later lap only ever makes it an underestimate, which is safe —
+        // the next drain re-checks per-entry due-ness and walks again.
+        self.earliest = u64::MAX;
+        if self.scheduled > 0 {
+            for i in 1..=nb {
+                if !self.buckets[((cycle + i) & self.mask) as usize].is_empty() {
+                    self.earliest = cycle + i;
+                    break;
+                }
+            }
+            debug_assert_ne!(self.earliest, u64::MAX, "scheduled > 0");
+        }
+    }
+
+    /// The earliest scheduled delivery cycle, if any.
+    fn next_due(&self) -> Option<u64> {
+        (self.scheduled > 0).then_some(self.earliest)
+    }
 }
 
 /// The inter-cluster network.
@@ -136,11 +269,62 @@ pub struct Network {
     caps: Vec<[u32; 4]>,
     /// Lanes used in the current cycle per link per class.
     used: Vec<[u32; 4]>,
-    pending: Vec<Pending>,
-    in_flight: Vec<InFlight>,
+    /// Routes cached per (src node, dst node, class); see [`CachedRoute`].
+    routes: Vec<CachedRoute>,
+    /// Arbitration-read slab half, parallel to `dep` (SoA split).
+    arb: Vec<ArbSlot>,
+    /// Departure-read slab half, parallel to `arb`.
+    dep: Vec<DepSlot>,
+    /// Free slab slots.
+    free: Vec<u32>,
+    /// Per-(source link slot, class) FIFO queues of `(id, slab slot)`
+    /// pairs, id-sorted because ids are assigned in send order. Indexed
+    /// `slot * 4 + ci`; only injection links (ClusterOut / CacheOut) ever
+    /// host entries. Carrying the id inline keeps the tick's frontier
+    /// maintenance off the slab.
+    queues: Vec<VecDeque<(u64, u32)>>,
+    /// Queues currently holding entries (lazily pruned each tick).
+    active: Vec<u32>,
+    /// Membership flags for `active`.
+    in_active: Vec<bool>,
+    /// Tick-local merge frontier: each active queue's current candidate
+    /// (id `u64::MAX` once the queue is exhausted or closed for the tick)
+    /// plus its scan cursor — entries before the cursor were already
+    /// denied this cycle. A linear min-scan over this small array replaces
+    /// a heap: the active-queue count is bounded by (source links x
+    /// classes) and is almost always a handful, so the scan is
+    /// cache-resident and branch-predictable.
+    heads: Vec<Head>,
+    /// Pending transfers across all queues.
+    pending_count: usize,
+    wheel: DeliveryWheel,
+    /// Scratch for wheel drains (reused; no steady-state allocation).
+    drained: Vec<WheelEntry>,
+    /// Monotone grant counter tagging wheel entries with departure order.
+    dseq: u64,
     next_id: u64,
     last_tick: Option<u64>,
     stats: NetStats,
+    /// Total link leakage weight, precomputed at construction.
+    leakage_weight: f64,
+}
+
+fn node_of(index: usize, clusters: usize) -> Node {
+    if index == clusters {
+        Node::Cache
+    } else {
+        Node::Cluster(index)
+    }
+}
+
+fn node_index(node: Node, clusters: usize) -> usize {
+    match node {
+        Node::Cluster(c) => {
+            assert!(c < clusters, "cluster {c} out of range");
+            c
+        }
+        Node::Cache => clusters,
+    }
 }
 
 impl Network {
@@ -169,24 +353,83 @@ impl Network {
             caps.push(lanes);
         }
         let used = vec![[0; 4]; link_ids.len()];
-        // `link_slot` must agree with the enumeration order of `all_links`.
+        // `Topology::link_slot` must agree with the enumeration order of
+        // `all_links` (the route table below stores slots, not LinkIds).
         for (i, &id) in link_ids.iter().enumerate() {
             debug_assert_eq!(
-                link_slot(config.topology, id),
+                config.topology.link_slot(id),
                 i,
                 "link slot mismatch for {id:?}"
             );
         }
+
+        // Resolve every (src, dst, class) route once. The wheel horizon is
+        // the longest base latency plus the worst-case serialization tail.
+        let clusters = config.topology.clusters();
+        let nodes = clusters + 1;
+        let mut routes = vec![EMPTY_ROUTE; nodes * nodes * 4];
+        let max_serialization = MessageKind::SplitValue.serialization_cycles(WireClass::L);
+        let mut max_latency = 1u64;
+        for si in 0..nodes {
+            for di in 0..nodes {
+                if si == di {
+                    continue;
+                }
+                let src = node_of(si, clusters);
+                let dst = node_of(di, clusters);
+                for (ci, &class) in WireClass::ALL.iter().enumerate() {
+                    let r = config.topology.route_inline(src, dst, class);
+                    let scale = if config.transmission_line_l && class == WireClass::L {
+                        1.0
+                    } else {
+                        config.latency_scale
+                    };
+                    let base = ((r.latency as f64) * scale).round() as u64;
+                    let mut links = [0u16; MAX_ROUTE_LINKS];
+                    for (slot, &l) in links.iter_mut().zip(r.links()) {
+                        *slot = config.topology.link_slot(l) as u16;
+                    }
+                    routes[(si * nodes + di) * 4 + ci] = CachedRoute {
+                        links,
+                        nlinks: r.links().len() as u8,
+                        hops: r.hops,
+                        base_latency: base,
+                    };
+                    max_latency = max_latency.max(base.max(1) + max_serialization);
+                }
+            }
+        }
+
+        let leakage_weight = link_ids
+            .iter()
+            .map(|id| match id {
+                LinkId::CacheIn | LinkId::CacheOut => cache_link.leakage_weight(),
+                _ => config.cluster_link.leakage_weight(),
+            })
+            .sum();
+
+        let nqueues = link_ids.len() * 4;
         Network {
             config,
-            link_ids,
             caps,
             used,
-            pending: Vec::new(),
-            in_flight: Vec::new(),
+            routes,
+            arb: Vec::new(),
+            dep: Vec::new(),
+            free: Vec::new(),
+            queues: (0..nqueues).map(|_| VecDeque::new()).collect(),
+            active: Vec::new(),
+            in_active: vec![false; nqueues],
+            heads: Vec::new(),
+            pending_count: 0,
+            wheel: DeliveryWheel::new(max_latency + 1),
+            drained: Vec::new(),
+            dseq: 0,
             next_id: 0,
             last_tick: None,
             stats: NetStats::default(),
+            leakage_weight,
+            link_ids,
         }
     }
 
@@ -226,38 +469,60 @@ impl Network {
             "network has no {} plane",
             transfer.class
         );
-        let route = self
-            .config
-            .topology
-            .route_inline(transfer.src, transfer.dst, transfer.class);
-        // Transmission-line L-Wires fly at time-of-flight: wire-constrained
-        // latency scaling does not apply to them.
-        let scale = if self.config.transmission_line_l && transfer.class == WireClass::L {
-            1.0
-        } else {
-            self.config.latency_scale
-        };
+        assert!(
+            transfer.src != transfer.dst,
+            "no self-transfers on the network"
+        );
+        let clusters = self.config.topology.clusters();
+        let nodes = clusters + 1;
+        let si = node_index(transfer.src, clusters);
+        let di = node_index(transfer.dst, clusters);
+        let ci = class_index(transfer.class);
+        let route = &self.routes[(si * nodes + di) * 4 + ci];
         // Chunked messages (a SplitValue on an L lane) trail their first
         // chunk by the serialization cycles; the flit count is a property
-        // of the message/lane pair, so scaling does not apply to it.
-        let latency = ((route.latency as f64) * scale).round() as u64
-            + transfer.kind.serialization_cycles(transfer.class);
+        // of the message/lane pair, so latency scaling (already baked into
+        // the cached base latency) does not apply to it.
+        let latency =
+            (route.base_latency + transfer.kind.serialization_cycles(transfer.class)).max(1);
         let id = TransferId(self.next_id);
         self.next_id += 1;
-        self.stats.transfers[class_index(transfer.class)] += 1;
-        let mut links = [0u16; MAX_ROUTE_LINKS];
-        for (slot, &l) in links.iter_mut().zip(route.links()) {
-            *slot = link_slot(self.config.topology, l) as u16;
-        }
-        self.pending.push(Pending {
-            id,
-            transfer,
-            links,
-            nlinks: route.links().len() as u8,
-            latency: latency.max(1),
-            hops: route.hops,
+        self.stats.transfers[ci] += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.arb.push(ArbSlot {
+                    enqueued: 0,
+                    links: [0; MAX_ROUTE_LINKS],
+                    nlinks: 0,
+                    ci: 0,
+                });
+                self.dep.push(DepSlot {
+                    transfer,
+                    latency: 0,
+                    hops: 0,
+                });
+                self.arb.len() - 1
+            }
+        };
+        self.arb[slot] = ArbSlot {
             enqueued: cycle,
-        });
+            links: route.links,
+            nlinks: route.nlinks,
+            ci: ci as u8,
+        };
+        self.dep[slot] = DepSlot {
+            transfer,
+            latency,
+            hops: route.hops,
+        };
+        let q = route.links[0] as usize * 4 + ci;
+        self.queues[q].push_back((id.0, slot as u32));
+        if !self.in_active[q] {
+            self.in_active[q] = true;
+            self.active.push(q as u32);
+        }
+        self.pending_count += 1;
         if P::ENABLED {
             probe.enqueue(cycle, id.0, transfer.class);
         }
@@ -275,6 +540,42 @@ impl Network {
         self.tick_probed(cycle, &mut NullProbe)
     }
 
+    /// Departure bookkeeping shared by the arbitration paths: stats,
+    /// probe events, wheel scheduling and slab reclamation. Lane usage
+    /// and queue removal stay with the caller — the single-transfer fast
+    /// path never touches either.
+    #[inline]
+    fn grant<P: Probe>(&mut self, cycle: u64, id: u64, slot: usize, a: ArbSlot, probe: &mut P) {
+        let d = self.dep[slot];
+        let ci = a.ci as usize;
+        self.stats.queue_cycles += cycle - a.enqueued - 1;
+        let bits = d.transfer.kind.bits() as u64 * d.hops as u64;
+        self.stats.bit_hops[ci] += bits;
+        let mut unit = d.transfer.class.params().relative_dynamic;
+        if self.config.transmission_line_l && d.transfer.class == WireClass::L {
+            unit /= 3.0; // Chang et al.: 3x energy reduction
+        }
+        self.stats.dynamic_energy += bits as f64 * unit;
+        if P::ENABLED {
+            probe.depart(cycle, id, d.transfer.class, cycle - a.enqueued - 1);
+            for &l in &a.links[..a.nlinks as usize] {
+                probe.link_busy(cycle, l as usize, d.transfer.class);
+            }
+        }
+        self.wheel.schedule(
+            cycle,
+            WheelEntry {
+                deliver_at: cycle + d.latency,
+                dseq: self.dseq,
+                id,
+                transfer: d.transfer,
+            },
+        );
+        self.dseq += 1;
+        self.free.push(slot as u32);
+        self.pending_count -= 1;
+    }
+
     /// [`Network::tick`] with telemetry: emits [`Probe::depart`] for every
     /// transfer that wins arbitration and [`Probe::link_busy`] for each
     /// lane-cycle it consumes. With [`NullProbe`] this monomorphizes to
@@ -285,55 +586,128 @@ impl Network {
             assert!(cycle > last, "network ticked backwards ({last} -> {cycle})");
         }
         self.last_tick = Some(cycle);
+        if self.pending_count == 0 {
+            // Nothing can depart; drop stale (drained-empty) queue
+            // activations so future ticks start from a clean set.
+            for &q in &self.active {
+                self.in_active[q as usize] = false;
+            }
+            self.active.clear();
+            return;
+        }
+        if self.pending_count == 1 {
+            // A sole pending transfer cannot be contended: every lane of
+            // its route has capacity >= 1 (`send` rejects classes without
+            // lanes), so it departs as soon as it is eligible — no lane
+            // accounting or merge frontier needed. This is the dominant
+            // case under light traffic.
+            loop {
+                let q = self.active[0] as usize;
+                if let Some(&(id, slot)) = self.queues[q].front() {
+                    let a = self.arb[slot as usize];
+                    if a.enqueued < cycle {
+                        self.grant(cycle, id, slot as usize, a, probe);
+                        self.queues[q].pop_front();
+                    }
+                    return;
+                }
+                self.in_active[q] = false;
+                self.active.swap_remove(0);
+            }
+        }
         for u in &mut self.used {
             *u = [0; 4];
         }
-        // Single ordered pass compacting survivors in place (oldest-first
-        // arbitration order is preserved; no per-element shifting).
-        let mut kept = 0;
-        for i in 0..self.pending.len() {
-            let p = self.pending[i];
-            let ci = class_index(p.transfer.class);
-            // A transfer sent this cycle is eligible next cycle (send
-            // buffers add one cycle of wire scheduling).
-            let departs = p.enqueued < cycle
-                && p.links()
-                    .iter()
-                    .all(|&l| self.used[l as usize][ci] < self.caps[l as usize][ci]);
-            if departs {
-                for &l in p.links() {
-                    self.used[l as usize][ci] += 1;
+        // Seed the merge frontier with the oldest entry of every non-empty
+        // queue, pruning queues that drained since their last activation.
+        self.heads.clear();
+        let mut i = 0;
+        while i < self.active.len() {
+            let q = self.active[i] as usize;
+            match self.queues[q].front() {
+                Some(&(id, slot)) => {
+                    self.heads.push(Head {
+                        id,
+                        slot,
+                        q: q as u32,
+                        cur: 0,
+                    });
+                    i += 1;
                 }
-                self.stats.queue_cycles += cycle - p.enqueued - 1;
-                let bits = p.transfer.kind.bits() as u64 * p.hops as u64;
-                self.stats.bit_hops[ci] += bits;
-                let mut unit = p.transfer.class.params().relative_dynamic;
-                if self.config.transmission_line_l && p.transfer.class == WireClass::L {
-                    unit /= 3.0; // Chang et al.: 3x energy reduction
+                None => {
+                    self.in_active[q] = false;
+                    self.active.swap_remove(i);
                 }
-                self.stats.dynamic_energy += bits as f64 * unit;
-                if P::ENABLED {
-                    probe.depart(cycle, p.id.0, p.transfer.class, cycle - p.enqueued - 1);
-                    for &l in p.links() {
-                        probe.link_busy(cycle, l as usize, p.transfer.class);
-                    }
-                }
-                self.in_flight.push(InFlight {
-                    id: p.id,
-                    transfer: p.transfer,
-                    deliver_at: cycle + p.latency,
-                });
-            } else {
-                self.pending[kept] = p;
-                kept += 1;
             }
         }
-        self.pending.truncate(kept);
+        // Repeatedly take the globally-oldest frontier candidate; each
+        // visit is exactly the transfer the reference scan would visit
+        // next among those still able to depart this cycle.
+        loop {
+            let mut best = 0usize;
+            let mut best_id = u64::MAX;
+            for (i, h) in self.heads.iter().enumerate() {
+                if h.id < best_id {
+                    best_id = h.id;
+                    best = i;
+                }
+            }
+            if best_id == u64::MAX {
+                break;
+            }
+            let Head {
+                slot, q: qi, cur, ..
+            } = self.heads[best];
+            let q = qi as usize;
+            let slot = slot as usize;
+            let a = self.arb[slot];
+            let ci = a.ci as usize;
+            let links = &a.links[..a.nlinks as usize];
+            // A transfer sent this cycle is eligible next cycle (send
+            // buffers add one cycle of wire scheduling).
+            let departs = a.enqueued < cycle
+                && links
+                    .iter()
+                    .all(|&l| self.used[l as usize][ci] < self.caps[l as usize][ci]);
+            let ncur = if departs {
+                for &l in links {
+                    self.used[l as usize][ci] += 1;
+                }
+                self.grant(cycle, best_id, slot, a, probe);
+                // Remove at the cursor — almost always the front; denied
+                // older entries may sit before it, in which case the shift
+                // cost is bounded by the denials already paid this tick.
+                if cur == 0 {
+                    self.queues[q].pop_front();
+                } else {
+                    self.queues[q].remove(cur as usize);
+                }
+                cur
+            } else {
+                cur + 1
+            };
+            // Close the queue once its own (link, class) lanes are
+            // saturated: every later entry shares that first link and
+            // class, so the reference scan would deny them all.
+            let own_link = q >> 2;
+            let own_ci = q & 3;
+            match self.queues[q].get(ncur as usize) {
+                Some(&(id, slot)) if self.used[own_link][own_ci] < self.caps[own_link][own_ci] => {
+                    self.heads[best] = Head {
+                        id,
+                        slot,
+                        q: qi,
+                        cur: ncur,
+                    };
+                }
+                _ => self.heads[best].id = u64::MAX,
+            }
+        }
     }
 
     /// Removes all transfers delivered at or before `cycle` into `out`
     /// (cleared first, then sorted by id) without allocating in steady
-    /// state.
+    /// state. O(1) when nothing is due.
     pub fn take_delivered_into(&mut self, cycle: u64, out: &mut Vec<(TransferId, Transfer)>) {
         self.take_delivered_into_probed(cycle, out, &mut NullProbe)
     }
@@ -349,23 +723,25 @@ impl Network {
         probe: &mut P,
     ) {
         out.clear();
-        let mut kept = 0;
-        for i in 0..self.in_flight.len() {
-            let f = self.in_flight[i];
-            if f.deliver_at <= cycle {
-                self.stats.delivered += 1;
-                if P::ENABLED {
-                    // `deliver_at`, not `cycle`: the kernel may have
-                    // skipped idle cycles past the actual delivery time.
-                    probe.deliver(f.deliver_at, f.id.0, f.transfer.class);
-                }
-                out.push((f.id, f.transfer));
-            } else {
-                self.in_flight[kept] = f;
-                kept += 1;
-            }
+        if self.wheel.next_due().is_none_or(|d| d > cycle) {
+            return;
         }
-        self.in_flight.truncate(kept);
+        self.drained.clear();
+        self.wheel.drain_due(cycle, &mut self.drained);
+        if P::ENABLED {
+            // The reference engine counts deliveries in departure order;
+            // restore it so probe event sequences match bit-for-bit.
+            self.drained.sort_unstable_by_key(|e| e.dseq);
+        }
+        for e in &self.drained {
+            self.stats.delivered += 1;
+            if P::ENABLED {
+                // `deliver_at`, not `cycle`: the kernel may have skipped
+                // idle cycles past the actual delivery time.
+                probe.deliver(e.deliver_at, e.id, e.transfer.class);
+            }
+            out.push((TransferId(e.id), e.transfer));
+        }
         out.sort_unstable_by_key(|(id, _)| *id);
     }
 
@@ -384,28 +760,24 @@ impl Network {
     /// The earliest future cycle at which the network can change state:
     /// next cycle while anything is pending arbitration (departures and
     /// queueing stats accrue per tick), otherwise the earliest in-flight
-    /// delivery. `None` when the network is empty — ticks may then be
-    /// skipped without observable effect.
+    /// delivery (read off the wheel in O(1)). `None` when the network is
+    /// empty — ticks may then be skipped without observable effect.
     pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
-        if !self.pending.is_empty() {
+        if self.pending_count > 0 {
             return Some(now + 1);
         }
-        self.in_flight
-            .iter()
-            .map(|f| f.deliver_at)
-            .min()
-            .map(|d| d.max(now + 1))
+        self.wheel.next_due().map(|d| d.max(now + 1))
     }
 
     /// Transfers still queued or in flight.
     pub fn inflight_len(&self) -> usize {
-        self.pending.len() + self.in_flight.len()
+        self.pending_count + self.wheel.scheduled
     }
 
     /// Transfers buffered awaiting lane arbitration (not yet departed).
     /// Telemetry reconciliation: `injected - departed == pending_len`.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending_count
     }
 
     /// Labels of all links in stable slot order (the `link` index emitted
@@ -421,7 +793,18 @@ impl Network {
 
     /// Total leakage weight of all wire planes on all links — multiply by
     /// executed cycles and the leakage energy unit to get leakage energy.
+    /// Precomputed at construction; the derivation from the link list is
+    /// kept as a debug assertion.
     pub fn leakage_weight(&self) -> f64 {
+        debug_assert_eq!(
+            self.leakage_weight,
+            self.derive_leakage_weight(),
+            "precomputed leakage weight diverged from the link list"
+        );
+        self.leakage_weight
+    }
+
+    fn derive_leakage_weight(&self) -> f64 {
         let cache_link = self.config.cluster_link.widened(2);
         self.link_ids
             .iter()
@@ -552,6 +935,62 @@ mod tests {
         n.tick(3);
         assert_eq!(n.take_delivered(3).len(), 4);
         assert_eq!(n.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn younger_transfer_bypasses_blocked_older_one() {
+        let mut n = net();
+        // Saturate c1.in's two B lanes from cluster 2, then race an older
+        // blocked transfer (0 -> 1) against a younger one (0 -> 3): the
+        // younger departs around it (mid-queue removal in the (c0.out, B)
+        // queue) while the older waits a cycle.
+        n.send(reg_transfer(2, 1, WireClass::B), 0);
+        n.send(reg_transfer(2, 1, WireClass::B), 0);
+        let blocked = n.send(reg_transfer(0, 1, WireClass::B), 0);
+        let bypass = n.send(reg_transfer(0, 3, WireClass::B), 0);
+        n.tick(1);
+        n.tick(2);
+        n.tick(3);
+        n.tick(4);
+        let d = n.take_delivered(10);
+        assert_eq!(d.len(), 4);
+        assert_eq!(n.stats().queue_cycles, 1, "only the blocked one waited");
+        // The bypasser departed at cycle 1 (delivered 3), the blocked
+        // transfer at cycle 2 (delivered 4).
+        assert!(d.iter().any(|&(id, _)| id == bypass));
+        assert!(d.iter().any(|&(id, _)| id == blocked));
+    }
+
+    #[test]
+    fn next_event_is_exact_for_pending_and_in_flight() {
+        let mut n = net();
+        assert_eq!(n.next_event_cycle(0), None, "empty network has no events");
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        assert_eq!(n.next_event_cycle(0), Some(1), "pending -> next tick");
+        n.tick(1);
+        // Departed at 1, B crossbar latency 2 -> delivery at 3 exactly.
+        assert_eq!(n.next_event_cycle(1), Some(3));
+        let mut out = Vec::new();
+        n.take_delivered_into(3, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(n.next_event_cycle(3), None);
+    }
+
+    #[test]
+    fn delivery_wheel_drains_across_skipped_cycles() {
+        let mut n = net();
+        // Deliveries due at several different cycles, drained in one call
+        // far in the future (the kernel skips idle cycles).
+        n.send(reg_transfer(0, 1, WireClass::L), 0);
+        n.send(reg_transfer(0, 1, WireClass::B), 0);
+        n.tick(1);
+        n.send(reg_transfer(2, 3, WireClass::B), 5);
+        n.tick(6);
+        let d = n.take_delivered(1000);
+        assert_eq!(d.len(), 3);
+        assert_eq!(n.inflight_len(), 0);
+        // Ids come back sorted.
+        assert!(d.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! The retained scan-based network engine, kept as the equivalence
+//! reference for the indexed [`Network`](crate::network::Network).
+//!
+//! This is the pre-rework implementation verbatim: a flat `pending` Vec
+//! rescanned in full on every tick and a flat `in_flight` Vec rescanned
+//! (and the due subset sorted) on every delivery drain. It is deliberately
+//! simple — the arbitration semantics are readable straight off the scan
+//! loop — and deliberately slow, so it must never be used by the
+//! simulator itself. The randomized differential tests in
+//! `tests/differential.rs` drive it and the production network with
+//! identical transfer streams and assert bit-identical [`NetStats`],
+//! delivery sets and probe event sequences.
+
+use heterowire_telemetry::{NullProbe, Probe};
+use heterowire_wires::WireClass;
+
+use crate::message::Transfer;
+use crate::network::{class_index, NetConfig, NetStats, TransferId};
+use crate::topology::MAX_ROUTE_LINKS;
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: TransferId,
+    transfer: Transfer,
+    /// Link slots of the route, stored inline (no per-transfer heap).
+    links: [u16; MAX_ROUTE_LINKS],
+    nlinks: u8,
+    latency: u64,
+    hops: u32,
+    enqueued: u64,
+}
+
+impl Pending {
+    fn links(&self) -> &[u16] {
+        &self.links[..self.nlinks as usize]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    id: TransferId,
+    transfer: Transfer,
+    deliver_at: u64,
+}
+
+/// The scan-based reference network: same public surface as
+/// [`Network`](crate::network::Network) (send / tick / take_delivered /
+/// next-event accessors), O(pending) per tick and O(in-flight) per drain.
+#[derive(Debug, Clone)]
+pub struct ReferenceNetwork {
+    config: NetConfig,
+    /// Lane capacity per link per wire class.
+    caps: Vec<[u32; 4]>,
+    /// Lanes used in the current cycle per link per class.
+    used: Vec<[u32; 4]>,
+    pending: Vec<Pending>,
+    in_flight: Vec<InFlight>,
+    next_id: u64,
+    last_tick: Option<u64>,
+    stats: NetStats,
+}
+
+impl ReferenceNetwork {
+    /// Builds the reference network for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster link composition is empty.
+    pub fn new(config: NetConfig) -> Self {
+        assert!(
+            !config.cluster_link.is_empty(),
+            "links need at least one wire plane"
+        );
+        let link_ids = config.topology.all_links();
+        let cache_link = config.cluster_link.widened(2);
+        let mut caps = Vec::with_capacity(link_ids.len());
+        for &id in &link_ids {
+            let comp = match id {
+                crate::topology::LinkId::CacheIn | crate::topology::LinkId::CacheOut => &cache_link,
+                _ => &config.cluster_link,
+            };
+            let mut lanes = [0u32; 4];
+            for (ci, &c) in WireClass::ALL.iter().enumerate() {
+                lanes[ci] = comp.lanes(c);
+            }
+            caps.push(lanes);
+        }
+        let used = vec![[0; 4]; link_ids.len()];
+        ReferenceNetwork {
+            config,
+            caps,
+            used,
+            pending: Vec::new(),
+            in_flight: Vec::new(),
+            next_id: 0,
+            last_tick: None,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// True if the link composition offers any lanes of `class`.
+    pub fn has_class(&self, class: WireClass) -> bool {
+        self.config.cluster_link.lanes(class) > 0
+    }
+
+    /// Enqueues a transfer at `cycle` (see `Network::send`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message kind is not allowed on the chosen wire class
+    /// or the network has no lanes of that class.
+    pub fn send(&mut self, transfer: Transfer, cycle: u64) -> TransferId {
+        self.send_probed(transfer, cycle, &mut NullProbe)
+    }
+
+    /// [`ReferenceNetwork::send`] with telemetry.
+    pub fn send_probed<P: Probe>(
+        &mut self,
+        transfer: Transfer,
+        cycle: u64,
+        probe: &mut P,
+    ) -> TransferId {
+        assert!(
+            transfer.kind.allowed_on(transfer.class),
+            "{:?} cannot ride {} wires",
+            transfer.kind,
+            transfer.class
+        );
+        assert!(
+            self.has_class(transfer.class),
+            "network has no {} plane",
+            transfer.class
+        );
+        let route = self
+            .config
+            .topology
+            .route_inline(transfer.src, transfer.dst, transfer.class);
+        let scale = if self.config.transmission_line_l && transfer.class == WireClass::L {
+            1.0
+        } else {
+            self.config.latency_scale
+        };
+        let latency = ((route.latency as f64) * scale).round() as u64
+            + transfer.kind.serialization_cycles(transfer.class);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.stats.transfers[class_index(transfer.class)] += 1;
+        let mut links = [0u16; MAX_ROUTE_LINKS];
+        for (slot, &l) in links.iter_mut().zip(route.links()) {
+            *slot = self.config.topology.link_slot(l) as u16;
+        }
+        self.pending.push(Pending {
+            id,
+            transfer,
+            links,
+            nlinks: route.links().len() as u8,
+            latency: latency.max(1),
+            hops: route.hops,
+            enqueued: cycle,
+        });
+        if P::ENABLED {
+            probe.enqueue(cycle, id.0, transfer.class);
+        }
+        id
+    }
+
+    /// Arbitrates lanes for `cycle` by rescanning the whole pending set
+    /// oldest first (see `Network::tick`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` moves backwards.
+    pub fn tick(&mut self, cycle: u64) {
+        self.tick_probed(cycle, &mut NullProbe)
+    }
+
+    /// [`ReferenceNetwork::tick`] with telemetry.
+    pub fn tick_probed<P: Probe>(&mut self, cycle: u64, probe: &mut P) {
+        if let Some(last) = self.last_tick {
+            assert!(cycle > last, "network ticked backwards ({last} -> {cycle})");
+        }
+        self.last_tick = Some(cycle);
+        for u in &mut self.used {
+            *u = [0; 4];
+        }
+        // Single ordered pass compacting survivors in place (oldest-first
+        // arbitration order is preserved; no per-element shifting).
+        let mut kept = 0;
+        for i in 0..self.pending.len() {
+            let p = self.pending[i];
+            let ci = class_index(p.transfer.class);
+            // A transfer sent this cycle is eligible next cycle (send
+            // buffers add one cycle of wire scheduling).
+            let departs = p.enqueued < cycle
+                && p.links()
+                    .iter()
+                    .all(|&l| self.used[l as usize][ci] < self.caps[l as usize][ci]);
+            if departs {
+                for &l in p.links() {
+                    self.used[l as usize][ci] += 1;
+                }
+                self.stats.queue_cycles += cycle - p.enqueued - 1;
+                let bits = p.transfer.kind.bits() as u64 * p.hops as u64;
+                self.stats.bit_hops[ci] += bits;
+                let mut unit = p.transfer.class.params().relative_dynamic;
+                if self.config.transmission_line_l && p.transfer.class == WireClass::L {
+                    unit /= 3.0; // Chang et al.: 3x energy reduction
+                }
+                self.stats.dynamic_energy += bits as f64 * unit;
+                if P::ENABLED {
+                    probe.depart(cycle, p.id.0, p.transfer.class, cycle - p.enqueued - 1);
+                    for &l in p.links() {
+                        probe.link_busy(cycle, l as usize, p.transfer.class);
+                    }
+                }
+                self.in_flight.push(InFlight {
+                    id: p.id,
+                    transfer: p.transfer,
+                    deliver_at: cycle + p.latency,
+                });
+            } else {
+                self.pending[kept] = p;
+                kept += 1;
+            }
+        }
+        self.pending.truncate(kept);
+    }
+
+    /// Removes all transfers delivered at or before `cycle` into `out`
+    /// (cleared first, then sorted by id).
+    pub fn take_delivered_into(&mut self, cycle: u64, out: &mut Vec<(TransferId, Transfer)>) {
+        self.take_delivered_into_probed(cycle, out, &mut NullProbe)
+    }
+
+    /// [`ReferenceNetwork::take_delivered_into`] with telemetry.
+    pub fn take_delivered_into_probed<P: Probe>(
+        &mut self,
+        cycle: u64,
+        out: &mut Vec<(TransferId, Transfer)>,
+        probe: &mut P,
+    ) {
+        out.clear();
+        let mut kept = 0;
+        for i in 0..self.in_flight.len() {
+            let f = self.in_flight[i];
+            if f.deliver_at <= cycle {
+                self.stats.delivered += 1;
+                if P::ENABLED {
+                    // `deliver_at`, not `cycle`: the kernel may have
+                    // skipped idle cycles past the actual delivery time.
+                    probe.deliver(f.deliver_at, f.id.0, f.transfer.class);
+                }
+                out.push((f.id, f.transfer));
+            } else {
+                self.in_flight[kept] = f;
+                kept += 1;
+            }
+        }
+        self.in_flight.truncate(kept);
+        out.sort_unstable_by_key(|(id, _)| *id);
+    }
+
+    /// The earliest future cycle at which the network can change state
+    /// (see `Network::next_event_cycle`).
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        if !self.pending.is_empty() {
+            return Some(now + 1);
+        }
+        self.in_flight
+            .iter()
+            .map(|f| f.deliver_at)
+            .min()
+            .map(|d| d.max(now + 1))
+    }
+
+    /// Transfers still queued or in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.pending.len() + self.in_flight.len()
+    }
+
+    /// Transfers buffered awaiting lane arbitration (not yet departed).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}

@@ -152,6 +152,24 @@ impl Topology {
         links
     }
 
+    /// Index of `id` in [`Topology::all_links`] order, computed
+    /// arithmetically so hot paths need no hash lookup. The network checks
+    /// this against the enumeration at construction time.
+    pub fn link_slot(&self, id: LinkId) -> usize {
+        let n = self.clusters();
+        match id {
+            LinkId::ClusterOut(c) => 2 * c,
+            LinkId::ClusterIn(c) => 2 * c + 1,
+            LinkId::CacheOut => 2 * n,
+            LinkId::CacheIn => 2 * n + 1,
+            LinkId::Ring { from, to } => {
+                let quads = n / 4;
+                let clockwise = to == (from + 1) % quads;
+                2 * n + 2 + 2 * from + usize::from(!clockwise)
+            }
+        }
+    }
+
     /// Computes the route from `src` to `dst` for a transfer on `class`
     /// wires without heap allocation.
     ///
@@ -318,6 +336,15 @@ mod tests {
         assert_eq!(links.len(), unique.len());
         // 16 clusters * 2 + cache 2 + 8 ring segments.
         assert_eq!(links.len(), 16 * 2 + 2 + 8);
+    }
+
+    #[test]
+    fn link_slot_matches_enumeration_order() {
+        for t in [Topology::crossbar4(), Topology::hier16()] {
+            for (i, &id) in t.all_links().iter().enumerate() {
+                assert_eq!(t.link_slot(id), i, "{id:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Randomized differential tests: the indexed O(events) [`Network`] must be
+//! bit-identical to the retained scan-based [`ReferenceNetwork`] under
+//! randomized bursty and starvation-shaped traffic on both topologies —
+//! same [`NetStats`] (including the f64 energy accumulator, so grant order
+//! matters), same delivery sets in the same order, same probe event
+//! sequences at the same cycles, and same next-event answers every cycle.
+
+use heterowire_interconnect::{
+    MessageKind, NetConfig, NetStats, Network, Node, ReferenceNetwork, Topology, Transfer,
+    TransferId,
+};
+use heterowire_rng::SmallRng;
+use heterowire_telemetry::Probe;
+use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+
+/// Every probe hook the network fires, with its full payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Enqueue(u64, u64, WireClass),
+    Depart(u64, u64, WireClass, u64),
+    LinkBusy(u64, usize, WireClass),
+    Deliver(u64, u64, WireClass),
+}
+
+#[derive(Debug, Default)]
+struct RecProbe {
+    events: Vec<Event>,
+}
+
+impl Probe for RecProbe {
+    fn enqueue(&mut self, cycle: u64, id: u64, class: WireClass) {
+        self.events.push(Event::Enqueue(cycle, id, class));
+    }
+
+    fn depart(&mut self, cycle: u64, id: u64, class: WireClass, queued: u64) {
+        self.events.push(Event::Depart(cycle, id, class, queued));
+    }
+
+    fn link_busy(&mut self, cycle: u64, link: usize, class: WireClass) {
+        self.events.push(Event::LinkBusy(cycle, link, class));
+    }
+
+    fn deliver(&mut self, cycle: u64, id: u64, class: WireClass) {
+        self.events.push(Event::Deliver(cycle, id, class));
+    }
+}
+
+fn full_link() -> LinkComposition {
+    // The paper's Model X link: all three heterogeneous planes.
+    LinkComposition::new(vec![
+        WirePlane::new(WireClass::B, 144),
+        WirePlane::new(WireClass::Pw, 288),
+        WirePlane::new(WireClass::L, 36),
+    ])
+    .unwrap()
+}
+
+fn random_node(rng: &mut SmallRng, clusters: usize) -> Node {
+    // The cache shows up often enough to exercise the widened links.
+    if rng.gen_bool(0.2) {
+        Node::Cache
+    } else {
+        Node::Cluster(rng.gen_range(0..clusters))
+    }
+}
+
+fn random_transfer(rng: &mut SmallRng, clusters: usize, hot: bool) -> Transfer {
+    let (src, dst) = if hot {
+        // Starvation shape: hammer one route so its lanes saturate and
+        // younger transfers bypass blocked older ones for many cycles.
+        (Node::Cluster(0), Node::Cluster(1 % clusters))
+    } else {
+        let src = random_node(rng, clusters);
+        loop {
+            let dst = random_node(rng, clusters);
+            if dst != src {
+                break (src, dst);
+            }
+        }
+    };
+    let class = match rng.gen_range(0..3u32) {
+        0 => WireClass::B,
+        1 => WireClass::Pw,
+        _ => WireClass::L,
+    };
+    let kind = if class == WireClass::L {
+        match rng.gen_range(0..4u32) {
+            0 => MessageKind::NarrowValue,
+            1 => MessageKind::PartialAddress,
+            2 => MessageKind::BranchMispredict,
+            _ => MessageKind::SplitValue,
+        }
+    } else {
+        match rng.gen_range(0..4u32) {
+            0 => MessageKind::RegisterValue,
+            1 => MessageKind::FullAddress,
+            2 => MessageKind::StoreData,
+            _ => MessageKind::CacheData,
+        }
+    };
+    Transfer {
+        src,
+        dst,
+        class,
+        kind,
+    }
+}
+
+/// Drives both engines with one identical randomized stream and asserts
+/// bit-identical behaviour at every observation point.
+fn differential_run(topology: Topology, seed: u64, cycles: u64) -> NetStats {
+    let clusters = topology.clusters();
+    let mut new_net = Network::new(NetConfig::new(topology, full_link()));
+    let mut old_net = ReferenceNetwork::new(NetConfig::new(topology, full_link()));
+    let mut new_probe = RecProbe::default();
+    let mut old_probe = RecProbe::default();
+    let mut new_out: Vec<(TransferId, Transfer)> = Vec::new();
+    let mut old_out: Vec<(TransferId, Transfer)> = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    for cycle in 0..cycles {
+        // Bursts: usually nothing, sometimes a pile-up in one cycle.
+        let burst = if rng.gen_bool(0.3) {
+            0
+        } else if rng.gen_bool(0.85) {
+            rng.gen_range(1..4usize)
+        } else {
+            rng.gen_range(8..25usize)
+        };
+        let hot_phase = (cycle / 64) % 3 == 1;
+        for _ in 0..burst {
+            let hot = hot_phase && rng.gen_bool(0.7);
+            let t = random_transfer(&mut rng, clusters, hot);
+            let id_new = new_net.send_probed(t, cycle, &mut new_probe);
+            let id_old = old_net.send_probed(t, cycle, &mut old_probe);
+            assert_eq!(id_new, id_old, "ids must be assigned identically");
+        }
+        new_net.tick_probed(cycle + 1, &mut new_probe);
+        old_net.tick_probed(cycle + 1, &mut old_probe);
+        // Drain at irregular intervals so wheel drains span several due
+        // cycles at once (the kernel skips idle cycles the same way).
+        if rng.gen_bool(0.6) {
+            new_net.take_delivered_into_probed(cycle + 1, &mut new_out, &mut new_probe);
+            old_net.take_delivered_into_probed(cycle + 1, &mut old_out, &mut old_probe);
+            assert_eq!(new_out, old_out, "delivery sets diverged at {cycle}");
+        }
+        assert_eq!(
+            new_net.next_event_cycle(cycle + 1),
+            old_net.next_event_cycle(cycle + 1),
+            "next-event answers diverged at {cycle}"
+        );
+        assert_eq!(new_net.pending_len(), old_net.pending_len());
+        assert_eq!(new_net.inflight_len(), old_net.inflight_len());
+    }
+    // Final drain far in the future empties both engines.
+    new_net.take_delivered_into_probed(cycles + 10_000, &mut new_out, &mut new_probe);
+    old_net.take_delivered_into_probed(cycles + 10_000, &mut old_out, &mut old_probe);
+    assert_eq!(new_out, old_out);
+
+    assert_eq!(new_probe.events.len(), old_probe.events.len());
+    for (i, (a, b)) in new_probe
+        .events
+        .iter()
+        .zip(old_probe.events.iter())
+        .enumerate()
+    {
+        assert_eq!(a, b, "probe event {i} diverged");
+    }
+    let (new_stats, old_stats) = (new_net.stats(), old_net.stats());
+    assert_eq!(new_stats, old_stats, "NetStats diverged (incl. f64 energy)");
+    assert_eq!(
+        new_stats.dynamic_energy.to_bits(),
+        old_stats.dynamic_energy.to_bits(),
+        "energy must accrue in the same order, bit for bit"
+    );
+    new_stats
+}
+
+#[test]
+fn crossbar4_differential_random_bursts() {
+    let mut delivered = 0;
+    for seed in 0..6 {
+        delivered += differential_run(Topology::crossbar4(), 0x5EED_2005 + seed, 700).delivered;
+    }
+    assert!(delivered > 1_000, "traffic was too light to prove anything");
+}
+
+#[test]
+fn hier16_differential_random_bursts() {
+    let mut delivered = 0;
+    for seed in 0..6 {
+        delivered += differential_run(Topology::hier16(), 0xCAFE + seed, 700).delivered;
+    }
+    assert!(delivered > 1_000, "traffic was too light to prove anything");
+}
+
+#[test]
+fn transmission_line_and_scaled_latency_differential() {
+    // The sensitivity-study configs change per-class latency arithmetic;
+    // the cached route table must reproduce them exactly.
+    for (scale, tl) in [(2.0, false), (1.0, true), (2.0, true)] {
+        for topology in [Topology::crossbar4(), Topology::hier16()] {
+            let mut cfg_new = NetConfig::new(topology, full_link());
+            cfg_new.latency_scale = scale;
+            cfg_new.transmission_line_l = tl;
+            let cfg_old = cfg_new.clone();
+            let mut new_net = Network::new(cfg_new);
+            let mut old_net = ReferenceNetwork::new(cfg_old);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let clusters = topology.clusters();
+            let mut new_out = Vec::new();
+            let mut old_out = Vec::new();
+            for cycle in 0..400 {
+                for _ in 0..rng.gen_range(0..3usize) {
+                    let t = random_transfer(&mut rng, clusters, false);
+                    new_net.send(t, cycle);
+                    old_net.send(t, cycle);
+                }
+                new_net.tick(cycle + 1);
+                old_net.tick(cycle + 1);
+                new_net.take_delivered_into(cycle + 1, &mut new_out);
+                old_net.take_delivered_into(cycle + 1, &mut old_out);
+                assert_eq!(new_out, old_out, "scale={scale} tl={tl}");
+            }
+            assert_eq!(new_net.stats(), old_net.stats());
+        }
+    }
+}
+
+#[test]
+fn starvation_pressure_holds_oldest_first_order() {
+    // Continuous saturation of one route: the oldest pending transfer must
+    // always depart first even while younger traffic bypasses the queue.
+    for topology in [Topology::crossbar4(), Topology::hier16()] {
+        let mut new_net = Network::new(NetConfig::new(topology, full_link()));
+        let mut old_net = ReferenceNetwork::new(NetConfig::new(topology, full_link()));
+        let mut new_out = Vec::new();
+        let mut old_out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(77);
+        for cycle in 0..600 {
+            // Three same-route B transfers per cycle into two B lanes:
+            // the backlog grows without bound while L traffic interleaves.
+            for _ in 0..3 {
+                let t = Transfer {
+                    src: Node::Cluster(0),
+                    dst: Node::Cluster(1),
+                    class: WireClass::B,
+                    kind: MessageKind::RegisterValue,
+                };
+                new_net.send(t, cycle);
+                old_net.send(t, cycle);
+            }
+            if rng.gen_bool(0.5) {
+                let t = Transfer {
+                    src: Node::Cluster(0),
+                    dst: Node::Cluster(2 % topology.clusters()),
+                    class: WireClass::L,
+                    kind: MessageKind::NarrowValue,
+                };
+                new_net.send(t, cycle);
+                old_net.send(t, cycle);
+            }
+            new_net.tick(cycle + 1);
+            old_net.tick(cycle + 1);
+            new_net.take_delivered_into(cycle + 1, &mut new_out);
+            old_net.take_delivered_into(cycle + 1, &mut old_out);
+            assert_eq!(new_out, old_out, "diverged at cycle {cycle}");
+            assert_eq!(new_net.pending_len(), old_net.pending_len());
+        }
+        assert_eq!(new_net.stats(), old_net.stats());
+        assert!(
+            new_net.stats().queue_cycles > 10_000,
+            "starvation pressure did not materialize"
+        );
+    }
+}

@@ -61,9 +61,22 @@ impl LsqStats {
     }
 }
 
+/// Stable handle to an LSQ entry, returned by [`LoadStoreQueue::insert`].
+///
+/// Entries enter at the back and leave from the front, so a handle resolves
+/// to its entry with one subtraction (no binary search); after a mid-queue
+/// [`LoadStoreQueue::remove`] the resolution falls back to a search, so
+/// handles stay valid either way. A handle whose entry has left the queue
+/// simply resolves to nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqRef(u64);
+
 #[derive(Debug, Clone, Copy)]
 struct LsqEntry {
     seq: u64,
+    /// Global insertion index (consecutive while no mid-queue removal has
+    /// punched a hole; see [`LsqRef`]).
+    gid: u64,
     is_store: bool,
     /// Word-granular partial address and its arrival cycle.
     partial: Option<(u64, u64)>,
@@ -72,16 +85,16 @@ struct LsqEntry {
     /// Set once a load's partial match has been classified (avoid double
     /// counting in the stats).
     partial_match_counted: bool,
-    /// Loads: resume point of the incremental full-address scan — every
-    /// older store below this seq has had its full address verified known
-    /// (knownness is monotonic: stamps never unset and older entries never
-    /// appear, so verified prefixes stay verified).
+    /// Loads: resume point (a gid) of the incremental full-address scan —
+    /// every older store below this gid has had its full address verified
+    /// known (knownness is monotonic: stamps never unset and older entries
+    /// never appear, so verified prefixes stay verified).
     full_pos: u64,
     /// Loads: the youngest older store whose full address matched, among
     /// the scanned prefix. Still forwarding only while it has not retired
     /// (retirement is strictly in order from the queue front).
     full_match: Option<u64>,
-    /// Loads: resume point of the incremental partial-address scan.
+    /// Loads: resume point (a gid) of the incremental partial-address scan.
     part_pos: u64,
     /// Loads: the youngest older store whose partial address matched.
     part_match: Option<u64>,
@@ -100,6 +113,12 @@ pub struct LoadStoreQueue {
     /// Largest arrival stamp ever recorded — `next_event_cycle`'s O(1)
     /// fast path (stamps in the past can no longer change any status).
     latest_stamp: u64,
+    /// Next global insertion index to hand out (see [`LsqRef`]).
+    next_gid: u64,
+    /// True while a mid-queue [`LoadStoreQueue::remove`] has left the
+    /// present gids non-consecutive, disabling the O(1) gid arithmetic
+    /// (cleared once the queue drains empty).
+    holes: bool,
 }
 
 /// Byte address → word (8-byte) granule, the conflict-detection granularity.
@@ -121,6 +140,8 @@ impl LoadStoreQueue {
             ls_bits,
             stats: LsqStats::default(),
             latest_stamp: 0,
+            next_gid: 0,
+            holes: false,
         }
     }
 
@@ -128,23 +149,30 @@ impl LoadStoreQueue {
         word_of(addr) & ((1u64 << self.ls_bits) - 1)
     }
 
-    /// Inserts a memory op at dispatch. `seq` values must be strictly
-    /// increasing.
+    /// Inserts a memory op at dispatch and returns a stable handle that
+    /// resolves the entry in O(1) (callers may ignore it and keep using
+    /// the seq-based methods). `seq` values must be strictly increasing.
     ///
     /// # Panics
     ///
     /// Panics if `seq` does not exceed the youngest entry's.
-    pub fn insert(&mut self, seq: u64, is_store: bool) {
+    pub fn insert(&mut self, seq: u64, is_store: bool) -> LsqRef {
         if let Some(back) = self.entries.back() {
             assert!(seq > back.seq, "LSQ inserts must be in program order");
+        } else {
+            // Any hole left by a mid-queue removal has drained away.
+            self.holes = false;
         }
         if is_store {
             self.stats.stores += 1;
         } else {
             self.stats.loads += 1;
         }
+        let gid = self.next_gid;
+        self.next_gid += 1;
         self.entries.push_back(LsqEntry {
             seq,
+            gid,
             is_store,
             partial: None,
             full: None,
@@ -154,6 +182,7 @@ impl LoadStoreQueue {
             part_pos: 0,
             part_match: None,
         });
+        LsqRef(gid)
     }
 
     fn find(&self, seq: u64) -> Option<usize> {
@@ -161,11 +190,48 @@ impl LoadStoreQueue {
         self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()
     }
 
+    /// Resolves a handle to the entry's current index: one subtraction
+    /// while gids are consecutive (the FIFO steady state), binary search
+    /// on the (still sorted) gids after a mid-queue removal. `None` once
+    /// the entry has left the queue.
+    fn find_ref(&self, r: LsqRef) -> Option<usize> {
+        let front_gid = self.entries.front()?.gid;
+        let idx = r.0.checked_sub(front_gid)? as usize;
+        if !self.holes {
+            return (idx < self.entries.len()).then_some(idx);
+        }
+        self.entries.binary_search_by(|e| e.gid.cmp(&r.0)).ok()
+    }
+
+    /// Maps a resume-point gid to the index scanning should restart from:
+    /// the entry itself if still present, index 0 if it (and therefore
+    /// everything older) has retired.
+    fn resume_index(&self, pos: u64) -> usize {
+        let front_gid = self.entries.front().map_or(0, |e| e.gid);
+        if !self.holes {
+            return pos.saturating_sub(front_gid) as usize;
+        }
+        self.entries.partition_point(|e| e.gid < pos)
+    }
+
     /// Records the arrival of the LS bits of `seq`'s address at `cycle`.
     pub fn arrive_partial(&mut self, seq: u64, addr: u64, cycle: u64) {
+        let i = self.find(seq);
+        self.arrive_partial_at(i, addr, cycle);
+    }
+
+    /// [`LoadStoreQueue::arrive_partial`] resolving the entry through its
+    /// handle instead of a seq search. A no-op (beyond the stamp) once the
+    /// entry has left the queue, exactly like an unknown seq.
+    pub fn arrive_partial_ref(&mut self, r: LsqRef, addr: u64, cycle: u64) {
+        let i = self.find_ref(r);
+        self.arrive_partial_at(i, addr, cycle);
+    }
+
+    fn arrive_partial_at(&mut self, i: Option<usize>, addr: u64, cycle: u64) {
         let p = self.partial_of(addr);
         self.latest_stamp = self.latest_stamp.max(cycle);
-        if let Some(i) = self.find(seq) {
+        if let Some(i) = i {
             let e = &mut self.entries[i];
             if e.partial.is_none() {
                 e.partial = Some((p, cycle));
@@ -176,10 +242,22 @@ impl LoadStoreQueue {
     /// Records the arrival of `seq`'s full address at `cycle`. Also fills
     /// the partial bits if they were never sent separately.
     pub fn arrive_full(&mut self, seq: u64, addr: u64, cycle: u64) {
+        let i = self.find(seq);
+        self.arrive_full_at(i, addr, cycle);
+    }
+
+    /// [`LoadStoreQueue::arrive_full`] resolving the entry through its
+    /// handle instead of a seq search.
+    pub fn arrive_full_ref(&mut self, r: LsqRef, addr: u64, cycle: u64) {
+        let i = self.find_ref(r);
+        self.arrive_full_at(i, addr, cycle);
+    }
+
+    fn arrive_full_at(&mut self, i: Option<usize>, addr: u64, cycle: u64) {
         let p = self.partial_of(addr);
         let w = word_of(addr);
         self.latest_stamp = self.latest_stamp.max(cycle);
-        if let Some(i) = self.find(seq) {
+        if let Some(i) = i {
             let e = &mut self.entries[i];
             if e.full.is_none() {
                 e.full = Some((w, cycle));
@@ -215,7 +293,6 @@ impl LoadStoreQueue {
     /// [`Probe::lsq_partial_conflict`] when its partial address first
     /// matches an earlier store. With [`NullProbe`] this monomorphizes to
     /// exactly `load_status`.
-    #[inline(never)]
     pub fn load_status_probed<P: Probe>(
         &mut self,
         seq: u64,
@@ -224,8 +301,48 @@ impl LoadStoreQueue {
         probe: &mut P,
     ) -> LoadStatus {
         let idx = self.find(seq).expect("load must be in the LSQ");
+        self.load_status_at_probed(idx, cycle, use_partial, probe)
+    }
+
+    /// [`LoadStoreQueue::load_status`] resolving the load through its
+    /// handle instead of a seq search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's entry is not a load still in the queue.
+    pub fn load_status_ref(&mut self, r: LsqRef, cycle: u64, use_partial: bool) -> LoadStatus {
+        self.load_status_ref_probed(r, cycle, use_partial, &mut NullProbe)
+    }
+
+    /// [`LoadStoreQueue::load_status_ref`] with telemetry; see
+    /// [`LoadStoreQueue::load_status_probed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's entry is not a load still in the queue.
+    pub fn load_status_ref_probed<P: Probe>(
+        &mut self,
+        r: LsqRef,
+        cycle: u64,
+        use_partial: bool,
+        probe: &mut P,
+    ) -> LoadStatus {
+        let idx = self.find_ref(r).expect("load must be in the LSQ");
+        self.load_status_at_probed(idx, cycle, use_partial, probe)
+    }
+
+    #[inline(never)]
+    fn load_status_at_probed<P: Probe>(
+        &mut self,
+        idx: usize,
+        cycle: u64,
+        use_partial: bool,
+        probe: &mut P,
+    ) -> LoadStatus {
+        let seq = self.entries[idx].seq;
         assert!(!self.entries[idx].is_store, "entry {seq} is a store");
 
+        let own_gid = self.entries[idx].gid;
         let own_full = self.entries[idx].full.filter(|&(_, t)| t <= cycle);
         let own_partial = self.entries[idx].partial.filter(|&(_, t)| t <= cycle);
         let front_seq = self.entries.front().expect("load present").seq;
@@ -237,7 +354,7 @@ impl LoadStoreQueue {
             let mut pos = self.entries[idx].full_pos;
             let mut match_seq = self.entries[idx].full_match;
             let mut all_known = true;
-            let start = self.entries.partition_point(|e| e.seq < pos);
+            let start = self.resume_index(pos);
             for e in self.entries.range(start..idx) {
                 if !e.is_store {
                     continue;
@@ -250,13 +367,13 @@ impl LoadStoreQueue {
                     }
                     None => {
                         all_known = false;
-                        pos = e.seq;
+                        pos = e.gid;
                         break;
                     }
                 }
             }
             if all_known {
-                pos = seq;
+                pos = own_gid;
             }
             {
                 let e = &mut self.entries[idx];
@@ -298,7 +415,7 @@ impl LoadStoreQueue {
         let mut pos = self.entries[idx].part_pos;
         let mut match_seq = self.entries[idx].part_match;
         let mut any_unknown = false;
-        let start = self.entries.partition_point(|e| e.seq < pos);
+        let start = self.resume_index(pos);
         for e in self.entries.range(start..idx) {
             if !e.is_store {
                 continue;
@@ -311,13 +428,13 @@ impl LoadStoreQueue {
                 }
                 None => {
                     any_unknown = true;
-                    pos = e.seq;
+                    pos = e.gid;
                     break;
                 }
             }
         }
         if !any_unknown {
-            pos = seq;
+            pos = own_gid;
         }
         {
             let e = &mut self.entries[idx];
@@ -377,6 +494,9 @@ impl LoadStoreQueue {
     pub fn remove(&mut self, seq: u64) {
         if let Some(i) = self.find(seq) {
             self.entries.remove(i);
+            // Present gids may now be non-consecutive; handle and resume
+            // lookups fall back to binary search until the queue drains.
+            self.holes = true;
             for e in self.entries.iter_mut().filter(|e| !e.is_store) {
                 e.full_pos = 0;
                 e.full_match = None;
@@ -512,6 +632,79 @@ mod tests {
         lsq.arrive_full(1, 0x6000, 1);
         assert_eq!(
             lsq.load_status(1, 1, true),
+            LoadStatus::FullReady { forward: false }
+        );
+    }
+
+    #[test]
+    fn ref_api_matches_seq_api() {
+        // Drive two clones of the same scenario, one through the seq-based
+        // calls and one through the handles; every status must agree.
+        let mut by_seq = LoadStoreQueue::new(8);
+        let mut by_ref = LoadStoreQueue::new(8);
+        let r1 = by_ref.insert(10, true);
+        let r2 = by_ref.insert(11, false);
+        by_seq.insert(10, true);
+        by_seq.insert(11, false);
+        by_seq.arrive_partial(11, 0x2000, 1);
+        by_ref.arrive_partial_ref(r2, 0x2000, 1);
+        assert_eq!(
+            by_seq.load_status(11, 1, true),
+            by_ref.load_status_ref(r2, 1, true)
+        );
+        by_seq.arrive_partial(10, 0x2000, 2);
+        by_ref.arrive_partial_ref(r1, 0x2000, 2);
+        assert_eq!(
+            by_ref.load_status_ref(r2, 2, true),
+            LoadStatus::PartialConflict
+        );
+        assert_eq!(by_seq.load_status(11, 2, true), LoadStatus::PartialConflict);
+        by_seq.arrive_full(10, 0x3000, 3);
+        by_seq.arrive_full(11, 0x2000, 3);
+        by_ref.arrive_full_ref(r1, 0x3000, 3);
+        by_ref.arrive_full_ref(r2, 0x2000, 3);
+        assert_eq!(
+            by_seq.load_status(11, 3, true),
+            by_ref.load_status_ref(r2, 3, true)
+        );
+        assert_eq!(by_seq.stats(), by_ref.stats());
+    }
+
+    #[test]
+    fn stale_handle_is_a_noop_arrival() {
+        let mut lsq = LoadStoreQueue::new(8);
+        let r = lsq.insert(1, true);
+        lsq.insert(2, false);
+        lsq.retire_through(1);
+        // The store has retired; its handle must resolve to nothing rather
+        // than aliasing the load now at the front.
+        lsq.arrive_full_ref(r, 0x1000, 5);
+        assert_eq!(lsq.load_status(2, 5, true), LoadStatus::WaitOwnAddress);
+        // No entry was written, so no future stamp exists (identical to the
+        // seq API's behavior on an unknown seq).
+        assert_eq!(lsq.next_event_cycle(4), None);
+    }
+
+    #[test]
+    fn handles_survive_mid_queue_removal() {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, true);
+        lsq.insert(2, true);
+        let r3 = lsq.insert(3, false);
+        // Punch a hole: gids {0, 2} are no longer consecutive.
+        lsq.remove(2);
+        lsq.arrive_full(1, 0x1000, 1);
+        lsq.arrive_full_ref(r3, 0x1000, 1);
+        assert_eq!(
+            lsq.load_status_ref(r3, 1, true),
+            LoadStatus::FullReady { forward: true }
+        );
+        // Draining the queue re-arms the O(1) gid arithmetic.
+        lsq.retire_through(3);
+        let r4 = lsq.insert(4, false);
+        lsq.arrive_full_ref(r4, 0x2000, 2);
+        assert_eq!(
+            lsq.load_status_ref(r4, 2, true),
             LoadStatus::FullReady { forward: false }
         );
     }
