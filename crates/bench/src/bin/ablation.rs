@@ -10,23 +10,24 @@
 //!
 //! Run `cargo run -p heterowire-bench --bin ablation -- <which>`; with no
 //! study name, all five run. `--model <token>` (a preset or
-//! `custom:<spec>`) swaps the default Model VII study machine; `--csv` /
-//! `--json` write every printed scalar as machine-readable
-//! [`MetricRow`] artifacts.
+//! `custom:<spec>`) swaps the default Model VII study machine;
+//! `--topology <token>` (a preset, compact spec or spec file) swaps the
+//! default 4-cluster crossbar; `--csv` / `--json` write every printed
+//! scalar as machine-readable [`MetricRow`] artifacts.
 
 use heterowire_bench::{
     artifact_paths_from_args, emit_metric_artifacts, model_override_or, run_one, run_suite,
-    MetricRow, RunScale, SEED,
+    topology_override_or, MetricRow, RunScale, SEED,
 };
 use heterowire_core::{Extensions, InterconnectModel, ModelSpec, Optimizations, ProcessorConfig};
 use heterowire_interconnect::Topology;
 use heterowire_trace::{by_name, spec2000, TraceGenerator};
 
-fn ls_bits(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+fn ls_bits(scale: RunScale, study: &ModelSpec, topology: Topology, out: &mut Vec<MetricRow>) {
     println!("\n== LS-bit sweep: false partial-address dependences ==");
     println!("{:>8} {:>12} {:>10}", "LS bits", "false deps", "AM IPC");
     for bits in [4, 6, 8, 12, 16] {
-        let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
+        let mut cfg = ProcessorConfig::for_model_spec(study, topology);
         cfg.ls_bits = bits;
         let suite = run_suite(&cfg, scale);
         let (fd, loads) = suite.runs.iter().fold((0, 0), |(fd, ld), r| {
@@ -46,7 +47,7 @@ fn ls_bits(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
     println!("(paper: <9% of loads at 8 LS bits)");
 }
 
-fn balance(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+fn balance(scale: RunScale, study: &ModelSpec, topology: Topology, out: &mut Vec<MetricRow>) {
     // The balancer needs both full-width planes; fall back to Model V
     // (144 B + 288 PW) when the study model lacks one.
     let link = study.link();
@@ -76,7 +77,7 @@ fn balance(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
         (false, true, "balance only"),
         (true, true, "paper (both)"),
     ] {
-        let mut cfg = ProcessorConfig::for_model_spec(&model, Topology::crossbar4());
+        let mut cfg = ProcessorConfig::for_model_spec(&model, topology);
         cfg.opts.pw_steering = pw;
         cfg.opts.load_balance = lb;
         let suite = run_suite(&cfg, scale);
@@ -127,7 +128,7 @@ fn narrow(_scale: RunScale, out: &mut Vec<MetricRow>) {
 
 type OptVariant = (&'static str, fn(&mut Optimizations));
 
-fn opts(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+fn opts(scale: RunScale, study: &ModelSpec, topology: Topology, out: &mut Vec<MetricRow>) {
     println!(
         "\n== Individual L-Wire optimization contributions ({}) ==",
         study.label()
@@ -157,7 +158,7 @@ fn opts(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
     for (label, tweak) in variants {
         let mut sum = 0.0;
         for b in bench_set {
-            let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
+            let mut cfg = ProcessorConfig::for_model_spec(study, topology);
             tweak(&mut cfg.opts);
             let r = run_one(cfg, by_name(b).expect("known benchmark"), scale);
             sum += r.ipc();
@@ -169,7 +170,7 @@ fn opts(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
     println!("(paper: the three optimizations contributed equally)");
 }
 
-fn extensions(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
+fn extensions(scale: RunScale, study: &ModelSpec, topology: Topology, out: &mut Vec<MetricRow>) {
     println!(
         "\n== Paper-discussed extensions ({}, 2x wire-constrained latency) ==",
         study.label()
@@ -213,7 +214,7 @@ fn extensions(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
         let mut ipc = 0.0;
         let mut energy = 0.0;
         for b in bench_set {
-            let mut cfg = ProcessorConfig::for_model_spec(study, Topology::crossbar4());
+            let mut cfg = ProcessorConfig::for_model_spec(study, topology);
             cfg.latency_scale = 2.0;
             cfg.extensions = *ext;
             let r = run_one(cfg, by_name(b).expect("known benchmark"), scale);
@@ -233,7 +234,7 @@ fn extensions(scale: RunScale, study: &ModelSpec, out: &mut Vec<MetricRow>) {
 
 /// The first positional (non-flag) argument: flag/value pairs are skipped.
 fn which_study(args: &[String]) -> String {
-    let flags = ["--model", "--csv", "--json"];
+    let flags = ["--model", "--topology", "--csv", "--json"];
     let mut i = 1;
     while i < args.len() {
         if flags.contains(&args[i].as_str()) {
@@ -248,22 +249,23 @@ fn which_study(args: &[String]) -> String {
 fn main() {
     let scale = RunScale::from_env();
     let study = model_override_or("VII");
+    let topology = topology_override_or("crossbar4").topology();
     let paths = artifact_paths_from_args();
     let args: Vec<String> = std::env::args().collect();
     let which = which_study(&args);
     let mut metrics = Vec::new();
     match which.as_str() {
-        "ls-bits" => ls_bits(scale, &study, &mut metrics),
-        "balance" => balance(scale, &study, &mut metrics),
+        "ls-bits" => ls_bits(scale, &study, topology, &mut metrics),
+        "balance" => balance(scale, &study, topology, &mut metrics),
         "narrow" => narrow(scale, &mut metrics),
-        "opts" => opts(scale, &study, &mut metrics),
-        "ext" => extensions(scale, &study, &mut metrics),
+        "opts" => opts(scale, &study, topology, &mut metrics),
+        "ext" => extensions(scale, &study, topology, &mut metrics),
         _ => {
-            ls_bits(scale, &study, &mut metrics);
-            balance(scale, &study, &mut metrics);
+            ls_bits(scale, &study, topology, &mut metrics);
+            balance(scale, &study, topology, &mut metrics);
             narrow(scale, &mut metrics);
-            opts(scale, &study, &mut metrics);
-            extensions(scale, &study, &mut metrics);
+            opts(scale, &study, topology, &mut metrics);
+            extensions(scale, &study, topology, &mut metrics);
         }
     }
     emit_metric_artifacts(&metrics, &paths);

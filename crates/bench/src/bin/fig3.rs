@@ -10,22 +10,24 @@
 //! single layer.
 
 use heterowire_bench::{
-    artifact_paths_from_args, emit_suite_artifacts, model_override_or, run_suite, RunScale,
+    artifact_paths_from_args, emit_suite_artifacts, model_override_or, run_suite,
+    topology_override_or, RunScale,
 };
 use heterowire_core::{Optimizations, ProcessorConfig};
-use heterowire_interconnect::Topology;
 
 fn main() {
     let scale = RunScale::from_env();
     // Figure 3 uses a single metal layer: 72 B-Wires per cluster link (the
     // cache link has twice that), versus the same plus an L-Wire layer of
-    // 18 wires per cluster link (paper §5.3).
+    // 18 wires per cluster link (paper §5.3). Both machines share one
+    // topology so the comparison isolates the wire mix.
     let base_spec = heterowire_core::ModelSpec::parse("custom:b72").expect("valid spec");
     let enhanced = model_override_or("custom:b72+l18");
+    let topology = topology_override_or("crossbar4").topology();
 
-    let mut base_cfg = ProcessorConfig::for_model_spec(&base_spec, Topology::crossbar4());
+    let mut base_cfg = ProcessorConfig::for_model_spec(&base_spec, topology);
     base_cfg.opts = Optimizations::none();
-    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
+    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, topology);
 
     eprintln!("running baseline (72 B-Wires) suite ...");
     let base = run_suite(&base_cfg, scale);

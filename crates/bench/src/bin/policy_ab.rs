@@ -10,31 +10,25 @@
 //! ```
 //!
 //! Defaults: Model X (the paper's full heterogeneous link), all five
-//! policies, the 4-cluster crossbar (`--topology hier16` races on the
-//! 16-cluster hierarchical ring instead). Repeated `--model` flags sweep
-//! more models (the first policy listed is the ED² baseline within each
-//! model); `HETEROWIRE_SCALE=quick` downscales the runs. A policy whose
-//! defining wire class is entirely absent from a requested model (e.g.
-//! `pwfirst` on `custom:b144`) is refused up front with exit status 2.
+//! policies, the 4-cluster crossbar. Repeated `--topology` flags (each a
+//! preset, compact spec like `ring:6x4`, or spec file) race the grid on
+//! every listed topology; repeated `--model` flags sweep more models (the
+//! first policy listed is the ED² baseline within each model);
+//! `HETEROWIRE_SCALE=quick` downscales the runs. A policy whose defining
+//! wire class is entirely absent from a requested model (e.g. `pwfirst`
+//! on `custom:b144`) is refused up front with exit status 2.
 
 use heterowire_bench::{
     artifact_paths_from_args, emit_metric_artifacts, executor, format_policy_table,
-    policies_from_args, policy_metric_rows, policy_sweep_runs, topology_from_args, ModelSet,
-    PolicyKind, RunScale,
+    policies_from_args, policy_metric_rows, policy_sweep_runs, ModelSet, PolicyKind, RunScale,
+    TopologySet,
 };
 use heterowire_core::ModelSpec;
-use heterowire_interconnect::Topology;
 
 fn main() {
     let scale = RunScale::from_env();
     let args: Vec<String> = std::env::args().collect();
-    let topology = match topology_from_args(&args) {
-        Ok(t) => t.unwrap_or_else(Topology::crossbar4),
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
+    let topologies = TopologySet::from_args_or("crossbar4");
     let models = match ModelSet::from_args(&args) {
         Ok(set) => set.unwrap_or_else(|| {
             ModelSet::new(vec![ModelSpec::parse("X").expect("preset X parses")])
@@ -62,33 +56,45 @@ fn main() {
     }
 
     let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-    eprintln!(
-        "racing {} on {} x 23 benchmarks ...",
-        names.join(", "),
-        models
-            .specs()
-            .iter()
-            .map(|s| s.name())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
-    let suites = policy_sweep_runs(
-        &models,
-        &policies,
-        topology,
-        scale,
-        executor::default_workers(),
-    );
-
-    println!(
-        "Steering-policy A/B comparison, {} clusters",
-        topology.clusters()
-    );
-    println!("(ED2 is % of the first listed policy, at 10%/20% interconnect fractions)\n");
     let mut rows = Vec::new();
-    for (spec, model_suites) in models.specs().iter().zip(&suites) {
-        println!("{}", format_policy_table(spec, &policies, model_suites));
-        rows.extend(policy_metric_rows(spec, &policies, model_suites));
+    for topo_spec in topologies.specs() {
+        eprintln!(
+            "racing {} on {} / {} x 23 benchmarks ...",
+            names.join(", "),
+            topo_spec.name(),
+            models
+                .specs()
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let suites = policy_sweep_runs(
+            &models,
+            &policies,
+            topo_spec.topology(),
+            scale,
+            executor::default_workers(),
+        );
+
+        println!(
+            "Steering-policy A/B comparison, {} ({} clusters)",
+            topo_spec.name(),
+            topo_spec.topology().clusters()
+        );
+        println!("(ED2 is % of the first listed policy, at 10%/20% interconnect fractions)\n");
+        for (spec, model_suites) in models.specs().iter().zip(&suites) {
+            println!("{}", format_policy_table(spec, &policies, model_suites));
+            let mut model_rows = policy_metric_rows(spec, &policies, model_suites);
+            // In a multi-topology race the section key carries the
+            // topology so rows stay distinguishable in the artifacts.
+            if topologies.len() > 1 {
+                for r in &mut model_rows {
+                    r.section = format!("{}/{}", topo_spec.name(), r.section);
+                }
+            }
+            rows.extend(model_rows);
+        }
     }
     emit_metric_artifacts(&rows, &artifact_paths_from_args());
 }

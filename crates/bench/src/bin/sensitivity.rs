@@ -13,12 +13,14 @@
 //! 7. ~14% of register traffic is narrow (integers in 0..=1023).
 //!
 //! `--model <token>` (a preset or `custom:<spec>`) swaps the enhanced
-//! machine (default Model VII) in claims 2/4/5/6; `--csv` / `--json`
-//! write every claim as machine-readable metric rows.
+//! machine (default Model VII) in claims 2/4/5/6; `--topology <token>`
+//! swaps the base topology in claims 1/2/5/6 (claims 3/4 keep the paper's
+//! fixed 4-vs-16-cluster contrast); `--csv` / `--json` write every claim
+//! as machine-readable metric rows.
 
 use heterowire_bench::{
-    artifact_paths_from_args, emit_metric_artifacts, model_override_or, run_suite, MetricRow,
-    RunScale,
+    artifact_paths_from_args, emit_metric_artifacts, model_override_or, run_suite,
+    topology_override_or, MetricRow, RunScale,
 };
 use heterowire_core::{InterconnectModel, ProcessorConfig};
 use heterowire_interconnect::Topology;
@@ -27,13 +29,17 @@ use heterowire_trace::spec2000;
 fn main() {
     let scale = RunScale::from_env();
     let enhanced = model_override_or("VII");
+    // The base topology for the latency and predictor claims; the
+    // 4-vs-16-cluster scaling contrast (claims 3/4) stays pinned to the
+    // paper's crossbar4 -> hier16 pair regardless.
+    let base_topology = topology_override_or("crossbar4").topology();
     let mut metrics = Vec::new();
     let claim = |metrics: &mut Vec<MetricRow>, label: &str, metric: &str, value: f64| {
         metrics.push(MetricRow::new("sensitivity", label, metric, value));
     };
 
     // --- 1: latency doubling on the baseline. ---
-    let base_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+    let base_cfg = ProcessorConfig::for_model(InterconnectModel::I, base_topology);
     let mut slow_cfg = base_cfg.clone();
     slow_cfg.latency_scale = 2.0;
     eprintln!("baseline 4-cluster suite ...");
@@ -49,7 +55,7 @@ fn main() {
     claim(&mut metrics, "2x-latency", "ipc_delta_pct", d1);
 
     // --- 2: the enhanced model under doubled latency. ---
-    let mut slow_l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
+    let mut slow_l_cfg = ProcessorConfig::for_model_spec(&enhanced, base_topology);
     slow_l_cfg.latency_scale = 2.0;
     eprintln!("2x-latency + {} suite ...", enhanced.label());
     let slow_l = run_suite(&slow_l_cfg, scale);
@@ -62,14 +68,21 @@ fn main() {
     );
     claim(&mut metrics, "enhanced-at-2x", "ipc_delta_pct", d2);
 
-    // --- 3: 4 -> 16 clusters. ---
+    // --- 3: 4 -> 16 clusters (pinned to the paper's pair). ---
+    let c4_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::crossbar4());
+    let c4 = if base_topology == Topology::crossbar4() {
+        base
+    } else {
+        eprintln!("4-cluster baseline suite (for the scaling contrast) ...");
+        run_suite(&c4_cfg, scale)
+    };
     let c16_cfg = ProcessorConfig::for_model(InterconnectModel::I, Topology::hier16());
     eprintln!("16-cluster baseline suite ...");
     let c16 = run_suite(&c16_cfg, scale);
-    let d3 = (c16.mean_ipc() / base.mean_ipc() - 1.0) * 100.0;
+    let d3 = (c16.mean_ipc() / c4.mean_ipc() - 1.0) * 100.0;
     println!(
         "3. 4 -> 16 clusters: IPC {:.3} -> {:.3} ({d3:+.1}%; paper: +17%)",
-        base.mean_ipc(),
+        c4.mean_ipc(),
         c16.mean_ipc(),
     );
     claim(&mut metrics, "16-clusters", "ipc_delta_pct", d3);
@@ -88,7 +101,7 @@ fn main() {
     claim(&mut metrics, "enhanced-on-16", "ipc_delta_pct", d4);
 
     // --- 5 & 6: LSQ false dependences, narrow predictor (4-cluster run).
-    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, Topology::crossbar4());
+    let l_cfg = ProcessorConfig::for_model_spec(&enhanced, base_topology);
     eprintln!("4-cluster + {} suite ...", enhanced.label());
     let lwire = run_suite(&l_cfg, scale);
     let (fd, loads) = lwire.runs.iter().fold((0, 0), |(fd, ld), r| {

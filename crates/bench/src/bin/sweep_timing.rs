@@ -6,22 +6,26 @@
 //! EXPERIMENTS.md's executor section.
 
 use heterowire_bench::timing::{git_revision, time_once, BenchReport, Measurement};
-use heterowire_bench::{executor, sweep_runs_serial_set, sweep_runs_set, ModelSet, RunScale};
+use heterowire_bench::{
+    executor, parse_topology_token, sweep_runs_serial_set, sweep_runs_set, ModelSet, RunScale,
+};
 use heterowire_core::ModelSpec;
-use heterowire_interconnect::Topology;
 
 const USAGE: &str = "usage: sweep_timing [--label NAME] [--out CSV_PATH] [--json-out JSON_PATH]\n\
-    [--model TOKEN]...\n\
+    [--model TOKEN]... [--topology TOKEN]\n\
     times the quick-scale model sweep (serial vs. executor) and appends a\n\
     CSV row to --out (default results/sweep_timing.csv) plus a schema-checked\n\
     bench.json report to --json-out (default results/bench.json); repeated\n\
-    --model flags (presets or custom:<spec>) replace the default Models I-X";
+    --model flags (presets or custom:<spec>) replace the default Models I-X;\n\
+    --topology (a preset, compact spec or spec file) replaces the default\n\
+    4-cluster crossbar";
 
 fn main() {
     let mut label = "run".to_string();
     let mut out = "results/sweep_timing.csv".to_string();
     let mut json_out = "results/bench.json".to_string();
     let mut specs: Vec<ModelSpec> = Vec::new();
+    let mut topo_token = "crossbar4".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = |args: &mut dyn Iterator<Item = String>| {
@@ -41,6 +45,7 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--topology" => topo_token = value(&mut args),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -59,7 +64,12 @@ fn main() {
 
     let scale = RunScale::quick();
     let workers = executor::default_workers();
-    let topology = Topology::crossbar4();
+    let topology = parse_topology_token(&topo_token)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        })
+        .topology();
 
     eprintln!(
         "quick-scale model sweep ({} models), serial reference ...",

@@ -4,11 +4,14 @@
 //! and 20% interconnect energy fractions, all normalised to Model I.
 
 use heterowire_bench::{format_model_table, model_sweep_main};
-use heterowire_interconnect::Topology;
 
 fn main() {
-    let rows = model_sweep_main(Topology::crossbar4(), "4 clusters");
-    println!("Table 3: heterogeneous interconnect energy and performance, 4 clusters");
+    let (topo, rows) = model_sweep_main("crossbar4");
+    println!(
+        "Table 3: heterogeneous interconnect energy and performance, {} ({} clusters)",
+        topo.name(),
+        topo.topology().clusters()
+    );
     println!("(all values except IPC are % of Model I)\n");
     print!("{}", format_model_table(&rows, true));
 

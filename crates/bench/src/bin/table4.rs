@@ -4,12 +4,15 @@
 //! paper reports up to 11% ED² reduction.
 
 use heterowire_bench::model_sweep_main;
-use heterowire_interconnect::Topology;
 
 fn main() {
-    let rows = model_sweep_main(Topology::hier16(), "16 clusters");
+    let (topo, rows) = model_sweep_main("hier16");
 
-    println!("Table 4: heterogeneous interconnect energy and performance, 16 clusters");
+    println!(
+        "Table 4: heterogeneous interconnect energy and performance, {} ({} clusters)",
+        topo.name(),
+        topo.topology().clusters()
+    );
     println!("(interconnect = 20% of Model-I chip energy; values are % of Model I)\n");
     println!(
         "{:<10} {:<40} {:>6} {:>8} {:>9}",

@@ -12,15 +12,14 @@
 //! run (recording must be observation, never perturbation).
 //!
 //! ```text
-//! telemetry [--model VII] [--bench gzip] [--topology crossbar4|hier16]
+//! telemetry [--model VII] [--bench gzip] [--topology <preset|spec|file>]
 //!           [--window 64] [--out-dir results]
 //! ```
 
 use std::path::PathBuf;
 
-use heterowire_bench::{flag_path_from, write_artifact, RunScale, SEED};
+use heterowire_bench::{flag_path_from, parse_topology_token, write_artifact, RunScale, SEED};
 use heterowire_core::{ModelSpec, Processor, ProcessorConfig, RecordingConfig, RecordingProbe};
-use heterowire_interconnect::Topology;
 use heterowire_telemetry::{chrome_trace, utilization_csv};
 use heterowire_trace::{by_name, TraceGenerator};
 use heterowire_wires::WireClass;
@@ -56,14 +55,11 @@ fn main() {
         eprintln!("--model {model_name:?}: {e}");
         std::process::exit(2);
     });
-    let topology = match topo_name.as_str() {
-        "crossbar4" => Topology::crossbar4(),
-        "hier16" => Topology::hier16(),
-        other => {
-            eprintln!("unknown topology {other:?}; expected \"crossbar4\" or \"hier16\"");
-            std::process::exit(2);
-        }
-    };
+    let topo_spec = parse_topology_token(&topo_name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let topology = topo_spec.topology();
     let profile = by_name(&bench_name).unwrap_or_else(|| {
         eprintln!("unknown benchmark {bench_name:?}");
         std::process::exit(2);
@@ -75,9 +71,10 @@ fn main() {
     let cfg = ProcessorConfig::for_model_spec(&model, topology);
 
     eprintln!(
-        "recording {} / {} on {topo_name}, {} instructions, window {window} ...",
+        "recording {} / {} on {}, {} instructions, window {window} ...",
         model.label(),
         profile.name,
+        topo_spec.name(),
         scale.window
     );
     let baseline =

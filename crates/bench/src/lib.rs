@@ -27,7 +27,7 @@ use heterowire_core::{
     OraclePolicy, Processor, ProcessorConfig, PwFirstPolicy, RelativeReport, SimResults,
     SprayPolicy,
 };
-use heterowire_interconnect::Topology;
+use heterowire_interconnect::{Topology, TopologySpec};
 use heterowire_telemetry::json::JsonWriter;
 use heterowire_trace::{spec2000, BenchmarkProfile, TraceGenerator};
 use heterowire_wires::classes::Table2Row;
@@ -327,35 +327,144 @@ pub fn policies_from_args(args: &[String]) -> Result<Option<Vec<PolicyKind>>, St
     })
 }
 
-/// Parses an optional `--topology crossbar4|hier16` flag. `Ok(None)` when
-/// the flag is absent; `Err` on an unknown token or a repeated flag.
-pub fn topology_from_args(args: &[String]) -> Result<Option<Topology>, String> {
-    let mut topology = None;
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--topology" {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| "--topology requires a value".to_string())?;
-            let t = match value.as_str() {
-                "crossbar4" => Topology::crossbar4(),
-                "hier16" => Topology::hier16(),
-                other => {
-                    return Err(format!(
-                        "unknown topology {other:?} (expected crossbar4 or hier16)"
-                    ))
-                }
-            };
-            if topology.is_some() {
-                return Err("--topology given more than once".to_string());
+/// Resolves one `--topology` token: a preset name (`crossbar4`, `hier16`),
+/// a compact spec (`xbar:8`, `ring:6x4[@hop<n>][@xbar<n>]`), or the path
+/// of a key=value spec file. Tokens containing `:` are always treated as
+/// specs; anything else that names an existing file is read as a spec
+/// file.
+pub fn parse_topology_token(token: &str) -> Result<TopologySpec, String> {
+    let is_preset = heterowire_interconnect::TopologyPreset::ALL
+        .iter()
+        .any(|p| p.name() == token);
+    let spec = if is_preset || token.contains(':') {
+        TopologySpec::parse(token).map_err(|e| format!("--topology {token:?}: {e}"))?
+    } else {
+        let path = std::path::Path::new(token);
+        if !path.is_file() {
+            return Err(format!(
+                "unknown topology {token:?}: not a preset (crossbar4, hier16), a spec \
+                 (xbar:8, ring:6x4[@hop<n>][@xbar<n>]) or an existing spec file"
+            ));
+        }
+        let contents = std::fs::read_to_string(path)
+            .map_err(|e| format!("--topology: cannot read spec file {token:?}: {e}"))?;
+        TopologySpec::parse_file(&contents)
+            .map_err(|e| format!("--topology spec file {token:?}: {e}"))?
+    };
+    // The network itself scales past this, but the processor's inline
+    // per-value structures cap the cluster count; refuse here so sweeps
+    // exit 2 instead of panicking mid-run.
+    let clusters = spec.topology().clusters();
+    if clusters > heterowire_core::MAX_CLUSTERS {
+        return Err(format!(
+            "--topology {token:?}: {clusters} clusters, but the processor supports \
+             at most {} (the network alone can go larger)",
+            heterowire_core::MAX_CLUSTERS
+        ));
+    }
+    Ok(spec)
+}
+
+/// The ordered set of topologies a race covers, mirroring [`ModelSet`]:
+/// every harness binary accepts repeated `--topology <token>` flags (see
+/// [`parse_topology_token`] for the token forms); single-topology binaries
+/// use [`topology_override_or`] instead.
+#[derive(Debug, Clone)]
+pub struct TopologySet {
+    specs: Vec<TopologySpec>,
+}
+
+impl TopologySet {
+    /// Builds a set from explicit specs.
+    pub fn new(specs: Vec<TopologySpec>) -> Result<Self, String> {
+        if specs.is_empty() {
+            return Err("a topology set needs at least one topology".to_string());
+        }
+        Ok(TopologySet { specs })
+    }
+
+    /// The specs, in sweep order.
+    pub fn specs(&self) -> &[TopologySpec] {
+        &self.specs
+    }
+
+    /// Number of topologies in the set (never zero).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Always false — kept for clippy's `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Collects every `--topology <token>` pair from an argument list.
+    /// Returns `None` when no flag is present (caller picks its default);
+    /// a flag without a value or an unparseable token is an error.
+    pub fn from_args(args: &[String]) -> Result<Option<Self>, String> {
+        let mut specs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--topology" {
+                let token = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--topology requires a value".to_string())?;
+                specs.push(parse_topology_token(token)?);
+                i += 2;
+            } else {
+                i += 1;
             }
-            topology = Some(t);
-            i += 2;
-        } else {
-            i += 1;
+        }
+        if specs.is_empty() {
+            return Ok(None);
+        }
+        Self::new(specs).map(Some)
+    }
+
+    /// [`TopologySet::from_args`] over `std::env::args`, defaulting to the
+    /// single topology named by `default`; exits with status 2 on a
+    /// malformed `--topology`.
+    pub fn from_args_or(default: &str) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match Self::from_args(&args) {
+            Ok(Some(set)) => set,
+            Ok(None) => {
+                let spec = parse_topology_token(default).expect("default topology token is valid");
+                TopologySet { specs: vec![spec] }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
         }
     }
-    Ok(topology)
+}
+
+/// Parses an optional single `--topology` flag (preset, spec or spec-file
+/// token). `Ok(None)` when the flag is absent; `Err` on a malformed token
+/// or a repeated flag.
+pub fn topology_from_args(args: &[String]) -> Result<Option<TopologySpec>, String> {
+    match TopologySet::from_args(args)? {
+        None => Ok(None),
+        Some(set) if set.len() == 1 => Ok(Some(set.specs()[0])),
+        Some(_) => Err("--topology given more than once".to_string()),
+    }
+}
+
+/// Parses a single `--topology` override from `std::env::args` for
+/// binaries that study one topology rather than racing a set; `default`
+/// applies when no flag is given. Exits with status 2 on a malformed token
+/// or on more than one `--topology`.
+pub fn topology_override_or(default: &str) -> TopologySpec {
+    let args: Vec<String> = std::env::args().collect();
+    match topology_from_args(&args) {
+        Ok(None) => parse_topology_token(default).expect("default topology token is valid"),
+        Ok(Some(spec)) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Runs one benchmark profile under one configuration with the named
@@ -1111,21 +1220,27 @@ pub fn emit_metric_artifacts(rows: &[MetricRow], paths: &ArtifactPaths) {
 }
 
 /// The whole shared spine of the `table3`/`table4` binaries: read the
-/// scale from the environment, collect any repeated `--model` overrides
-/// (default: the paper's Models I–X; the first model given is the
-/// normalisation baseline), sweep them on `topology`, and write any
-/// `--csv` / `--json` artifacts requested on the command line.
-pub fn model_sweep_main(topology: Topology, label: &str) -> Vec<ModelRow> {
+/// scale from the environment, resolve a `--topology` override against
+/// `default_topology` (a preset, spec or spec-file token), collect any
+/// repeated `--model` overrides (default: the paper's Models I–X; the
+/// first model given is the normalisation baseline), sweep them, and
+/// write any `--csv` / `--json` artifacts requested on the command line.
+/// Returns the resolved topology alongside the rows so callers can label
+/// their output.
+pub fn model_sweep_main(default_topology: &str) -> (TopologySpec, Vec<ModelRow>) {
     let scale = RunScale::from_env();
+    let spec = topology_override_or(default_topology);
     let models = ModelSet::from_args_or_paper();
     let names: Vec<String> = models.specs().iter().map(|s| s.name()).collect();
     eprintln!(
-        "sweeping {} on {label} x 23 benchmarks ...",
-        names.join(", ")
+        "sweeping {} on {} ({} clusters) x 23 benchmarks ...",
+        names.join(", "),
+        spec.name(),
+        spec.topology().clusters()
     );
-    let rows = model_sweep_set(&models, topology, scale);
+    let rows = model_sweep_set(&models, spec.topology(), scale);
     emit_model_artifacts(&rows, &artifact_paths_from_args());
-    rows
+    (spec, rows)
 }
 
 #[cfg(test)]
@@ -1394,17 +1509,28 @@ mod tests {
         assert!(topology_from_args(&to_args(&["policy_ab"]))
             .unwrap()
             .is_none());
-        assert_eq!(
-            topology_from_args(&to_args(&["t", "--topology", "hier16"])).unwrap(),
-            Some(Topology::hier16())
-        );
-        assert_eq!(
-            topology_from_args(&to_args(&["t", "--topology", "crossbar4"])).unwrap(),
-            Some(Topology::crossbar4())
-        );
+        // Presets and their equivalent compact specs resolve identically.
+        let resolve = |token: &str| {
+            topology_from_args(&to_args(&["t", "--topology", token]))
+                .unwrap()
+                .expect("flag present")
+        };
+        assert_eq!(resolve("hier16").topology(), Topology::hier16());
+        assert_eq!(resolve("crossbar4").topology(), Topology::crossbar4());
+        assert_eq!(resolve("ring:4x4").topology(), Topology::hier16());
+        assert_eq!(resolve("xbar:8").topology().clusters(), 8);
+        // The preset form keeps its preset identity; the spec form does not.
+        assert_eq!(resolve("hier16").name(), "hier16");
+        assert_eq!(resolve("ring:4x4").name(), "ring:4x4");
+        // Malformed tokens fail loudly with the shared parser's message.
         assert!(topology_from_args(&to_args(&["t", "--topology", "mesh"]))
             .unwrap_err()
             .contains("unknown topology"));
+        assert!(
+            topology_from_args(&to_args(&["t", "--topology", "ring:2x4"]))
+                .unwrap_err()
+                .contains("quads")
+        );
         assert!(topology_from_args(&to_args(&["t", "--topology"])).is_err());
         assert!(topology_from_args(&to_args(&[
             "t",
@@ -1414,6 +1540,53 @@ mod tests {
             "hier16"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn topology_set_collects_repeated_flags() {
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(TopologySet::from_args(&to_args(&["t"])).unwrap().is_none());
+        let set = TopologySet::from_args(&to_args(&[
+            "t",
+            "--topology",
+            "crossbar4",
+            "--topology",
+            "ring:6x2",
+        ]))
+        .unwrap()
+        .expect("two topologies");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.specs()[0].name(), "crossbar4");
+        assert_eq!(set.specs()[1].name(), "ring:6x2");
+        assert_eq!(set.specs()[1].topology().clusters(), 12);
+        assert!(TopologySet::new(Vec::new()).is_err());
+        // Valid shapes beyond the processor's inline capacity are refused
+        // at parse time, not by a panic mid-sweep.
+        let err = TopologySet::from_args(&to_args(&["t", "--topology", "ring:6x4"])).unwrap_err();
+        assert!(err.contains("at most 16"), "{err}");
+    }
+
+    #[test]
+    fn topology_token_resolves_spec_files() {
+        let dir = std::env::temp_dir().join(format!("hw-topo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.topo");
+        std::fs::write(
+            &path,
+            "# asymmetric ring\nshape = ring\nquads = 6\nper_quad = 2\nhop_len = 3\n",
+        )
+        .unwrap();
+        let spec = parse_topology_token(path.to_str().unwrap()).unwrap();
+        assert_eq!(spec, TopologySpec::parse("ring:6x2@hop3").unwrap());
+        // A malformed file reports the file-level error, prefixed with the path.
+        std::fs::write(&path, "shape = torus\n").unwrap();
+        let err = parse_topology_token(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("spec file") && err.contains("torus"), "{err}");
+        // A missing file that is not a preset or spec names all three forms.
+        let err = parse_topology_token("no-such-file.topo").unwrap_err();
+        assert!(err.contains("spec file"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe
 pub use narrow::NarrowPredictor;
 pub use processor::{
     CriticalityPolicy, OraclePolicy, PaperPolicy, Processor, PwFirstPolicy, SprayPolicy,
-    TransferPolicy,
+    TransferPolicy, MAX_CLUSTERS,
 };
 pub use results::{mean_ipc, SimResults};
 pub use steer::{ClusterView, ProducerInfo, Steering, SteeringWeights};

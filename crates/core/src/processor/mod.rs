@@ -123,8 +123,11 @@ struct Inflight {
 }
 
 /// Most clusters any supported topology has (16 = four quads); bounds the
-/// inline per-value arrival array.
-const MAX_CLUSTERS: usize = 16;
+/// inline per-value arrival array, the subscriber list and the
+/// `critical_subs` bitmask. Spec-generated topologies with more clusters
+/// are valid networks but cannot drive a [`Processor`]; CLI layers check
+/// this bound up front (see `parse_topology_token` in the bench crate).
+pub const MAX_CLUSTERS: usize = 16;
 /// Functional-unit kinds per cluster (`FuKind::ALL.len()`).
 const FU_KINDS: usize = 4;
 /// End-of-list sentinel for the intrusive waiter lists. Nodes encode

@@ -2,8 +2,11 @@
 //! # heterowire-interconnect
 //!
 //! The heterogeneous inter-cluster interconnect of the `heterowire`
-//! processor: network topologies ([`topology`] — the 4-cluster crossbar and
-//! the 16-cluster hierarchical crossbar-of-rings of Figure 2), typed
+//! processor: network topologies ([`topology`] — parametric crossbars and
+//! hierarchical crossbar-of-rings shapes, with Figure 2's 4-cluster
+//! crossbar and 16-cluster hierarchy as presets), the spec layer that
+//! parses, validates and generates them from compact strings or key=value
+//! files ([`topo`]), typed
 //! messages with wire-class eligibility ([`message`]), the indexed
 //! arbitration/buffering/energy engine ([`network`]) with its retained
 //! scan-based equivalence reference ([`mod@reference`]) and the dynamic
@@ -45,6 +48,7 @@ pub mod message;
 pub mod network;
 pub mod policy;
 pub mod reference;
+pub mod topo;
 pub mod topology;
 
 pub use fvc::FrequentValueTable;
@@ -52,4 +56,5 @@ pub use message::{MessageKind, Transfer};
 pub use network::{NetConfig, NetStats, Network, TransferId};
 pub use policy::{AvailablePlanes, LoadBalancer, TransferHints, WirePolicy};
 pub use reference::ReferenceNetwork;
+pub use topo::{TopoSpecError, TopologyPreset, TopologySpec};
 pub use topology::{LinkId, Node, Route, Topology};

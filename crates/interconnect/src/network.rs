@@ -338,6 +338,14 @@ impl Network {
             !config.cluster_link.is_empty(),
             "links need at least one wire plane"
         );
+        // The spec layer and the Topology constructors already enforce
+        // this bound; re-checking here keeps the inline route arrays safe
+        // against any future construction path.
+        assert!(
+            config.topology.max_route_links() <= MAX_ROUTE_LINKS,
+            "topology routes up to {} links; the inline routes hold {MAX_ROUTE_LINKS}",
+            config.topology.max_route_links()
+        );
         let link_ids = config.topology.all_links();
         let cache_link = config.cluster_link.widened(2);
         let mut caps = Vec::with_capacity(link_ids.len());
@@ -783,7 +791,10 @@ impl Network {
     /// Labels of all links in stable slot order (the `link` index emitted
     /// by [`Probe::link_busy`] indexes this list).
     pub fn link_labels(&self) -> Vec<String> {
-        self.link_ids.iter().map(|id| id.label()).collect()
+        self.link_ids
+            .iter()
+            .map(|id| id.label().into_owned())
+            .collect()
     }
 
     /// Statistics so far.

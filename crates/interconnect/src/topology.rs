@@ -1,7 +1,19 @@
-//! Network topologies: the 4-cluster crossbar and the 16-cluster
-//! hierarchical crossbar-of-rings (Figure 2 of the paper).
+//! Network topologies: parametric crossbars and hierarchical
+//! crossbar-of-rings shapes. The paper's two configurations (Figure 2's
+//! 4-cluster crossbar and 16-cluster hierarchy) are the [`Topology::crossbar4`]
+//! and [`Topology::hier16`] presets of the general space; arbitrary shapes
+//! come from the [`crate::topo`] spec layer (`xbar:8`, `ring:6x4`, ...).
+//!
+//! Route latencies are not hard-coded per shape: every route is a chain of
+//! wire segments (one crossbar traversal plus zero or more ring hops) whose
+//! per-class cycle counts derive from the `wires` crate's geometry anchor
+//! via [`heterowire_wires::segment_latency`]. With the default segment
+//! lengths (crossbar 1, ring hop 2) this reproduces the paper's §5.2
+//! latency table exactly.
 
-use heterowire_wires::WireClass;
+use std::borrow::Cow;
+
+use heterowire_wires::{segment_latency, WireClass};
 
 /// A network endpoint: one of the clusters or the centralized L1 D-cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,33 +46,47 @@ pub enum LinkId {
 
 impl LinkId {
     /// Short human-readable label, used for telemetry track names and
-    /// utilization CSV rows.
-    pub fn label(self) -> String {
+    /// utilization CSV rows. Borrowed for the fixed cache links so callers
+    /// that cache the labels (telemetry does, once per recording) never pay
+    /// per-event formatting.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            LinkId::ClusterOut(c) => format!("c{c}.out"),
-            LinkId::ClusterIn(c) => format!("c{c}.in"),
-            LinkId::CacheOut => "cache.out".to_string(),
-            LinkId::CacheIn => "cache.in".to_string(),
-            LinkId::Ring { from, to } => format!("ring.{from}-{to}"),
+            LinkId::ClusterOut(c) => Cow::Owned(format!("c{c}.out")),
+            LinkId::ClusterIn(c) => Cow::Owned(format!("c{c}.in")),
+            LinkId::CacheOut => Cow::Borrowed("cache.out"),
+            LinkId::CacheIn => Cow::Borrowed("cache.in"),
+            LinkId::Ring { from, to } => Cow::Owned(format!("ring.{from}-{to}")),
         }
     }
 }
 
-/// The shape of the interconnect.
+/// The generating shape of a [`Topology`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Topology {
-    /// `clusters` clusters and the cache on a single crossbar
-    /// (Figure 2(a); the paper uses 4 clusters).
-    Crossbar {
-        /// Number of clusters.
-        clusters: usize,
-    },
-    /// Quads of 4 clusters on local crossbars, crossbars on a ring, cache
-    /// attached to quad 0's crossbar (Figure 2(b); 16 clusters = 4 quads).
-    HierRing {
-        /// Number of quads (4 clusters each).
-        quads: usize,
-    },
+enum Shape {
+    /// `clusters` clusters and the cache on a single crossbar.
+    Crossbar { clusters: usize },
+    /// `quads` crossbars of `per_quad` clusters each on a bidirectional
+    /// ring, cache attached to quad 0's crossbar.
+    HierRing { quads: usize, per_quad: usize },
+}
+
+/// The shape of the interconnect plus its segment geometry.
+///
+/// Figure 2(a) is [`Topology::crossbar4`], Figure 2(b) is
+/// [`Topology::hier16`]; the general constructors ([`Topology::crossbar`],
+/// [`Topology::hier_ring`]) and the spec parser
+/// ([`crate::topo::TopologySpec`]) open the rest of the space. Equality is
+/// structural, so a spec-built `ring:4x4` compares equal to the `hier16`
+/// preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    shape: Shape,
+    /// Crossbar traversal length in W-segment units (default 1).
+    xbar_len: u32,
+    /// Ring-hop length in W-segment units (default 2: a hop spans two
+    /// crossbar-lengths). Pinned to the default for crossbars — the field
+    /// is meaningless there and must not break structural equality.
+    hop_len: u32,
 }
 
 /// A computed route: the links traversed and the end-to-end latency.
@@ -74,9 +100,13 @@ pub struct Route {
     pub hops: u32,
 }
 
-/// Longest possible route: source link + `quads/2` ring segments + sink
-/// link. With the paper's 4 quads that is 4; 6 leaves headroom for an
-/// 8-quad ring.
+/// Inline-route capacity of the network engines: source link + ring
+/// segments + sink link, stored in fixed arrays on the hot path. Every
+/// `Topology` constructor validates [`Topology::max_route_links`] against
+/// this bound (and the spec parser turns the violation into a
+/// [`crate::topo::TopoSpecError`]), so an oversized ring is a loud
+/// construction-time error instead of a silent array overrun. Rings up to
+/// 9 quads fit (shortest paths take at most `quads / 2` segments).
 pub const MAX_ROUTE_LINKS: usize = 6;
 
 /// An allocation-free [`Route`] with the link set stored inline — the
@@ -98,35 +128,166 @@ impl InlineRoute {
     }
 }
 
+/// Default crossbar segment length (one W-segment).
+pub const DEFAULT_XBAR_LEN: u32 = 1;
+/// Default ring-hop segment length (two W-segments, paper §5.2).
+pub const DEFAULT_HOP_LEN: u32 = 2;
+
 impl Topology {
     /// A 4-cluster crossbar (the paper's main configuration).
     pub fn crossbar4() -> Self {
-        Topology::Crossbar { clusters: 4 }
+        Topology::crossbar(4)
     }
 
     /// The 16-cluster hierarchical configuration.
     pub fn hier16() -> Self {
-        Topology::HierRing { quads: 4 }
+        Topology::hier_ring(4, 4)
+    }
+
+    /// `clusters` clusters and the cache on a single crossbar
+    /// (Figure 2(a); the paper uses 4 clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than 2 clusters (spec-layer callers get a
+    /// [`crate::topo::TopoSpecError`] instead).
+    pub fn crossbar(clusters: usize) -> Self {
+        assert!(clusters >= 2, "a crossbar needs at least 2 clusters");
+        Topology {
+            shape: Shape::Crossbar { clusters },
+            xbar_len: DEFAULT_XBAR_LEN,
+            hop_len: DEFAULT_HOP_LEN,
+        }
+    }
+
+    /// `quads` crossbars of `per_quad` clusters each on a bidirectional
+    /// ring, cache attached to quad 0's crossbar (Figure 2(b); 16 clusters
+    /// = 4 quads of 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than 3 quads (with 2 the two directed segments of
+    /// each direction would coincide), zero clusters per quad, or a ring
+    /// whose longest route exceeds [`MAX_ROUTE_LINKS`] (more than 9 quads).
+    /// Spec-layer callers get a [`crate::topo::TopoSpecError`] instead.
+    pub fn hier_ring(quads: usize, per_quad: usize) -> Self {
+        assert!(
+            quads >= 3,
+            "a ring needs at least 3 quads (use a crossbar for smaller shapes)"
+        );
+        assert!(per_quad >= 1, "a quad needs at least 1 cluster");
+        let t = Topology {
+            shape: Shape::HierRing { quads, per_quad },
+            xbar_len: DEFAULT_XBAR_LEN,
+            hop_len: DEFAULT_HOP_LEN,
+        };
+        assert!(
+            t.max_route_links() <= MAX_ROUTE_LINKS,
+            "a {quads}-quad ring routes up to {} links; the network's inline \
+             routes hold {MAX_ROUTE_LINKS} (9 quads at most)",
+            t.max_route_links()
+        );
+        t
+    }
+
+    /// Overrides the wire-segment lengths the latency derivation uses (the
+    /// `@xbar<n>` / `@hop<n>` spec suffixes). On crossbars the hop length
+    /// is pinned to [`DEFAULT_HOP_LEN`] so structural equality ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero length.
+    pub fn with_segment_lengths(mut self, xbar_len: u32, hop_len: u32) -> Self {
+        assert!(xbar_len >= 1, "crossbar segment length must be at least 1");
+        assert!(hop_len >= 1, "ring-hop segment length must be at least 1");
+        self.xbar_len = xbar_len;
+        self.hop_len = match self.shape {
+            Shape::Crossbar { .. } => DEFAULT_HOP_LEN,
+            Shape::HierRing { .. } => hop_len,
+        };
+        self
+    }
+
+    /// Crossbar traversal length in W-segment units.
+    pub fn xbar_len(&self) -> u32 {
+        self.xbar_len
+    }
+
+    /// Ring-hop length in W-segment units ([`DEFAULT_HOP_LEN`] on
+    /// crossbars, where no hop exists).
+    pub fn hop_len(&self) -> u32 {
+        self.hop_len
+    }
+
+    /// True for hierarchical (crossbar-of-rings) shapes.
+    pub fn is_ring(&self) -> bool {
+        matches!(self.shape, Shape::HierRing { .. })
+    }
+
+    /// Number of ring quads (1 for a flat crossbar: everything hangs off
+    /// the single hub).
+    pub fn quads(&self) -> usize {
+        match self.shape {
+            Shape::Crossbar { .. } => 1,
+            Shape::HierRing { quads, .. } => quads,
+        }
+    }
+
+    /// Clusters per quad (all of them, for a flat crossbar).
+    pub fn per_quad(&self) -> usize {
+        match self.shape {
+            Shape::Crossbar { clusters } => clusters,
+            Shape::HierRing { per_quad, .. } => per_quad,
+        }
     }
 
     /// Number of clusters.
     pub fn clusters(&self) -> usize {
-        match *self {
-            Topology::Crossbar { clusters } => clusters,
-            Topology::HierRing { quads } => quads * 4,
+        match self.shape {
+            Shape::Crossbar { clusters } => clusters,
+            Shape::HierRing { quads, per_quad } => quads * per_quad,
         }
     }
 
     /// Quad of a cluster (0 for flat crossbars).
     pub fn quad_of(&self, cluster: usize) -> usize {
-        match *self {
-            Topology::Crossbar { .. } => 0,
-            Topology::HierRing { .. } => cluster / 4,
+        match self.shape {
+            Shape::Crossbar { .. } => 0,
+            Shape::HierRing { per_quad, .. } => cluster / per_quad,
         }
     }
 
     /// The quad that hosts the centralized cache.
     pub const CACHE_QUAD: usize = 0;
+
+    /// The longest route this topology can produce, in links: source link
+    /// plus shortest-path ring segments (at most `quads / 2`) plus sink
+    /// link. Constructors validate this against [`MAX_ROUTE_LINKS`].
+    pub fn max_route_links(&self) -> usize {
+        let max_segments = match self.shape {
+            Shape::Crossbar { .. } => 0,
+            Shape::HierRing { quads, .. } => quads / 2,
+        };
+        2 + max_segments
+    }
+
+    /// The canonical compact spec string for this topology (`xbar:4`,
+    /// `ring:6x4`, `ring:4x4@hop3`), parseable by
+    /// [`crate::topo::TopologySpec`]; non-default segment lengths appear as
+    /// suffixes.
+    pub fn spec_string(&self) -> String {
+        let mut s = match self.shape {
+            Shape::Crossbar { clusters } => format!("xbar:{clusters}"),
+            Shape::HierRing { quads, per_quad } => format!("ring:{quads}x{per_quad}"),
+        };
+        if self.is_ring() && self.hop_len != DEFAULT_HOP_LEN {
+            s.push_str(&format!("@hop{}", self.hop_len));
+        }
+        if self.xbar_len != DEFAULT_XBAR_LEN {
+            s.push_str(&format!("@xbar{}", self.xbar_len));
+        }
+        s
+    }
 
     /// All directed links in this topology, in a stable order.
     pub fn all_links(&self) -> Vec<LinkId> {
@@ -137,7 +298,7 @@ impl Topology {
         }
         links.push(LinkId::CacheOut);
         links.push(LinkId::CacheIn);
-        if let Topology::HierRing { quads } = *self {
+        if let Shape::HierRing { quads, .. } = self.shape {
             for q in 0..quads {
                 links.push(LinkId::Ring {
                     from: q,
@@ -155,6 +316,11 @@ impl Topology {
     /// Index of `id` in [`Topology::all_links`] order, computed
     /// arithmetically so hot paths need no hash lookup. The network checks
     /// this against the enumeration at construction time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ring link in a crossbar topology (no such link is ever
+    /// declared).
     pub fn link_slot(&self, id: LinkId) -> usize {
         let n = self.clusters();
         match id {
@@ -163,7 +329,9 @@ impl Topology {
             LinkId::CacheOut => 2 * n,
             LinkId::CacheIn => 2 * n + 1,
             LinkId::Ring { from, to } => {
-                let quads = n / 4;
+                let Shape::HierRing { quads, .. } = self.shape else {
+                    panic!("crossbar topologies have no ring links");
+                };
                 let clockwise = to == (from + 1) % quads;
                 2 * n + 2 + 2 * from + usize::from(!clockwise)
             }
@@ -171,17 +339,20 @@ impl Topology {
     }
 
     /// Computes the route from `src` to `dst` for a transfer on `class`
-    /// wires without heap allocation.
+    /// wires without heap allocation. The latency is the per-class segment
+    /// derivation ([`heterowire_wires::segment_latency`]) over one crossbar
+    /// traversal of [`Topology::xbar_len`] plus [`Topology::hop_len`] per
+    /// ring segment.
     ///
     /// # Panics
     ///
-    /// Panics if `src == dst`, a cluster index is out of range, or the
-    /// route exceeds [`MAX_ROUTE_LINKS`] links.
+    /// Panics if `src == dst` or a cluster index is out of range (route
+    /// length cannot overflow: constructors bound it by
+    /// [`MAX_ROUTE_LINKS`]).
     pub fn route_inline(&self, src: Node, dst: Node, class: WireClass) -> InlineRoute {
         assert!(src != dst, "no self-transfers on the network");
-        let params = class.params();
-        let xbar = params.crossbar_latency as u64;
-        let ring = params.ring_hop_latency as u64;
+        let xbar = segment_latency(class, self.xbar_len);
+        let ring = segment_latency(class, self.hop_len);
 
         let mut links = [LinkId::CacheOut; MAX_ROUTE_LINKS];
         let mut len = 0usize;
@@ -207,7 +378,7 @@ impl Topology {
 
         // Ring path between quads: shortest direction, clockwise on ties.
         let mut segments = 0u64;
-        if let Topology::HierRing { quads } = *self {
+        if let Shape::HierRing { quads, .. } = self.shape {
             if src_quad != dst_quad {
                 let cw = (dst_quad + quads - src_quad) % quads;
                 let ccw = (src_quad + quads - dst_quad) % quads;
@@ -340,11 +511,96 @@ mod tests {
 
     #[test]
     fn link_slot_matches_enumeration_order() {
-        for t in [Topology::crossbar4(), Topology::hier16()] {
+        for t in [
+            Topology::crossbar4(),
+            Topology::hier16(),
+            Topology::crossbar(2),
+            Topology::crossbar(8),
+            Topology::hier_ring(3, 6),
+            Topology::hier_ring(5, 2),
+            Topology::hier_ring(8, 4),
+        ] {
             for (i, &id) in t.all_links().iter().enumerate() {
                 assert_eq!(t.link_slot(id), i, "{id:?}");
             }
+            let links = t.all_links();
+            let unique: std::collections::HashSet<_> = links.iter().collect();
+            assert_eq!(links.len(), unique.len(), "{t:?} duplicates a link");
         }
+    }
+
+    #[test]
+    fn generated_ring_generalizes_quads_and_latency() {
+        // 6 quads of 2 clusters: 12 clusters, up to 3 ring segments.
+        let t = Topology::hier_ring(6, 2);
+        assert_eq!(t.clusters(), 12);
+        assert_eq!(t.quad_of(5), 2);
+        assert_eq!(t.max_route_links(), 5);
+        // Quad 0 -> quad 3 is opposite: 3 hops.
+        let r = t.route(Node::Cluster(0), Node::Cluster(6), WireClass::B);
+        assert_eq!(r.hops, 4);
+        assert_eq!(r.latency, 2 + 3 * 4);
+        // Odd ring: no tie, the short way round wins.
+        let t5 = Topology::hier_ring(5, 2);
+        let r = t5.route(Node::Cluster(0), Node::Cluster(6), WireClass::L);
+        assert_eq!(r.hops, 3); // quad 0 -> 3 counter-clockwise (2 segments)
+        assert!(r.links.contains(&LinkId::Ring { from: 4, to: 3 }));
+    }
+
+    #[test]
+    fn segment_length_overrides_rescale_latency() {
+        // hier16 with 3-length hops: B hop becomes ceil(0.8*2.5*3) = 6.
+        let t = Topology::hier_ring(4, 4).with_segment_lengths(1, 3);
+        let r = t.route(Node::Cluster(0), Node::Cluster(4), WireClass::B);
+        assert_eq!(r.latency, 2 + 6);
+        // Double-length crossbar: B traversal costs the ring-hop 4.
+        let t = Topology::crossbar(4).with_segment_lengths(2, 1);
+        let r = t.route(Node::Cluster(0), Node::Cluster(1), WireClass::B);
+        assert_eq!(r.latency, 4);
+        // Crossbars pin the (unused) hop length for structural equality.
+        assert_eq!(
+            Topology::crossbar(4).with_segment_lengths(1, 5),
+            Topology::crossbar4()
+        );
+    }
+
+    #[test]
+    fn spec_strings_are_canonical() {
+        assert_eq!(Topology::crossbar4().spec_string(), "xbar:4");
+        assert_eq!(Topology::hier16().spec_string(), "ring:4x4");
+        assert_eq!(
+            Topology::hier_ring(6, 2)
+                .with_segment_lengths(2, 3)
+                .spec_string(),
+            "ring:6x2@hop3@xbar2"
+        );
+    }
+
+    #[test]
+    fn labels_borrow_where_possible() {
+        assert_eq!(LinkId::CacheOut.label(), "cache.out");
+        assert!(matches!(LinkId::CacheIn.label(), Cow::Borrowed(_)));
+        assert_eq!(LinkId::ClusterOut(3).label(), "c3.out");
+        assert_eq!(LinkId::Ring { from: 1, to: 2 }.label(), "ring.1-2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 quads")]
+    fn two_quad_ring_is_rejected() {
+        let _ = Topology::hier_ring(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline")]
+    fn oversized_ring_is_rejected_at_construction() {
+        // 10 quads need 2 + 5 = 7 links; the engines hold 6.
+        let _ = Topology::hier_ring(10, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 clusters")]
+    fn degenerate_crossbar_is_rejected() {
+        let _ = Topology::crossbar(1);
     }
 
     #[test]

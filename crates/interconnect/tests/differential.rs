@@ -6,8 +6,8 @@
 //! sequences at the same cycles, and same next-event answers every cycle.
 
 use heterowire_interconnect::{
-    MessageKind, NetConfig, NetStats, Network, Node, ReferenceNetwork, Topology, Transfer,
-    TransferId,
+    MessageKind, NetConfig, NetStats, Network, Node, ReferenceNetwork, Topology, TopologySpec,
+    Transfer, TransferId,
 };
 use heterowire_rng::SmallRng;
 use heterowire_telemetry::Probe;
@@ -192,6 +192,35 @@ fn hier16_differential_random_bursts() {
         delivered += differential_run(Topology::hier16(), 0xCAFE + seed, 700).delivered;
     }
     assert!(delivered > 1_000, "traffic was too light to prove anything");
+}
+
+#[test]
+fn generated_topologies_differential_random_bursts() {
+    // Spec-generated shapes off the two presets the indexed engine was
+    // tuned on: the 2-cluster degenerate crossbar, a wide flat crossbar,
+    // an asymmetric odd ring (no tie-break direction ever fires), a ring
+    // with non-default hop segments, and the capacity-edge 8-quad ring
+    // whose longest route fills the inline arrays.
+    let shapes = [
+        ("xbar:2", 0xD1F0u64),
+        ("xbar:8", 0xD1F1),
+        ("ring:5x2", 0xD1F2),
+        ("ring:3x6@hop3", 0xD1F3),
+        ("ring:8x4", 0xD1F4),
+    ];
+    for (spec, seed) in shapes {
+        let topology = TopologySpec::parse(spec)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"))
+            .topology();
+        let mut delivered = 0;
+        for s in 0..2 {
+            delivered += differential_run(topology, seed + s, 500).delivered;
+        }
+        assert!(
+            delivered > 200,
+            "{spec}: traffic was too light ({delivered})"
+        );
+    }
 }
 
 #[test]

@@ -3,23 +3,35 @@
 
 use heterowire_rng::SmallRng;
 
-use heterowire_interconnect::{LinkId, MessageKind, NetConfig, Network, Node, Topology, Transfer};
-use heterowire_wires::{LinkComposition, WireClass, WirePlane};
+use heterowire_interconnect::{
+    LinkId, MessageKind, NetConfig, Network, Node, Topology, TopologySpec, Transfer,
+};
+use heterowire_wires::{segment_latency, LinkComposition, WireClass, WirePlane};
 
 const CASES: usize = 128;
 
 /// Every route starts at the source's output link, ends at the
 /// destination's input link, uses only links the topology declares, and
-/// its latency matches the class parameters.
+/// its latency matches the per-class segment derivation — across the
+/// presets and a spread of spec-generated topologies.
 #[test]
 fn routes_are_well_formed() {
+    let topologies: Vec<Topology> = [
+        "crossbar4",
+        "hier16",
+        "xbar:2",
+        "xbar:8",
+        "ring:5x2",
+        "ring:6x4",
+        "ring:9x1",
+        "ring:4x4@hop3@xbar2",
+    ]
+    .iter()
+    .map(|s| TopologySpec::parse(s).unwrap().topology())
+    .collect();
     let mut rng = SmallRng::seed_from_u64(0x10c_0001);
     for _ in 0..CASES {
-        let topo = if rng.gen_bool(0.5) {
-            Topology::hier16()
-        } else {
-            Topology::crossbar4()
-        };
+        let topo = topologies[rng.gen_range(0usize..topologies.len())];
         let n = topo.clusters();
         let src_i = rng.gen_range(0usize..16);
         let dst_i = rng.gen_range(0usize..16);
@@ -53,16 +65,58 @@ fn routes_are_well_formed() {
             }
             Node::Cache => assert_eq!(*route.links.last().unwrap(), LinkId::CacheIn),
         }
-        // Latency = crossbar + hops * ring-hop for the class.
-        let p = class.params();
+        // Latency = the per-class segment derivation over one crossbar
+        // traversal plus the topology's hop length per ring segment (for
+        // default segment lengths this is exactly the Table-2 crossbar +
+        // hops x ring-hop arithmetic).
         let ring_segments = route.links.len() as u64 - 2;
         assert_eq!(
             route.latency,
-            p.crossbar_latency as u64 + p.ring_hop_latency as u64 * ring_segments
+            segment_latency(class, topo.xbar_len())
+                + segment_latency(class, topo.hop_len()) * ring_segments
         );
         assert_eq!(route.hops as u64, 1 + ring_segments);
-        // Ring paths take the short way round (<= half the ring).
-        assert!(ring_segments <= 2);
+        // Ring paths take the short way round (<= half the ring), which
+        // also bounds the route by the topology's declared maximum.
+        assert!(ring_segments as usize <= topo.quads() / 2);
+        assert!(route.links.len() <= topo.max_route_links());
+    }
+}
+
+/// Randomized spec generator: every valid (shape, dims, overrides) tuple
+/// formats to a canonical string that parses back to the same topology,
+/// and the spec name round-trips through [`TopologySpec::parse`].
+#[test]
+fn random_specs_round_trip_through_parse_and_format() {
+    let mut rng = SmallRng::seed_from_u64(0x10c_0003);
+    for _ in 0..256 {
+        let ring = rng.gen_bool(0.5);
+        let xbar_len = rng.gen_range(1u32..5);
+        let hop_len = rng.gen_range(1u32..5);
+        let (token, expect) = if ring {
+            let quads = rng.gen_range(3usize..10);
+            let per_quad = rng.gen_range(1usize..7);
+            (
+                format!("ring:{quads}x{per_quad}@hop{hop_len}@xbar{xbar_len}"),
+                Topology::hier_ring(quads, per_quad).with_segment_lengths(xbar_len, hop_len),
+            )
+        } else {
+            let clusters = rng.gen_range(2usize..33);
+            (
+                format!("xbar:{clusters}@xbar{xbar_len}"),
+                Topology::crossbar(clusters).with_segment_lengths(xbar_len, hop_len),
+            )
+        };
+        let spec = TopologySpec::parse(&token).unwrap_or_else(|e| panic!("{token}: {e}"));
+        assert_eq!(spec.topology(), expect, "{token}");
+        // name() is canonical and re-parses to the identical spec.
+        let name = spec.name();
+        let reparsed = TopologySpec::parse(&name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reparsed, spec, "{token} -> {name}");
+        // The generated topology survives a Network construction (route
+        // tables, link slots and capacity checks all hold).
+        let link = LinkComposition::new(vec![WirePlane::new(WireClass::B, 72)]).unwrap();
+        let _ = Network::new(NetConfig::new(spec.topology(), link));
     }
 }
 

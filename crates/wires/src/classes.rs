@@ -84,6 +84,51 @@ impl WireClass {
             WireClass::L => "L",
         }
     }
+
+    /// [`WireParams::relative_delay`] in exact tenths (`W` 10, `Pw` 12,
+    /// `B` 8, `L` 3), so latency derivation in [`segment_latency`] is pure
+    /// integer arithmetic: naive f64 `ceil` puts `0.8 x 2.5` a few ulps
+    /// above 2.0 and would round the B-wire crossbar up to 3 cycles.
+    pub fn relative_delay_tenths(self) -> u64 {
+        match self {
+            WireClass::W => 10,
+            WireClass::Pw => 12,
+            WireClass::B => 8,
+            WireClass::L => 3,
+        }
+    }
+}
+
+/// Delay of one crossbar-length wire segment (the cluster-to-hub span of
+/// Figure 2(a)) on the reference W-wire, in **milli-cycles**: 2.5 clock
+/// cycles. This single anchor plus the Table-2 relative-delay column yields
+/// every network latency the paper quotes in §5.2 — see
+/// [`segment_latency`].
+pub const W_SEGMENT_DELAY_MILLICYCLES: u64 = 2_500;
+
+/// Cycles for a transfer on `class` wires to traverse `length`
+/// crossbar-length wire segments:
+/// `ceil(relative_delay x 2.5 cycles x length)`, computed exactly in
+/// integer milli-cycles.
+///
+/// This derives the paper's §5.2 latency table from the wire geometry
+/// instead of hard-coding per-hop constants: at `length` 1 (one crossbar
+/// traversal) it reproduces [`WireParams::crossbar_latency`] for every
+/// class (PW 3, B 2, L 1) and at `length` 2 (a ring hop spans two
+/// crossbar-lengths) it reproduces [`WireParams::ring_hop_latency`]
+/// (PW 6, B 4, L 2) — pinned by tests. Generated topologies feed other
+/// lengths through their `@xbar<n>` / `@hop<n>` segment overrides.
+///
+/// `W` returns 0 for any length: W-wires are not deployed on the network
+/// (they are the normalisation reference), mirroring the zeroed canonical
+/// constants.
+pub fn segment_latency(class: WireClass, length: u32) -> u64 {
+    if class == WireClass::W {
+        return 0;
+    }
+    let millicycles =
+        class.relative_delay_tenths() * (W_SEGMENT_DELAY_MILLICYCLES / 10) * length as u64;
+    millicycles.div_ceil(1_000)
 }
 
 impl fmt::Display for WireClass {
@@ -247,6 +292,52 @@ mod tests {
         assert!((b - 0.58).abs() < 0.3, "B derived energy {b}");
         // L-wires burn more energy than B but less than ~1.2x W.
         assert!(l > b && l < 1.3, "L derived energy {l}");
+    }
+
+    #[test]
+    fn segment_latency_reproduces_the_canonical_network_latencies() {
+        for class in WireClass::ALL {
+            let p = class.params();
+            // One crossbar-length segment: the §5.2 crossbar latency.
+            assert_eq!(
+                segment_latency(class, 1),
+                p.crossbar_latency as u64,
+                "{class}"
+            );
+            // A ring hop spans two crossbar-lengths: the ring-hop latency.
+            assert_eq!(
+                segment_latency(class, 2),
+                p.ring_hop_latency as u64,
+                "{class}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_latency_is_exact_ceil_of_the_relative_delay() {
+        // The tenths table is the relative-delay column, exactly.
+        for class in WireClass::ALL {
+            let tenths = class.relative_delay_tenths() as f64;
+            assert!(
+                (tenths / 10.0 - class.params().relative_delay).abs() < 1e-12,
+                "{class}"
+            );
+        }
+        // Longer segments: monotone, and ceil quantisation shows through
+        // (3 L-segments is ceil(0.3 x 2.5 x 3) = ceil(2.25) = 3).
+        assert_eq!(segment_latency(WireClass::L, 3), 3);
+        assert_eq!(segment_latency(WireClass::B, 3), 6);
+        assert_eq!(segment_latency(WireClass::Pw, 3), 9);
+        // Non-decreasing in length (L-wire quantisation plateaus: lengths
+        // 3 and 4 both ceil to 3 cycles), and growing over longer spans.
+        for class in [WireClass::Pw, WireClass::B, WireClass::L] {
+            for len in 1..16 {
+                assert!(segment_latency(class, len + 1) >= segment_latency(class, len));
+            }
+            assert!(segment_latency(class, 16) > segment_latency(class, 1));
+        }
+        // W-wires never ride the network, whatever the length.
+        assert_eq!(segment_latency(WireClass::W, 7), 0);
     }
 
     #[test]

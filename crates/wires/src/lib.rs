@@ -56,6 +56,6 @@ pub mod repeater;
 pub mod spec;
 pub mod transmission;
 
-pub use classes::{table2, WireClass, WireParams};
+pub use classes::{segment_latency, table2, WireClass, WireParams};
 pub use plane::{DuplicateClassError, LinkComposition, WirePlane};
 pub use spec::{LinkSpec, SpecError};
