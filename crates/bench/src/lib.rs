@@ -351,17 +351,11 @@ pub fn parse_topology_token(token: &str) -> Result<TopologySpec, String> {
         TopologySpec::parse_file(&contents)
             .map_err(|e| format!("--topology spec file {token:?}: {e}"))?
     };
-    // The network itself scales past this, but the processor's inline
-    // per-value structures cap the cluster count; refuse here so sweeps
-    // exit 2 instead of panicking mid-run.
-    let clusters = spec.topology().clusters();
-    if clusters > heterowire_core::MAX_CLUSTERS {
-        return Err(format!(
-            "--topology {token:?}: {clusters} clusters, but the processor supports \
-             at most {} (the network alone can go larger)",
-            heterowire_core::MAX_CLUSTERS
-        ));
-    }
+    // Capacity (cluster cap, ring-quad bound) is the spec parser's job:
+    // it runs the shared checker, whose message names the cap and the
+    // offending count, so sweeps exit 2 with the same wording every
+    // other layer uses.
+    debug_assert!(spec.topology().clusters() <= heterowire_core::MAX_CLUSTERS);
     Ok(spec)
 }
 
@@ -1561,10 +1555,17 @@ mod tests {
         assert_eq!(set.specs()[1].name(), "ring:6x2");
         assert_eq!(set.specs()[1].topology().clusters(), 12);
         assert!(TopologySet::new(Vec::new()).is_err());
-        // Valid shapes beyond the processor's inline capacity are refused
-        // at parse time, not by a panic mid-sweep.
-        let err = TopologySet::from_args(&to_args(&["t", "--topology", "ring:6x4"])).unwrap_err();
-        assert!(err.contains("at most 16"), "{err}");
+        // Shapes past the processor's old inline capacity now parse (the
+        // per-value structures spill); the simulator-wide cap still
+        // refuses at parse time, not by a panic mid-sweep, with the
+        // shared checker's message (cap + offending count).
+        let wide = TopologySet::from_args(&to_args(&["t", "--topology", "ring:6x4"]))
+            .unwrap()
+            .expect("one topology");
+        assert_eq!(wide.specs()[0].topology().clusters(), 24);
+        let err = TopologySet::from_args(&to_args(&["t", "--topology", "xbar:65"])).unwrap_err();
+        assert!(err.contains("65 clusters"), "{err}");
+        assert!(err.contains("at most 64"), "{err}");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod energy;
+pub mod mask;
 pub mod narrow;
 pub mod processor;
 pub mod report;
@@ -47,6 +48,7 @@ pub use config::{
 };
 pub use energy::{mean_report, relative_report, EnergyParams, RelativeReport};
 pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe};
+pub use mask::ClusterMask;
 pub use narrow::NarrowPredictor;
 pub use processor::{
     CriticalityPolicy, OraclePolicy, PaperPolicy, Processor, PwFirstPolicy, SprayPolicy,

@@ -1,0 +1,109 @@
+//! A u64-backed cluster set.
+//!
+//! Replaces the old `critical_subs: u16` bitmask on the per-value state:
+//! one bit per cluster, so the simulator-wide cluster cap is the mask
+//! width ([`ClusterMask::CAPACITY`] = 64, mirrored by
+//! `heterowire_interconnect::MAX_SIM_CLUSTERS`). Plain value semantics —
+//! `Copy`, no allocation — so it rides inside `ValueInfo` at the same
+//! cost as the integer it replaces.
+
+/// A set of cluster indices, one bit each, capacity 64.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterMask(u64);
+
+impl ClusterMask {
+    /// The set with no clusters.
+    pub const EMPTY: Self = ClusterMask(0);
+    /// Largest representable cluster count (bit width of the backing u64).
+    pub const CAPACITY: usize = u64::BITS as usize;
+
+    /// Adds `cluster` to the set.
+    #[inline]
+    pub fn insert(&mut self, cluster: usize) {
+        debug_assert!(cluster < Self::CAPACITY);
+        self.0 |= 1 << cluster;
+    }
+
+    /// Removes `cluster` from the set.
+    #[inline]
+    pub fn remove(&mut self, cluster: usize) {
+        debug_assert!(cluster < Self::CAPACITY);
+        self.0 &= !(1 << cluster);
+    }
+
+    /// Whether `cluster` is in the set.
+    #[inline]
+    pub fn contains(self, cluster: usize) -> bool {
+        debug_assert!(cluster < Self::CAPACITY);
+        self.0 >> cluster & 1 == 1
+    }
+
+    /// Number of clusters in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The member clusters in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(c)
+        })
+    }
+}
+
+impl std::fmt::Debug for ClusterMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for ClusterMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut m = ClusterMask::EMPTY;
+        for c in iter {
+            m.insert(c);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let mut m = ClusterMask::EMPTY;
+        assert!(m.is_empty());
+        for c in [0, 15, 16, 63] {
+            assert!(!m.contains(c));
+            m.insert(c);
+            assert!(m.contains(c));
+        }
+        assert_eq!(m.len(), 4);
+        m.remove(16);
+        assert!(!m.contains(16));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 15, 63]);
+    }
+
+    #[test]
+    fn from_iter_dedups_and_orders() {
+        let m: ClusterMask = [5, 2, 5, 40].into_iter().collect();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![2, 5, 40]);
+        assert_eq!(format!("{m:?}"), "{2, 5, 40}");
+    }
+}

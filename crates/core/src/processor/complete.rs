@@ -48,7 +48,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             // Completion-time copies carry the criticality mark recorded
             // when the consumer subscribed; dispatch-time copies had slack
             // by definition.
-            let critical = !ready_at_dispatch && v.critical_subs >> cluster & 1 == 1;
+            let critical = !ready_at_dispatch && v.critical_subs.contains(cluster);
             (v.cluster, v.narrow, v.value, v.pc, critical)
         };
         let dest_iq_used = {
@@ -84,7 +84,8 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                 .send_probed(transfer, self.cycle, &mut self.probe);
             self.record_action(id, action);
         }
-        self.value_mut(producer).expect("value exists").arrivals[cluster] = IN_FLIGHT;
+        debug_assert!(self.value(producer).is_some(), "value exists");
+        self.slots.set_arrival(producer, cluster, IN_FLIGHT);
     }
 
     /// Records the delivery action of a freshly sent transfer. Transfer
@@ -104,8 +105,8 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             match action {
                 Action::ValueArrive { producer, cluster } => {
                     let cycle = self.cycle;
-                    if let Some(v) = self.value_mut(producer) {
-                        v.arrivals[cluster] = cycle;
+                    if self.value(producer).is_some() {
+                        self.slots.set_arrival(producer, cluster, cycle);
                     }
                     self.wake_waiters(producer, cluster);
                 }
@@ -202,10 +203,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                         if let Some(i) = self.rob_get_mut(seq) {
                             i.phase = Phase::Done;
                         }
-                        let slot = &mut self.values[seq as usize];
-                        let v = slot.get_or_insert_with(|| ValueInfo::new(cluster, narrow, 0, pc));
+                        let v = self.values[seq as usize]
+                            .get_or_insert_with(|| ValueInfo::new(cluster, narrow, 0, pc));
                         v.done_at = Some(cycle);
-                        let subs = std::mem::take(&mut v.subscribers);
+                        let subs = self.slots.take_subscribers(seq);
                         for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }
@@ -324,11 +325,8 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                     // ALU result: publish and notify subscribers.
                     self.rob_get_mut(seq).expect("in rob").phase = Phase::Done;
                     if let Some(d) = op.dest() {
-                        let subs = {
-                            let v = self.value_mut(seq).expect("value registered");
-                            v.done_at = Some(cycle);
-                            std::mem::take(&mut v.subscribers)
-                        };
+                        self.value_mut(seq).expect("value registered").done_at = Some(cycle);
+                        let subs = self.slots.take_subscribers(seq);
                         for c in subs.iter() {
                             self.send_value_copy(seq, c, false);
                         }

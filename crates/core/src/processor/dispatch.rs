@@ -112,26 +112,24 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
 
             // Register the destination value (a slot exists for every
             // dispatched op, `None` when there is no destination) and
-            // rename.
+            // rename. The slot tables grow a row for every seq so their
+            // offsets stay seq-dense too.
             self.values.push(
                 op.dest()
                     .map(|_| ValueInfo::new(cluster, op.is_narrow_result(), op.result(), op.pc())),
             );
+            self.slots.push_value();
             if let Some(d) = op.dest() {
                 self.rename[d.flat_index()] = Some(seq);
             }
 
             // Cross-cluster operand copies / subscriptions.
             for &p in src_producer.iter().flatten() {
-                let (v_cluster, v_done, already) = {
+                let (v_cluster, v_done) = {
                     let v = self.value(p).expect("present");
-                    (
-                        v.cluster,
-                        v.done_at.is_some(),
-                        v.arrivals[cluster] != NOT_SENT,
-                    )
+                    (v.cluster, v.done_at.is_some())
                 };
-                if v_cluster == cluster || already {
+                if v_cluster == cluster || self.slots.arrival(p, cluster) != NOT_SENT {
                     continue;
                 }
                 if v_done {
@@ -140,11 +138,12 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                     // Remember whether this subscription is the consumer's
                     // last-arriving operand: the same criticality signal
                     // steering uses feeds the completion-time copy.
-                    let critical = youngest_pending == Some(p);
-                    let v = self.value_mut(p).expect("present");
-                    v.subscribers.push_unique(cluster);
-                    if critical {
-                        v.critical_subs |= 1 << cluster;
+                    self.slots.push_subscriber_unique(p, cluster);
+                    if youngest_pending == Some(p) {
+                        self.value_mut(p)
+                            .expect("present")
+                            .critical_subs
+                            .insert(cluster);
                     }
                 }
             }

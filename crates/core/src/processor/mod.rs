@@ -45,12 +45,16 @@ mod kernel;
 pub mod policies;
 pub mod policy;
 mod rob;
+mod slots;
 #[cfg(test)]
 mod tests;
 mod wheel;
 
 pub use policies::{CriticalityPolicy, OraclePolicy, PwFirstPolicy};
 pub use policy::{PaperPolicy, SprayPolicy, TransferPolicy};
+
+use crate::mask::ClusterMask;
+use slots::ValueSlots;
 
 use std::cmp::Reverse;
 use std::sync::Arc;
@@ -122,12 +126,17 @@ struct Inflight {
     waiter_next: [u32; 2],
 }
 
-/// Most clusters any supported topology has (16 = four quads); bounds the
-/// inline per-value arrival array, the subscriber list and the
-/// `critical_subs` bitmask. Spec-generated topologies with more clusters
-/// are valid networks but cannot drive a [`Processor`]; CLI layers check
-/// this bound up front (see `parse_topology_token` in the bench crate).
-pub const MAX_CLUSTERS: usize = 16;
+/// Most clusters any supported topology has — re-exported from the
+/// interconnect's simulator-wide cap so there is exactly one bound (and
+/// one refusal message, from the shared capacity checker) across parse,
+/// construction and `Network::new`. Capacity is otherwise data-driven:
+/// per-value slot rows are sized from the topology's cluster count at
+/// construction (the `processor::slots` table), so this cap only
+/// reflects the [`crate::ClusterMask`] width.
+pub const MAX_CLUSTERS: usize = heterowire_interconnect::MAX_SIM_CLUSTERS;
+// The criticality mask is one bit per cluster; widening past it means
+// widening `ClusterMask` first.
+const _: () = assert!(MAX_CLUSTERS <= crate::ClusterMask::CAPACITY);
 /// Functional-unit kinds per cluster (`FuKind::ALL.len()`).
 const FU_KINDS: usize = 4;
 /// End-of-list sentinel for the intrusive waiter lists. Nodes encode
@@ -145,47 +154,13 @@ struct ValueInfo {
     narrow: bool,
     value: u64,
     pc: u64,
-    /// Cycle a copy arrives per remote cluster ([`NOT_SENT`]/[`IN_FLIGHT`]
-    /// sentinels; inline so the rename/dispatch path never hashes).
-    arrivals: [u64; MAX_CLUSTERS],
-    /// Remote clusters awaiting a copy once the value completes.
-    subscribers: SubscriberList,
-    /// Bitmask of subscribed clusters whose consumer marked this producer
-    /// as its last-arriving (youngest still-pending) operand at dispatch —
-    /// the criticality signal completion-time copies hand to the policy.
-    critical_subs: u16,
-    /// Per-cluster heads of the intrusive waiter lists: dispatched
-    /// consumers in that cluster blocked on this value becoming usable
-    /// there. Woken when `done_at` is set (home cluster) or a copy arrives
-    /// (remote cluster).
-    waiters: [u32; MAX_CLUSTERS],
-}
-
-/// Insertion-ordered set of clusters, inline so the publish path never
-/// allocates. Copies must be sent in subscription order — the network
-/// assigns transfer ids (and breaks arbitration ties) in send order, so
-/// iterating in any other order changes simulated timing.
-#[derive(Debug, Clone, Copy, Default)]
-struct SubscriberList {
-    clusters: [u8; MAX_CLUSTERS],
-    len: u8,
-}
-
-impl SubscriberList {
-    fn push_unique(&mut self, cluster: usize) {
-        let n = self.len as usize;
-        if self.clusters[..n].contains(&(cluster as u8)) {
-            return;
-        }
-        self.clusters[n] = cluster as u8;
-        self.len += 1;
-    }
-
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.clusters[..self.len as usize]
-            .iter()
-            .map(|&c| c as usize)
-    }
+    /// Subscribed clusters whose consumer marked this producer as its
+    /// last-arriving (youngest still-pending) operand at dispatch — the
+    /// criticality signal completion-time copies hand to the policy.
+    /// Per-cluster arrival cycles, waiter-list heads and the ordered
+    /// subscriber list live in the processor-owned [`ValueSlots`] table,
+    /// whose row width is the machine's cluster count.
+    critical_subs: ClusterMask,
 }
 
 impl ValueInfo {
@@ -196,10 +171,7 @@ impl ValueInfo {
             narrow,
             value,
             pc,
-            arrivals: [NOT_SENT; MAX_CLUSTERS],
-            subscribers: SubscriberList::default(),
-            critical_subs: 0,
-            waiters: [NO_WAITER; MAX_CLUSTERS],
+            critical_subs: ClusterMask::EMPTY,
         }
     }
 }
@@ -272,6 +244,10 @@ pub struct Processor<P: Probe = NullProbe, T: TransferPolicy = PaperPolicy> {
     /// Destination-value bookkeeping, indexed directly by seq (seqs are
     /// dense from 0; `None` for ops without a destination).
     values: Vec<Option<ValueInfo>>,
+    /// Per-value, per-cluster slot tables (arrivals / waiters /
+    /// subscribers), rows sized to the machine's cluster count and pushed
+    /// in lockstep with `values`.
+    slots: ValueSlots,
     rename: [Option<u64>; 64],
     /// Delivery action per transfer, indexed by `TransferId` (ids are
     /// assigned densely in send order).
@@ -399,11 +375,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             ..MemConfig::default()
         };
 
+        // Capacity is validated by the shared checker inside
+        // `Network::new` below (one bound, one message); `MAX_CLUSTERS`
+        // mirrors it, so `n <= ClusterMask::CAPACITY` holds here.
         let n = config.clusters();
-        assert!(
-            n <= MAX_CLUSTERS,
-            "at most {MAX_CLUSTERS} clusters supported, got {n}"
-        );
         Processor {
             probe,
             policy,
@@ -416,6 +391,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             rob_base: 0,
             clusters: vec![ClusterState::new(); n],
             values: Vec::new(),
+            slots: ValueSlots::new(n),
             rename: [None; 64],
             actions: Vec::new(),
             deferred: std::collections::BinaryHeap::new(),

@@ -44,7 +44,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         if v.cluster == cluster {
             v.done_at
         } else {
-            let arrival = v.arrivals[cluster];
+            let arrival = self.slots.arrival(producer, cluster);
             (arrival < IN_FLIGHT).then_some(arrival)
         }
     }
@@ -55,10 +55,8 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
     pub(super) fn register_waiter(&mut self, producer: u64, cluster: usize, seq: u64, slot: usize) {
         debug_assert!(seq < (1 << 31), "waiter seqs must fit 31 bits");
         let node = ((seq as u32) << 1) | slot as u32;
-        let head = {
-            let v = self.value_mut(producer).expect("producer value present");
-            std::mem::replace(&mut v.waiters[cluster], node)
-        };
+        debug_assert!(self.value(producer).is_some(), "producer value present");
+        let head = self.slots.replace_waiter(producer, cluster, node);
         self.rob_get_mut(seq).expect("waiter in rob").waiter_next[slot] = head;
     }
 
@@ -68,10 +66,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
     /// store for a data send. Wake order within one event is irrelevant —
     /// both queues restore seq order before use.
     pub(super) fn wake_waiters(&mut self, producer: u64, cluster: usize) {
-        let mut node = match self.value_mut(producer) {
-            Some(v) => std::mem::replace(&mut v.waiters[cluster], NO_WAITER),
-            None => return,
-        };
+        if self.value(producer).is_none() {
+            return;
+        }
+        let mut node = self.slots.replace_waiter(producer, cluster, NO_WAITER);
         while node != NO_WAITER {
             let seq = u64::from(node >> 1);
             let slot = (node & 1) as usize;

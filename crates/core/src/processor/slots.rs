@@ -1,0 +1,203 @@
+//! Capacity-parameterized per-value slot tables (DESIGN.md §13).
+//!
+//! Every in-flight value carries per-cluster state: arrival cycles,
+//! intrusive waiter-list heads, and the ordered subscriber list. Before
+//! the widening these lived as fixed `[_; 16]` arrays inside `ValueInfo`,
+//! hard-coding the 16-cluster wall. They now live in one seq-indexed
+//! struct-of-arrays table whose row width (**stride**) is the machine's
+//! cluster count, read off the `Topology` once at `Processor`
+//! construction: `slot(seq, cluster) = row[seq * stride + cluster]`.
+//!
+//! This is deliberately *not* an inline-vs-spill enum per value (an
+//! earlier cut of this change was, and the per-access tag dispatch plus
+//! the fatter `ValueInfo` cost ~5% wall-clock on the ≤16-cluster fast
+//! path). A flat table is branch-free on every access, keeps `ValueInfo`
+//! small, and on narrow machines shrinks the per-value footprint below
+//! the old fixed arrays (stride 4 vs 16 on the paper's crossbar). Growth
+//! is amortized `Vec` doubling — the steady-state hot path allocates
+//! nothing at *any* width (`tests/alloc_count.rs` pins both narrow and
+//! wide budgets).
+
+use super::{MAX_CLUSTERS, NOT_SENT, NO_WAITER};
+
+/// Seq-indexed per-value, per-cluster slot tables; one row of `stride`
+/// slots per dispatched instruction (dest-carrying or not, so row offsets
+/// never need a side index).
+#[derive(Debug, Clone)]
+pub(super) struct ValueSlots {
+    /// Row width: the machine's cluster count.
+    stride: usize,
+    /// Rows in use (one per dispatched seq); the tables below are grown
+    /// in chunks ahead of this so [`ValueSlots::push_value`] is a
+    /// compare-and-increment on the dispatch hot path, not a `Vec` grow.
+    rows: usize,
+    /// Cycle a copy arrives per remote cluster ([`NOT_SENT`] /
+    /// [`super::IN_FLIGHT`] sentinels).
+    arrivals: Vec<u64>,
+    /// Per-cluster heads of the intrusive waiter lists ([`NO_WAITER`] =
+    /// empty; see `rob.rs` for the node encoding).
+    waiters: Vec<u32>,
+    /// Remote clusters awaiting a copy once the value completes,
+    /// insertion-ordered — copies must be sent in subscription order
+    /// because the network assigns transfer ids (and breaks arbitration
+    /// ties) in send order.
+    subscribers: Vec<u8>,
+    /// Live prefix length of each subscriber row.
+    subs_len: Vec<u8>,
+}
+
+impl ValueSlots {
+    /// Empty tables for a `clusters`-wide machine.
+    pub(super) fn new(clusters: usize) -> Self {
+        debug_assert!(clusters <= MAX_CLUSTERS);
+        ValueSlots {
+            stride: clusters,
+            rows: 0,
+            arrivals: Vec::new(),
+            waiters: Vec::new(),
+            subscribers: Vec::new(),
+            subs_len: Vec::new(),
+        }
+    }
+
+    /// Appends one value's row to every table (called once per dispatched
+    /// seq, in lockstep with the `values` vector). Rows ahead of the
+    /// current one are pre-filled with sentinels and untouched until their
+    /// seq dispatches, so chunk growth is invisible to the accessors.
+    #[inline]
+    pub(super) fn push_value(&mut self) {
+        self.rows += 1;
+        if self.rows * self.stride > self.arrivals.len() {
+            self.grow();
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let rows = (self.rows * 2).max(1024);
+        self.arrivals.resize(rows * self.stride, NOT_SENT);
+        self.waiters.resize(rows * self.stride, NO_WAITER);
+        self.subscribers.resize(rows * self.stride, 0);
+        self.subs_len.resize(rows, 0);
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64, cluster: usize) -> usize {
+        debug_assert!((seq as usize) < self.rows);
+        debug_assert!(cluster < self.stride);
+        seq as usize * self.stride + cluster
+    }
+
+    /// The arrival slot for `seq`'s value in `cluster`.
+    #[inline]
+    pub(super) fn arrival(&self, seq: u64, cluster: usize) -> u64 {
+        self.arrivals[self.idx(seq, cluster)]
+    }
+
+    /// Sets the arrival slot for `seq`'s value in `cluster`.
+    #[inline]
+    pub(super) fn set_arrival(&mut self, seq: u64, cluster: usize, cycle: u64) {
+        let i = self.idx(seq, cluster);
+        self.arrivals[i] = cycle;
+    }
+
+    /// Swaps `node` into the waiter-list head for (`seq`, `cluster`) and
+    /// returns the previous head.
+    #[inline]
+    pub(super) fn replace_waiter(&mut self, seq: u64, cluster: usize, node: u32) -> u32 {
+        let i = self.idx(seq, cluster);
+        std::mem::replace(&mut self.waiters[i], node)
+    }
+
+    /// Appends `cluster` to `seq`'s subscriber list unless already
+    /// subscribed.
+    pub(super) fn push_subscriber_unique(&mut self, seq: u64, cluster: usize) {
+        let base = self.idx(seq, 0);
+        let row = &mut self.subscribers[base..base + self.stride];
+        let n = self.subs_len[seq as usize] as usize;
+        if row[..n].contains(&(cluster as u8)) {
+            return;
+        }
+        row[n] = cluster as u8;
+        self.subs_len[seq as usize] = n as u8 + 1;
+    }
+
+    /// Empties `seq`'s subscriber list, returning the subscribed clusters
+    /// in subscription order (the publish path iterates them while
+    /// sending, which needs `&mut self`).
+    pub(super) fn take_subscribers(&mut self, seq: u64) -> TakenSubscribers {
+        let len = std::mem::take(&mut self.subs_len[seq as usize]);
+        let base = self.idx(seq, 0);
+        let mut clusters = [0u8; MAX_CLUSTERS];
+        clusters[..len as usize].copy_from_slice(&self.subscribers[base..base + len as usize]);
+        TakenSubscribers { clusters, len }
+    }
+}
+
+/// An owned, drained subscriber list (at most one slot per cluster, so an
+/// inline [`MAX_CLUSTERS`]-wide buffer always suffices — no allocation).
+pub(super) struct TakenSubscribers {
+    clusters: [u8; MAX_CLUSTERS],
+    len: u8,
+}
+
+impl TakenSubscribers {
+    /// The drained clusters, in subscription order.
+    pub(super) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.clusters[..self.len as usize]
+            .iter()
+            .map(|&c| c as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_stride_wide_and_sentinel_filled() {
+        for stride in [4, 16, 64] {
+            let mut slots = ValueSlots::new(stride);
+            slots.push_value();
+            slots.push_value();
+            for c in 0..stride {
+                assert_eq!(slots.arrival(1, c), NOT_SENT);
+                assert_eq!(slots.replace_waiter(1, c, 7), NO_WAITER);
+            }
+            slots.set_arrival(1, stride - 1, 42);
+            assert_eq!(slots.arrival(1, stride - 1), 42);
+            // Row 0 is untouched by row 1's writes.
+            assert_eq!(slots.arrival(0, stride - 1), NOT_SENT);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn slots_are_bounded_by_the_cluster_count() {
+        let mut slots = ValueSlots::new(4);
+        slots.push_value();
+        let _ = slots.arrival(0, 4);
+    }
+
+    #[test]
+    fn subscribers_keep_insertion_order_at_any_width() {
+        for stride in [4, 16, 64] {
+            let mut slots = ValueSlots::new(stride);
+            slots.push_value();
+            for c in [3, 1, 3, 0, 1] {
+                slots.push_subscriber_unique(0, c);
+            }
+            let taken = slots.take_subscribers(0);
+            assert_eq!(taken.iter().collect::<Vec<_>>(), vec![3, 1, 0]);
+            // Taking drains the list.
+            assert_eq!(slots.take_subscribers(0).iter().count(), 0);
+        }
+        let mut wide = ValueSlots::new(64);
+        wide.push_value();
+        wide.push_subscriber_unique(0, 63);
+        wide.push_subscriber_unique(0, 17);
+        let taken = wide.take_subscribers(0);
+        assert_eq!(taken.iter().collect::<Vec<_>>(), vec![63, 17]);
+    }
+}

@@ -57,4 +57,7 @@ pub use network::{NetConfig, NetStats, Network, TransferId};
 pub use policy::{AvailablePlanes, LoadBalancer, TransferHints, WirePolicy};
 pub use reference::ReferenceNetwork;
 pub use topo::{TopoSpecError, TopologyPreset, TopologySpec};
-pub use topology::{LinkId, Node, Route, Topology};
+pub use topology::{
+    check_crossbar, check_ring, CapacityError, LinkId, Node, Route, Topology, MAX_RING_QUADS,
+    MAX_ROUTE_LINKS, MAX_SIM_CLUSTERS,
+};

@@ -338,14 +338,12 @@ impl Network {
             !config.cluster_link.is_empty(),
             "links need at least one wire plane"
         );
-        // The spec layer and the Topology constructors already enforce
-        // this bound; re-checking here keeps the inline route arrays safe
-        // against any future construction path.
-        assert!(
-            config.topology.max_route_links() <= MAX_ROUTE_LINKS,
-            "topology routes up to {} links; the inline routes hold {MAX_ROUTE_LINKS}",
-            config.topology.max_route_links()
-        );
+        // The spec layer and the Topology constructors already run the
+        // shared capacity checker; re-running it here keeps the inline
+        // route arrays safe against any future construction path.
+        if let Err(e) = config.topology.check_capacity() {
+            panic!("{e}");
+        }
         let link_ids = config.topology.all_links();
         let cache_link = config.cluster_link.widened(2);
         let mut caps = Vec::with_capacity(link_ids.len());

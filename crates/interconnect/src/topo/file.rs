@@ -131,7 +131,7 @@ pub(super) fn parse_file_str(contents: &str) -> Result<TopologySpec, TopoSpecErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::Topology;
+    use crate::topology::{CapacityError, Topology};
 
     #[test]
     fn file_form_parses_both_shapes() {
@@ -200,14 +200,18 @@ mod tests {
         // Shared validation with the compact form.
         assert_eq!(
             err("shape = ring\nquads = 2\nper_quad = 4\n"),
-            E::TooFewQuads(2)
+            E::Capacity(CapacityError::TooFewQuads(2))
         );
         assert_eq!(
-            err("shape = ring\nquads = 12\nper_quad = 1\n"),
-            E::RouteTooLong {
-                quads: 12,
-                needed: 8
-            }
+            err("shape = ring\nquads = 20\nper_quad = 1\n"),
+            E::Capacity(CapacityError::RouteTooLong {
+                quads: 20,
+                needed: 12
+            })
+        );
+        assert_eq!(
+            err("shape = xbar\nclusters = 100\n"),
+            E::Capacity(CapacityError::TooManyClusters { clusters: 100 })
         );
     }
 }

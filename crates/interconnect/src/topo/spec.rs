@@ -3,7 +3,9 @@
 use std::fmt;
 use std::str::FromStr;
 
-use crate::topology::{Topology, DEFAULT_HOP_LEN, DEFAULT_XBAR_LEN, MAX_ROUTE_LINKS};
+use crate::topology::{
+    check_crossbar, check_ring, CapacityError, Topology, DEFAULT_HOP_LEN, DEFAULT_XBAR_LEN,
+};
 
 /// The paper's two named shapes, delegating to compact spec strings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,17 +63,11 @@ pub enum TopoSpecError {
     },
     /// Ring dims are not `<quads>x<per_quad>`.
     BadRingDims(String),
-    /// A crossbar needs at least 2 clusters.
-    TooFewClusters(usize),
-    /// A ring needs at least 3 quads.
-    TooFewQuads(usize),
-    /// The ring's longest route exceeds the engine's inline capacity.
-    RouteTooLong {
-        /// Requested quad count.
-        quads: usize,
-        /// Links the longest route would need.
-        needed: usize,
-    },
+    /// The shape exceeds a simulator capacity bound (too few clusters or
+    /// quads, too many clusters, or a route past the inline cap). Wraps
+    /// the shared checker's [`CapacityError`] so the refusal wording lives
+    /// in exactly one place.
+    Capacity(CapacityError),
     /// An `@...` override suffix names no known key (`hop`, `xbar`).
     UnknownOverride(String),
     /// The same latency override appears twice.
@@ -148,19 +144,7 @@ impl fmt::Display for TopoSpecError {
                 f,
                 "ring dims {d:?} must be <quads>x<clusters-per-quad>, e.g. \"ring:6x4\""
             ),
-            TopoSpecError::TooFewClusters(n) => {
-                write!(f, "a crossbar needs at least 2 clusters, got {n}")
-            }
-            TopoSpecError::TooFewQuads(q) => write!(
-                f,
-                "a ring needs at least 3 quads, got {q} (the two directed segments \
-                 between 2 quads would coincide; use xbar:<clusters> for small shapes)"
-            ),
-            TopoSpecError::RouteTooLong { quads, needed } => write!(
-                f,
-                "a {quads}-quad ring routes up to {needed} links but the network's \
-                 inline routes hold {MAX_ROUTE_LINKS}; rings support at most 9 quads"
-            ),
+            TopoSpecError::Capacity(e) => write!(f, "{e}"),
             TopoSpecError::UnknownOverride(o) => {
                 write!(f, "unknown override @{o}; expected @hop<n> or @xbar<n>")
             }
@@ -214,30 +198,28 @@ fn parse_dim(what: &'static str, token: &str) -> Result<usize, TopoSpecError> {
     Ok(n)
 }
 
-/// Builds and validates a crossbar topology (shared by the compact and
-/// file parsers).
-pub(super) fn build_crossbar(clusters: usize, xbar_len: u32) -> Result<Topology, TopoSpecError> {
-    if clusters < 2 {
-        return Err(TopoSpecError::TooFewClusters(clusters));
+impl From<CapacityError> for TopoSpecError {
+    fn from(e: CapacityError) -> Self {
+        TopoSpecError::Capacity(e)
     }
+}
+
+/// Builds and validates a crossbar topology (shared by the compact and
+/// file parsers); validation is the shared capacity checker.
+pub(super) fn build_crossbar(clusters: usize, xbar_len: u32) -> Result<Topology, TopoSpecError> {
+    check_crossbar(clusters)?;
     Ok(Topology::crossbar(clusters).with_segment_lengths(xbar_len, DEFAULT_HOP_LEN))
 }
 
 /// Builds and validates a hierarchical-ring topology (shared by the
-/// compact and file parsers).
+/// compact and file parsers); validation is the shared capacity checker.
 pub(super) fn build_ring(
     quads: usize,
     per_quad: usize,
     xbar_len: u32,
     hop_len: u32,
 ) -> Result<Topology, TopoSpecError> {
-    if quads < 3 {
-        return Err(TopoSpecError::TooFewQuads(quads));
-    }
-    let needed = 2 + quads / 2;
-    if needed > MAX_ROUTE_LINKS {
-        return Err(TopoSpecError::RouteTooLong { quads, needed });
-    }
+    check_ring(quads, per_quad)?;
     Ok(Topology::hier_ring(quads, per_quad).with_segment_lengths(xbar_len, hop_len))
 }
 
@@ -461,20 +443,28 @@ mod tests {
             }
         ));
         assert!(matches!(err("xbar:four"), E::InvalidDim { .. }));
-        assert_eq!(err("xbar:1"), E::TooFewClusters(1));
+        assert_eq!(err("xbar:1"), E::Capacity(CapacityError::TooFewClusters(1)));
+        assert_eq!(
+            err("xbar:65"),
+            E::Capacity(CapacityError::TooManyClusters { clusters: 65 })
+        );
         assert_eq!(err("ring:6"), E::BadRingDims("6".into()));
         assert!(matches!(
             err("ring:0x4"),
             E::InvalidDim { what: "quads", .. }
         ));
         assert!(matches!(err("ring:4x0"), E::InvalidDim { .. }));
-        assert_eq!(err("ring:2x4"), E::TooFewQuads(2));
+        assert_eq!(err("ring:2x4"), E::Capacity(CapacityError::TooFewQuads(2)));
         assert_eq!(
-            err("ring:10x2"),
-            E::RouteTooLong {
-                quads: 10,
-                needed: 7
-            }
+            err("ring:20x2"),
+            E::Capacity(CapacityError::RouteTooLong {
+                quads: 20,
+                needed: 12
+            })
+        );
+        assert_eq!(
+            err("ring:16x5"),
+            E::Capacity(CapacityError::TooManyClusters { clusters: 80 })
         );
         assert_eq!(err("ring:4x4@speed2"), E::UnknownOverride("speed2".into()));
         assert_eq!(err("ring:4x4@hop2@hop3"), E::DuplicateOverride("hop"));
@@ -490,8 +480,10 @@ mod tests {
             "mesh",
             "mesh:4",
             "xbar:1",
+            "xbar:65",
             "ring:2x4",
-            "ring:10x2",
+            "ring:20x2",
+            "ring:16x5",
             "ring:4x4@hop2@hop3",
         ] {
             let msg = TopologySpec::parse(s).unwrap_err().to_string();
@@ -501,11 +493,26 @@ mod tests {
 
     #[test]
     fn route_bound_errors_name_the_limit() {
-        let msg = TopologySpec::parse("ring:10x2").unwrap_err().to_string();
-        assert!(msg.contains("at most 9 quads"), "{msg}");
-        // 9 quads is the boundary (odd rings route at most floor(9/2) = 4
-        // segments) and is accepted.
-        let t = TopologySpec::parse("ring:9x2").unwrap().topology();
-        assert_eq!(t.max_route_links(), 6);
+        let msg = TopologySpec::parse("ring:20x2").unwrap_err().to_string();
+        assert!(msg.contains("at most 16 quads"), "{msg}");
+        // 16 quads is the boundary (2 + 16/2 = 10 inline links) and is
+        // accepted — ring:16x4 is the 64-cluster headline shape.
+        let t = TopologySpec::parse("ring:16x4").unwrap().topology();
+        assert_eq!(t.max_route_links(), 10);
+        assert_eq!(t.clusters(), 64);
+    }
+
+    #[test]
+    fn cluster_cap_errors_name_cap_and_offender() {
+        // The refusal wording comes from the one shared checker: it names
+        // both the offending cluster count and the simulator-wide cap.
+        for spec in ["xbar:65", "ring:13x5"] {
+            let msg = TopologySpec::parse(spec).unwrap_err().to_string();
+            assert!(msg.contains("65 clusters"), "{spec}: {msg}");
+            assert!(msg.contains("at most 64"), "{spec}: {msg}");
+        }
+        // The widest supported crossbar parses.
+        let t = TopologySpec::parse("xbar:64").unwrap().topology();
+        assert_eq!(t.clusters(), 64);
     }
 }

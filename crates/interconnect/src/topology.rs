@@ -100,14 +100,116 @@ pub struct Route {
     pub hops: u32,
 }
 
+/// Cluster-capacity ceiling of the whole simulator stack. One constant,
+/// one checker ([`Topology::check_capacity`]): the spec parser, the
+/// `Topology` constructors, `Network::new`, and the processor's
+/// `MAX_CLUSTERS` re-export are all fed from here, so an oversized
+/// topology is refused with the same message everywhere. 64 is the
+/// `ClusterMask` (u64) bound in `heterowire-core`; widening past it means
+/// widening the mask first.
+pub const MAX_SIM_CLUSTERS: usize = 64;
+
+/// Most ring quads any supported topology has. Bounds the inline route
+/// arrays via [`MAX_ROUTE_LINKS`]; 16 quads covers every headline wide
+/// shape (`ring:16x4` = 64 clusters) without bloating the hot-path route
+/// cache the way a worst-case 64-quad bound would.
+pub const MAX_RING_QUADS: usize = 16;
+
 /// Inline-route capacity of the network engines: source link + ring
-/// segments + sink link, stored in fixed arrays on the hot path. Every
-/// `Topology` constructor validates [`Topology::max_route_links`] against
-/// this bound (and the spec parser turns the violation into a
-/// [`crate::topo::TopoSpecError`]), so an oversized ring is a loud
-/// construction-time error instead of a silent array overrun. Rings up to
-/// 9 quads fit (shortest paths take at most `quads / 2` segments).
-pub const MAX_ROUTE_LINKS: usize = 6;
+/// segments + sink link, stored in fixed arrays on the hot path. Derived
+/// from [`MAX_RING_QUADS`] (shortest paths take at most `quads / 2`
+/// segments). Every `Topology` constructor validates
+/// [`Topology::max_route_links`] against this bound through
+/// [`Topology::check_capacity`] (and the spec parser turns the violation
+/// into a [`crate::topo::TopoSpecError`]), so an oversized ring is a loud
+/// construction-time error instead of a silent array overrun.
+pub const MAX_ROUTE_LINKS: usize = 2 + MAX_RING_QUADS / 2;
+
+/// A topology that exceeds the simulator's capacity bounds — the single
+/// source of the refusal wording. The spec parser wraps this in
+/// [`crate::topo::TopoSpecError::Capacity`] (CLI exit 2), the `Topology`
+/// constructors and `Network::new` panic with its `Display` text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// A crossbar with fewer than 2 clusters.
+    TooFewClusters(usize),
+    /// A ring with fewer than 3 quads (the two directed segments between
+    /// 2 quads would coincide).
+    TooFewQuads(usize),
+    /// A ring quad with zero clusters.
+    EmptyQuad,
+    /// More clusters than [`MAX_SIM_CLUSTERS`].
+    TooManyClusters {
+        /// Clusters the offending topology would have.
+        clusters: usize,
+    },
+    /// A ring whose longest route exceeds [`MAX_ROUTE_LINKS`].
+    RouteTooLong {
+        /// Quads the offending ring would have.
+        quads: usize,
+        /// Links its longest route would need.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CapacityError::TooFewClusters(n) => {
+                write!(f, "a crossbar needs at least 2 clusters, got {n}")
+            }
+            CapacityError::TooFewQuads(q) => write!(
+                f,
+                "a ring needs at least 3 quads, got {q} (the two directed segments \
+                 between 2 quads would coincide; use xbar:<clusters> for small shapes)"
+            ),
+            CapacityError::EmptyQuad => write!(f, "a quad needs at least 1 cluster"),
+            CapacityError::TooManyClusters { clusters } => write!(
+                f,
+                "{clusters} clusters, but the simulator supports at most \
+                 {MAX_SIM_CLUSTERS} (the per-value cluster mask is 64-bit)"
+            ),
+            CapacityError::RouteTooLong { quads, needed } => write!(
+                f,
+                "a {quads}-quad ring routes up to {needed} links but the network's \
+                 inline routes hold {MAX_ROUTE_LINKS}; rings support at most \
+                 {MAX_RING_QUADS} quads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// The one capacity checker behind every validation site: crossbar shape.
+pub fn check_crossbar(clusters: usize) -> Result<(), CapacityError> {
+    if clusters < 2 {
+        return Err(CapacityError::TooFewClusters(clusters));
+    }
+    if clusters > MAX_SIM_CLUSTERS {
+        return Err(CapacityError::TooManyClusters { clusters });
+    }
+    Ok(())
+}
+
+/// The one capacity checker behind every validation site: ring shape.
+pub fn check_ring(quads: usize, per_quad: usize) -> Result<(), CapacityError> {
+    if quads < 3 {
+        return Err(CapacityError::TooFewQuads(quads));
+    }
+    if per_quad == 0 {
+        return Err(CapacityError::EmptyQuad);
+    }
+    let needed = 2 + quads / 2;
+    if needed > MAX_ROUTE_LINKS {
+        return Err(CapacityError::RouteTooLong { quads, needed });
+    }
+    let clusters = quads * per_quad;
+    if clusters > MAX_SIM_CLUSTERS {
+        return Err(CapacityError::TooManyClusters { clusters });
+    }
+    Ok(())
+}
 
 /// An allocation-free [`Route`] with the link set stored inline — the
 /// network's hot send path computes one of these per transfer.
@@ -149,10 +251,13 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics with fewer than 2 clusters (spec-layer callers get a
-    /// [`crate::topo::TopoSpecError`] instead).
+    /// Panics when [`check_crossbar`] refuses the shape — fewer than 2
+    /// clusters or more than [`MAX_SIM_CLUSTERS`] (spec-layer callers get
+    /// a [`crate::topo::TopoSpecError`] instead).
     pub fn crossbar(clusters: usize) -> Self {
-        assert!(clusters >= 2, "a crossbar needs at least 2 clusters");
+        if let Err(e) = check_crossbar(clusters) {
+            panic!("{e}");
+        }
         Topology {
             shape: Shape::Crossbar { clusters },
             xbar_len: DEFAULT_XBAR_LEN,
@@ -166,28 +271,21 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics on fewer than 3 quads (with 2 the two directed segments of
-    /// each direction would coincide), zero clusters per quad, or a ring
-    /// whose longest route exceeds [`MAX_ROUTE_LINKS`] (more than 9 quads).
-    /// Spec-layer callers get a [`crate::topo::TopoSpecError`] instead.
+    /// Panics when [`check_ring`] refuses the shape — fewer than 3 quads
+    /// (with 2 the two directed segments of each direction would
+    /// coincide), zero clusters per quad, a ring whose longest route
+    /// exceeds [`MAX_ROUTE_LINKS`] (more than [`MAX_RING_QUADS`] quads),
+    /// or more than [`MAX_SIM_CLUSTERS`] clusters. Spec-layer callers get
+    /// a [`crate::topo::TopoSpecError`] instead.
     pub fn hier_ring(quads: usize, per_quad: usize) -> Self {
-        assert!(
-            quads >= 3,
-            "a ring needs at least 3 quads (use a crossbar for smaller shapes)"
-        );
-        assert!(per_quad >= 1, "a quad needs at least 1 cluster");
-        let t = Topology {
+        if let Err(e) = check_ring(quads, per_quad) {
+            panic!("{e}");
+        }
+        Topology {
             shape: Shape::HierRing { quads, per_quad },
             xbar_len: DEFAULT_XBAR_LEN,
             hop_len: DEFAULT_HOP_LEN,
-        };
-        assert!(
-            t.max_route_links() <= MAX_ROUTE_LINKS,
-            "a {quads}-quad ring routes up to {} links; the network's inline \
-             routes hold {MAX_ROUTE_LINKS} (9 quads at most)",
-            t.max_route_links()
-        );
-        t
+        }
     }
 
     /// Overrides the wire-segment lengths the latency derivation uses (the
@@ -259,6 +357,17 @@ impl Topology {
 
     /// The quad that hosts the centralized cache.
     pub const CACHE_QUAD: usize = 0;
+
+    /// Re-runs the shared capacity checker on this topology's shape.
+    /// Constructors already enforce it, so on any `Topology` built through
+    /// them this is `Ok`; `Network::new` re-checks defensively so a future
+    /// construction path cannot overrun the inline route arrays.
+    pub fn check_capacity(&self) -> Result<(), CapacityError> {
+        match self.shape {
+            Shape::Crossbar { clusters } => check_crossbar(clusters),
+            Shape::HierRing { quads, per_quad } => check_ring(quads, per_quad),
+        }
+    }
 
     /// The longest route this topology can produce, in links: source link
     /// plus shortest-path ring segments (at most `quads / 2`) plus sink
@@ -593,8 +702,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "inline")]
     fn oversized_ring_is_rejected_at_construction() {
-        // 10 quads need 2 + 5 = 7 links; the engines hold 6.
-        let _ = Topology::hier_ring(10, 2);
+        // 20 quads need 2 + 10 = 12 links; the engines hold 10.
+        let _ = Topology::hier_ring(20, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn over_cap_crossbar_is_rejected_at_construction() {
+        let _ = Topology::crossbar(MAX_SIM_CLUSTERS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn over_cap_ring_is_rejected_at_construction() {
+        // 13 quads fit the route bound, but 13 * 5 = 65 clusters exceed
+        // the simulator-wide cap.
+        let _ = Topology::hier_ring(13, 5);
+    }
+
+    #[test]
+    fn headline_wide_shapes_construct() {
+        let x = Topology::crossbar(MAX_SIM_CLUSTERS);
+        assert_eq!(x.clusters(), 64);
+        assert!(x.check_capacity().is_ok());
+        let r = Topology::hier_ring(MAX_RING_QUADS, 4);
+        assert_eq!(r.clusters(), 64);
+        assert_eq!(r.max_route_links(), MAX_ROUTE_LINKS);
+        assert!(r.check_capacity().is_ok());
     }
 
     #[test]

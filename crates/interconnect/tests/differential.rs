@@ -199,14 +199,19 @@ fn generated_topologies_differential_random_bursts() {
     // Spec-generated shapes off the two presets the indexed engine was
     // tuned on: the 2-cluster degenerate crossbar, a wide flat crossbar,
     // an asymmetric odd ring (no tie-break direction ever fires), a ring
-    // with non-default hop segments, and the capacity-edge 8-quad ring
-    // whose longest route fills the inline arrays.
+    // with non-default hop segments, the 8-quad ring, and shapes past the
+    // old 16-cluster processor cap: a 32-cluster flat crossbar, a
+    // 48-cluster long-hop ring, and the capacity-edge 16-quad ring whose
+    // longest route fills the inline arrays (ring:16x4, 64 clusters).
     let shapes = [
         ("xbar:2", 0xD1F0u64),
         ("xbar:8", 0xD1F1),
         ("ring:5x2", 0xD1F2),
         ("ring:3x6@hop3", 0xD1F3),
         ("ring:8x4", 0xD1F4),
+        ("xbar:32", 0xD1F5),
+        ("ring:12x4@hop3", 0xD1F6),
+        ("ring:16x4", 0xD1F7),
     ];
     for (spec, seed) in shapes {
         let topology = TopologySpec::parse(spec)

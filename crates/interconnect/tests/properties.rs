@@ -25,6 +25,11 @@ fn routes_are_well_formed() {
         "ring:6x4",
         "ring:9x1",
         "ring:4x4@hop3@xbar2",
+        // Wider than the old 16-cluster processor cap.
+        "xbar:32",
+        "xbar:64",
+        "ring:12x4@hop3",
+        "ring:16x4",
     ]
     .iter()
     .map(|s| TopologySpec::parse(s).unwrap().topology())
@@ -33,8 +38,10 @@ fn routes_are_well_formed() {
     for _ in 0..CASES {
         let topo = topologies[rng.gen_range(0usize..topologies.len())];
         let n = topo.clusters();
-        let src_i = rng.gen_range(0usize..16);
-        let dst_i = rng.gen_range(0usize..16);
+        // `n` (≡ n mod n+1) selects the cache so every node, including
+        // clusters past index 15 on the wide shapes, is reachable.
+        let src_i = rng.gen_range(0usize..2 * (n + 1));
+        let dst_i = rng.gen_range(0usize..2 * (n + 1));
         let src = if src_i % (n + 1) == n {
             Node::Cache
         } else {
@@ -94,14 +101,16 @@ fn random_specs_round_trip_through_parse_and_format() {
         let xbar_len = rng.gen_range(1u32..5);
         let hop_len = rng.gen_range(1u32..5);
         let (token, expect) = if ring {
-            let quads = rng.gen_range(3usize..10);
-            let per_quad = rng.gen_range(1usize..7);
+            // Up to the 16-quad route bound, clusters capped at the
+            // simulator-wide 64.
+            let quads = rng.gen_range(3usize..17);
+            let per_quad = rng.gen_range(1usize..=(64 / quads).min(6));
             (
                 format!("ring:{quads}x{per_quad}@hop{hop_len}@xbar{xbar_len}"),
                 Topology::hier_ring(quads, per_quad).with_segment_lengths(xbar_len, hop_len),
             )
         } else {
-            let clusters = rng.gen_range(2usize..33);
+            let clusters = rng.gen_range(2usize..65);
             (
                 format!("xbar:{clusters}@xbar{xbar_len}"),
                 Topology::crossbar(clusters).with_segment_lengths(xbar_len, hop_len),

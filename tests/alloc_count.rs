@@ -77,4 +77,22 @@ fn simulator_steady_state_is_allocation_free() {
              window: {large})"
         );
     }
+
+    // Wide topologies (past the old 16-cluster wall) use the same flat
+    // slot tables with a bigger stride, so they are held to the same
+    // budget: growth is amortised table doubling only, never per-value or
+    // per-cycle allocation.
+    for topology in [Topology::crossbar(32), Topology::hier_ring(16, 4)] {
+        let small = allocs_for(topology, 4_000);
+        let large = allocs_for(topology, 16_000);
+        let delta = large.saturating_sub(small);
+        // Measured ~330 on both wide shapes (the earlier boxed-slice spill
+        // design cost ~28 000 here — three allocations per value).
+        assert!(
+            delta < 2_000,
+            "wide slot tables allocate per value on {topology:?}: {delta} \
+             extra allocations for 12k extra instructions (small window: \
+             {small}, large window: {large})"
+        );
+    }
 }

@@ -43,6 +43,16 @@ fn event_kernel_matches_reference_on_hier16_ring() {
     assert_kernels_match(Topology::hier16(), RunScale::quick());
 }
 
+/// The widened (spill-path) per-value structures must not change the
+/// kernels' agreement: past the 16-cluster inline capacity, every model
+/// still runs bit-identically on both kernels. `ring:16x4` is the
+/// 64-cluster headline shape, exercising the full `ClusterMask` width and
+/// the longest inline routes.
+#[test]
+fn event_kernel_matches_reference_on_wide_ring16x4() {
+    assert_kernels_match(Topology::hier_ring(16, 4), RunScale::quick());
+}
+
 /// Recording must be pure observation: a run with a live [`RecordingProbe`]
 /// produces `SimResults` bit-identical to the probe-disabled run.
 #[test]

@@ -81,12 +81,17 @@ fn topology_spec_files_resolve_like_compact_specs() {
 /// names the problem, matching the `--model` CLI convention.
 #[test]
 fn malformed_topology_tokens_exit_2_with_pointed_messages() {
-    let cases: [(&str, &str); 5] = [
+    let cases: [(&str, &str); 7] = [
         ("mesh:4", "unknown shape"),
         ("ring:2x4", "at least 3 quads"),
         ("ring:4x0", "clusters per quad must be a positive integer"),
         ("ring:4x4@hop2@hop3", "duplicate @hop"),
-        ("ring:12x1", "at most 9 quads"),
+        ("ring:20x1", "at most 16 quads"),
+        // The oversized-topology refusal comes from the one shared
+        // capacity checker and names both the offending cluster count and
+        // the simulator-wide cap.
+        ("xbar:65", "65 clusters"),
+        ("ring:13x5", "at most 64"),
     ];
     for (token, needle) in cases {
         let out = Command::new(env!("CARGO_BIN_EXE_policy_ab"))
