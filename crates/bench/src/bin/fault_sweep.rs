@@ -1,0 +1,254 @@
+//! Wire-fault sweep: races steering policies across a fault-rate grid and
+//! records IPC / ED² degradation curves against the fault-free baseline.
+//!
+//! ```text
+//! cargo run --release -p heterowire-bench --bin fault_sweep -- \
+//!     --model X --topology crossbar4 --policy paper,spray \
+//!     --faults l@1e-4 --faults l@1e-3 --faults lane:L1@stuck \
+//!     --csv fault_sweep.csv --json fault_sweep.json
+//! ```
+//!
+//! Defaults: Model X on the 4-cluster crossbar, all five policies, and a
+//! transient L-Wire error-rate ladder (`l@1e-4` … `l@3e-2`). Every sweep
+//! starts with a fault-free `none` scenario — the baseline all degradation
+//! percentages are measured against. Scenarios with stuck lanes run on the
+//! degraded link (the lanes are retired before construction, so policies
+//! steer against the surviving capacity); a scenario that strands
+//! full-size transfers without a legal plane is refused up front with
+//! exit status 2. A run that stops committing (a retry storm on a
+//! saturated rate) becomes a `failed` row carrying the watchdog's stall
+//! diagnostics on stderr, and the sweep exits 1 after writing artifacts.
+//! Same grid + same seed ⇒ bit-identical artifacts (CI diffs two runs).
+
+use std::sync::Arc;
+
+use heterowire_bench::{
+    artifact_paths_from_args, degraded_config, emit_metric_artifacts, executor,
+    fault_specs_from_args, model_override_or, policies_from_args, run_one_policy_faults,
+    topology_override_or, MetricRow, PolicyKind, RunScale, SuiteResults,
+};
+use heterowire_core::{
+    mean_report, relative_report, EnergyParams, FaultSpec, ProcessorConfig, SimResults,
+};
+use heterowire_trace::spec2000;
+
+/// The default transient error-rate ladder swept when no `--faults` flag
+/// is given (per-bit, per-hop L-Wire rates).
+const DEFAULT_GRID: [&str; 4] = ["l@1e-4", "l@1e-3", "l@1e-2", "l@3e-2"];
+
+fn main() {
+    let scale = RunScale::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let topo = topology_override_or("crossbar4");
+    let model = model_override_or("X");
+    let policies = match policies_from_args(&args) {
+        Ok(list) => list.unwrap_or_else(|| PolicyKind::ALL.to_vec()),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    for &pk in &policies {
+        if let Err(e) = pk.check_supported(&model) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+    let grid = match fault_specs_from_args(&args) {
+        Ok(specs) if specs.is_empty() => DEFAULT_GRID
+            .iter()
+            .map(|t| FaultSpec::parse(t).expect("default grid token parses"))
+            .collect(),
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Scenario 0 is always the fault-free baseline.
+    let mut scenarios: Vec<(String, Option<FaultSpec>)> = vec![("none".to_string(), None)];
+    scenarios.extend(grid.into_iter().map(|s| (s.to_string(), Some(s))));
+
+    let configs: Vec<Arc<ProcessorConfig>> = scenarios
+        .iter()
+        .map(
+            |(name, spec)| match degraded_config(&model, topo.topology(), spec.as_ref()) {
+                Ok(c) => Arc::new(c),
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    std::process::exit(2);
+                }
+            },
+        )
+        .collect();
+
+    let profiles = spec2000();
+    let nbench = profiles.len();
+    let names: Vec<&'static str> = profiles.iter().map(|p| p.name).collect();
+    let mut jobs = Vec::with_capacity(scenarios.len() * policies.len() * nbench);
+    for si in 0..scenarios.len() {
+        for pi in 0..policies.len() {
+            for &p in &profiles {
+                jobs.push((si, pi, p));
+            }
+        }
+    }
+    eprintln!(
+        "sweeping {} fault scenario(s) x {} policies x {} benchmarks on {} / {} ...",
+        scenarios.len(),
+        policies.len(),
+        nbench,
+        model.name(),
+        topo.name(),
+    );
+    let outcomes =
+        executor::run_indexed_catching(jobs, executor::default_workers(), |(si, pi, profile)| {
+            run_one_policy_faults(
+                configs[si].clone(),
+                profile,
+                scale,
+                policies[pi],
+                scenarios[si].1.as_ref(),
+            )
+        });
+
+    // Fold the flat job list into per-(scenario, policy) suites; any
+    // failed benchmark (stall or panic) fails the whole cell.
+    let mut suites: Vec<Vec<Result<SuiteResults, String>>> = Vec::new();
+    let mut chunks = outcomes.chunks(nbench);
+    for _ in 0..scenarios.len() {
+        let mut per_policy = Vec::new();
+        for _ in 0..policies.len() {
+            let chunk = chunks.next().expect("job list covers the grid");
+            let mut runs: Vec<SimResults> = Vec::with_capacity(nbench);
+            let mut failure: Option<String> = None;
+            for (bi, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    Ok(Ok(r)) => runs.push(*r),
+                    Ok(Err(stall)) if failure.is_none() => {
+                        failure = Some(format!("{}: {stall}", names[bi]));
+                    }
+                    Err(p) if failure.is_none() => {
+                        failure = Some(format!("{}: {p}", names[bi]));
+                    }
+                    _ => {}
+                }
+            }
+            per_policy.push(match failure {
+                None => Ok(SuiteResults {
+                    names: names.clone(),
+                    runs,
+                }),
+                Some(msg) => Err(msg),
+            });
+        }
+        suites.push(per_policy);
+    }
+
+    let mut rows: Vec<MetricRow> = Vec::new();
+    let mut failed = 0usize;
+    println!(
+        "Fault sweep, model {} on {} ({} clusters)",
+        model.label(),
+        topo.name(),
+        topo.topology().clusters()
+    );
+    println!("(drops are % vs the fault-free `none` scenario, per policy)\n");
+    println!(
+        "{:<26} {:<12} {:>7} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "Scenario", "Policy", "IPC", "dIPC%", "ED2(10%)", "faults", "retx", "escal"
+    );
+    for (si, (scenario, _)) in scenarios.iter().enumerate() {
+        for (pi, &pk) in policies.iter().enumerate() {
+            let section = scenario.as_str();
+            let label = pk.name();
+            match &suites[si][pi] {
+                Ok(suite) => {
+                    let ipc = suite.mean_ipc();
+                    let faults_detected: u64 =
+                        suite.runs.iter().map(|r| r.net.faults_detected).sum();
+                    let retransmits: u64 = suite.runs.iter().map(|r| r.net.retransmits).sum();
+                    let escalations: u64 = suite.runs.iter().map(|r| r.net.escalations).sum();
+                    let retry_cycles: u64 = suite.runs.iter().map(|r| r.net.retry_cycles).sum();
+                    rows.push(MetricRow::new(section, label, "am_ipc", ipc));
+                    rows.push(MetricRow::new(
+                        section,
+                        label,
+                        "faults_detected",
+                        faults_detected as f64,
+                    ));
+                    rows.push(MetricRow::new(
+                        section,
+                        label,
+                        "retransmits",
+                        retransmits as f64,
+                    ));
+                    rows.push(MetricRow::new(
+                        section,
+                        label,
+                        "escalations",
+                        escalations as f64,
+                    ));
+                    rows.push(MetricRow::new(
+                        section,
+                        label,
+                        "retry_cycles",
+                        retry_cycles as f64,
+                    ));
+                    // Degradation curves vs the fault-free baseline of the
+                    // same policy (only meaningful when it completed).
+                    let (mut dipc, mut ed2_10) = (f64::NAN, f64::NAN);
+                    if let Ok(base) = &suites[0][pi] {
+                        dipc = 100.0 * (1.0 - ipc / base.mean_ipc());
+                        let rel = |params: EnergyParams| {
+                            let rs: Vec<_> = suite
+                                .runs
+                                .iter()
+                                .zip(&base.runs)
+                                .map(|(m, b)| relative_report(m, b, params))
+                                .collect();
+                            mean_report(&rs).rel_ed2
+                        };
+                        ed2_10 = rel(EnergyParams::ten_percent());
+                        rows.push(MetricRow::new(section, label, "ipc_drop_pct", dipc));
+                        rows.push(MetricRow::new(section, label, "ed2_10_pct", ed2_10));
+                        rows.push(MetricRow::new(
+                            section,
+                            label,
+                            "ed2_20_pct",
+                            rel(EnergyParams::twenty_percent()),
+                        ));
+                    }
+                    rows.push(MetricRow::new(section, label, "failed", 0.0));
+                    println!(
+                        "{:<26} {:<12} {:>7.4} {:>8.3} {:>9.2} {:>8} {:>8} {:>9}",
+                        scenario,
+                        label,
+                        ipc,
+                        dipc,
+                        ed2_10,
+                        faults_detected,
+                        retransmits,
+                        escalations
+                    );
+                }
+                Err(msg) => {
+                    failed += 1;
+                    eprintln!("FAILED {scenario} / {label}: {msg}");
+                    rows.push(MetricRow::new(section, label, "failed", 1.0));
+                    println!(
+                        "{:<26} {:<12} {:>7} {:>8} {:>9} {:>8} {:>8} {:>9}",
+                        scenario, label, "FAILED", "-", "-", "-", "-", "-"
+                    );
+                }
+            }
+        }
+    }
+    println!();
+    emit_metric_artifacts(&rows, &artifact_paths_from_args());
+    if failed > 0 {
+        eprintln!("{failed} sweep cell(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -92,7 +92,10 @@ fn main() {
 
     let path = std::path::Path::new(&out);
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create results directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
     }
     let header = "label,host_threads,window,warmup,serial_s,executor_s,speedup\n";
     let mut body = match std::fs::read_to_string(path) {
@@ -109,7 +112,10 @@ fn main() {
         t_parallel.as_secs_f64(),
         speedup
     ));
-    std::fs::write(path, body).expect("write timing csv");
+    if let Err(e) = std::fs::write(path, &body) {
+        eprintln!("cannot write timing csv {}: {e}", path.display());
+        std::process::exit(2);
+    }
     println!("appended to {out}");
 
     // Machine-readable perf-trajectory artifact, schema-validated on write

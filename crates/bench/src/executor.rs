@@ -7,9 +7,18 @@
 //! [`std::thread::available_parallelism`] by default) drains a shared queue.
 //! Results come back in job order, so parallel execution is bit-identical
 //! to a serial loop over the same jobs.
+//!
+//! Each job runs under [`std::panic::catch_unwind`], so one panicking
+//! configuration (a watchdog abort, a refused spec) surfaces as a
+//! [`JobPanic`] for its row while every other job still completes:
+//! [`run_indexed_catching`] returns the per-job `Result`s, and
+//! [`run_indexed`] keeps the historical all-or-nothing contract by
+//! re-raising the first failure after the pool drains.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Worker count used when the caller does not specify one: the number of
@@ -20,15 +29,52 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// A job that panicked inside the executor: its position in the submitted
+/// item list plus the rendered panic payload. Sweep harnesses turn this
+/// into a failed row (and a non-zero exit) instead of losing the whole
+/// sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job in the submitted item list.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case: `panic!` with a message). Non-string payloads render as a
+    /// placeholder.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Runs `f` over every item on a pool of `workers` scoped threads and
-/// returns the results in item order.
+/// returns the per-job outcomes in item order: `Ok(result)` for jobs that
+/// completed, `Err(JobPanic)` for jobs that panicked. A panicking job
+/// never takes down its worker or the other jobs.
 ///
 /// Jobs are drained from a shared queue, so long and short jobs interleave
 /// freely instead of being bucketed per thread. `workers` is clamped to
 /// `1..=items.len()`; with one worker (or one item) the pool is skipped
-/// entirely and the items run inline. A panic in any job propagates to the
-/// caller when its worker thread is joined.
-pub fn run_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+/// entirely and the items run inline.
+pub fn run_indexed_catching<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+) -> Vec<Result<R, JobPanic>>
 where
     T: Send,
     R: Send,
@@ -36,18 +82,28 @@ where
 {
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
+    let run_one = |i: usize, item: T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobPanic {
+            index: i,
+            message: payload_message(payload),
+        })
+    };
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
     }
 
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, JobPanic>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let job = queue.lock().expect("executor queue poisoned").pop_front();
                 let Some((i, item)) = job else { break };
-                let result = f(item);
+                let result = run_one(i, item);
                 *slots[i].lock().expect("executor slot poisoned") = Some(result);
             });
         }
@@ -58,6 +114,24 @@ where
             slot.into_inner()
                 .expect("executor slot poisoned")
                 .expect("all jobs drained before the scope ended")
+        })
+        .collect()
+}
+
+/// [`run_indexed_catching`] with the historical all-or-nothing contract:
+/// returns the plain results, re-raising the first job panic (tagged with
+/// its job index) after every job has run.
+pub fn run_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    run_indexed_catching(items, workers, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
         })
         .collect()
 }
@@ -86,17 +160,34 @@ mod tests {
         assert_eq!(out, vec![2, 3, 4]);
     }
 
-    // `std::thread::scope` re-raises panics from unjoined workers with its
-    // own payload; what matters is that the caller does not get a silent
-    // partial result.
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
+    #[should_panic(expected = "sweep job 3 panicked: job 3 exploded")]
     fn propagates_panics() {
         run_indexed((0..8u64).collect(), 2, |i| {
             if i == 3 {
-                panic!("job 3 panicked");
+                panic!("job 3 exploded");
             }
             i
         });
+    }
+
+    #[test]
+    fn isolates_panicking_jobs() {
+        for workers in [1, 4] {
+            let out = run_indexed_catching((0..8u64).collect(), workers, |i| {
+                assert!(i != 5, "job five died");
+                i * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, 5);
+                    assert!(p.message.contains("job five died"), "{p}");
+                    assert!(p.to_string().starts_with("sweep job 5 panicked"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 10);
+                }
+            }
+        }
     }
 }

@@ -23,9 +23,9 @@ pub mod timing;
 use std::sync::Arc;
 
 use heterowire_core::{
-    mean_report, relative_report, CriticalityPolicy, EnergyParams, ModelSpec, NullProbe,
-    OraclePolicy, Processor, ProcessorConfig, PwFirstPolicy, RelativeReport, SimResults,
-    SprayPolicy,
+    mean_report, relative_report, CriticalityPolicy, EnergyParams, FaultSpec, ModelSpec, NullProbe,
+    Optimizations, OraclePolicy, PaperPolicy, Processor, ProcessorConfig, PwFirstPolicy,
+    RelativeReport, SimResults, SprayPolicy, StallReport,
 };
 use heterowire_interconnect::{Topology, TopologySpec};
 use heterowire_telemetry::json::JsonWriter;
@@ -214,7 +214,7 @@ pub fn run_one_shared(
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// The paper's wire management
-    /// ([`PaperPolicy`](heterowire_core::PaperPolicy)) — the default the
+    /// ([`PaperPolicy`]) — the default the
     /// whole repo runs, and the harness's usual baseline.
     Paper,
     /// Round-robin full-width spraying ([`SprayPolicy`]).
@@ -497,6 +497,101 @@ pub fn run_one_policy(
                 .run(scale.window, scale.warmup)
         }
     }
+}
+
+/// Builds the processor configuration for a model on a topology with a
+/// fault scenario's stuck lanes already retired from the link — the
+/// optimization set is recomputed for the surviving planes, so steering
+/// policies and the load balancer see the degraded fabric, not the
+/// nominal one. `None` (or a spec with no stuck lanes) reproduces
+/// [`ProcessorConfig::for_model_spec`] exactly.
+pub fn degraded_config(
+    model: &ModelSpec,
+    topology: Topology,
+    faults: Option<&FaultSpec>,
+) -> Result<ProcessorConfig, String> {
+    let mut config = ProcessorConfig::for_model_spec(model, topology);
+    if let Some(spec) = faults.filter(|s| !s.stuck_lanes().is_empty()) {
+        let link = spec
+            .apply_to_link(&config.link)
+            .map_err(|e| e.to_string())?;
+        config.opts = Optimizations::for_link(&link);
+        config.link = link;
+    }
+    Ok(config)
+}
+
+/// [`run_one_policy`] under a fault scenario: transient rates drive the
+/// seeded injector inside the network, and the watchdog's stall report
+/// comes back as a structured error instead of a panic (a saturated rate
+/// can livelock the fabric legitimately — that is a failed row, not a
+/// dead sweep). `config` must already carry the scenario's degraded link
+/// (see [`degraded_config`]). With `faults` absent or transient-free the
+/// run takes the exact fault-free construction path, so results are
+/// bit-identical to [`run_one_policy`].
+pub fn run_one_policy_faults(
+    config: Arc<ProcessorConfig>,
+    profile: BenchmarkProfile,
+    scale: RunScale,
+    policy: PolicyKind,
+    faults: Option<&FaultSpec>,
+) -> Result<SimResults, Box<StallReport>> {
+    let trace = TraceGenerator::new(profile, SEED);
+    let Some(spec) = faults.filter(|s| s.has_transient()) else {
+        return Ok(run_one_policy(config, profile, scale, policy));
+    };
+    let inj = spec.injector();
+    match policy {
+        PolicyKind::Paper => {
+            let p = PaperPolicy::new(&config);
+            Processor::with_faults_shared(config, trace, NullProbe, p, inj)
+                .try_run(scale.window, scale.warmup)
+        }
+        PolicyKind::Spray => {
+            let p = SprayPolicy::new(&config.link);
+            Processor::with_faults_shared(config, trace, NullProbe, p, inj)
+                .try_run(scale.window, scale.warmup)
+        }
+        PolicyKind::Criticality => {
+            let p = CriticalityPolicy::new(&config);
+            Processor::with_faults_shared(config, trace, NullProbe, p, inj)
+                .try_run(scale.window, scale.warmup)
+        }
+        PolicyKind::PwFirst => {
+            let p = PwFirstPolicy::new(&config);
+            Processor::with_faults_shared(config, trace, NullProbe, p, inj)
+                .try_run(scale.window, scale.warmup)
+        }
+        PolicyKind::Oracle => {
+            let p = OraclePolicy::new(&config);
+            Processor::with_faults_shared(config, trace, NullProbe, p, inj)
+                .try_run(scale.window, scale.warmup)
+        }
+    }
+}
+
+/// Collects every repeated `--faults <spec>` flag in CLI order. Malformed
+/// tokens and exact duplicates (by canonical name) are errors; binaries
+/// report them and exit 2, matching the `--model` convention.
+pub fn fault_specs_from_args(args: &[String]) -> Result<Vec<FaultSpec>, String> {
+    let mut specs: Vec<FaultSpec> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--faults" {
+            let token = args
+                .get(i + 1)
+                .ok_or("--faults needs a fault spec (e.g. --faults l@2e-4)")?;
+            let spec = FaultSpec::parse(token).map_err(|e| format!("--faults {token:?}: {e}"))?;
+            if specs.iter().any(|s| s.name() == spec.name()) {
+                return Err(format!("duplicate --faults {token:?}"));
+            }
+            specs.push(spec);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(specs)
 }
 
 /// Runs every (model × policy × benchmark) triple of a policy race as one
@@ -1094,12 +1189,22 @@ pub fn artifact_paths_from_args() -> ArtifactPaths {
 }
 
 /// Writes one artifact file, logging the destination (the binaries' shared
-/// write-and-announce convention).
+/// write-and-announce convention). A filesystem refusal (missing
+/// permission, read-only mount, bad path) exits with status 2 naming the
+/// path, matching the binaries' malformed-flag convention — results are
+/// the whole point of a sweep, so a silent or cryptic loss is not
+/// acceptable.
 pub fn write_artifact(path: &std::path::Path, contents: &str) {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        std::fs::create_dir_all(parent).expect("create artifact directory");
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create artifact directory {}: {e}", parent.display());
+            std::process::exit(2);
+        }
     }
-    std::fs::write(path, contents).expect("write artifact");
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write artifact {}: {e}", path.display());
+        std::process::exit(2);
+    }
     eprintln!("wrote {}", path.display());
 }
 

@@ -47,7 +47,12 @@ pub use config::{
     Extensions, InterconnectModel, ModelSpec, ModelSpecError, Optimizations, ProcessorConfig,
 };
 pub use energy::{mean_report, relative_report, EnergyParams, RelativeReport};
-pub use heterowire_telemetry::{NullProbe, Probe, RecordingConfig, RecordingProbe};
+pub use heterowire_interconnect::{
+    FaultModel, FaultSpec, FaultSpecError, InjectedFaults, NullFaultModel,
+};
+pub use heterowire_telemetry::{
+    BlockedTransfer, NullProbe, Probe, RecordingConfig, RecordingProbe, StallReport,
+};
 pub use mask::ClusterMask;
 pub use narrow::NarrowPredictor;
 pub use processor::{

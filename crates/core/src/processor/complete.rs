@@ -9,7 +9,7 @@
 
 use std::cmp::Reverse;
 
-use heterowire_interconnect::{MessageKind, Node, Transfer, TransferId};
+use heterowire_interconnect::{FaultModel, MessageKind, Node, Transfer, TransferId};
 use heterowire_isa::{OpClass, RegClass};
 use heterowire_memory::LoadStatus;
 use heterowire_telemetry::Probe;
@@ -19,7 +19,7 @@ use super::policy::{CacheReturn, TransferPolicy, ValueCopy};
 use super::wheel::DeferredSend;
 use super::{Action, Phase, Processor, ValueInfo, IN_FLIGHT};
 
-impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+impl<P: Probe, T: TransferPolicy, F: FaultModel> Processor<P, T, F> {
     /// Schedules a send for cycle `at` (clamped to the next cycle, matching
     /// the reference scan — see [`DeferredSend`]).
     pub(super) fn defer_send(&mut self, at: u64, transfer: Transfer, action: Action) {

@@ -4,6 +4,7 @@
 
 use std::cmp::Reverse;
 
+use heterowire_interconnect::FaultModel;
 use heterowire_isa::{OpClass, RegClass};
 use heterowire_telemetry::Probe;
 
@@ -11,7 +12,7 @@ use super::policy::TransferPolicy;
 use super::{Inflight, Phase, Processor, ValueInfo, FU_KINDS, NOT_SENT, NO_WAITER};
 use crate::steer::{ClusterView, ProducerInfo};
 
-impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+impl<P: Probe, T: TransferPolicy, F: FaultModel> Processor<P, T, F> {
     /// Dispatches from the fetch queue into the ROB and issue queues.
     pub(super) fn dispatch(&mut self) {
         let mut scratch = std::mem::take(&mut self.scratch);

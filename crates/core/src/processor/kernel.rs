@@ -3,8 +3,8 @@
 
 use std::cmp::Reverse;
 
-use heterowire_interconnect::NetStats;
-use heterowire_telemetry::Probe;
+use heterowire_interconnect::{FaultModel, NetStats};
+use heterowire_telemetry::{BlockedTransfer, Probe, StallReport};
 
 use super::policy::{NarrowStats, TransferPolicy};
 use super::{Phase, Processor, FU_KINDS};
@@ -19,7 +19,7 @@ enum Kernel {
     Reference,
 }
 
-impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+impl<P: Probe, T: TransferPolicy, F: FaultModel> Processor<P, T, F> {
     /// Reference kernel: issues ready instructions to functional units by
     /// scanning the whole ROB (oldest first, one new op per FU kind per
     /// cluster per cycle).
@@ -153,17 +153,79 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline deadlocks (no commit for 100 000 cycles) —
-    /// this indicates a simulator bug, not a workload property.
+    /// Panics if the forward-progress watchdog fires (no commit for
+    /// 100 000 cycles) — without fault injection this indicates a
+    /// simulator bug, not a workload property. Fault-injecting harnesses
+    /// should call [`Processor::try_run`] instead: a saturated error rate
+    /// can livelock the fabric legitimately (a retry storm), and the
+    /// structured [`StallReport`] turns that into a failed row rather
+    /// than a dead sweep.
     pub fn run(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        match self.try_run(instructions, warmup) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Processor::run`], returning the watchdog's diagnostic
+    /// [`StallReport`] as a structured error instead of panicking (boxed:
+    /// the report is a cold-path diagnostic far larger than the Ok lane).
+    pub fn try_run(
+        &mut self,
+        instructions: u64,
+        warmup: u64,
+    ) -> Result<SimResults, Box<StallReport>> {
         self.run_kernel(instructions, warmup, Kernel::Event)
     }
 
     /// Runs the seed's cycle-driven reference loop — full-ROB scans every
     /// cycle, no idle-cycle skipping. Kept so the equivalence tests can
     /// assert the event-driven kernel is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the watchdog fires, like [`Processor::run`].
     pub fn run_reference(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        match self.try_run_reference(instructions, warmup) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Processor::run_reference`] with the structured stall error.
+    pub fn try_run_reference(
+        &mut self,
+        instructions: u64,
+        warmup: u64,
+    ) -> Result<SimResults, Box<StallReport>> {
         self.run_kernel(instructions, warmup, Kernel::Reference)
+    }
+
+    /// Assembles the watchdog's diagnostic snapshot (cold path: runs once,
+    /// right before the run aborts).
+    fn stall_report(&self) -> StallReport {
+        let net = self.network.stats();
+        StallReport {
+            cycle: self.cycle,
+            committed: self.committed,
+            rob_len: self.rob.len(),
+            rob_head: self.rob.front().map(|i| format!("{:?}", (i.op, i.phase))),
+            net_pending: self.network.pending_len(),
+            net_inflight: self.network.inflight_len(),
+            faults_detected: net.faults_detected,
+            retransmits: net.retransmits,
+            escalations: net.escalations,
+            oldest_blocked: self
+                .network
+                .oldest_pending()
+                .map(|(id, class, enqueued, attempt)| BlockedTransfer {
+                    id: id.0,
+                    class,
+                    enqueued,
+                    attempt,
+                }),
+            link: self.config.link.to_string(),
+        }
     }
 
     /// The earliest future cycle at which anything can happen, bounded by
@@ -211,7 +273,12 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         next.max(soon)
     }
 
-    fn run_kernel(&mut self, instructions: u64, warmup: u64, kernel: Kernel) -> SimResults {
+    fn run_kernel(
+        &mut self,
+        instructions: u64,
+        warmup: u64,
+        kernel: Kernel,
+    ) -> Result<SimResults, Box<StallReport>> {
         assert!(instructions > 0, "must simulate at least one instruction");
         let target = instructions + warmup;
         self.commit_target = target;
@@ -267,14 +334,11 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
                 last_committed = self.committed;
                 last_commit_cycle = self.cycle;
             } else if self.cycle - last_commit_cycle > 100_000 {
-                panic!(
-                    "pipeline deadlock at cycle {}: committed {}, rob {}, \
-                     head {:?}",
-                    self.cycle,
-                    self.committed,
-                    self.rob.len(),
-                    self.rob.front().map(|i| (i.op, i.phase)),
-                );
+                let report = self.stall_report();
+                if P::ENABLED {
+                    self.probe.stall(&report);
+                }
+                return Err(Box::new(report));
             }
             if self.fetch.is_done() && self.rob.is_empty() {
                 break;
@@ -304,6 +368,10 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         measured.dynamic_energy -= warm_net.dynamic_energy;
         measured.queue_cycles -= warm_net.queue_cycles;
         measured.delivered -= warm_net.delivered;
+        measured.faults_detected -= warm_net.faults_detected;
+        measured.retransmits -= warm_net.retransmits;
+        measured.escalations -= warm_net.escalations;
+        measured.retry_cycles -= warm_net.retry_cycles;
 
         // Warmup-excluded narrow-predictor rates.
         let narrow = self.policy.narrow_stats();
@@ -321,7 +389,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             false_narrow as f64 / (hits + false_narrow) as f64
         };
 
-        SimResults {
+        Ok(SimResults {
             instructions: insts,
             cycles,
             net: measured,
@@ -332,6 +400,6 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             narrow_coverage,
             narrow_false_rate,
             metal_area: self.network.metal_area(),
-        }
+        })
     }
 }

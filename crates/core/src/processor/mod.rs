@@ -60,6 +60,7 @@ use std::cmp::Reverse;
 use std::sync::Arc;
 
 use heterowire_frontend::FetchEngine;
+use heterowire_interconnect::{FaultModel, NullFaultModel};
 use heterowire_interconnect::{NetConfig, Topology, Transfer};
 use heterowire_interconnect::{Network, TransferId};
 use heterowire_isa::MicroOp;
@@ -221,19 +222,26 @@ struct DispatchScratch {
 /// The processor simulator. Create with [`Processor::new`], run with
 /// [`Processor::run`].
 ///
-/// Generic over a telemetry [`Probe`] and a [`TransferPolicy`]; the
-/// default [`NullProbe`] carries `ENABLED = false`, so every probe call
-/// site monomorphizes away and `Processor` (no type arguments) is exactly
-/// the uninstrumented simulator running the paper's wire-management
-/// policy. Use [`Processor::with_probe`] to attach a recording probe and
-/// [`Processor::with_policy`] to swap in an alternative transfer policy.
+/// Generic over a telemetry [`Probe`], a [`TransferPolicy`] and a
+/// [`FaultModel`]; the default [`NullProbe`] carries `ENABLED = false`,
+/// so every probe call site monomorphizes away and `Processor` (no type
+/// arguments) is exactly the uninstrumented simulator running the paper's
+/// wire-management policy over a fault-free fabric (the default
+/// [`NullFaultModel`] likewise compiles the corruption checks out). Use
+/// [`Processor::with_probe`] to attach a recording probe,
+/// [`Processor::with_policy`] to swap in an alternative transfer policy
+/// and [`Processor::with_faults`] to inject wire faults.
 #[derive(Debug)]
-pub struct Processor<P: Probe = NullProbe, T: TransferPolicy = PaperPolicy> {
+pub struct Processor<
+    P: Probe = NullProbe,
+    T: TransferPolicy = PaperPolicy,
+    F: FaultModel = NullFaultModel,
+> {
     probe: P,
     policy: T,
     config: Arc<ProcessorConfig>,
     fetch: FetchEngine<TraceGenerator>,
-    network: Network,
+    network: Network<F>,
     lsq: LoadStoreQueue,
     memory: MemoryHierarchy,
     steering: Steering,
@@ -365,6 +373,33 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
         probe: P,
         policy: T,
     ) -> Self {
+        Processor::with_faults_shared(config, trace, probe, policy, NullFaultModel)
+    }
+}
+
+impl<P: Probe, T: TransferPolicy, F: FaultModel> Processor<P, T, F> {
+    /// Builds a processor whose interconnect injects wire faults through
+    /// `faults` — transfers may arrive corrupted, be NACKed and retried
+    /// (see the interconnect's fault module / DESIGN.md §14). With
+    /// [`NullFaultModel`] this is exactly [`Processor::with_policy`].
+    pub fn with_faults(
+        config: ProcessorConfig,
+        trace: TraceGenerator,
+        probe: P,
+        policy: T,
+        faults: F,
+    ) -> Self {
+        Self::with_faults_shared(Arc::new(config), trace, probe, policy, faults)
+    }
+
+    /// [`Processor::with_faults`] over a shared configuration.
+    pub fn with_faults_shared(
+        config: Arc<ProcessorConfig>,
+        trace: TraceGenerator,
+        probe: P,
+        policy: T,
+        faults: F,
+    ) -> Self {
         let mut net_config = NetConfig::new(config.topology, config.link.clone());
         net_config.latency_scale = config.latency_scale;
         net_config.transmission_line_l = config.extensions.transmission_lines;
@@ -383,7 +418,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
             probe,
             policy,
             fetch: FetchEngine::new(trace),
-            network: Network::new(net_config),
+            network: Network::with_faults(net_config, faults),
             lsq: LoadStoreQueue::new(config.ls_bits),
             memory: MemoryHierarchy::new(mem_config),
             steering: Steering::new(config.topology, SteeringWeights::default()),
@@ -439,7 +474,7 @@ impl<P: Probe, T: TransferPolicy> Processor<P, T> {
     }
 
     /// The interconnect (telemetry needs link labels and queue depths).
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &Network<F> {
         &self.network
     }
 

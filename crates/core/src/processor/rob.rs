@@ -7,13 +7,14 @@
 
 use std::cmp::Reverse;
 
+use heterowire_interconnect::FaultModel;
 use heterowire_isa::{OpClass, RegClass};
 use heterowire_telemetry::Probe;
 
 use super::policy::TransferPolicy;
 use super::{Inflight, Phase, Processor, ValueInfo, FU_KINDS, IN_FLIGHT, NO_WAITER};
 
-impl<P: Probe, T: TransferPolicy> Processor<P, T> {
+impl<P: Probe, T: TransferPolicy, F: FaultModel> Processor<P, T, F> {
     pub(super) fn rob_get(&self, seq: u64) -> Option<&Inflight> {
         if seq < self.rob_base {
             return None;

@@ -85,6 +85,10 @@ impl SimResults {
         w.key("dynamic_energy").f64(self.net.dynamic_energy);
         w.key("queue_cycles").u64(self.net.queue_cycles);
         w.key("delivered").u64(self.net.delivered);
+        w.key("faults_detected").u64(self.net.faults_detected);
+        w.key("retransmits").u64(self.net.retransmits);
+        w.key("escalations").u64(self.net.escalations);
+        w.key("retry_cycles").u64(self.net.retry_cycles);
         w.key("transfers_per_inst").f64(self.transfers_per_inst());
         w.end_object();
         w.key("leakage_weight").f64(self.leakage_weight);

@@ -1,0 +1,655 @@
+//! Deterministic wire-fault injection.
+//!
+//! The paper's L-Wires buy energy with reduced voltage swing — and
+//! therefore reduced noise margin — so a fabric study needs a fault axis.
+//! This module provides it in three pieces:
+//!
+//! - [`FaultModel`]: the static-dispatch injection hook the network
+//!   engines are generic over. It follows the exact
+//!   [`Probe::ENABLED`](heterowire_telemetry::Probe::ENABLED) pattern:
+//!   [`NullFaultModel`] (`ENABLED = false`) monomorphizes every
+//!   corruption check away, so the fault-free simulator is bit-identical
+//!   to the pre-fault code (pinned by `tests/fault_injection.rs`).
+//! - [`InjectedFaults`]: seeded per-wire-class bit-error rates. Each
+//!   delivery attempt draws from an [`SmallRng`] stream keyed by
+//!   `(seed, transfer id, attempt)`, so the draw is independent of the
+//!   order the engine processes deliveries in — the indexed `Network`
+//!   and the scan-based `ReferenceNetwork` corrupt exactly the same
+//!   attempts, and reruns are bit-reproducible.
+//! - [`FaultSpec`]: the command-line grammar (`faults:l@2e-4`,
+//!   `faults:l@1e-4+b@1e-5`, `faults:lane:L3@stuck`), parsed like
+//!   `ModelSpec`/`TopologySpec` with loud, actionable errors the
+//!   binaries surface with exit status 2. Permanent `lane:…@stuck`
+//!   faults are applied at configuration time: the stuck lanes are
+//!   retired from the live [`LinkComposition`] so steering policies,
+//!   the load balancer and lane arbitration all see only the surviving
+//!   capacity.
+
+use std::fmt;
+
+use heterowire_rng::SmallRng;
+use heterowire_wires::{LinkComposition, WireClass};
+
+use crate::network::class_index;
+
+/// Static-dispatch fault injection for the network engines.
+///
+/// `corrupts` is consulted once per delivery attempt; the call sites are
+/// guarded by `F::ENABLED`, so a disabled model costs nothing. The
+/// contract mirrors [`Probe`](heterowire_telemetry::Probe): the decision
+/// must depend only on the arguments and the model's own frozen state
+/// (never on call order), so both network engines and repeated runs
+/// agree on every draw.
+pub trait FaultModel: fmt::Debug + Clone {
+    /// `false` only for [`NullFaultModel`]: call sites guard on this
+    /// constant so the fault-free path compiles to the unfaulted code.
+    const ENABLED: bool = true;
+
+    /// Does delivery attempt `attempt` of transfer `id` arrive corrupted?
+    /// `bits` is the message's wire footprint and `hops` the route's
+    /// energy-hop count — together the exposure of the transfer.
+    fn corrupts(&self, id: u64, attempt: u32, class: WireClass, bits: u32, hops: u32) -> bool;
+
+    /// Failed attempts on the original class before the retransmission
+    /// escalates to the B plane.
+    fn retry_limit(&self) -> u32;
+}
+
+/// The default fault model: nothing ever corrupts, and the checks vanish
+/// at monomorphization (`ENABLED = false`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullFaultModel;
+
+impl FaultModel for NullFaultModel {
+    const ENABLED: bool = false;
+
+    #[inline]
+    fn corrupts(&self, _id: u64, _attempt: u32, _class: WireClass, _bits: u32, _hops: u32) -> bool {
+        false
+    }
+
+    #[inline]
+    fn retry_limit(&self) -> u32 {
+        0
+    }
+}
+
+/// Seeded transient fault injection: per-wire-class bit-error rates.
+///
+/// Built from a [`FaultSpec`] via [`FaultSpec::injector`]. A transfer of
+/// `bits` wire bits crossing `hops` hops is corrupted with probability
+/// `1 - (1 - ber)^(bits * hops)`; the Bernoulli draw comes from a fresh
+/// xoshiro stream seeded by `(seed, id, attempt)`, making it a pure
+/// function of the attempt identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedFaults {
+    ber: [f64; 4],
+    seed: u64,
+    retry_limit: u32,
+}
+
+impl FaultModel for InjectedFaults {
+    fn corrupts(&self, id: u64, attempt: u32, class: WireClass, bits: u32, hops: u32) -> bool {
+        let ber = self.ber[class_index(class)];
+        if ber <= 0.0 {
+            return false;
+        }
+        let p = if ber >= 1.0 {
+            // gen_bool is exact at p = 1: a saturated rate corrupts every
+            // attempt (the guaranteed-stall scenario in the tests).
+            1.0
+        } else {
+            1.0 - (1.0 - ber).powi((bits as u64 * hops as u64).min(i32::MAX as u64) as i32)
+        };
+        // The multiplier is odd (injective over ids); adding the attempt
+        // separates re-deliveries of the same id. SplitMix64 inside
+        // seed_from_u64 does the real mixing.
+        let stream = id
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(attempt as u64);
+        SmallRng::seed_from_u64(self.seed ^ stream).gen_bool(p)
+    }
+
+    fn retry_limit(&self) -> u32 {
+        self.retry_limit
+    }
+}
+
+/// Default injection seed (used when a spec has no `seed:` item).
+pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_FA17;
+/// Default same-class retries before escalating to B (`retry:` item).
+pub const DEFAULT_RETRY_LIMIT: u32 = 2;
+
+/// A parsed fault scenario: transient per-class bit-error rates plus
+/// permanently stuck lanes, with the injection seed and the retry bound.
+///
+/// Grammar (after an optional `faults:` prefix), items joined by `+`:
+///
+/// ```text
+/// <class>@<rate>        transient BER for a class     l@2e-4, b@1e-5
+/// lane:<CLASS><n>@stuck lane n of the class is dead   lane:L1@stuck
+/// retry:<n>             same-class retries before B   retry:3
+/// seed:<n>              injection seed                seed:7
+/// ```
+///
+/// Class letters are case-insensitive (`b`, `pw`, `l`, `w`). At least one
+/// fault item (a rate or a stuck lane) is required; duplicates of any
+/// item are rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    ber: [f64; 4],
+    /// Stuck lanes, sorted by (class index, lane index).
+    stuck: Vec<(WireClass, u32)>,
+    seed: u64,
+    retry_limit: u32,
+}
+
+impl FaultSpec {
+    /// Parses a fault token; see the type docs for the grammar.
+    pub fn parse(token: &str) -> Result<Self, FaultSpecError> {
+        let body = token.strip_prefix("faults:").unwrap_or(token);
+        if body.is_empty() {
+            return Err(FaultSpecError::Empty);
+        }
+        let mut ber = [0.0f64; 4];
+        let mut have_rate = [false; 4];
+        let mut stuck: Vec<(WireClass, u32)> = Vec::new();
+        let mut seed = None;
+        let mut retry = None;
+        for item in body.split('+') {
+            if let Some(rest) = item.strip_prefix("lane:") {
+                let (class, lane) = parse_stuck_lane(item, rest)?;
+                if stuck.contains(&(class, lane)) {
+                    return Err(FaultSpecError::DuplicateLane(class, lane));
+                }
+                stuck.push((class, lane));
+            } else if let Some(rest) = item.strip_prefix("seed:") {
+                if seed.is_some() {
+                    return Err(FaultSpecError::DuplicateField("seed"));
+                }
+                seed = Some(
+                    rest.parse::<u64>()
+                        .map_err(|_| FaultSpecError::BadField("seed", item.to_string()))?,
+                );
+            } else if let Some(rest) = item.strip_prefix("retry:") {
+                if retry.is_some() {
+                    return Err(FaultSpecError::DuplicateField("retry"));
+                }
+                retry = Some(
+                    rest.parse::<u32>()
+                        .map_err(|_| FaultSpecError::BadField("retry", item.to_string()))?,
+                );
+            } else if let Some((letter, rate)) = item.split_once('@') {
+                let class = class_from_letter(letter)
+                    .ok_or_else(|| FaultSpecError::UnknownItem(item.to_string()))?;
+                let rate: f64 = rate
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| FaultSpecError::BadRate(item.to_string()))?;
+                let ci = class_index(class);
+                if have_rate[ci] {
+                    return Err(FaultSpecError::DuplicateRate(class));
+                }
+                have_rate[ci] = true;
+                ber[ci] = rate;
+            } else {
+                return Err(FaultSpecError::UnknownItem(item.to_string()));
+            }
+        }
+        if !have_rate.iter().any(|&h| h) && stuck.is_empty() {
+            return Err(FaultSpecError::NoFaultItems);
+        }
+        stuck.sort_unstable_by_key(|&(c, lane)| (class_index(c), lane));
+        Ok(FaultSpec {
+            ber,
+            stuck,
+            seed: seed.unwrap_or(DEFAULT_FAULT_SEED),
+            retry_limit: retry.unwrap_or(DEFAULT_RETRY_LIMIT),
+        })
+    }
+
+    /// Canonical token for this spec (round-trips through [`parse`];
+    /// non-default seed/retry are included). Used to label artifact rows.
+    ///
+    /// [`parse`]: FaultSpec::parse
+    pub fn name(&self) -> String {
+        let mut items: Vec<String> = Vec::new();
+        for &class in &WireClass::ALL {
+            let rate = self.ber[class_index(class)];
+            if rate > 0.0 {
+                items.push(format!("{}@{}", class_letter(class), rate));
+            }
+        }
+        for &(class, lane) in &self.stuck {
+            items.push(format!("lane:{}{}@stuck", class.label(), lane));
+        }
+        if self.retry_limit != DEFAULT_RETRY_LIMIT {
+            items.push(format!("retry:{}", self.retry_limit));
+        }
+        if self.seed != DEFAULT_FAULT_SEED {
+            items.push(format!("seed:{}", self.seed));
+        }
+        items.join("+")
+    }
+
+    /// The transient bit-error rate configured for `class`.
+    pub fn ber(&self, class: WireClass) -> f64 {
+        self.ber[class_index(class)]
+    }
+
+    /// The permanently stuck lanes, sorted by (class, lane index).
+    pub fn stuck_lanes(&self) -> &[(WireClass, u32)] {
+        &self.stuck
+    }
+
+    /// The injection seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Same-class retries before a retransmission escalates to B.
+    pub fn retry_limit(&self) -> u32 {
+        self.retry_limit
+    }
+
+    /// True when the spec carries a non-zero transient rate (stuck-only
+    /// specs degrade the link but never corrupt in-flight transfers).
+    pub fn has_transient(&self) -> bool {
+        self.ber.iter().any(|&r| r > 0.0)
+    }
+
+    /// The runtime injector for the transient rates.
+    pub fn injector(&self) -> InjectedFaults {
+        InjectedFaults {
+            ber: self.ber,
+            seed: self.seed,
+            retry_limit: self.retry_limit,
+        }
+    }
+
+    /// Retires this spec's stuck lanes from a link composition — the
+    /// configuration-time half of the fault model. Every consumer of the
+    /// returned link (steering policies, `LoadBalancer` tallies, network
+    /// lane caps) then steers against the surviving capacity through the
+    /// existing lane-starved clamping paths. Fails when a lane index
+    /// exceeds the link, or when retirement leaves no full-width (b or
+    /// pw or w) plane: full-size transfers would have no legal plane
+    /// left, so the run is refused up front.
+    pub fn apply_to_link(&self, link: &LinkComposition) -> Result<LinkComposition, FaultSpecError> {
+        let mut out = link.clone();
+        for &class in &WireClass::ALL {
+            let lanes: Vec<u32> = self
+                .stuck
+                .iter()
+                .filter(|&&(c, _)| c == class)
+                .map(|&(_, lane)| lane)
+                .collect();
+            if lanes.is_empty() {
+                continue;
+            }
+            let available = link.lanes(class);
+            for &lane in &lanes {
+                if lane >= available {
+                    return Err(FaultSpecError::LaneOutOfRange {
+                        class,
+                        lane,
+                        lanes: available,
+                    });
+                }
+            }
+            out = out
+                .with_lanes_retired(class, lanes.len() as u32)
+                .expect("lane indices validated against the live lane count");
+        }
+        if out.lanes(WireClass::B) == 0
+            && out.lanes(WireClass::Pw) == 0
+            && out.lanes(WireClass::W) == 0
+        {
+            return Err(FaultSpecError::NoFullWidthPlane(link.to_string()));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "faults:{}", self.name())
+    }
+}
+
+/// Lowercase spec letter for a class (the `LinkSpec` convention).
+fn class_letter(class: WireClass) -> &'static str {
+    match class {
+        WireClass::W => "w",
+        WireClass::Pw => "pw",
+        WireClass::B => "b",
+        WireClass::L => "l",
+    }
+}
+
+fn class_from_letter(s: &str) -> Option<WireClass> {
+    WireClass::ALL
+        .into_iter()
+        .find(|&c| class_letter(c).eq_ignore_ascii_case(s))
+}
+
+/// Parses the payload of one `lane:<CLASS><n>@stuck` item (`rest` is the
+/// part after `lane:`, `item` the full item for error messages).
+fn parse_stuck_lane(item: &str, rest: &str) -> Result<(WireClass, u32), FaultSpecError> {
+    let bad = || FaultSpecError::BadLane(item.to_string());
+    let (lane_spec, mode) = rest.split_once('@').ok_or_else(bad)?;
+    if mode != "stuck" {
+        return Err(bad());
+    }
+    let digits = lane_spec
+        .find(|c: char| c.is_ascii_digit())
+        .ok_or_else(bad)?;
+    let class = class_from_letter(&lane_spec[..digits]).ok_or_else(bad)?;
+    let lane: u32 = lane_spec[digits..].parse().map_err(|_| bad())?;
+    Ok((class, lane))
+}
+
+/// Error cases of [`FaultSpec::parse`] and [`FaultSpec::apply_to_link`],
+/// with actionable messages in the `ModelSpec`/`TopologySpec` style (the
+/// binaries print them and exit with status 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpecError {
+    /// The token had no payload at all.
+    Empty,
+    /// An item matched none of the grammar's forms.
+    UnknownItem(String),
+    /// A `<class>@<rate>` item whose rate is not a number in [0, 1].
+    BadRate(String),
+    /// The same class was given a rate twice.
+    DuplicateRate(WireClass),
+    /// A malformed `lane:…` item.
+    BadLane(String),
+    /// The same lane was declared stuck twice.
+    DuplicateLane(WireClass, u32),
+    /// A malformed `seed:`/`retry:` value (field name, offending item).
+    BadField(&'static str, String),
+    /// A `seed:`/`retry:` field given twice.
+    DuplicateField(&'static str),
+    /// No rate and no stuck lane: the spec would inject nothing.
+    NoFaultItems,
+    /// A stuck lane index at or past the link's live lane count.
+    LaneOutOfRange {
+        /// Class of the out-of-range lane.
+        class: WireClass,
+        /// The offending lane index.
+        lane: u32,
+        /// Lanes the link actually has for that class.
+        lanes: u32,
+    },
+    /// Retirement would leave no full-width plane (link description).
+    NoFullWidthPlane(String),
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::Empty => {
+                write!(
+                    f,
+                    "empty fault spec; expected e.g. faults:l@2e-4 or faults:lane:L1@stuck"
+                )
+            }
+            FaultSpecError::UnknownItem(item) => write!(
+                f,
+                "unrecognized fault item {item:?}; expected <class>@<rate> (e.g. l@2e-4), \
+                 lane:<CLASS><n>@stuck (e.g. lane:L1@stuck), retry:<n> or seed:<n>"
+            ),
+            FaultSpecError::BadRate(item) => write!(
+                f,
+                "bad bit-error rate in {item:?}: the rate must be a number in [0, 1] \
+                 (e.g. l@2e-4)"
+            ),
+            FaultSpecError::DuplicateRate(class) => {
+                write!(
+                    f,
+                    "class {} given a bit-error rate more than once",
+                    class.label()
+                )
+            }
+            FaultSpecError::BadLane(item) => write!(
+                f,
+                "bad stuck-lane item {item:?}; expected lane:<CLASS><n>@stuck \
+                 (e.g. lane:L1@stuck, lane:PW0@stuck)"
+            ),
+            FaultSpecError::DuplicateLane(class, lane) => {
+                write!(
+                    f,
+                    "lane {}{lane} declared stuck more than once",
+                    class.label()
+                )
+            }
+            FaultSpecError::BadField(name, item) => {
+                write!(
+                    f,
+                    "bad {name} in {item:?}: expected {name}:<non-negative integer>"
+                )
+            }
+            FaultSpecError::DuplicateField(name) => write!(f, "{name} given more than once"),
+            FaultSpecError::NoFaultItems => write!(
+                f,
+                "fault spec contains no faults; give at least one <class>@<rate> or \
+                 lane:<CLASS><n>@stuck item"
+            ),
+            FaultSpecError::LaneOutOfRange { class, lane, lanes } => write!(
+                f,
+                "stuck lane {0}{lane} is out of range: the link has {lanes} {0} lane(s) \
+                 (lane indices start at 0)",
+                class.label()
+            ),
+            FaultSpecError::NoFullWidthPlane(link) => write!(
+                f,
+                "stuck lanes leave [{link}] with no full-width (b or pw) plane; \
+                 full-size transfers would have no wires to use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heterowire_wires::WirePlane;
+
+    fn model_x_link() -> LinkComposition {
+        LinkComposition::new(vec![
+            WirePlane::new(WireClass::B, 144),
+            WirePlane::new(WireClass::Pw, 288),
+            WirePlane::new(WireClass::L, 36),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let s = FaultSpec::parse("faults:l@2e-4").unwrap();
+        assert_eq!(s.ber(WireClass::L), 2e-4);
+        assert_eq!(s.ber(WireClass::B), 0.0);
+        assert_eq!(s.seed(), DEFAULT_FAULT_SEED);
+        assert_eq!(s.retry_limit(), DEFAULT_RETRY_LIMIT);
+
+        let s = FaultSpec::parse("faults:l@1e-4+b@1e-5").unwrap();
+        assert_eq!(s.ber(WireClass::L), 1e-4);
+        assert_eq!(s.ber(WireClass::B), 1e-5);
+
+        let s = FaultSpec::parse("faults:lane:L3@stuck").unwrap();
+        assert_eq!(s.stuck_lanes(), &[(WireClass::L, 3)]);
+        assert!(!s.has_transient());
+
+        // The prefix is optional and letters are case-insensitive.
+        let s = FaultSpec::parse("PW@0.5+lane:pw1@stuck+retry:4+seed:9").unwrap();
+        assert_eq!(s.ber(WireClass::Pw), 0.5);
+        assert_eq!(s.stuck_lanes(), &[(WireClass::Pw, 1)]);
+        assert_eq!(s.retry_limit(), 4);
+        assert_eq!(s.seed(), 9);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for token in [
+            "l@2e-4",
+            "l@0.0001+b@0.00001",
+            "lane:L3@stuck",
+            "b@0.5+lane:B0@stuck+lane:L1@stuck+retry:4+seed:9",
+        ] {
+            let spec = FaultSpec::parse(token).unwrap();
+            assert_eq!(FaultSpec::parse(&spec.name()).unwrap(), spec, "{token}");
+        }
+        // Stuck lanes are canonically sorted.
+        let a = FaultSpec::parse("lane:L1@stuck+lane:B0@stuck").unwrap();
+        let b = FaultSpec::parse("lane:B0@stuck+lane:L1@stuck").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "lane:B0@stuck+lane:L1@stuck");
+    }
+
+    #[test]
+    fn malformed_specs_are_loud() {
+        let err = |t: &str| FaultSpec::parse(t).unwrap_err();
+        assert_eq!(err("faults:"), FaultSpecError::Empty);
+        assert!(matches!(err("x@1e-4"), FaultSpecError::UnknownItem(_)));
+        assert!(matches!(err("l@1.5"), FaultSpecError::BadRate(_)));
+        assert!(matches!(err("l@-0.1"), FaultSpecError::BadRate(_)));
+        assert!(matches!(err("l@fast"), FaultSpecError::BadRate(_)));
+        assert_eq!(
+            err("l@1e-4+l@2e-4"),
+            FaultSpecError::DuplicateRate(WireClass::L)
+        );
+        assert!(matches!(err("lane:L@stuck"), FaultSpecError::BadLane(_)));
+        assert!(matches!(err("lane:3@stuck"), FaultSpecError::BadLane(_)));
+        assert!(matches!(err("lane:L3@flaky"), FaultSpecError::BadLane(_)));
+        assert_eq!(
+            err("lane:L3@stuck+lane:L3@stuck"),
+            FaultSpecError::DuplicateLane(WireClass::L, 3)
+        );
+        assert!(matches!(
+            err("l@1e-4+seed:x"),
+            FaultSpecError::BadField("seed", _)
+        ));
+        assert!(matches!(
+            err("l@1e-4+retry:-1"),
+            FaultSpecError::BadField("retry", _)
+        ));
+        assert_eq!(
+            err("l@1e-4+seed:1+seed:2"),
+            FaultSpecError::DuplicateField("seed")
+        );
+        assert_eq!(err("seed:1"), FaultSpecError::NoFaultItems);
+        assert_eq!(err("retry:3"), FaultSpecError::NoFaultItems);
+        // Every message is actionable (mentions the expected form).
+        assert!(err("x@1e-4").to_string().contains("l@2e-4"));
+        assert!(err("lane:L3@flaky").to_string().contains("lane:L1@stuck"));
+    }
+
+    #[test]
+    fn stuck_lanes_degrade_the_link() {
+        let link = model_x_link();
+        let spec = FaultSpec::parse("lane:L1@stuck").unwrap();
+        let degraded = spec.apply_to_link(&link).unwrap();
+        assert_eq!(degraded.lanes(WireClass::L), 1);
+        assert_eq!(degraded.lanes(WireClass::B), 2);
+        assert_eq!(degraded.lanes(WireClass::Pw), 4);
+
+        // Killing the whole L plane is legal (full-width planes survive)...
+        let spec = FaultSpec::parse("lane:L0@stuck+lane:L1@stuck").unwrap();
+        let degraded = spec.apply_to_link(&link).unwrap();
+        assert_eq!(degraded.lanes(WireClass::L), 0);
+
+        // ...but an out-of-range lane index is refused with the count.
+        let spec = FaultSpec::parse("lane:L3@stuck").unwrap();
+        let e = spec.apply_to_link(&link).unwrap_err();
+        assert_eq!(
+            e,
+            FaultSpecError::LaneOutOfRange {
+                class: WireClass::L,
+                lane: 3,
+                lanes: 2
+            }
+        );
+        assert!(e.to_string().contains("2 L lane(s)"), "{e}");
+
+        // Retiring every full-width lane strands full-size transfers.
+        let b_only = LinkComposition::new(vec![
+            WirePlane::new(WireClass::B, 144),
+            WirePlane::new(WireClass::L, 36),
+        ])
+        .unwrap();
+        let spec = FaultSpec::parse("lane:B0@stuck+lane:B1@stuck").unwrap();
+        let e = spec.apply_to_link(&b_only).unwrap_err();
+        assert!(matches!(e, FaultSpecError::NoFullWidthPlane(_)));
+        assert!(e.to_string().contains("no full-width"), "{e}");
+    }
+
+    #[test]
+    fn corruption_draws_are_order_independent_and_seeded() {
+        // 0.05 per bit over 18 bits ~ 0.60 per attempt: a 200-draw sample
+        // reliably contains both outcomes.
+        let inj = FaultSpec::parse("l@0.05+seed:42").unwrap().injector();
+        // Pure function of (id, attempt): any evaluation order agrees.
+        let forward: Vec<bool> = (0..200)
+            .map(|id| inj.corrupts(id, 0, WireClass::L, 18, 1))
+            .collect();
+        let backward: Vec<bool> = (0..200)
+            .rev()
+            .map(|id| inj.corrupts(id, 0, WireClass::L, 18, 1))
+            .rev()
+            .collect();
+        assert_eq!(forward, backward);
+        assert!(forward.iter().any(|&c| c), "a 0.60 draw rate corrupts some");
+        assert!(!forward.iter().all(|&c| c), "but not all");
+        // Attempts draw independently.
+        let per_attempt: Vec<bool> = (0..32)
+            .map(|a| inj.corrupts(7, a, WireClass::L, 18, 1))
+            .collect();
+        assert!(per_attempt.iter().any(|&c| c));
+        assert!(!per_attempt.iter().all(|&c| c));
+        // A different seed changes the pattern.
+        let other = FaultSpec::parse("l@0.05+seed:43").unwrap().injector();
+        let reseeded: Vec<bool> = (0..200)
+            .map(|id| inj.corrupts(id, 0, WireClass::L, 18, 1))
+            .collect();
+        assert_eq!(forward, reseeded, "same injector, same draws");
+        let changed: Vec<bool> = (0..200)
+            .map(|id| other.corrupts(id, 0, WireClass::L, 18, 1))
+            .collect();
+        assert_ne!(forward, changed);
+        // Classes with zero BER never corrupt; BER 1 always corrupts.
+        assert!(!inj.corrupts(1, 0, WireClass::B, 72, 4));
+        let total = FaultSpec::parse("b@1").unwrap().injector();
+        assert!((0..100).all(|id| total.corrupts(id, 0, WireClass::B, 72, 1)));
+    }
+
+    #[test]
+    fn exposure_scales_with_bits_and_hops() {
+        // With a mid-range BER, more bits x hops means more corruption.
+        let inj = FaultSpec::parse("b@0.001").unwrap().injector();
+        let rate = |bits: u32, hops: u32| {
+            (0..2000)
+                .filter(|&id| inj.corrupts(id, 0, WireClass::B, bits, hops))
+                .count()
+        };
+        let small = rate(72, 1);
+        let large = rate(72, 8);
+        assert!(large > small, "hops raise exposure: {small} vs {large}");
+    }
+
+    #[test]
+    fn null_model_is_disabled() {
+        const { assert!(!<NullFaultModel as FaultModel>::ENABLED) };
+        const { assert!(<InjectedFaults as FaultModel>::ENABLED) };
+        assert!(!NullFaultModel.corrupts(0, 0, WireClass::L, 18, 1));
+    }
+
+    #[test]
+    fn display_includes_the_prefix() {
+        let spec = FaultSpec::parse("l@2e-4").unwrap();
+        assert_eq!(spec.to_string(), "faults:l@0.0002");
+        assert_eq!(FaultSpec::parse(&spec.to_string()).unwrap(), spec);
+    }
+}

@@ -9,9 +9,11 @@
 //! files ([`topo`]), typed
 //! messages with wire-class eligibility ([`message`]), the indexed
 //! arbitration/buffering/energy engine ([`network`]) with its retained
-//! scan-based equivalence reference ([`mod@reference`]) and the dynamic
+//! scan-based equivalence reference ([`mod@reference`]), the dynamic
 //! wire-selection policy ([`policy`]) implementing the paper's three
-//! steering criteria plus the L-Wire fast paths.
+//! steering criteria plus the L-Wire fast paths, and deterministic
+//! wire-fault injection with NACK/retransmission and lane retirement
+//! ([`fault`]).
 //!
 //! ```
 //! use heterowire_interconnect::{
@@ -43,6 +45,7 @@
 //! assert_eq!(delivered.len(), 1); // L-Wires: 1-cycle crossbar
 //! ```
 
+pub mod fault;
 pub mod fvc;
 pub mod message;
 pub mod network;
@@ -51,6 +54,10 @@ pub mod reference;
 pub mod topo;
 pub mod topology;
 
+pub use fault::{
+    FaultModel, FaultSpec, FaultSpecError, InjectedFaults, NullFaultModel, DEFAULT_FAULT_SEED,
+    DEFAULT_RETRY_LIMIT,
+};
 pub use fvc::FrequentValueTable;
 pub use message::{MessageKind, Transfer};
 pub use network::{NetConfig, NetStats, Network, TransferId};

@@ -25,12 +25,23 @@
 //! * Departed transfers go into a power-of-two calendar wheel keyed by
 //!   delivery cycle, so draining deliveries touches only due buckets and
 //!   `next_event_cycle` reads the exact earliest delivery in O(1).
+//!
+//! The engine is additionally generic over a [`FaultModel`]. With the
+//! default [`NullFaultModel`] (`ENABLED = false`) every corruption check
+//! monomorphizes away and the behaviour above is exactly the fault-free
+//! engine. With an injector, a corrupted transfer detected at delivery is
+//! NACKed back over the reverse route and re-enters arbitration with a
+//! fresh arbitration sequence number (`aseq`), escalating to the B plane
+//! after the model's retry limit — see DESIGN.md §14 for the invariants
+//! that keep the indexed and reference engines bit-identical under
+//! injection.
 
 use std::collections::VecDeque;
 
 use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_wires::{LinkComposition, WireClass};
 
+use crate::fault::{FaultModel, NullFaultModel};
 use crate::message::{MessageKind, Transfer};
 use crate::topology::{LinkId, Node, Topology, MAX_ROUTE_LINKS};
 
@@ -80,6 +91,19 @@ pub struct NetStats {
     pub queue_cycles: u64,
     /// Transfers delivered.
     pub delivered: u64,
+    /// Deliveries that arrived corrupted (fault injection); each one is
+    /// NACKed and retransmitted rather than delivered.
+    pub faults_detected: u64,
+    /// Retransmissions injected back into arbitration.
+    pub retransmits: u64,
+    /// Retransmissions escalated from their original class to B-Wires
+    /// after exhausting the same-class retry budget.
+    pub escalations: u64,
+    /// Extra delivery delay accumulated by retried transfers: for each
+    /// transfer that eventually arrived clean after one or more
+    /// corruptions, the gap between its final and its first scheduled
+    /// delivery cycle (NACK transit and re-arbitration included).
+    pub retry_cycles: u64,
 }
 
 impl NetStats {
@@ -142,13 +166,24 @@ struct DepSlot {
     transfer: Transfer,
     latency: u64,
     hops: u32,
+    /// External transfer id. Queues order by `aseq` (which equals the id
+    /// until a retransmission is injected), so departures read the id
+    /// here.
+    id: u64,
+    /// Prior corrupted deliveries of this transfer (0 = original send).
+    attempt: u32,
+    /// Delivery cycle the first attempt was scheduled for; retried
+    /// attempts carry it forward so clean arrival can account the total
+    /// retry delay. Unused (0) while `attempt == 0`.
+    first_deliver: u64,
 }
 
 /// One merge-frontier entry: the oldest not-yet-visited candidate of one
 /// active queue during a tick (see `Network::heads`).
 #[derive(Debug, Clone, Copy)]
 struct Head {
-    /// Candidate transfer id (`u64::MAX` = queue exhausted/closed).
+    /// Candidate arbitration sequence number (`u64::MAX` = queue
+    /// exhausted/closed). Equal to the transfer id while faults are off.
     id: u64,
     /// Candidate's slab slot.
     slot: u32,
@@ -167,6 +202,12 @@ struct WheelEntry {
     dseq: u64,
     id: u64,
     transfer: Transfer,
+    /// Route energy hops (the corruption draw's exposure term).
+    hops: u32,
+    /// Prior corrupted deliveries of this transfer.
+    attempt: u32,
+    /// First attempt's scheduled delivery cycle (retry-delay accounting).
+    first_deliver: u64,
 }
 
 /// Calendar queue of in-transit transfers keyed by delivery cycle (same
@@ -260,9 +301,11 @@ impl DeliveryWheel {
     }
 }
 
-/// The inter-cluster network.
+/// The inter-cluster network, generic over fault injection (`F`). The
+/// default [`NullFaultModel`] compiles every corruption check away, so
+/// `Network` (no parameter) is exactly the fault-free engine.
 #[derive(Debug, Clone)]
-pub struct Network {
+pub struct Network<F: FaultModel = NullFaultModel> {
     config: NetConfig,
     link_ids: Vec<LinkId>,
     /// Lane capacity per link per wire class.
@@ -277,11 +320,13 @@ pub struct Network {
     dep: Vec<DepSlot>,
     /// Free slab slots.
     free: Vec<u32>,
-    /// Per-(source link slot, class) FIFO queues of `(id, slab slot)`
-    /// pairs, id-sorted because ids are assigned in send order. Indexed
-    /// `slot * 4 + ci`; only injection links (ClusterOut / CacheOut) ever
-    /// host entries. Carrying the id inline keeps the tick's frontier
-    /// maintenance off the slab.
+    /// Per-(source link slot, class) FIFO queues of `(aseq, slab slot)`
+    /// pairs, aseq-sorted because arbitration sequence numbers are
+    /// assigned in enqueue order (sends and retransmissions alike; with
+    /// faults off `aseq == id` exactly). Indexed `slot * 4 + ci`; only
+    /// injection links (ClusterOut / CacheOut) ever host entries.
+    /// Carrying the key inline keeps the tick's frontier maintenance off
+    /// the slab.
     queues: Vec<VecDeque<(u64, u32)>>,
     /// Queues currently holding entries (lazily pruned each tick).
     active: Vec<u32>,
@@ -303,10 +348,17 @@ pub struct Network {
     /// Monotone grant counter tagging wheel entries with departure order.
     dseq: u64,
     next_id: u64,
+    /// Monotone arbitration sequence: the queue/frontier ordering key,
+    /// advanced per enqueue (send or retransmission). Tracks `next_id`
+    /// exactly until the first retransmission.
+    next_aseq: u64,
     last_tick: Option<u64>,
     stats: NetStats,
     /// Total link leakage weight, precomputed at construction.
     leakage_weight: f64,
+    /// Fault injection (zero-sized and check-free for the default
+    /// [`NullFaultModel`]).
+    faults: F,
 }
 
 fn node_of(index: usize, clusters: usize) -> Node {
@@ -328,12 +380,24 @@ fn node_index(node: Node, clusters: usize) -> usize {
 }
 
 impl Network {
-    /// Builds the network for `config`.
+    /// Builds the fault-free network for `config`.
     ///
     /// # Panics
     ///
     /// Panics if the cluster link composition is empty.
     pub fn new(config: NetConfig) -> Self {
+        Network::with_faults(config, NullFaultModel)
+    }
+}
+
+impl<F: FaultModel> Network<F> {
+    /// Builds the network for `config` with the given fault model; with
+    /// [`NullFaultModel`] this is exactly [`Network::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster link composition is empty.
+    pub fn with_faults(config: NetConfig, faults: F) -> Self {
         assert!(
             !config.cluster_link.is_empty(),
             "links need at least one wire plane"
@@ -432,9 +496,11 @@ impl Network {
             drained: Vec::new(),
             dseq: 0,
             next_id: 0,
+            next_aseq: 0,
             last_tick: None,
             stats: NetStats::default(),
             leakage_weight,
+            faults,
             link_ids,
         }
     }
@@ -494,7 +560,32 @@ impl Network {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.stats.transfers[ci] += 1;
-        let slot = match self.free.pop() {
+        let route = *route;
+        let slot = self.alloc_slot(transfer);
+        self.arb[slot] = ArbSlot {
+            enqueued: cycle,
+            links: route.links,
+            nlinks: route.nlinks,
+            ci: ci as u8,
+        };
+        self.dep[slot] = DepSlot {
+            transfer,
+            latency,
+            hops: route.hops,
+            id: id.0,
+            attempt: 0,
+            first_deliver: 0,
+        };
+        self.enqueue_for_arbitration(route.links[0] as usize * 4 + ci, slot);
+        if P::ENABLED {
+            probe.enqueue(cycle, id.0, transfer.class);
+        }
+        id
+    }
+
+    /// Pops or grows a slab slot (the caller overwrites both halves).
+    fn alloc_slot(&mut self, transfer: Transfer) -> usize {
+        match self.free.pop() {
             Some(s) => s as usize,
             None => {
                 self.arb.push(ArbSlot {
@@ -507,32 +598,26 @@ impl Network {
                     transfer,
                     latency: 0,
                     hops: 0,
+                    id: 0,
+                    attempt: 0,
+                    first_deliver: 0,
                 });
                 self.arb.len() - 1
             }
-        };
-        self.arb[slot] = ArbSlot {
-            enqueued: cycle,
-            links: route.links,
-            nlinks: route.nlinks,
-            ci: ci as u8,
-        };
-        self.dep[slot] = DepSlot {
-            transfer,
-            latency,
-            hops: route.hops,
-        };
-        let q = route.links[0] as usize * 4 + ci;
-        self.queues[q].push_back((id.0, slot as u32));
+        }
+    }
+
+    /// Appends `slot` to arbitration queue `q` under a fresh `aseq` and
+    /// keeps the active set and pending count in sync.
+    fn enqueue_for_arbitration(&mut self, q: usize, slot: usize) {
+        let aseq = self.next_aseq;
+        self.next_aseq += 1;
+        self.queues[q].push_back((aseq, slot as u32));
         if !self.in_active[q] {
             self.in_active[q] = true;
             self.active.push(q as u32);
         }
         self.pending_count += 1;
-        if P::ENABLED {
-            probe.enqueue(cycle, id.0, transfer.class);
-        }
-        id
     }
 
     /// Arbitrates lanes for `cycle`: pending transfers (oldest first) that
@@ -551,8 +636,9 @@ impl Network {
     /// and queue removal stay with the caller — the single-transfer fast
     /// path never touches either.
     #[inline]
-    fn grant<P: Probe>(&mut self, cycle: u64, id: u64, slot: usize, a: ArbSlot, probe: &mut P) {
+    fn grant<P: Probe>(&mut self, cycle: u64, slot: usize, a: ArbSlot, probe: &mut P) {
         let d = self.dep[slot];
+        let id = d.id;
         let ci = a.ci as usize;
         self.stats.queue_cycles += cycle - a.enqueued - 1;
         let bits = d.transfer.kind.bits() as u64 * d.hops as u64;
@@ -568,13 +654,23 @@ impl Network {
                 probe.link_busy(cycle, l as usize, d.transfer.class);
             }
         }
+        let deliver_at = cycle + d.latency;
         self.wheel.schedule(
             cycle,
             WheelEntry {
-                deliver_at: cycle + d.latency,
+                deliver_at,
                 dseq: self.dseq,
                 id,
                 transfer: d.transfer,
+                hops: d.hops,
+                attempt: d.attempt,
+                // The first departure pins the baseline delivery cycle the
+                // retry-delay metric is measured against.
+                first_deliver: if d.attempt == 0 {
+                    deliver_at
+                } else {
+                    d.first_deliver
+                },
             },
         );
         self.dseq += 1;
@@ -609,10 +705,10 @@ impl Network {
             // case under light traffic.
             loop {
                 let q = self.active[0] as usize;
-                if let Some(&(id, slot)) = self.queues[q].front() {
+                if let Some(&(_, slot)) = self.queues[q].front() {
                     let a = self.arb[slot as usize];
                     if a.enqueued < cycle {
-                        self.grant(cycle, id, slot as usize, a, probe);
+                        self.grant(cycle, slot as usize, a, probe);
                         self.queues[q].pop_front();
                     }
                     return;
@@ -679,7 +775,7 @@ impl Network {
                 for &l in links {
                     self.used[l as usize][ci] += 1;
                 }
-                self.grant(cycle, best_id, slot, a, probe);
+                self.grant(cycle, slot, a, probe);
                 // Remove at the cursor — almost always the front; denied
                 // older entries may sit before it, in which case the shift
                 // cost is bounded by the denials already paid this tick.
@@ -734,13 +830,33 @@ impl Network {
         }
         self.drained.clear();
         self.wheel.drain_due(cycle, &mut self.drained);
-        if P::ENABLED {
-            // The reference engine counts deliveries in departure order;
-            // restore it so probe event sequences match bit-for-bit.
+        if P::ENABLED || F::ENABLED {
+            // The reference engine processes deliveries in departure
+            // order; restore it so probe event sequences match
+            // bit-for-bit — and, under fault injection, so corrupted
+            // transfers re-enter arbitration in the same order (requeue
+            // order decides their `aseq` and therefore future
+            // arbitration priority).
             self.drained.sort_unstable_by_key(|e| e.dseq);
         }
-        for e in &self.drained {
+        for i in 0..self.drained.len() {
+            let e = self.drained[i];
+            if F::ENABLED
+                && self.faults.corrupts(
+                    e.id,
+                    e.attempt,
+                    e.transfer.class,
+                    e.transfer.kind.bits(),
+                    e.hops,
+                )
+            {
+                self.requeue(e, probe);
+                continue;
+            }
             self.stats.delivered += 1;
+            if F::ENABLED && e.attempt > 0 {
+                self.stats.retry_cycles += e.deliver_at - e.first_deliver;
+            }
             if P::ENABLED {
                 // `deliver_at`, not `cycle`: the kernel may have skipped
                 // idle cycles past the actual delivery time.
@@ -749,6 +865,87 @@ impl Network {
             out.push((TransferId(e.id), e.transfer));
         }
         out.sort_unstable_by_key(|(id, _)| *id);
+    }
+
+    /// NACK + retransmission (cold: only compiled in with `F::ENABLED`,
+    /// only reached on a corrupted delivery). The receiver detected the
+    /// corruption at `e.deliver_at`; a NACK rides the reverse route on
+    /// the failed attempt's class, and the transfer re-enters arbitration
+    /// when it arrives. After the model's retry limit the retry escalates
+    /// to the B plane (wider swing, better noise margin) when one exists
+    /// and the message may ride it. The external id is preserved — the
+    /// processor's per-transfer action table is keyed by it — while queue
+    /// ordering uses a fresh `aseq`, keeping the FIFO-per-queue invariant
+    /// intact.
+    #[inline(never)]
+    fn requeue<P: Probe>(&mut self, e: WheelEntry, probe: &mut P) {
+        let clusters = self.config.topology.clusters();
+        let nodes = clusters + 1;
+        let si = node_index(e.transfer.src, clusters);
+        let di = node_index(e.transfer.dst, clusters);
+        let old_ci = class_index(e.transfer.class);
+        self.stats.faults_detected += 1;
+        if P::ENABLED {
+            probe.fault_detected(e.deliver_at, e.id, e.transfer.class, e.attempt);
+        }
+        let nack = self.routes[(di * nodes + si) * 4 + old_ci]
+            .base_latency
+            .max(1);
+        let attempt = e.attempt + 1;
+        let mut transfer = e.transfer;
+        if attempt >= self.faults.retry_limit()
+            && transfer.class != WireClass::B
+            && self.has_class(WireClass::B)
+            && transfer.kind.allowed_on(WireClass::B)
+        {
+            transfer.class = WireClass::B;
+            self.stats.escalations += 1;
+        }
+        let ci = class_index(transfer.class);
+        let route = self.routes[(si * nodes + di) * 4 + ci];
+        let latency =
+            (route.base_latency + transfer.kind.serialization_cycles(transfer.class)).max(1);
+        let enqueued = e.deliver_at + nack;
+        let slot = self.alloc_slot(transfer);
+        self.arb[slot] = ArbSlot {
+            enqueued,
+            links: route.links,
+            nlinks: route.nlinks,
+            ci: ci as u8,
+        };
+        self.dep[slot] = DepSlot {
+            transfer,
+            latency,
+            hops: route.hops,
+            id: e.id,
+            attempt,
+            first_deliver: e.first_deliver,
+        };
+        self.enqueue_for_arbitration(route.links[0] as usize * 4 + ci, slot);
+        self.stats.retransmits += 1;
+        if P::ENABLED {
+            probe.retransmit(enqueued, e.id, transfer.class, attempt);
+        }
+    }
+
+    /// The pending transfer with the smallest arbitration sequence (the
+    /// one every tick arbitrates first), as `(id, class, enqueued cycle,
+    /// attempt)`. Cold diagnostic accessor for the forward-progress
+    /// watchdog's stall report.
+    pub fn oldest_pending(&self) -> Option<(TransferId, WireClass, u64, u32)> {
+        let mut best: Option<(u64, u32)> = None;
+        for q in &self.queues {
+            if let Some(&(aseq, slot)) = q.front() {
+                if best.is_none_or(|(b, _)| aseq < b) {
+                    best = Some((aseq, slot));
+                }
+            }
+        }
+        best.map(|(_, slot)| {
+            let a = self.arb[slot as usize];
+            let d = self.dep[slot as usize];
+            (TransferId(d.id), d.transfer.class, a.enqueued, d.attempt)
+        })
     }
 
     /// Removes and returns all transfers delivered at or before `cycle`
@@ -845,6 +1042,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use crate::message::MessageKind;
     use crate::topology::Node;
     use heterowire_wires::WirePlane;
@@ -1105,5 +1303,103 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.total_transfers(), 3);
         assert!((s.class_share(WireClass::B) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupted_transfer_retries_and_escalates_to_b() {
+        // Saturated L error rate, one same-class retry allowed. The full
+        // timeline on a crossbar (L latency 1, B latency 2, NACK 1):
+        //   send @0 -> depart @1 -> corrupt at delivery @2
+        //   -> NACK back (1 cycle) -> re-enqueued @3, escalated to B
+        //   (attempt 1 >= retry limit 1) -> depart @4 -> deliver @6.
+        let faults = FaultSpec::parse("faults:l@1+retry:1").unwrap().injector();
+        let mut n = Network::with_faults(NetConfig::new(Topology::crossbar4(), b_l_link()), faults);
+        let id = n.send(reg_transfer(0, 1, WireClass::L), 0);
+        n.tick(1);
+        assert!(n.take_delivered(2).is_empty(), "first copy arrives corrupt");
+        assert_eq!(n.stats().faults_detected, 1);
+        assert_eq!(n.stats().retransmits, 1);
+        assert_eq!(n.stats().escalations, 1, "retry limit 1 escalates at once");
+        assert_eq!(n.pending_len(), 1, "retransmission waits for arbitration");
+        n.tick(3); // NACK still in flight: enqueued @3 is not yet eligible
+        assert!(n.take_delivered(3).is_empty());
+        n.tick(4);
+        let d = n.take_delivered(6);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, id, "the retried copy keeps its transfer id");
+        assert_eq!(
+            d[0].1.class,
+            WireClass::B,
+            "delivered on the escalated plane"
+        );
+        let s = n.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.total_transfers(), 1, "retries are not new sends");
+        assert_eq!(s.retry_cycles, 4, "clean arrival @6 vs first schedule @2");
+        // Both copies paid wire energy: 18 bits on L, then 18 bits on B.
+        assert!((s.dynamic_energy - (18.0 * 0.84 + 18.0 * 0.58)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_class_retry_precedes_escalation() {
+        // Default retry limit 2: attempt 1 retries on L, attempt 2
+        // escalates. A saturated rate corrupts every L copy, so exactly
+        // one same-class retry happens before the B-plane rescue.
+        let faults = FaultSpec::parse("l@1").unwrap().injector();
+        let mut n = Network::with_faults(NetConfig::new(Topology::crossbar4(), b_l_link()), faults);
+        n.send(reg_transfer(0, 1, WireClass::L), 0);
+        for cycle in 1..20 {
+            n.tick(cycle);
+            if !n.take_delivered(cycle).is_empty() {
+                break;
+            }
+        }
+        let s = n.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(
+            s.faults_detected, 2,
+            "original + one same-class retry corrupt"
+        );
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(s.escalations, 1);
+    }
+
+    #[test]
+    fn zero_rate_injector_changes_nothing() {
+        // An all-zero transient spec must reproduce the baseline stats
+        // bit-for-bit even though the fault plumbing is compiled in.
+        let faults = FaultSpec::parse("l@0+b@0").unwrap().injector();
+        let mut base = net();
+        let mut faulty =
+            Network::with_faults(NetConfig::new(Topology::crossbar4(), b_l_link()), faults);
+        fn drive<F: crate::fault::FaultModel>(n: &mut Network<F>) {
+            let mut out = Vec::new();
+            n.send(reg_transfer(0, 1, WireClass::B), 0);
+            n.send(reg_transfer(0, 1, WireClass::B), 0);
+            n.send(reg_transfer(2, 3, WireClass::L), 0);
+            n.tick(1);
+            n.tick(2);
+            n.take_delivered_into(10, &mut out);
+            assert_eq!(out.len(), 3);
+        }
+        drive(&mut base);
+        drive(&mut faulty);
+        let (b, f) = (base.stats(), faulty.stats());
+        assert_eq!(b, f);
+        assert_eq!(f.faults_detected, 0);
+        assert_eq!(f.retry_cycles, 0);
+    }
+
+    #[test]
+    fn oldest_pending_reports_the_arbitration_head() {
+        let mut n = net();
+        assert_eq!(n.oldest_pending(), None);
+        let first = n.send(reg_transfer(0, 1, WireClass::B), 3);
+        n.send(reg_transfer(2, 3, WireClass::B), 5);
+        let (id, class, enqueued, attempt) = n.oldest_pending().unwrap();
+        assert_eq!(id, first);
+        assert_eq!(class, WireClass::B);
+        assert_eq!(enqueued, 3);
+        assert_eq!(attempt, 0);
     }
 }

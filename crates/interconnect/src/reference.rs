@@ -14,6 +14,7 @@
 use heterowire_telemetry::{NullProbe, Probe};
 use heterowire_wires::WireClass;
 
+use crate::fault::{FaultModel, NullFaultModel};
 use crate::message::Transfer;
 use crate::network::{class_index, NetConfig, NetStats, TransferId};
 use crate::topology::MAX_ROUTE_LINKS;
@@ -28,6 +29,11 @@ struct Pending {
     latency: u64,
     hops: u32,
     enqueued: u64,
+    /// Prior corrupted deliveries of this transfer (0 = original send).
+    attempt: u32,
+    /// First attempt's scheduled delivery cycle (retry-delay accounting;
+    /// 0 while `attempt == 0`).
+    first_deliver: u64,
 }
 
 impl Pending {
@@ -41,13 +47,19 @@ struct InFlight {
     id: TransferId,
     transfer: Transfer,
     deliver_at: u64,
+    /// Route energy hops (the corruption draw's exposure term).
+    hops: u32,
+    /// Prior corrupted deliveries of this transfer.
+    attempt: u32,
+    /// First attempt's scheduled delivery cycle.
+    first_deliver: u64,
 }
 
 /// The scan-based reference network: same public surface as
 /// [`Network`](crate::network::Network) (send / tick / take_delivered /
 /// next-event accessors), O(pending) per tick and O(in-flight) per drain.
 #[derive(Debug, Clone)]
-pub struct ReferenceNetwork {
+pub struct ReferenceNetwork<F: FaultModel = NullFaultModel> {
     config: NetConfig,
     /// Lane capacity per link per wire class.
     caps: Vec<[u32; 4]>,
@@ -58,15 +70,29 @@ pub struct ReferenceNetwork {
     next_id: u64,
     last_tick: Option<u64>,
     stats: NetStats,
+    faults: F,
 }
 
 impl ReferenceNetwork {
-    /// Builds the reference network for `config`.
+    /// Builds the fault-free reference network for `config`.
     ///
     /// # Panics
     ///
     /// Panics if the cluster link composition is empty.
     pub fn new(config: NetConfig) -> Self {
+        ReferenceNetwork::with_faults(config, NullFaultModel)
+    }
+}
+
+impl<F: FaultModel> ReferenceNetwork<F> {
+    /// Builds the reference network with a fault injector (the scan-based
+    /// mirror of `Network::with_faults`; the differential tests drive both
+    /// with the same injector and assert bit-identical behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster link composition is empty.
+    pub fn with_faults(config: NetConfig, faults: F) -> Self {
         assert!(
             !config.cluster_link.is_empty(),
             "links need at least one wire plane"
@@ -95,6 +121,7 @@ impl ReferenceNetwork {
             next_id: 0,
             last_tick: None,
             stats: NetStats::default(),
+            faults,
         }
     }
 
@@ -157,6 +184,8 @@ impl ReferenceNetwork {
             latency: latency.max(1),
             hops: route.hops,
             enqueued: cycle,
+            attempt: 0,
+            first_deliver: 0,
         });
         if P::ENABLED {
             probe.enqueue(cycle, id.0, transfer.class);
@@ -213,10 +242,20 @@ impl ReferenceNetwork {
                         probe.link_busy(cycle, l as usize, p.transfer.class);
                     }
                 }
+                let deliver_at = cycle + p.latency;
                 self.in_flight.push(InFlight {
                     id: p.id,
                     transfer: p.transfer,
-                    deliver_at: cycle + p.latency,
+                    deliver_at,
+                    hops: p.hops,
+                    attempt: p.attempt,
+                    // The first departure pins the baseline delivery cycle
+                    // the retry-delay metric is measured against.
+                    first_deliver: if p.attempt == 0 {
+                        deliver_at
+                    } else {
+                        p.first_deliver
+                    },
                 });
             } else {
                 self.pending[kept] = p;
@@ -241,10 +280,28 @@ impl ReferenceNetwork {
     ) {
         out.clear();
         let mut kept = 0;
+        // Push order is departure order, so due entries are visited in
+        // exactly the order the indexed engine drains (dseq) — corrupted
+        // transfers re-enter `pending` in the same order on both engines.
         for i in 0..self.in_flight.len() {
             let f = self.in_flight[i];
             if f.deliver_at <= cycle {
+                if F::ENABLED
+                    && self.faults.corrupts(
+                        f.id.0,
+                        f.attempt,
+                        f.transfer.class,
+                        f.transfer.kind.bits(),
+                        f.hops,
+                    )
+                {
+                    self.requeue(f, probe);
+                    continue;
+                }
                 self.stats.delivered += 1;
+                if F::ENABLED && f.attempt > 0 {
+                    self.stats.retry_cycles += f.deliver_at - f.first_deliver;
+                }
                 if P::ENABLED {
                     // `deliver_at`, not `cycle`: the kernel may have
                     // skipped idle cycles past the actual delivery time.
@@ -258,6 +315,73 @@ impl ReferenceNetwork {
         }
         self.in_flight.truncate(kept);
         out.sort_unstable_by_key(|(id, _)| *id);
+    }
+
+    /// The latency-scaled route latency `Network` caches per (src, dst,
+    /// class), recomputed on demand (no route table here).
+    fn scaled_base_latency(
+        &self,
+        src: crate::topology::Node,
+        dst: crate::topology::Node,
+        class: WireClass,
+    ) -> u64 {
+        let route = self.config.topology.route_inline(src, dst, class);
+        let scale = if self.config.transmission_line_l && class == WireClass::L {
+            1.0
+        } else {
+            self.config.latency_scale
+        };
+        ((route.latency as f64) * scale).round() as u64
+    }
+
+    /// NACK + retransmission, mirroring `Network::requeue` exactly: the
+    /// NACK rides the reverse route on the failed class, the retry
+    /// re-enters `pending` when it lands, and after the retry limit the
+    /// transfer escalates to the B plane.
+    fn requeue<P: Probe>(&mut self, f: InFlight, probe: &mut P) {
+        self.stats.faults_detected += 1;
+        if P::ENABLED {
+            probe.fault_detected(f.deliver_at, f.id.0, f.transfer.class, f.attempt);
+        }
+        let nack = self
+            .scaled_base_latency(f.transfer.dst, f.transfer.src, f.transfer.class)
+            .max(1);
+        let attempt = f.attempt + 1;
+        let mut transfer = f.transfer;
+        if attempt >= self.faults.retry_limit()
+            && transfer.class != WireClass::B
+            && self.has_class(WireClass::B)
+            && transfer.kind.allowed_on(WireClass::B)
+        {
+            transfer.class = WireClass::B;
+            self.stats.escalations += 1;
+        }
+        let route = self
+            .config
+            .topology
+            .route_inline(transfer.src, transfer.dst, transfer.class);
+        let latency = (self.scaled_base_latency(transfer.src, transfer.dst, transfer.class)
+            + transfer.kind.serialization_cycles(transfer.class))
+        .max(1);
+        let mut links = [0u16; MAX_ROUTE_LINKS];
+        for (slot, &l) in links.iter_mut().zip(route.links()) {
+            *slot = self.config.topology.link_slot(l) as u16;
+        }
+        self.pending.push(Pending {
+            id: f.id,
+            transfer,
+            links,
+            nlinks: route.links().len() as u8,
+            latency,
+            hops: route.hops,
+            enqueued: f.deliver_at + nack,
+            attempt,
+            first_deliver: f.first_deliver,
+        });
+        self.stats.retransmits += 1;
+        if P::ENABLED {
+            probe.retransmit(f.deliver_at + nack, f.id.0, transfer.class, attempt);
+        }
     }
 
     /// The earliest future cycle at which the network can change state
@@ -281,6 +405,14 @@ impl ReferenceNetwork {
     /// Transfers buffered awaiting lane arbitration (not yet departed).
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The pending transfer next in arbitration order, as `(id, class,
+    /// enqueued cycle, attempt)` — mirror of `Network::oldest_pending`.
+    pub fn oldest_pending(&self) -> Option<(TransferId, WireClass, u64, u32)> {
+        self.pending
+            .first()
+            .map(|p| (p.id, p.transfer.class, p.enqueued, p.attempt))
     }
 
     /// Statistics so far.

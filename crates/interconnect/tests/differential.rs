@@ -6,8 +6,8 @@
 //! sequences at the same cycles, and same next-event answers every cycle.
 
 use heterowire_interconnect::{
-    MessageKind, NetConfig, NetStats, Network, Node, ReferenceNetwork, Topology, TopologySpec,
-    Transfer, TransferId,
+    FaultSpec, MessageKind, NetConfig, NetStats, Network, Node, ReferenceNetwork, Topology,
+    TopologySpec, Transfer, TransferId,
 };
 use heterowire_rng::SmallRng;
 use heterowire_telemetry::Probe;
@@ -20,6 +20,8 @@ enum Event {
     Depart(u64, u64, WireClass, u64),
     LinkBusy(u64, usize, WireClass),
     Deliver(u64, u64, WireClass),
+    FaultDetected(u64, u64, WireClass, u32),
+    Retransmit(u64, u64, WireClass, u32),
 }
 
 #[derive(Debug, Default)]
@@ -42,6 +44,16 @@ impl Probe for RecProbe {
 
     fn deliver(&mut self, cycle: u64, id: u64, class: WireClass) {
         self.events.push(Event::Deliver(cycle, id, class));
+    }
+
+    fn fault_detected(&mut self, cycle: u64, id: u64, class: WireClass, attempt: u32) {
+        self.events
+            .push(Event::FaultDetected(cycle, id, class, attempt));
+    }
+
+    fn retransmit(&mut self, cycle: u64, id: u64, class: WireClass, attempt: u32) {
+        self.events
+            .push(Event::Retransmit(cycle, id, class, attempt));
     }
 }
 
@@ -109,9 +121,26 @@ fn random_transfer(rng: &mut SmallRng, clusters: usize, hot: bool) -> Transfer {
 /// Drives both engines with one identical randomized stream and asserts
 /// bit-identical behaviour at every observation point.
 fn differential_run(topology: Topology, seed: u64, cycles: u64) -> NetStats {
+    differential_run_with(
+        topology,
+        seed,
+        cycles,
+        heterowire_interconnect::NullFaultModel,
+    )
+}
+
+/// [`differential_run`] with a shared fault model: both engines must also
+/// agree on every corruption draw, NACK latency, retransmission and
+/// escalation.
+fn differential_run_with<F: heterowire_interconnect::FaultModel + Clone>(
+    topology: Topology,
+    seed: u64,
+    cycles: u64,
+    faults: F,
+) -> NetStats {
     let clusters = topology.clusters();
-    let mut new_net = Network::new(NetConfig::new(topology, full_link()));
-    let mut old_net = ReferenceNetwork::new(NetConfig::new(topology, full_link()));
+    let mut new_net = Network::with_faults(NetConfig::new(topology, full_link()), faults.clone());
+    let mut old_net = ReferenceNetwork::with_faults(NetConfig::new(topology, full_link()), faults);
     let mut new_probe = RecProbe::default();
     let mut old_probe = RecProbe::default();
     let mut new_out: Vec<(TransferId, Transfer)> = Vec::new();
@@ -192,6 +221,36 @@ fn hier16_differential_random_bursts() {
         delivered += differential_run(Topology::hier16(), 0xCAFE + seed, 700).delivered;
     }
     assert!(delivered > 1_000, "traffic was too light to prove anything");
+}
+
+#[test]
+fn fault_injection_differential_random_bursts() {
+    // Same injector on both engines: every corruption draw, NACK delay,
+    // requeue order and B-escalation must agree bit for bit, and the
+    // recorded fault/retransmit probe sequences must be identical. The
+    // rate is high enough that retries and escalations both fire.
+    let spec = FaultSpec::parse("l@2e-3+pw@5e-4+seed:99+retry:1").expect("valid spec");
+    for (topology, seed) in [
+        (Topology::crossbar4(), 0xFA17u64),
+        (Topology::hier16(), 0xFA18),
+    ] {
+        let mut stats = NetStats::default();
+        for s in 0..3 {
+            let run = differential_run_with(topology, seed + s, 700, spec.injector());
+            stats.faults_detected += run.faults_detected;
+            stats.retransmits += run.retransmits;
+            stats.escalations += run.escalations;
+        }
+        assert!(
+            stats.faults_detected > 50,
+            "{topology:?}: only {} faults fired — rate too low to prove parity",
+            stats.faults_detected
+        );
+        assert!(
+            stats.escalations > 0,
+            "{topology:?}: retry:1 with sustained corruption must escalate"
+        );
+    }
 }
 
 #[test]

@@ -28,6 +28,7 @@ pub mod json;
 pub mod perfetto;
 pub mod probe;
 pub mod recording;
+pub mod stall;
 
 pub use perfetto::chrome_trace;
 pub use probe::{NullProbe, Probe};
@@ -35,3 +36,4 @@ pub use recording::{
     class_slot, utilization_csv, EventCounts, Lifecycle, OverflowEpisode, RecordingConfig,
     RecordingProbe, SampleRow, NUM_CLASSES, OCC_BUCKETS, UNSET,
 };
+pub use stall::{BlockedTransfer, StallReport};

@@ -16,6 +16,8 @@
 use heterowire_isa::OpClass;
 use heterowire_wires::WireClass;
 
+use crate::stall::StallReport;
+
 /// Observation hooks for pipeline, network, front-end and LSQ events.
 ///
 /// Every method has an empty default body, so a probe implements only the
@@ -56,6 +58,23 @@ pub trait Probe: std::fmt::Debug {
 
     /// A transfer reached its destination.
     fn deliver(&mut self, _cycle: u64, _id: u64, _class: WireClass) {}
+
+    /// A delivered transfer failed its integrity check (fault injection):
+    /// the receiver will NACK it back to the sender. `attempt` counts the
+    /// prior failed deliveries of this id (0 = first corruption), `class`
+    /// is the plane the corrupted copy rode.
+    fn fault_detected(&mut self, _cycle: u64, _id: u64, _class: WireClass, _attempt: u32) {}
+
+    /// A corrupted transfer re-entered lane arbitration. `cycle` is when
+    /// the retransmission becomes eligible (NACK transit included),
+    /// `class` the plane it will retry on (B once escalated), `attempt`
+    /// the new attempt index.
+    fn retransmit(&mut self, _cycle: u64, _id: u64, _class: WireClass, _attempt: u32) {}
+
+    /// The forward-progress watchdog fired: no instruction committed for
+    /// its full window. Called once, immediately before the run aborts
+    /// with the same report as a structured error.
+    fn stall(&mut self, _report: &StallReport) {}
 
     /// The load balancer diverted a transfer to the less congested plane
     /// (the paper's overflow-steering criterion fired).

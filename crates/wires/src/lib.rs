@@ -57,5 +57,5 @@ pub mod spec;
 pub mod transmission;
 
 pub use classes::{segment_latency, table2, WireClass, WireParams};
-pub use plane::{DuplicateClassError, LinkComposition, WirePlane};
+pub use plane::{DuplicateClassError, LaneRetireError, LinkComposition, WirePlane};
 pub use spec::{LinkSpec, SpecError};

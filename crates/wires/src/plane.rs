@@ -181,11 +181,73 @@ impl LinkComposition {
         }
     }
 
+    /// Returns a composition with `lanes` lanes of `class` permanently
+    /// removed — the wire-level model of stuck-at lane faults: the wires
+    /// still occupy metal area on the die, but no longer carry transfers,
+    /// so the returned composition is what every consumer (steering
+    /// policies, load balancer, network arbitration) must steer against.
+    /// A plane whose last lane is retired disappears from the composition
+    /// entirely (a plane cannot hold zero wires).
+    pub fn with_lanes_retired(
+        &self,
+        class: WireClass,
+        lanes: u32,
+    ) -> Result<Self, LaneRetireError> {
+        if lanes == 0 {
+            return Ok(self.clone());
+        }
+        let available = self.lanes(class);
+        if lanes > available {
+            return Err(LaneRetireError {
+                class,
+                available,
+                requested: lanes,
+            });
+        }
+        let planes = self
+            .planes
+            .iter()
+            .filter_map(|p| {
+                if p.class() != class {
+                    return Some(*p);
+                }
+                let keep = p.lanes() - lanes;
+                (keep > 0).then(|| WirePlane::new(class, keep * WirePlane::wires_per_lane(class)))
+            })
+            .collect();
+        Ok(LinkComposition { planes })
+    }
+
     /// True if no planes are present.
     pub fn is_empty(&self) -> bool {
         self.planes.is_empty()
     }
 }
+
+/// Error returned by [`LinkComposition::with_lanes_retired`] when the
+/// composition has fewer live lanes of the class than the retirement asks
+/// for (including the class being absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRetireError {
+    /// Class whose lanes were to be retired.
+    pub class: WireClass,
+    /// Lanes the composition actually offers for that class.
+    pub available: u32,
+    /// Lanes requested for retirement.
+    pub requested: u32,
+}
+
+impl fmt::Display for LaneRetireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot retire {} {} lane(s): the link has only {}",
+            self.requested, self.class, self.available
+        )
+    }
+}
+
+impl std::error::Error for LaneRetireError {}
 
 impl fmt::Display for LinkComposition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -274,6 +336,39 @@ mod tests {
         .unwrap();
         assert_eq!(link.to_string(), "144 B-Wires, 36 L-Wires");
         assert_eq!(LinkComposition::default().to_string(), "(no wires)");
+    }
+
+    #[test]
+    fn lane_retirement_shrinks_live_capacity() {
+        let link = LinkComposition::new(vec![
+            WirePlane::new(WireClass::B, 144),
+            WirePlane::new(WireClass::L, 36),
+        ])
+        .unwrap();
+        // Retiring one of two L lanes halves the plane; area tracks the
+        // surviving wires (the composition models live capacity).
+        let degraded = link.with_lanes_retired(WireClass::L, 1).unwrap();
+        assert_eq!(degraded.lanes(WireClass::L), 1);
+        assert_eq!(degraded.lanes(WireClass::B), 2);
+        assert_eq!(degraded.to_string(), "144 B-Wires, 18 L-Wires");
+        // Retiring the whole plane removes it.
+        let gone = link.with_lanes_retired(WireClass::L, 2).unwrap();
+        assert!(gone.plane(WireClass::L).is_none());
+        assert_eq!(gone.to_string(), "144 B-Wires");
+        // Zero retirements is the identity.
+        assert_eq!(link.with_lanes_retired(WireClass::Pw, 0).unwrap(), link);
+        // Over-retirement and absent classes fail loudly.
+        let err = link.with_lanes_retired(WireClass::L, 3).unwrap_err();
+        assert_eq!(
+            err,
+            LaneRetireError {
+                class: WireClass::L,
+                available: 2,
+                requested: 3
+            }
+        );
+        assert!(err.to_string().contains("only 2"), "{err}");
+        assert!(link.with_lanes_retired(WireClass::Pw, 1).is_err());
     }
 
     #[test]

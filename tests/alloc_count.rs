@@ -48,6 +48,10 @@ fn allocs_for(topology: Topology, window: u64) -> u64 {
     // through the generic probed entry point with the probe disabled:
     // `NullProbe` must monomorphize every hook away, so this path is held
     // to the same allocation budget as the seed's plain constructor.
+    // `NullFaultModel` (the default third parameter) is covered the same
+    // way: with `ENABLED = false` every corruption check, retry branch
+    // and dseq sort compiles out, so this budget also pins the
+    // faults-disabled fabric.
     let cfg = ProcessorConfig::for_model(InterconnectModel::X, topology);
     let trace = TraceGenerator::new(by_name("gcc").expect("gcc exists"), 42);
     let before = ALLOCS.load(Ordering::Relaxed);
